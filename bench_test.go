@@ -1,0 +1,386 @@
+// Package capscale's benchmark harness regenerates every table and
+// figure of the paper's evaluation (Tables II–IV, Figures 1 and 3–7),
+// the Eq. 8/Eq. 9 model curves, and the ablations DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench prints its artifact once (with the paper's
+// published values alongside where they exist) and reports the headline
+// quantities as custom benchmark metrics.
+package capscale
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"capscale/internal/caps"
+	"capscale/internal/energy"
+	"capscale/internal/hw"
+	"capscale/internal/matrix"
+	"capscale/internal/report"
+	"capscale/internal/sim"
+	"capscale/internal/strassen"
+	"capscale/internal/workload"
+)
+
+// The full 48-run matrix is executed once and shared by every bench.
+var (
+	matrixOnce sync.Once
+	paperMx    *workload.Matrix
+)
+
+func paperMatrix(b *testing.B) *workload.Matrix {
+	b.Helper()
+	matrixOnce.Do(func() {
+		paperMx = workload.Execute(workload.PaperConfig())
+	})
+	return paperMx
+}
+
+var printGates sync.Map
+
+// printOnce emits an artifact exactly once per process, keyed by name,
+// so repeated benchmark iterations stay quiet.
+func printOnce(name string, artifacts ...fmt.Stringer) {
+	if _, loaded := printGates.LoadOrStore(name, true); loaded {
+		return
+	}
+	fmt.Println()
+	for _, a := range artifacts {
+		fmt.Println(a.String())
+	}
+}
+
+func avgOverSizes(mx *workload.Matrix, alg workload.Algorithm) float64 {
+	sum := 0.0
+	for _, n := range mx.Cfg.Sizes {
+		sum += mx.AvgSlowdownAtSize(alg, n)
+	}
+	return sum / float64(len(mx.Cfg.Sizes))
+}
+
+func avgOverThreads(mx *workload.Matrix, alg workload.Algorithm) float64 {
+	sum := 0.0
+	for _, p := range mx.Cfg.Threads {
+		sum += mx.AvgPowerAtThreads(alg, p)
+	}
+	return sum / float64(len(mx.Cfg.Threads))
+}
+
+// BenchmarkFigure1EnergyScalingConcept regenerates the conceptual
+// ideal/superlinear chart of Fig. 1.
+func BenchmarkFigure1EnergyScalingConcept(b *testing.B) {
+	printOnce("fig1", report.Figure1(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = report.Figure1(4)
+	}
+}
+
+// BenchmarkFigure2TreeTraversal reproduces the content of the paper's
+// Fig. 2 — the contrast between depth-first and breadth-first CAPS
+// traversal — as simulated schedule Gantt charts: pure DFS serializes
+// the seven subproblems (work-shared additions between them), BFS runs
+// them on disjoint owner subsets concurrently.
+func BenchmarkFigure2TreeTraversal(b *testing.B) {
+	m := hw.HaswellE31225()
+	n := 512
+	mk := func(cutoff int) (*sim.Result, *report.Gantt) {
+		a, bb, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+		root := caps.Build(m, c, a, bb, 4, caps.Options{CutoffDepth: cutoff})
+		res := sim.Run(m, root, sim.Config{Workers: 4, RecordSchedule: true})
+		title := fmt.Sprintf("CAPS cutoff depth %d (%.4f s, %.0f%% busy)", cutoff, res.Makespan, 100*res.Utilization())
+		if cutoff < 0 {
+			title = fmt.Sprintf("pure DFS (%.4f s, %.0f%% busy)", res.Makespan, 100*res.Utilization())
+		}
+		return res, &report.Gantt{Title: title, Workers: 4, Spans: res.Schedule}
+	}
+	if _, loaded := printGates.LoadOrStore("fig2", true); !loaded {
+		fmt.Println("\nFigure 2 — depth-first vs breadth-first CAPS traversal (512², 4 workers):")
+		_, dfs := mk(-1)
+		fmt.Println(dfs.String())
+		_, bfs := mk(2)
+		fmt.Println(bfs.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := mk(2)
+		_ = res
+	}
+}
+
+// BenchmarkTable2SlowdownScaling regenerates Fig. 3 and Table II: the
+// Strassen and CAPS slowdown versus OpenBLAS across the 48-run matrix.
+func BenchmarkTable2SlowdownScaling(b *testing.B) {
+	mx := paperMatrix(b)
+	printOnce("table2", report.Figure3(mx), report.Table2(mx))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table2(mx)
+	}
+	b.ReportMetric(avgOverSizes(mx, workload.AlgStrassen), "strassen-slowdown")
+	b.ReportMetric(avgOverSizes(mx, workload.AlgCAPS), "caps-slowdown")
+}
+
+// BenchmarkFigure4OpenBLASPowerScaling regenerates Fig. 4.
+func BenchmarkFigure4OpenBLASPowerScaling(b *testing.B) {
+	mx := paperMatrix(b)
+	printOnce("fig4", report.PowerScalingFigure(mx, workload.AlgOpenBLAS, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.PowerScalingFigure(mx, workload.AlgOpenBLAS, 4)
+	}
+	b.ReportMetric(mx.AvgPowerAtThreads(workload.AlgOpenBLAS, 4), "watts-at-4t")
+}
+
+// BenchmarkFigure5StrassenPowerScaling regenerates Fig. 5.
+func BenchmarkFigure5StrassenPowerScaling(b *testing.B) {
+	mx := paperMatrix(b)
+	printOnce("fig5", report.PowerScalingFigure(mx, workload.AlgStrassen, 5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.PowerScalingFigure(mx, workload.AlgStrassen, 5)
+	}
+	b.ReportMetric(mx.AvgPowerAtThreads(workload.AlgStrassen, 4), "watts-at-4t")
+}
+
+// BenchmarkFigure6CAPSPowerScaling regenerates Fig. 6.
+func BenchmarkFigure6CAPSPowerScaling(b *testing.B) {
+	mx := paperMatrix(b)
+	printOnce("fig6", report.PowerScalingFigure(mx, workload.AlgCAPS, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.PowerScalingFigure(mx, workload.AlgCAPS, 6)
+	}
+	b.ReportMetric(mx.AvgPowerAtThreads(workload.AlgCAPS, 4), "watts-at-4t")
+}
+
+// BenchmarkTable3AveragePower regenerates Table III.
+func BenchmarkTable3AveragePower(b *testing.B) {
+	mx := paperMatrix(b)
+	printOnce("table3", report.Table3(mx))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table3(mx)
+	}
+	b.ReportMetric(avgOverThreads(mx, workload.AlgOpenBLAS), "openblas-watts")
+	b.ReportMetric(avgOverThreads(mx, workload.AlgStrassen), "strassen-watts")
+	b.ReportMetric(avgOverThreads(mx, workload.AlgCAPS), "caps-watts")
+}
+
+// BenchmarkTable4EnergyPerformance regenerates Table IV.
+func BenchmarkTable4EnergyPerformance(b *testing.B) {
+	mx := paperMatrix(b)
+	printOnce("table4", report.Table4(mx))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table4(mx)
+	}
+	b.ReportMetric(mx.AvgEPAtSize(workload.AlgOpenBLAS, 4096), "openblas-ep-4096")
+	b.ReportMetric(mx.AvgEPAtSize(workload.AlgStrassen, 4096), "strassen-ep-4096")
+	b.ReportMetric(mx.AvgEPAtSize(workload.AlgCAPS, 4096), "caps-ep-4096")
+}
+
+// BenchmarkFigure7EnergyPerformanceScaling regenerates Fig. 7 and the
+// headline comparison table.
+func BenchmarkFigure7EnergyPerformanceScaling(b *testing.B) {
+	mx := paperMatrix(b)
+	printOnce("fig7", report.Figure7(mx), report.Headlines(mx))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Figure7(mx)
+	}
+	// Quantify the paper's qualitative claims: OpenBLAS superlinear,
+	// Strassen-derived near linear, CAPS closest to the line.
+	excess := func(alg workload.Algorithm) float64 {
+		worst := 0.0
+		for _, n := range mx.Cfg.Sizes {
+			if e := mx.ScalingSeries(alg, n).MaxExcess(); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	b.ReportMetric(excess(workload.AlgOpenBLAS), "openblas-max-excess")
+	b.ReportMetric(excess(workload.AlgStrassen), "strassen-max-excess")
+	b.ReportMetric(excess(workload.AlgCAPS), "caps-max-excess")
+}
+
+// BenchmarkEq8CommunicationBound evaluates the CAPS communication
+// lower bound across a parameter sweep.
+func BenchmarkEq8CommunicationBound(b *testing.B) {
+	if _, loaded := printGates.LoadOrStore("eq8", true); !loaded {
+		fmt.Println("\nEq. 8 — CAPS communication lower bound (words), n=4096:")
+		fmt.Printf("%8s %12s %16s\n", "P", "M (words)", "bound")
+		for _, p := range []float64{4, 49, 343, 2401} {
+			for _, m := range []float64{1 << 16, 1 << 20} {
+				fmt.Printf("%8.0f %12.0f %16.0f\n", p, m, energy.CommBound(4096, p, m))
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = energy.CommBound(4096, 49, 1<<20)
+	}
+}
+
+// BenchmarkEq9Crossover evaluates the Strassen crossover model.
+func BenchmarkEq9Crossover(b *testing.B) {
+	m := hw.HaswellE31225()
+	y := m.PeakFlops() * 0.92 / 1e6
+	z := m.DRAMBandwidth / 1e6
+	if _, loaded := printGates.LoadOrStore("eq9", true); !loaded {
+		fmt.Printf("\nEq. 9 — crossover on the paper's platform: n = %.0f (paper: unreachable at 4096)\n",
+			energy.Crossover(y, z))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = energy.Crossover(y, z)
+	}
+}
+
+// --- Ablations -------------------------------------------------------
+
+// BenchmarkAblationCAPSCutoff sweeps the BFS/DFS cutoff depth the
+// paper fixed at 4 after empirical testing.
+func BenchmarkAblationCAPSCutoff(b *testing.B) {
+	m := hw.HaswellE31225()
+	n := 2048
+	run := func(depth int) *sim.Result {
+		a, bb, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+		root := caps.Build(m, c, a, bb, 4, caps.Options{CutoffDepth: depth})
+		return sim.Run(m, root, sim.Config{Workers: 4})
+	}
+	if _, loaded := printGates.LoadOrStore("ablate-cutoff", true); !loaded {
+		fmt.Println("\nAblation — CAPS BFS/DFS cutoff depth (2048, 4 threads):")
+		fmt.Printf("%8s %12s %10s %14s %14s\n", "cutoff", "time (s)", "watts", "remote (MB)", "bufpeak (MB)")
+		for _, d := range []int{-1, 1, 2, 3, 4, 5} {
+			r := run(d)
+			label := d
+			if d == -1 {
+				label = 0
+			}
+			fmt.Printf("%8d %12.4f %10.2f %14.2f %14.2f\n",
+				label, r.Makespan, r.AvgPowerTotal(), r.RemoteBytes/1e6, r.AllocHighWater/1e6)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run(4)
+	}
+}
+
+// BenchmarkAblationStrassenCutover sweeps the dense-solver cutover the
+// paper fixed at N ≤ 64.
+func BenchmarkAblationStrassenCutover(b *testing.B) {
+	m := hw.HaswellE31225()
+	n := 2048
+	run := func(cut int) *sim.Result {
+		a, bb, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+		root := strassen.Build(m, c, a, bb, 4, strassen.Options{Cutover: cut})
+		return sim.Run(m, root, sim.Config{Workers: 4})
+	}
+	if _, loaded := printGates.LoadOrStore("ablate-cutover", true); !loaded {
+		fmt.Println("\nAblation — Strassen dense-solver cutover (2048, 4 threads):")
+		fmt.Printf("%8s %12s %10s %10s\n", "cutover", "time (s)", "watts", "leaves")
+		for _, cut := range []int{16, 32, 64, 128, 256} {
+			r := run(cut)
+			fmt.Printf("%8d %12.4f %10.2f %10d\n", cut, r.Makespan, r.AvgPowerTotal(), r.Leaves)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run(64)
+	}
+}
+
+// BenchmarkAblationAffinity disables the affinity/communication model:
+// without it the CAPS-vs-Strassen distinction collapses.
+func BenchmarkAblationAffinity(b *testing.B) {
+	m := hw.HaswellE31225()
+	n := 2048
+	run := func(alg workload.Algorithm, disable bool) *sim.Result {
+		root := workload.BuildTree(m, alg, n, 4)
+		return sim.Run(m, root, sim.Config{Workers: 4, DisableAffinity: disable})
+	}
+	if _, loaded := printGates.LoadOrStore("ablate-affinity", true); !loaded {
+		fmt.Println("\nAblation — communication (affinity) model on/off (2048, 4 threads):")
+		fmt.Printf("%10s %14s %14s %16s\n", "algorithm", "T with (s)", "T without (s)", "gap explained")
+		for _, alg := range []workload.Algorithm{workload.AlgStrassen, workload.AlgCAPS} {
+			with := run(alg, false)
+			without := run(alg, true)
+			fmt.Printf("%10v %14.4f %14.4f %15.1f%%\n",
+				alg, with.Makespan, without.Makespan,
+				100*(with.Makespan-without.Makespan)/with.Makespan)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run(workload.AlgStrassen, true)
+	}
+}
+
+// BenchmarkAblationContention disables DRAM bandwidth arbitration:
+// without it OpenBLAS's power curve loses its sublinear bend at large
+// sizes and the Strassen adds stop serializing.
+func BenchmarkAblationContention(b *testing.B) {
+	m := hw.HaswellE31225()
+	n := 2048
+	run := func(alg workload.Algorithm, disable bool) *sim.Result {
+		root := workload.BuildTree(m, alg, n, 4)
+		return sim.Run(m, root, sim.Config{Workers: 4, DisableContention: disable})
+	}
+	if _, loaded := printGates.LoadOrStore("ablate-contention", true); !loaded {
+		fmt.Println("\nAblation — DRAM contention model on/off (2048, 4 threads):")
+		fmt.Printf("%10s %14s %14s\n", "algorithm", "T with (s)", "T without (s)")
+		for _, alg := range workload.PaperAlgorithms() {
+			with := run(alg, false)
+			without := run(alg, true)
+			fmt.Printf("%10v %14.4f %14.4f\n", alg, with.Makespan, without.Makespan)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run(workload.AlgStrassen, true)
+	}
+}
+
+// BenchmarkAblationWinograd compares the classic 18-addition Strassen
+// recombination (the paper's Eq. 7) against the 15-addition
+// Strassen-Winograd variant across sizes — the extension the
+// algorithm's name in the paper points at.
+func BenchmarkAblationWinograd(b *testing.B) {
+	m := hw.HaswellE31225()
+	run := func(n int, winograd bool) *sim.Result {
+		a, bb, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+		root := strassen.Build(m, c, a, bb, 4, strassen.Options{Winograd: winograd})
+		return sim.Run(m, root, sim.Config{Workers: 4})
+	}
+	if _, loaded := printGates.LoadOrStore("ablate-winograd", true); !loaded {
+		fmt.Println("\nAblation — classic Strassen vs Strassen-Winograd (4 threads):")
+		fmt.Printf("%8s %14s %14s %10s\n", "N", "classic (s)", "winograd (s)", "gain")
+		for _, n := range []int{512, 1024, 2048, 4096} {
+			tc := run(n, false).Makespan
+			tw := run(n, true).Makespan
+			fmt.Printf("%8d %14.4f %14.4f %9.2f%%\n", n, tc, tw, 100*(tc-tw)/tc)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run(2048, true)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the virtual-time executor
+// itself: leaves scheduled per second on the biggest tree of the
+// matrix (Strassen at 4096).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	m := hw.HaswellE31225()
+	root := workload.BuildTree(m, workload.AlgStrassen, 4096, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(m, root, sim.Config{Workers: 4})
+		b.ReportMetric(float64(res.Leaves), "leaves/op")
+	}
+}

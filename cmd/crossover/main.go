@@ -1,0 +1,57 @@
+// Command crossover evaluates the paper's Eq. 9: the square-matrix
+// dimension at which a Strassen technique breaks even with a tuned
+// blocked multiply on a platform computing y MFlop/s and moving data
+// at z MB/s (n = 480·y/z).
+//
+// Usage:
+//
+//	crossover                 # the paper's platform
+//	crossover -y 23500 -z 7500
+//	crossover -sweep          # sweep the compute/bandwidth balance
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"capscale/internal/energy"
+	"capscale/internal/hw"
+	"capscale/internal/task"
+)
+
+func main() {
+	var (
+		y     = flag.Float64("y", 0, "platform compute rate in MFlop/s (0 = derive from the paper's machine)")
+		z     = flag.Float64("z", 0, "platform data-movement rate in MB/s (0 = derive from the paper's machine)")
+		sweep = flag.Bool("sweep", false, "sweep balance ratios around the platform point")
+	)
+	flag.Parse()
+
+	m := hw.HaswellE31225()
+	yv, zv := *y, *z
+	if yv == 0 {
+		// Whole-machine tuned DGEMM rate against aggregate memory
+		// bandwidth. On the paper's platform this lands just above 4096
+		// — consistent with its observation that the crossover was out
+		// of reach at the largest runnable size.
+		yv = m.PeakFlops() * m.Eff(task.KindGEMM) / 1e6
+	}
+	if zv == 0 {
+		zv = m.DRAMBandwidth / 1e6
+	}
+
+	n := energy.Crossover(yv, zv)
+	fmt.Printf("platform: y = %.0f MFlop/s, z = %.0f MB/s\n", yv, zv)
+	fmt.Printf("Eq. 9 crossover: n = 480*y/z = %.0f\n", n)
+	fmt.Printf("(problems with n above this favour Strassen-derived techniques)\n")
+
+	if *sweep {
+		fmt.Printf("\n%-12s %-12s %s\n", "y (MFlop/s)", "z (MB/s)", "crossover n")
+		for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+			fmt.Printf("%-12.0f %-12.0f %.0f\n", yv*f, zv, energy.Crossover(yv*f, zv))
+		}
+		for _, f := range []float64{0.25, 0.5, 2, 4} {
+			fmt.Printf("%-12.0f %-12.0f %.0f\n", yv, zv*f, energy.Crossover(yv, zv*f))
+		}
+	}
+}

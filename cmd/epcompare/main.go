@@ -1,0 +1,84 @@
+// Command epcompare diffs two saved experiment matrices (epscale
+// -save) cell by cell: time, power and EP deltas per configuration —
+// for comparing calibrations, machines, or ablation settings without
+// re-reading two walls of tables.
+//
+// Usage:
+//
+//	epscale -save base.json >/dev/null
+//	epscale -ablate-affinity -save noaff.json >/dev/null
+//	epcompare base.json noaff.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capscale/internal/report"
+	"capscale/internal/workload"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.005, "hide rows where every delta is under this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: epcompare [-threshold f] base.json other.json")
+		os.Exit(2)
+	}
+	base, err := loadMatrix(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epcompare: %v\n", err)
+		os.Exit(1)
+	}
+	other, err := loadMatrix(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epcompare: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("%s vs %s (positive = second slower/hotter)", flag.Arg(0), flag.Arg(1)),
+		Header: []string{"algorithm", "N", "threads", "Δtime", "Δwatts", "ΔEP"},
+	}
+	shown, hidden := 0, 0
+	for i := range base.Runs {
+		b := &base.Runs[i]
+		o := other.Get(b.Alg, b.N, b.Threads)
+		if o == nil {
+			t.AddRow(b.Alg.String(), fmt.Sprint(b.N), fmt.Sprint(b.Threads), "missing", "missing", "missing")
+			shown++
+			continue
+		}
+		dt := o.Seconds/b.Seconds - 1
+		dw := o.WattsTotal()/b.WattsTotal() - 1
+		de := o.EP()/b.EP() - 1
+		if abs(dt) < *threshold && abs(dw) < *threshold && abs(de) < *threshold {
+			hidden++
+			continue
+		}
+		t.AddRow(b.Alg.String(), fmt.Sprint(b.N), fmt.Sprint(b.Threads),
+			pct(dt), pct(dw), pct(de))
+		shown++
+	}
+	fmt.Print(t.String())
+	fmt.Printf("(%d rows shown, %d under the %.1f%% threshold hidden)\n", shown, hidden, *threshold*100)
+}
+
+func loadMatrix(path string) (*workload.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.LoadJSON(f)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%+.2f%%", v*100) }
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,227 @@
+// Command epscale runs the paper's experiment matrix on the simulated
+// platform and regenerates its tables and figures.
+//
+// Usage:
+//
+//	epscale                    # full 48-run matrix, all tables/figures
+//	epscale -what table3       # one artifact
+//	epscale -quick             # smaller matrix for a fast look
+//	epscale -csv -what fig7    # CSV instead of aligned text
+//	epscale -sizes 512,1024 -threads 1,2,3,4
+//	epscale -ablate-affinity   # communication charging off
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"capscale/internal/caps"
+	"capscale/internal/cluster"
+	"capscale/internal/dmm"
+	"capscale/internal/hw"
+	"capscale/internal/matrix"
+	"capscale/internal/report"
+	"capscale/internal/sim"
+	"capscale/internal/sparse"
+	"capscale/internal/workload"
+)
+
+func main() {
+	var (
+		what       = flag.String("what", "all", "artifact: all, table2, table3, table4, fig1, fig3..fig7, headlines, future-dmm, future-sparse, platforms")
+		quick      = flag.Bool("quick", false, "use a reduced matrix (sizes 512,1024; threads 1..4)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		chart      = flag.Bool("chart", false, "render figures as ASCII line charts (fig3..fig7)")
+		sizes      = flag.String("sizes", "", "comma-separated problem sizes (default: paper's 512,1024,2048,4096)")
+		threads    = flag.String("threads", "", "comma-separated thread counts (default: paper's 1,2,3,4)")
+		noAffinity = flag.Bool("ablate-affinity", false, "disable affinity/communication charging")
+		noContend  = flag.Bool("ablate-contention", false, "disable DRAM bandwidth contention")
+		save       = flag.String("save", "", "save the executed matrix as JSON to this file")
+		load       = flag.String("load", "", "render from a previously saved matrix instead of simulating")
+	)
+	flag.Parse()
+
+	// Study artifacts that do not need the 48-run matrix.
+	if tbl := studyArtifact(*what); tbl != nil {
+		emit(tbl, *csv)
+		return
+	}
+	if *what == "fig2" {
+		printFigure2()
+		return
+	}
+
+	cfg := workload.PaperConfig()
+	if *quick {
+		cfg.Sizes = []int{512, 1024}
+	}
+	if *sizes != "" {
+		cfg.Sizes = parseInts(*sizes)
+	}
+	if *threads != "" {
+		cfg.Threads = parseInts(*threads)
+	}
+	cfg.DisableAffinity = *noAffinity
+	cfg.DisableContention = *noContend
+
+	var mx *workload.Matrix
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
+			os.Exit(1)
+		}
+		mx, err = workload.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
+			os.Exit(1)
+		}
+		cfg = mx.Cfg
+	} else {
+		fmt.Fprintf(os.Stderr, "epscale: running %d configurations on %q...\n",
+			len(cfg.Algorithms)*len(cfg.Sizes)*len(cfg.Threads), cfg.Machine.Name)
+		mx = workload.Execute(cfg)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mx.SaveJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "epscale: saved matrix to %s\n", *save)
+	}
+
+	tables := map[string]func() *report.Table{
+		"table2":    func() *report.Table { return report.Table2(mx) },
+		"table3":    func() *report.Table { return report.Table3(mx) },
+		"table4":    func() *report.Table { return report.Table4(mx) },
+		"fig1":      func() *report.Table { return report.Figure1(maxOf(cfg.Threads)) },
+		"fig3":      func() *report.Table { return report.Figure3(mx) },
+		"fig4":      func() *report.Table { return report.PowerScalingFigure(mx, workload.AlgOpenBLAS, 4) },
+		"fig5":      func() *report.Table { return report.PowerScalingFigure(mx, workload.AlgStrassen, 5) },
+		"fig6":      func() *report.Table { return report.PowerScalingFigure(mx, workload.AlgCAPS, 6) },
+		"fig7":      func() *report.Table { return report.Figure7(mx) },
+		"headlines": func() *report.Table { return report.Headlines(mx) },
+		"breakdown": func() *report.Table {
+			return report.BreakdownTable(mx, cfg.Sizes[len(cfg.Sizes)-1], maxOf(cfg.Threads))
+		},
+	}
+
+	if *chart {
+		charts := map[string]func() *report.Chart{
+			"fig3": func() *report.Chart { return report.SlowdownChart(mx) },
+			"fig4": func() *report.Chart { return report.PowerScalingChart(mx, workload.AlgOpenBLAS, 4) },
+			"fig5": func() *report.Chart { return report.PowerScalingChart(mx, workload.AlgStrassen, 5) },
+			"fig6": func() *report.Chart { return report.PowerScalingChart(mx, workload.AlgCAPS, 6) },
+			"fig7": func() *report.Chart {
+				return report.ScalingChart(mx, cfg.Sizes[len(cfg.Sizes)-1])
+			},
+		}
+		mk, ok := charts[*what]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "epscale: no chart for %q (use fig3..fig7)\n", *what)
+			os.Exit(2)
+		}
+		fmt.Print(mk().String())
+		return
+	}
+
+	if *what == "all" {
+		if *csv {
+			fmt.Fprintln(os.Stderr, "epscale: -csv requires a single -what artifact")
+			os.Exit(2)
+		}
+		fmt.Print(report.All(mx))
+		return
+	}
+	mk, ok := tables[*what]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "epscale: unknown artifact %q\n", *what)
+		os.Exit(2)
+	}
+	emit(mk(), *csv)
+}
+
+func emit(tbl *report.Table, csv bool) {
+	if csv {
+		if err := tbl.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(tbl.String())
+}
+
+// printFigure2 renders the paper's Fig. 2 content — depth-first vs
+// breadth-first CAPS traversal — as simulated schedule Gantt charts.
+func printFigure2() {
+	m := hw.HaswellE31225()
+	n := 512
+	fmt.Printf("Figure 2 — depth-first vs breadth-first CAPS traversal (%d², 4 workers):\n", n)
+	for _, cutoff := range []int{-1, 2} {
+		a, b, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+		root := caps.Build(m, c, a, b, 4, caps.Options{CutoffDepth: cutoff})
+		res := sim.Run(m, root, sim.Config{Workers: 4, RecordSchedule: true})
+		title := fmt.Sprintf("CAPS cutoff depth %d (%.4f s, %.0f%% busy)", cutoff, res.Makespan, 100*res.Utilization())
+		if cutoff < 0 {
+			title = fmt.Sprintf("pure DFS (%.4f s, %.0f%% busy)", res.Makespan, 100*res.Utilization())
+		}
+		g := &report.Gantt{Title: title, Workers: 4, Spans: res.Schedule}
+		fmt.Println(g.String())
+	}
+}
+
+// studyArtifact produces the future-work and platform artifacts, which
+// run their own experiments instead of the paper matrix.
+func studyArtifact(what string) *report.Table {
+	switch what {
+	case "future-dmm":
+		c := cluster.TS140Cluster(49)
+		fmt.Fprintln(os.Stderr, "epscale: running distributed CAPS study (8192², up to 49 ranks)...")
+		return report.DistributedStudyTable("CAPS", dmm.Study(c, "CAPS", 8192, 64, []int{1, 7, 49}))
+	case "future-sparse":
+		fmt.Fprintln(os.Stderr, "epscale: running SpMV storage study (power-law 8192²)...")
+		m := hw.HaswellE31225()
+		a := sparse.PowerLaw(rand.New(rand.NewSource(42)), 8192, 16, 1.8)
+		return report.SparseStudyTable(sparse.EnergyStudy(m, a, []int{1, 2, 3, 4}, 50))
+	case "platforms":
+		fmt.Fprintln(os.Stderr, "epscale: running cross-platform sweep (2048²)...")
+		return report.PlatformTable(workload.CrossPlatform(hw.Zoo(), 2048))
+	default:
+		return nil
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "epscale: bad integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func maxOf(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

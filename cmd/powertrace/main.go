@@ -1,0 +1,68 @@
+// Command powertrace simulates one matrix-multiplication run and emits
+// its sampled power trace as CSV (t_s, pkg_w, pp0_w, dram_w, total_w),
+// the log a PAPI/RAPL poller would have produced on the paper's
+// platform.
+//
+// Usage:
+//
+//	powertrace -alg caps -n 1024 -threads 4 -interval 0.001 > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"capscale/internal/workload"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "openblas", "algorithm: openblas, strassen, winograd, caps")
+		n        = flag.Int("n", 1024, "square problem dimension")
+		threads  = flag.Int("threads", 4, "thread count (1..4 on the paper's machine)")
+		interval = flag.Float64("interval", 0.001, "sampling interval in seconds")
+		session  = flag.Bool("session", false, "emit the whole 48-run experiment session (quick sizes) with 60s quiesce gaps instead of one run")
+	)
+	flag.Parse()
+
+	if *session {
+		cfg := workload.PaperConfig()
+		cfg.Sizes = []int{512, 1024} // keep the emitted CSV manageable
+		cfg.RecordTraces = true
+		cfg.TraceSampleInterval = *interval
+		mx := workload.Execute(cfg)
+		tr := mx.SessionTrace()
+		fmt.Fprintf(os.Stderr, "powertrace: session of %d runs, %.1f s total\n", len(mx.Runs), tr.Duration())
+		if err := tr.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "powertrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	algs := map[string]workload.Algorithm{
+		"openblas": workload.AlgOpenBLAS,
+		"strassen": workload.AlgStrassen,
+		"winograd": workload.AlgWinograd,
+		"caps":     workload.AlgCAPS,
+	}
+	a, ok := algs[strings.ToLower(*alg)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "powertrace: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	cfg := workload.PaperConfig()
+	cfg.RecordTraces = true
+	cfg.TraceSampleInterval = *interval
+	run := workload.ExecuteOne(cfg, a, *n, *threads)
+
+	fmt.Fprintf(os.Stderr, "powertrace: %v n=%d threads=%d: %.4fs, %.2f W avg (PKG %.2f + DRAM %.2f)\n",
+		a, *n, *threads, run.Seconds, run.WattsTotal(), run.WattsPKG(), run.WattsDRAM())
+	if err := run.Trace.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "powertrace: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package capscale reproduces "Communication Avoiding Power Scaling"
+// (Chen & Leidel, ICPP Workshops 2015) as a from-scratch, stdlib-only
+// Go system: the paper's energy-performance scaling model
+// (internal/energy), its three matrix-multiplication test fixtures
+// (internal/blas, internal/strassen, internal/caps) expressed as task
+// trees (internal/task), a deterministic virtual-time scheduler with a
+// calibrated power model (internal/sim, internal/hw), an emulated
+// RAPL/PAPI measurement stack (internal/rapl, internal/papi), and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation (internal/workload, internal/report).
+//
+// The root package holds the benchmark harness: `go test -bench=.`
+// regenerates the paper's Tables II–IV and Figures 1 and 3–7 alongside
+// the published values, plus the ablations and future-work studies
+// DESIGN.md indexes. See README.md for the tour and EXPERIMENTS.md for
+// the paper-vs-measured record.
+package capscale

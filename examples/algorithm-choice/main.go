@@ -1,0 +1,82 @@
+// Algorithm choice under a power cap: the use case the paper's
+// introduction motivates. A facility limits how many watts a node may
+// draw; given a problem size, pick the algorithm and thread count that
+// finishes soonest without breaching the cap, using the simulated
+// platform and the Section III model.
+package main
+
+import (
+	"fmt"
+
+	"capscale/internal/energy"
+	"capscale/internal/sim"
+	"capscale/internal/workload"
+)
+
+type choice struct {
+	alg     workload.Algorithm
+	threads int
+	seconds float64
+	watts   float64
+	class   energy.Class
+}
+
+func main() {
+	const n = 2048
+	caps := []float64{55, 40, 32, 25} // watts
+
+	cfg := workload.PaperConfig()
+	m := cfg.Machine
+	fmt.Printf("choosing an algorithm for a %dx%d multiply on %q\n\n", n, n, m.Name)
+
+	// Evaluate every candidate once.
+	var candidates []choice
+	for _, alg := range workload.PaperAlgorithms() {
+		var ep1 float64
+		for _, p := range cfg.Threads {
+			root := workload.BuildTree(m, alg, n, p)
+			res := sim.Run(m, root, sim.Config{Workers: p})
+			ep := energy.EP(res.AvgPowerTotal(), res.Makespan)
+			if p == 1 {
+				ep1 = ep
+			}
+			s := energy.Scaling(ep, ep1)
+			candidates = append(candidates, choice{
+				alg: alg, threads: p,
+				seconds: res.Makespan,
+				watts:   res.AvgPowerTotal(),
+				class:   energy.Classify(s, p),
+			})
+		}
+	}
+
+	fmt.Printf("%-10s %8s %10s %10s %12s\n", "algorithm", "threads", "time (s)", "watts", "EP scaling")
+	for _, c := range candidates {
+		fmt.Printf("%-10s %8d %10.4f %10.2f %12s\n", c.alg, c.threads, c.seconds, c.watts, c.class)
+	}
+
+	for _, cap := range caps {
+		best := pick(candidates, cap)
+		if best == nil {
+			fmt.Printf("\npower cap %5.1f W: no configuration fits\n", cap)
+			continue
+		}
+		fmt.Printf("\npower cap %5.1f W: run %v with %d threads (%.4f s at %.2f W)\n",
+			cap, best.alg, best.threads, best.seconds, best.watts)
+	}
+}
+
+// pick returns the fastest candidate whose average draw fits the cap.
+func pick(cands []choice, cap float64) *choice {
+	var best *choice
+	for i := range cands {
+		c := &cands[i]
+		if c.watts > cap {
+			continue
+		}
+		if best == nil || c.seconds < best.seconds {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,76 @@
+// DVFS versus algorithmic power scaling: the paper positions
+// power-aware algorithm choice as a third lever beside hardware
+// frequency scaling and power-aware scheduling. This example makes the
+// comparison concrete: under a sequence of tightening package power
+// caps, fit the budget either by (a) RAPL-style frequency derating
+// (internal/hw.DeratedForCap) while keeping the fastest algorithm, or
+// (b) keeping nominal frequency and changing the algorithm or thread
+// count. Below the DVFS floor, only the algorithmic lever is left.
+package main
+
+import (
+	"fmt"
+
+	"capscale/internal/sim"
+	"capscale/internal/workload"
+)
+
+type option struct {
+	desc    string
+	seconds float64
+	watts   float64
+}
+
+func main() {
+	const n = 2048
+	base := workload.PaperConfig().Machine
+	fmt.Printf("fitting a %dx%d multiply under package power caps on %q\n", n, n, base.Name)
+	fmt.Printf("(nominal worst-case draw: %.1f W)\n\n", base.MaxPower())
+
+	for _, cap := range []float64{45, 35, 28, 22, 20} {
+		fmt.Printf("cap %.0f W:\n", cap)
+
+		// Path A: DVFS — derate frequency, keep OpenBLAS on all cores.
+		if capped, err := base.DeratedForCap(cap); err == nil {
+			root := workload.BuildTree(capped, workload.AlgOpenBLAS, n, capped.Cores)
+			res := sim.Run(capped, root, sim.Config{Workers: capped.Cores})
+			fmt.Printf("  DVFS:        OpenBLAS @ %.2f GHz, %d threads  →  %.3f s at %.1f W (%.1f J)\n",
+				capped.FreqHz/1e9, capped.Cores, res.Makespan, res.AvgPowerTotal(),
+				res.EnergyTotal())
+		} else {
+			fmt.Printf("  DVFS:        infeasible (%v)\n", err)
+		}
+
+		// Path B: algorithmic — nominal frequency, best algorithm and
+		// thread count whose measured draw fits the cap.
+		var best *option
+		for _, alg := range workload.PaperAlgorithms() {
+			for p := 1; p <= base.Cores; p++ {
+				root := workload.BuildTree(base, alg, n, p)
+				res := sim.Run(base, root, sim.Config{Workers: p})
+				if res.AvgPowerTotal() > cap {
+					continue
+				}
+				o := option{
+					desc:    fmt.Sprintf("%v, %d threads", alg, p),
+					seconds: res.Makespan,
+					watts:   res.AvgPowerTotal(),
+				}
+				if best == nil || o.seconds < best.seconds {
+					b := o
+					best = &b
+				}
+			}
+		}
+		if best == nil {
+			fmt.Printf("  algorithmic: infeasible\n")
+		} else {
+			fmt.Printf("  algorithmic: %-24s →  %.3f s at %.1f W (%.1f J)\n",
+				best.desc, best.seconds, best.watts, best.seconds*best.watts)
+		}
+		fmt.Println()
+	}
+	fmt.Println("For compute-bound DGEMM, DVFS fits moderate caps efficiently — but")
+	fmt.Println("below its frequency floor only the algorithmic lever remains, which")
+	fmt.Println("is exactly the tertiary research path the paper argues for.")
+}

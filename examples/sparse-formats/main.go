@@ -1,0 +1,45 @@
+// Sparse storage formats: the paper's other future-work thread —
+// energy-performance scaling of SpMV across storage techniques. Runs
+// the same matrix in CSR, COO and ELLPACK on the simulated platform
+// and reports time, power and the Eq. 1 ratio, for a regular banded
+// matrix (kind to ELL) and a skewed power-law one (brutal to ELL).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"capscale/internal/hw"
+	"capscale/internal/sparse"
+)
+
+func main() {
+	m := hw.HaswellE31225()
+	rng := rand.New(rand.NewSource(7))
+	const n = 8192
+	const iters = 50
+
+	cases := []struct {
+		name string
+		mat  *sparse.COO
+	}{
+		{"banded (half-bandwidth 8, regular rows)", sparse.Banded(rng, n, 8)},
+		{"power-law (avg 16 nnz/row, heavy tail)", sparse.PowerLaw(rng, n, 16, 1.8)},
+	}
+
+	for _, cse := range cases {
+		csr := cse.mat.ToCSR()
+		ell := csr.ToELL()
+		fmt.Printf("%s — %d nnz, ELL width %d, padding waste %.0f%%\n",
+			cse.name, cse.mat.NNZ(), ell.Width, 100*ell.PaddingWaste())
+		fmt.Printf("  %-6s %8s %12s %10s %12s\n", "format", "threads", "time (s)", "watts", "EP (Eq.1)")
+		for _, pt := range sparse.EnergyStudy(m, cse.mat, []int{1, 4}, iters) {
+			fmt.Printf("  %-6v %8d %12.4f %10.2f %12.1f\n",
+				pt.Format, pt.Threads, pt.Seconds, pt.Watts, pt.EP)
+		}
+		fmt.Println()
+	}
+	fmt.Println("On regular rows the three formats are close; on skewed rows ELL's")
+	fmt.Println("padding turns into wasted bandwidth and wasted joules — storage")
+	fmt.Println("choice is an energy decision, which is the point of the study.")
+}

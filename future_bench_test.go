@@ -1,0 +1,91 @@
+package capscale
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"capscale/internal/cluster"
+	"capscale/internal/dmm"
+	"capscale/internal/hw"
+	"capscale/internal/sparse"
+	"capscale/internal/workload"
+)
+
+// Benches for the paper's Section VIII future work, implemented in
+// internal/dmm (distributed memory with interconnect power) and
+// internal/sparse (storage-format energy scaling).
+
+// BenchmarkFutureDistributedCAPS runs the distributed CAPS
+// energy-performance scaling study across node counts, with
+// interconnect transfer power included — the paper's proposed MPI
+// follow-up.
+func BenchmarkFutureDistributedCAPS(b *testing.B) {
+	c := cluster.TS140Cluster(49)
+	n := 8192
+	if _, loaded := printGates.LoadOrStore("future-dmm", true); !loaded {
+		fmt.Printf("\nFuture work — distributed energy scaling, n=%d on TS140 nodes + 1GbE:\n", n)
+		fmt.Printf("%-6s %6s %12s %10s %12s %10s %10s\n",
+			"alg", "ranks", "time (s)", "watts", "energy (J)", "comm (MB)", "S (Eq.5)")
+		for _, alg := range []string{"SUMMA", "Strassen", "CAPS"} {
+			ranks := []int{1, 4, 16}
+			if alg == "CAPS" || alg == "Strassen" {
+				ranks = []int{1, 7, 49}
+			}
+			for _, pt := range dmm.Study(c, alg, n, 64, ranks) {
+				fmt.Printf("%-6s %6d %12.3f %10.1f %12.0f %10.1f %10.2f\n",
+					alg, pt.Ranks, pt.Seconds, pt.Watts, pt.Joules, pt.CommMB, pt.ScalingS)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := dmm.RunCAPS(c, n, 64, 49)
+		b.ReportMetric(res.Makespan, "sim-makespan-s")
+	}
+}
+
+// BenchmarkPlatformSweep applies the model across the machine zoo —
+// the paper's "arbitrary computing platforms" ambition: per platform,
+// how each algorithm fares and where Eq. 9 puts the crossover.
+func BenchmarkPlatformSweep(b *testing.B) {
+	n := 2048
+	if _, loaded := printGates.LoadOrStore("platform-sweep", true); !loaded {
+		fmt.Printf("\nCross-platform sweep at n=%d (full threads per machine):\n", n)
+		fmt.Printf("%-44s %-9s %10s %8s %10s %12s\n",
+			"machine", "algorithm", "time (s)", "watts", "EDP (J·s)", "Eq.9 cross")
+		for _, pt := range workload.CrossPlatform(hw.Zoo(), n) {
+			fmt.Printf("%-44s %-9v %10.4f %8.1f %10.2f %12.0f\n",
+				pt.Machine, pt.Algorithm, pt.Seconds, pt.Watts, pt.EDP, pt.CrossoverN)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = workload.CrossPlatform(hw.Zoo(), 512)
+	}
+}
+
+// BenchmarkFutureSparseEnergyScaling runs the storage-format SpMV
+// energy study — the paper's proposed sparse follow-up.
+func BenchmarkFutureSparseEnergyScaling(b *testing.B) {
+	m := hw.HaswellE31225()
+	rng := rand.New(rand.NewSource(42))
+	a := sparse.PowerLaw(rng, 8192, 16, 1.8)
+	if _, loaded := printGates.LoadOrStore("future-sparse", true); !loaded {
+		waste := a.ToCSR().ToELL().PaddingWaste()
+		fmt.Printf("\nFuture work — SpMV storage-format energy scaling "+
+			"(power-law 8192², %d nnz, ELL padding waste %.0f%%):\n", a.NNZ(), 100*waste)
+		fmt.Printf("%-6s %8s %12s %10s %12s %12s\n",
+			"format", "threads", "time (s)", "watts", "EP (Eq.1)", "traffic MB")
+		for _, pt := range sparse.EnergyStudy(m, a, []int{1, 2, 3, 4}, 50) {
+			fmt.Printf("%-6v %8d %12.4f %10.2f %12.1f %12.1f\n",
+				pt.Format, pt.Threads, pt.Seconds, pt.Watts, pt.EP, pt.BytesMB)
+		}
+	}
+	csr := a.ToCSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spmv := sparse.BuildSpMV(m, csr, sparse.FormatCSR, sparse.Options{Workers: 4, Iterations: 50})
+		_ = spmv
+	}
+}

@@ -1,0 +1,3 @@
+module capscale
+
+go 1.22

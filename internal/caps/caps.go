@@ -1,0 +1,522 @@
+// Package caps implements Communication Avoiding Parallel Strassen
+// (Ballard, Demmel, Holtz, Lipshitz, Schwartz), the paper's third
+// multiplier and its main subject.
+//
+// CAPS traverses the Strassen recursion tree choosing, per level,
+// between a breadth-first step (BFS: the seven subproblems execute on
+// disjoint worker subsets, which costs extra buffer memory for staged
+// operands but keeps each subproblem's data local to its owners) and a
+// depth-first step (DFS: all workers of the subtree compute the seven
+// subproblems one after another with work-shared additions, which needs
+// no extra memory but re-shares every operand). Following the paper's
+// Algorithm 2 and its empirical tuning, the traversal runs BFS above a
+// cutoff depth (default 4) and DFS below it.
+//
+// Ownership: the 7^L subtrees at the cutoff depth are block-partitioned
+// across the workers in index order, and every interior node owns the
+// union of its descendants' workers. Staging copies and operand
+// additions are pinned to the consuming subtree's owners, which is the
+// "communication avoiding" mechanism — the simulator charges remote
+// traffic only at subtree boundaries instead of wherever work stealing
+// happened to scatter tasks.
+package caps
+
+import (
+	"fmt"
+	"math/bits"
+
+	"capscale/internal/hw"
+	"capscale/internal/kernel"
+	"capscale/internal/matrix"
+	"capscale/internal/strassen"
+	"capscale/internal/task"
+)
+
+// DefaultCutoffDepth is the BFS→DFS switch level the paper found best
+// after empirical testing.
+const DefaultCutoffDepth = 4
+
+// Options configures tree construction.
+type Options struct {
+	// Cutover is the dense base-case dimension; 0 means
+	// strassen.DefaultCutover (64), as the paper uses one cutover for
+	// all three recursive codes.
+	Cutover int
+	// CutoffDepth is the recursion depth at which traversal switches
+	// from BFS to DFS. 0 means DefaultCutoffDepth; negative means pure
+	// DFS (no BFS levels), which is the ablation baseline.
+	CutoffDepth int
+	// WithMath attaches real arithmetic and allocates buffers.
+	WithMath bool
+}
+
+func (o Options) cutover() int {
+	if o.Cutover <= 0 {
+		return strassen.DefaultCutover
+	}
+	return o.Cutover
+}
+
+func (o Options) cutoffDepth() int {
+	if o.CutoffDepth == 0 {
+		return DefaultCutoffDepth
+	}
+	if o.CutoffDepth < 0 {
+		return 0
+	}
+	return o.CutoffDepth
+}
+
+type operand struct {
+	mat    *matrix.Dense
+	region task.RegionID
+	n      int
+}
+
+func (o operand) quad(i, j int) operand {
+	half := o.n / 2
+	q := operand{region: o.region, n: half}
+	if o.mat != nil {
+		q.mat = o.mat.View(i*half, j*half, half, half)
+	}
+	return q
+}
+
+type builder struct {
+	m       *hw.Machine
+	opt     Options
+	workers int
+	regions task.Regions
+	// bfsLevels is the effective number of BFS levels for this problem
+	// (cutoff depth clipped to the actual recursion depth).
+	bfsLevels int
+	// leavesAtCutoff is 7^bfsLevels, the number of ownership units.
+	leavesAtCutoff int
+}
+
+// Build returns the task tree computing c = a·b by CAPS. workers is the
+// thread count the run will use; the BFS ownership partition is built
+// for exactly that many workers.
+func Build(m *hw.Machine, c, a, b *matrix.Dense, workers int, opt Options) *task.Node {
+	n := a.Rows()
+	if !a.IsSquare() || !b.IsSquare() || !c.IsSquare() || b.Rows() != n || c.Rows() != n {
+		panic(fmt.Sprintf("caps: need equal square matrices, got %dx%d %dx%d %dx%d",
+			a.Rows(), a.Cols(), b.Rows(), b.Cols(), c.Rows(), c.Cols()))
+	}
+	if workers < 1 {
+		panic(fmt.Sprintf("caps: workers %d", workers))
+	}
+	bd := &builder{m: m, opt: opt, workers: workers}
+
+	// Awkward sizes pad once to c·2^k ≤-cutover form, as the Strassen
+	// builder does (see strassen.PaddedSize).
+	padded := strassen.PaddedSize(n, opt.cutover())
+
+	// Clip BFS to the recursion's actual depth.
+	maxDepth := 0
+	for v := padded; v > opt.cutover() && v%2 == 0; v /= 2 {
+		maxDepth++
+	}
+	bd.bfsLevels = opt.cutoffDepth()
+	if bd.bfsLevels > maxDepth {
+		bd.bfsLevels = maxDepth
+	}
+	bd.leavesAtCutoff = 1
+	for i := 0; i < bd.bfsLevels; i++ {
+		bd.leavesAtCutoff *= 7
+	}
+
+	if padded != n {
+		return bd.paddedMul(c, a, b, n, padded)
+	}
+	ca := operand{region: bd.regions.New(), n: n}
+	cb := operand{region: bd.regions.New(), n: n}
+	cc := operand{region: bd.regions.New(), n: n}
+	if opt.WithMath {
+		ca.mat, cb.mat, cc.mat = a, b, c
+	}
+	return bd.mul(cc, ca, cb, 0, 0)
+}
+
+// paddedMul wraps the recursion in pad-in/pad-out stages for sizes
+// that do not halve evenly to the cutover.
+func (bd *builder) paddedMul(c, a, b *matrix.Dense, n, padded int) *task.Node {
+	var pa, pb, pc *matrix.Dense
+	if bd.opt.WithMath {
+		pa = matrix.PadTo(a, padded, padded)
+		pb = matrix.PadTo(b, padded, padded)
+		pc = matrix.New(padded, padded)
+	}
+	ca := operand{mat: pa, region: bd.regions.New(), n: padded}
+	cb := operand{mat: pb, region: bd.regions.New(), n: padded}
+	cc := operand{mat: pc, region: bd.regions.New(), n: padded}
+
+	mkCopy := func(label string, read, write task.RegionID, run func()) *task.Node {
+		w := task.Work{
+			Label:       label,
+			Kind:        task.KindCopy,
+			DRAMBytes:   2 * kernel.Bytes(n, n),
+			Reads:       []task.RegionID{read},
+			Writes:      []task.RegionID{write},
+			RegionBytes: kernel.Bytes(n, n),
+		}
+		if bd.opt.WithMath {
+			w.Run = run
+		}
+		return task.Leaf(w)
+	}
+	srcA, srcB, dstC := bd.regions.New(), bd.regions.New(), bd.regions.New()
+	padIn := task.Par(
+		mkCopy(fmt.Sprintf("pad A %d->%d", n, padded), srcA, ca.region, func() {}),
+		mkCopy(fmt.Sprintf("pad B %d->%d", n, padded), srcB, cb.region, func() {}),
+	)
+	padOut := mkCopy(fmt.Sprintf("unpad C %d->%d", padded, n), cc.region, dstC, func() {
+		matrix.CopyTo(c, pc.View(0, 0, n, n))
+	})
+	alloc := 3 * kernel.Bytes(padded, padded)
+	return task.Seq(padIn, bd.mul(cc, ca, cb, 0, 0), padOut).WithAlloc(alloc)
+}
+
+// ownerMask returns the worker mask owning the subtree at (depth, idx):
+// the block partition of the 7^bfsLevels cutoff units over the workers.
+// Nodes below the cutoff depth inherit their cutoff-level ancestor's
+// single unit.
+func (bd *builder) ownerMask(depth, idx int) uint64 {
+	if bd.bfsLevels == 0 {
+		return 0 // pure DFS: unrestricted
+	}
+	var lo, hi int
+	if depth >= bd.bfsLevels {
+		for d := depth; d > bd.bfsLevels; d-- {
+			idx /= 7
+		}
+		lo, hi = idx, idx
+	} else {
+		span := bd.leavesAtCutoff
+		for i := 0; i < depth; i++ {
+			span /= 7
+		}
+		lo = idx * span
+		hi = lo + span - 1
+	}
+	wLo := lo * bd.workers / bd.leavesAtCutoff
+	wHi := hi * bd.workers / bd.leavesAtCutoff
+	mask := uint64(0)
+	for w := wLo; w <= wHi; w++ {
+		mask |= 1 << uint(w)
+	}
+	return mask
+}
+
+func ownersOf(mask uint64, workers int) int {
+	if mask == 0 {
+		return workers
+	}
+	return bits.OnesCount64(mask)
+}
+
+// mul builds the subtree for c = a·b at the given recursion position.
+func (bd *builder) mul(c, a, b operand, depth, idx int) *task.Node {
+	n := a.n
+	mask := bd.ownerMask(depth, idx)
+	if n <= bd.opt.cutover() || n%2 != 0 {
+		return bd.baseMul(c, a, b, mask)
+	}
+	if depth < bd.bfsLevels {
+		return bd.bfsNode(c, a, b, depth, idx)
+	}
+	return bd.dfsNode(c, a, b, depth, idx)
+}
+
+func (bd *builder) temp(n int) operand {
+	t := operand{region: bd.regions.New(), n: n}
+	if bd.opt.WithMath {
+		t.mat = matrix.New(n, n)
+	}
+	return t
+}
+
+// baseMul emits the dense solver. When the owning mask spans several
+// workers (pure-DFS configurations), the solver's row loop is
+// work-shared across them, as the paper's OpenMP work-sharing DFS does.
+func (bd *builder) baseMul(c, a, b operand, mask uint64) *task.Node {
+	n := a.n
+	owners := ownersOf(mask, bd.workers)
+	if owners > n {
+		owners = n
+	}
+	mk := func(rowLo, rowHi int) *task.Node {
+		rows := rowHi - rowLo
+		traffic := kernel.Bytes(rows, n) + kernel.Bytes(n, n) + 2*kernel.Bytes(rows, n)
+		w := task.Work{
+			Label:       fmt.Sprintf("basemul n%d r%d", n, rowLo),
+			Kind:        task.KindBaseMul,
+			Flops:       kernel.MulFlops(rows, n, n),
+			Reads:       []task.RegionID{a.region, b.region},
+			Writes:      []task.RegionID{c.region},
+			RegionBytes: kernel.Bytes(n, n),
+		}
+		if bd.m.LevelFor(traffic, bd.workers) == hw.LevelDRAM {
+			w.DRAMBytes = traffic
+		} else {
+			w.L3Bytes = traffic
+		}
+		if bd.opt.WithMath {
+			cm := c.mat.View(rowLo, 0, rows, n)
+			am := a.mat.View(rowLo, 0, rows, n)
+			bm := b.mat
+			w.Run = func() { kernel.Mul(cm, am, bm) }
+		}
+		return task.Leaf(w)
+	}
+	if owners <= 1 {
+		return mk(0, n).WithAffinity(mask)
+	}
+	chunks := make([]*task.Node, 0, owners)
+	for t := 0; t < owners; t++ {
+		lo := n * t / owners
+		hi := n * (t + 1) / owners
+		if hi > lo {
+			chunks = append(chunks, mk(lo, hi))
+		}
+	}
+	return task.Par(chunks...).WithAffinity(mask)
+}
+
+// addLeaf emits dst = combination of srcs, pinned to mask, work-shared
+// into chunks when the mask spans several workers.
+func (bd *builder) addLeaf(label string, dst operand, addOps int, srcs []operand, mask uint64, run func()) *task.Node {
+	n := dst.n
+	owners := ownersOf(mask, bd.workers)
+	bytes := kernel.Bytes(n, n)
+	traffic := float64(len(srcs)+1) * bytes
+	mkWork := func(frac float64) task.Work {
+		w := task.Work{
+			Label:       label,
+			Kind:        task.KindAdd,
+			Flops:       float64(addOps) * float64(n) * float64(n) * frac,
+			Writes:      []task.RegionID{dst.region},
+			RegionBytes: bytes * frac,
+		}
+		for _, s := range srcs {
+			w.Reads = append(w.Reads, s.region)
+		}
+		if bd.m.LevelFor(traffic, bd.workers) == hw.LevelDRAM {
+			w.DRAMBytes = traffic * frac
+		} else {
+			w.L3Bytes = traffic * frac
+		}
+		return w
+	}
+	if owners <= 1 {
+		w := mkWork(1)
+		if bd.opt.WithMath {
+			w.Run = run
+		}
+		return task.Leaf(w).WithAffinity(mask)
+	}
+	// Work-shared: owners chunks; the real math (when on) runs whole in
+	// the first chunk — numerically identical, and the accounting stays
+	// split.
+	chunks := make([]*task.Node, owners)
+	for t := 0; t < owners; t++ {
+		w := mkWork(1 / float64(owners))
+		if t == 0 && bd.opt.WithMath {
+			w.Run = run
+		}
+		chunks[t] = task.Leaf(w)
+	}
+	return task.Par(chunks...).WithAffinity(mask)
+}
+
+// copyLeaf stages src into a fresh local buffer owned by mask and
+// returns the staged operand. This is the BFS redistribution cost: one
+// read of src, one write of dst.
+func (bd *builder) copyLeaf(label string, src operand, mask uint64) (operand, *task.Node) {
+	dst := bd.temp(src.n)
+	bytes := kernel.Bytes(src.n, src.n)
+	traffic := 2 * bytes
+	w := task.Work{
+		Label:       label,
+		Kind:        task.KindCopy,
+		Reads:       []task.RegionID{src.region},
+		Writes:      []task.RegionID{dst.region},
+		RegionBytes: bytes,
+	}
+	if bd.m.LevelFor(traffic, bd.workers) == hw.LevelDRAM {
+		w.DRAMBytes = traffic
+	} else {
+		w.L3Bytes = traffic
+	}
+	if bd.opt.WithMath {
+		d, s := dst.mat, src.mat
+		w.Run = func() { kernel.Pack(d, s) }
+	}
+	return dst, task.Leaf(w).WithAffinity(mask)
+}
+
+// subproblem describes one of the seven Strassen products at a node.
+type subproblem struct {
+	// terms for the left and right factors: quadrant operands and the
+	// sign applied to the second one (0 = single operand).
+	lx, ly operand
+	lsub   bool
+	lone   bool
+	rx, ry operand
+	rsub   bool
+	rone   bool
+}
+
+// buildSubproblems returns the seven classic subproblem descriptors
+// (paper Eq. 7, with the printed Q5 typo corrected to (A11+A12)·B22).
+func buildSubproblems(a, b operand) [7]subproblem {
+	a11, a12, a21, a22 := a.quad(0, 0), a.quad(0, 1), a.quad(1, 0), a.quad(1, 1)
+	b11, b12, b21, b22 := b.quad(0, 0), b.quad(0, 1), b.quad(1, 0), b.quad(1, 1)
+	return [7]subproblem{
+		{lx: a11, ly: a22, rx: b11, ry: b22},                // Q1 = (A11+A22)(B11+B22)
+		{lx: a21, ly: a22, rx: b11, rone: true},             // Q2 = (A21+A22)·B11
+		{lx: a11, lone: true, rx: b12, ry: b22, rsub: true}, // Q3 = A11·(B12−B22)
+		{lx: a22, lone: true, rx: b21, ry: b11, rsub: true}, // Q4 = A22·(B21−B11)
+		{lx: a11, ly: a12, rx: b22, rone: true},             // Q5 = (A11+A12)·B22
+		{lx: a21, ly: a11, lsub: true, rx: b11, ry: b12},    // Q6 = (A21−A11)(B11+B12)
+		{lx: a12, ly: a22, lsub: true, rx: b21, ry: b22},    // Q7 = (A12−A22)(B21+B22)
+	}
+}
+
+// factor materializes one factor of a subproblem for a consumer owned
+// by mask: a sum/difference becomes an add into a local temp; a single
+// quadrant is staged by copy in BFS mode or used in place in DFS mode.
+func (bd *builder) factor(label string, lone bool, x, y operand, sub bool, mask uint64, stage bool) (operand, *task.Node) {
+	if lone {
+		if stage {
+			return bd.copyLeaf(label+" stage", x, mask)
+		}
+		return x, nil
+	}
+	dst := bd.temp(x.n)
+	run := func() {}
+	if bd.opt.WithMath {
+		dm, xm, ym := dst.mat, x.mat, y.mat
+		if sub {
+			run = func() { matrix.SubTo(dm, xm, ym) }
+		} else {
+			run = func() { matrix.AddTo(dm, xm, ym) }
+		}
+	}
+	return dst, bd.addLeaf(label, dst, 1, []operand{x, y}, mask, run)
+}
+
+// bfsNode: the seven subproblems run concurrently on their owner
+// subsets; operand sums and staged copies are pinned to the consumer.
+func (bd *builder) bfsNode(c, a, b operand, depth, idx int) *task.Node {
+	half := a.n / 2
+	sub := buildSubproblems(a, b)
+	q := make([]operand, 7)
+
+	var prep []*task.Node
+	var recs []*task.Node
+	var gather []*task.Node
+	mask := bd.ownerMask(depth, idx)
+	gathered := make([]operand, 7)
+	for k := 0; k < 7; k++ {
+		q[k] = bd.temp(half)
+		childMask := bd.ownerMask(depth+1, idx*7+k)
+		l, lNode := bd.factor(fmt.Sprintf("bfs l%d n%d", k, half), sub[k].lone, sub[k].lx, sub[k].ly, sub[k].lsub, childMask, true)
+		r, rNode := bd.factor(fmt.Sprintf("bfs r%d n%d", k, half), sub[k].rone, sub[k].rx, sub[k].ry, sub[k].rsub, childMask, true)
+		if lNode != nil {
+			prep = append(prep, lNode)
+		}
+		if rNode != nil {
+			prep = append(prep, rNode)
+		}
+		recs = append(recs, bd.mul(q[k], l, r, depth+1, idx*7+k))
+		// The inverse-BFS communication step: each product computed in a
+		// child subset's buffers is gathered back for recombination.
+		g, gNode := bd.copyLeaf(fmt.Sprintf("bfs gather q%d n%d", k, half), q[k], mask)
+		gathered[k] = g
+		gather = append(gather, gNode)
+	}
+
+	post := bd.recombine(c, gathered, mask)
+
+	// 7 products, their 7 gathered copies, and up to 14 staged/summed
+	// factors live concurrently.
+	alloc := 28 * kernel.Bytes(half, half)
+	return task.Seq(task.Par(prep...), task.Par(recs...), task.Par(gather...), post).WithAlloc(alloc)
+}
+
+// dfsNode: all owners compute the seven subproblems in sequence with
+// work-shared additions; quadrant factors are used in place (no staging
+// memory).
+func (bd *builder) dfsNode(c, a, b operand, depth, idx int) *task.Node {
+	half := a.n / 2
+	sub := buildSubproblems(a, b)
+	mask := bd.ownerMask(depth, idx)
+	q := make([]operand, 7)
+
+	var steps []*task.Node
+	for k := 0; k < 7; k++ {
+		q[k] = bd.temp(half)
+		var pre []*task.Node
+		l, lNode := bd.factor(fmt.Sprintf("dfs l%d n%d", k, half), sub[k].lone, sub[k].lx, sub[k].ly, sub[k].lsub, mask, false)
+		r, rNode := bd.factor(fmt.Sprintf("dfs r%d n%d", k, half), sub[k].rone, sub[k].rx, sub[k].ry, sub[k].rsub, mask, false)
+		if lNode != nil {
+			pre = append(pre, lNode)
+		}
+		if rNode != nil {
+			pre = append(pre, rNode)
+		}
+		step := []*task.Node{}
+		if len(pre) > 0 {
+			step = append(step, task.Par(pre...))
+		}
+		step = append(step, bd.mul(q[k], l, r, depth+1, idx*7+k))
+		steps = append(steps, task.Seq(step...))
+	}
+	steps = append(steps, bd.recombine(c, q, mask))
+
+	// Seven products plus two reusable factor temps at a time.
+	alloc := 9 * kernel.Bytes(half, half)
+	return task.Seq(steps...).WithAlloc(alloc)
+}
+
+// recombine emits the four C-quadrant recombination adds of Eq. 7.
+func (bd *builder) recombine(c operand, q []operand, mask uint64) *task.Node {
+	half := c.n / 2
+	c11, c12, c21, c22 := c.quad(0, 0), c.quad(0, 1), c.quad(1, 0), c.quad(1, 1)
+	mk := func(label string, dst operand, addOps int, srcs []operand, coeffs []float64) *task.Node {
+		run := func() {}
+		if bd.opt.WithMath {
+			mats := make([]*matrix.Dense, len(srcs))
+			for i, s := range srcs {
+				mats[i] = s.mat
+			}
+			dm := dst.mat
+			run = func() { combine(dm, mats, coeffs) }
+		}
+		return bd.addLeaf(label, dst, addOps, srcs, mask, run)
+	}
+	return task.Par(
+		mk(fmt.Sprintf("c11 n%d", half), c11, 3, []operand{q[0], q[3], q[4], q[6]}, []float64{1, 1, -1, 1}),
+		mk(fmt.Sprintf("c12 n%d", half), c12, 1, []operand{q[2], q[4]}, []float64{1, 1}),
+		mk(fmt.Sprintf("c21 n%d", half), c21, 1, []operand{q[1], q[3]}, []float64{1, 1}),
+		mk(fmt.Sprintf("c22 n%d", half), c22, 3, []operand{q[0], q[1], q[2], q[5]}, []float64{1, -1, 1, 1}),
+	)
+}
+
+func combine(dst *matrix.Dense, srcs []*matrix.Dense, coeffs []float64) {
+	if dst == nil {
+		return
+	}
+	rows, cols := dst.Rows(), dst.Cols()
+	for i := 0; i < rows; i++ {
+		dr := dst.Row(i)
+		for j := 0; j < cols; j++ {
+			v := 0.0
+			for k, s := range srcs {
+				v += coeffs[k] * s.Row(i)[j]
+			}
+			dr[j] = v
+		}
+	}
+}

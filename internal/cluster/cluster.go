@@ -1,0 +1,127 @@
+// Package cluster models a distributed-memory platform: a set of
+// compute nodes (each an internal/hw machine) joined by an
+// interconnect with LogP-style latency/bandwidth and its own power
+// draw. It is the substrate for the paper's Section VIII future work —
+// "migrate the current implementation to a distributed memory
+// implementation using MPI [and] take into account the power
+// associated with transmitting memory blocks across the interconnect".
+package cluster
+
+import (
+	"fmt"
+
+	"capscale/internal/hw"
+)
+
+// Interconnect describes the network fabric.
+type Interconnect struct {
+	Name string
+	// LatencySec is the end-to-end small-message latency (α).
+	LatencySec float64
+	// Bandwidth is the per-link bandwidth in B/s (1/β).
+	Bandwidth float64
+	// PerMessageOverheadSec is the sender/receiver CPU overhead (o).
+	PerMessageOverheadSec float64
+
+	// NICIdleWatts and NICPerGBs model each node's adapter power;
+	// SwitchIdleWatts is the shared fabric's standing draw.
+	NICIdleWatts    float64
+	NICPerGBs       float64
+	SwitchIdleWatts float64
+}
+
+// Validate reports descriptive errors for inconsistent fabrics.
+func (ic Interconnect) Validate() error {
+	switch {
+	case ic.LatencySec < 0 || ic.PerMessageOverheadSec < 0:
+		return fmt.Errorf("cluster: negative latency/overhead")
+	case ic.Bandwidth <= 0:
+		return fmt.Errorf("cluster: non-positive bandwidth")
+	case ic.NICIdleWatts < 0 || ic.NICPerGBs < 0 || ic.SwitchIdleWatts < 0:
+		return fmt.Errorf("cluster: negative power coefficient")
+	}
+	return nil
+}
+
+// TransferTime returns the wire time of a message of the given size:
+// α + size/B. CPU overhead is charged separately to sender and
+// receiver by the MPI layer.
+func (ic Interconnect) TransferTime(bytes float64) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("cluster: negative message size %v", bytes))
+	}
+	return ic.LatencySec + bytes/ic.Bandwidth
+}
+
+// Cluster is a homogeneous distributed-memory machine.
+type Cluster struct {
+	Node   *hw.Machine
+	Nodes  int
+	Fabric Interconnect
+}
+
+// New returns a validated cluster of n identical nodes.
+func New(node *hw.Machine, n int, fabric Interconnect) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: node count %d", n)
+	}
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fabric.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{Node: node, Nodes: n, Fabric: fabric}, nil
+}
+
+// GigE returns a commodity gigabit-Ethernet fabric, the kind the
+// paper's Lenovo node would have joined.
+func GigE() Interconnect {
+	return Interconnect{
+		Name:                  "1GbE",
+		LatencySec:            50e-6,
+		Bandwidth:             118e6, // ~0.94 Gb/s effective
+		PerMessageOverheadSec: 5e-6,
+		NICIdleWatts:          1.5,
+		NICPerGBs:             4.0,
+		SwitchIdleWatts:       8.0,
+	}
+}
+
+// InfiniBandFDR returns an HPC-class fabric for contrast experiments.
+func InfiniBandFDR() Interconnect {
+	return Interconnect{
+		Name:                  "FDR InfiniBand",
+		LatencySec:            1.5e-6,
+		Bandwidth:             6.8e9,
+		PerMessageOverheadSec: 0.7e-6,
+		NICIdleWatts:          6.0,
+		NICPerGBs:             1.2,
+		SwitchIdleWatts:       30.0,
+	}
+}
+
+// TS140Cluster returns n of the paper's Haswell nodes on gigabit
+// Ethernet — the natural first distributed extension of its testbed.
+func TS140Cluster(n int) *Cluster {
+	c, err := New(hw.HaswellE31225(), n, GigE())
+	if err != nil {
+		panic("cluster: built-in cluster invalid: " + err.Error())
+	}
+	return c
+}
+
+// IdlePower returns the whole cluster's quiescent draw in watts:
+// every node's package/DRAM idle, every NIC, and the switch.
+func (c *Cluster) IdlePower() float64 { return c.IdlePowerFor(c.Nodes) }
+
+// IdlePowerFor returns the quiescent draw of a job using `nodes` of
+// the cluster's nodes (their packages and NICs, plus the shared
+// switch) — the baseline a per-job energy account charges.
+func (c *Cluster) IdlePowerFor(nodes int) float64 {
+	if nodes < 0 || nodes > c.Nodes {
+		panic(fmt.Sprintf("cluster: %d nodes of %d", nodes, c.Nodes))
+	}
+	nodeIdle := c.Node.IdlePower().Total()
+	return float64(nodes)*(nodeIdle+c.Fabric.NICIdleWatts) + c.Fabric.SwitchIdleWatts
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"capscale/internal/hw"
+)
+
+func TestFabricsValid(t *testing.T) {
+	for _, f := range []Interconnect{GigE(), InfiniBandFDR()} {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := GigE()
+	bad.Bandwidth = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	bad = GigE()
+	bad.LatencySec = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative latency accepted")
+	}
+	bad = GigE()
+	bad.NICPerGBs = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative NIC power accepted")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	f := GigE()
+	small := f.TransferTime(0)
+	if small != f.LatencySec {
+		t.Fatalf("zero-byte transfer %v want latency %v", small, f.LatencySec)
+	}
+	big := f.TransferTime(118e6) // one second of wire time
+	if math.Abs(big-(f.LatencySec+1)) > 1e-9 {
+		t.Fatalf("1s transfer %v", big)
+	}
+}
+
+func TestTransferTimeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	f := GigE()
+	f.TransferTime(-1)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(hw.HaswellE31225(), 0, GigE()); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad := GigE()
+	bad.Bandwidth = -5
+	if _, err := New(hw.HaswellE31225(), 2, bad); err == nil {
+		t.Fatal("bad fabric accepted")
+	}
+	c, err := New(hw.HaswellE31225(), 4, GigE())
+	if err != nil || c.Nodes != 4 {
+		t.Fatalf("valid cluster rejected: %v", err)
+	}
+}
+
+func TestTS140Cluster(t *testing.T) {
+	c := TS140Cluster(8)
+	if c.Nodes != 8 || c.Node.Cores != 4 {
+		t.Fatalf("cluster %+v", c)
+	}
+}
+
+func TestIdlePowerScalesWithNodes(t *testing.T) {
+	c1, c8 := TS140Cluster(1), TS140Cluster(8)
+	p1, p8 := c1.IdlePower(), c8.IdlePower()
+	if p8 <= p1 {
+		t.Fatal("idle power not growing with nodes")
+	}
+	// Exactly: 8 nodes' (idle+NIC) + one switch.
+	nodeShare := (p1 - c1.Fabric.SwitchIdleWatts)
+	want := 8*nodeShare + c8.Fabric.SwitchIdleWatts
+	if math.Abs(p8-want) > 1e-9 {
+		t.Fatalf("idle %v want %v", p8, want)
+	}
+}
+
+func TestFDRFasterThanGigE(t *testing.T) {
+	msg := 1e6 // 1 MB
+	if InfiniBandFDR().TransferTime(msg) >= GigE().TransferTime(msg) {
+		t.Fatal("FDR not faster than GigE")
+	}
+}

@@ -1,0 +1,275 @@
+// Package dmm implements distributed-memory matrix multiplication on
+// the simulated cluster: the SUMMA 2-D algorithm as the classic
+// baseline and a distributed CAPS following Ballard et al.'s BFS
+// recursion over 7^k processor groups. This is the paper's Section
+// VIII future work — the same energy-performance scaling methodology
+// with interconnect transfer power included.
+//
+// Rank programs model communication exactly (every message goes
+// through the mpi layer) and local arithmetic by operation counts
+// (flops/DRAM traffic through the node cost model); the shared-memory
+// packages validate the numerics, this package scales the energy
+// accounting out.
+package dmm
+
+import (
+	"fmt"
+	"math"
+
+	"capscale/internal/cluster"
+	"capscale/internal/kernel"
+	"capscale/internal/mpi"
+	"capscale/internal/strassen"
+	"capscale/internal/task"
+)
+
+// Result augments an mpi run with the problem description.
+type Result struct {
+	*mpi.Result
+	Algorithm string
+	N         int
+	Ranks     int
+}
+
+// EP returns the run's Eq. 1 energy-performance ratio with the
+// cluster-wide average power (all planes, NICs and switch included) as
+// EAvg — the distributed extension of the paper's metric.
+func (r *Result) EP() float64 { return r.AvgWatts() / r.Makespan }
+
+// tag bases; each round offsets from these so concurrent phases don't
+// collide.
+const (
+	tagSummaA = 1000
+	tagSummaB = 2000
+	tagCAPSDn = 3000
+	tagCAPSUp = 4000
+)
+
+// SUMMA returns the rank program for an n×n multiply on a √P×√P
+// process grid. Each of the √P panel rounds broadcasts an A block
+// along the row and a B block down the column, then multiplies
+// locally. It panics (inside the ranks) unless the communicator size
+// is a perfect square dividing n.
+func SUMMA(n int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		p := r.Size()
+		q := int(math.Round(math.Sqrt(float64(p))))
+		if q*q != p {
+			panic(fmt.Sprintf("dmm: SUMMA needs a square rank count, got %d", p))
+		}
+		if n%q != 0 {
+			panic(fmt.Sprintf("dmm: SUMMA block size %d/%d not integral", n, q))
+		}
+		row, col := r.ID()/q, r.ID()%q
+		bn := n / q
+		blockBytes := kernel.Bytes(bn, bn)
+
+		for k := 0; k < q; k++ {
+			// Row broadcast of A(row, k) from the column-k owner.
+			if col == k {
+				for j := 0; j < q; j++ {
+					if j != col {
+						r.Send(row*q+j, tagSummaA+k, blockBytes)
+					}
+				}
+			} else {
+				r.Recv(row*q+k, tagSummaA+k)
+			}
+			// Column broadcast of B(k, col) from the row-k owner.
+			if row == k {
+				for i := 0; i < q; i++ {
+					if i != row {
+						r.Send(i*q+col, tagSummaB+k, blockBytes)
+					}
+				}
+			} else {
+				r.Recv(k*q+col, tagSummaB+k)
+			}
+			// Local rank-bn update C += A_blk · B_blk.
+			r.Compute(mpi.ComputeWork{
+				Kind:      task.KindGEMM,
+				Flops:     kernel.MulFlops(bn, bn, bn),
+				DRAMBytes: 3 * blockBytes,
+			})
+		}
+	}
+}
+
+// CAPS returns the rank program for distributed CAPS on P = 7^k ranks:
+// k BFS steps, each exchanging operand shares among the seven
+// counterpart subgroups (the factor-7/4 memory blowup and the Eq. 8
+// communication pattern), then a local Strassen solve, then the mirror
+// recombination exchanges on the way back up.
+func CAPS(n, cutover int) func(*mpi.Rank) {
+	if cutover <= 0 {
+		cutover = strassen.DefaultCutover
+	}
+	return func(r *mpi.Rank) {
+		p := r.Size()
+		levels := 0
+		for v := p; v > 1; v /= 7 {
+			if v%7 != 0 {
+				panic(fmt.Sprintf("dmm: CAPS needs 7^k ranks, got %d", p))
+			}
+			levels++
+		}
+
+		var rec func(groupStart, groupSize, curN, depth int)
+		rec = func(groupStart, groupSize, curN, depth int) {
+			if groupSize == 1 {
+				// Local sequential Strassen on the owned subproblem:
+				// the base multiplies and the level additions cost
+				// different kernel classes.
+				localStrassen(r, curN, cutover, 1)
+				return
+			}
+			sub := groupSize / 7
+			rel := r.ID() - groupStart
+			myGroup := rel / sub
+			posInSub := rel % sub
+
+			// Operand sums for the seven subproblems, work-shared over
+			// the group: 10 additions on (curN/2)² elements.
+			half := curN / 2
+			addElems := 10 * float64(half) * float64(half) / float64(groupSize)
+			r.Compute(mpi.ComputeWork{
+				Kind:      task.KindAdd,
+				Flops:     addElems,
+				DRAMBytes: 3 * 8 * addElems,
+				Cores:     0,
+			})
+
+			// BFS down-exchange: redistribute operand shares so each
+			// subgroup holds its subproblem's inputs. Each rank trades
+			// 1/7 of its local share with each counterpart.
+			share := 2 * kernel.Bytes(half, half) / float64(groupSize) // A and B pieces
+			for j := 0; j < 7; j++ {
+				if j == myGroup {
+					continue
+				}
+				peer := groupStart + j*sub + posInSub
+				r.Send(peer, tagCAPSDn+depth, share/7)
+			}
+			for j := 0; j < 7; j++ {
+				if j == myGroup {
+					continue
+				}
+				peer := groupStart + j*sub + posInSub
+				r.Recv(peer, tagCAPSDn+depth)
+			}
+
+			rec(groupStart+myGroup*sub, sub, half, depth+1)
+
+			// BFS up-exchange: gather the seven products back for the
+			// recombination, then the 8 recombination additions.
+			shareC := kernel.Bytes(half, half) / float64(groupSize)
+			for j := 0; j < 7; j++ {
+				if j == myGroup {
+					continue
+				}
+				peer := groupStart + j*sub + posInSub
+				r.Send(peer, tagCAPSUp+depth, shareC/7)
+			}
+			for j := 0; j < 7; j++ {
+				if j == myGroup {
+					continue
+				}
+				peer := groupStart + j*sub + posInSub
+				r.Recv(peer, tagCAPSUp+depth)
+			}
+			recombElems := 8 * float64(half) * float64(half) / float64(groupSize)
+			r.Compute(mpi.ComputeWork{
+				Kind:      task.KindAdd,
+				Flops:     recombElems,
+				DRAMBytes: 3 * 8 * recombElems,
+				Cores:     0,
+			})
+		}
+		rec(0, p, n, 0)
+	}
+}
+
+// localStrassen charges the closed-form local Strassen arithmetic of
+// one curN×curN subproblem, split across `share` ranks: multiplies at
+// the dense-solver class, additions at the bandwidth-bound class.
+func localStrassen(r *mpi.Rank, curN, cutover, share int) {
+	mulFlops := strassen.MulFlopsTotal(curN, cutover) / float64(share)
+	addFlops := strassen.AddFlopsTotal(curN, cutover, false) / float64(share)
+	r.Compute(mpi.ComputeWork{
+		Kind:      task.KindBaseMul,
+		Flops:     mulFlops,
+		DRAMBytes: 3 * kernel.Bytes(curN, curN) / float64(share),
+		Cores:     0,
+	})
+	if addFlops > 0 {
+		r.Compute(mpi.ComputeWork{
+			Kind:      task.KindAdd,
+			Flops:     addFlops,
+			DRAMBytes: 3 * 8 * addFlops,
+			Cores:     0,
+		})
+	}
+}
+
+// RunSUMMA executes SUMMA on `ranks` nodes of c.
+func RunSUMMA(c *cluster.Cluster, n, ranks int) *Result {
+	res := mpi.Run(c, ranks, SUMMA(n))
+	return &Result{Result: res, Algorithm: "SUMMA", N: n, Ranks: ranks}
+}
+
+// RunCAPS executes distributed CAPS on `ranks` nodes of c.
+func RunCAPS(c *cluster.Cluster, n, cutover, ranks int) *Result {
+	res := mpi.Run(c, ranks, CAPS(n, cutover))
+	return &Result{Result: res, Algorithm: "CAPS", N: n, Ranks: ranks}
+}
+
+// ScalingPoint is one row of a distributed energy-scaling study.
+type ScalingPoint struct {
+	Ranks    int
+	Seconds  float64
+	Watts    float64
+	Joules   float64
+	CommMB   float64
+	EP       float64
+	Speedup  float64 // vs the study's first point
+	PowerUp  float64 // watts growth vs the first point
+	ScalingS float64 // Eq. 5 against the first point
+}
+
+// Study runs one algorithm across rank counts and derives the Eq. 5
+// scaling series, treating the first rank count as the baseline.
+func Study(c *cluster.Cluster, algorithm string, n, cutover int, rankCounts []int) []ScalingPoint {
+	if len(rankCounts) == 0 {
+		panic("dmm: empty rank counts")
+	}
+	points := make([]ScalingPoint, 0, len(rankCounts))
+	var base *Result
+	for _, p := range rankCounts {
+		var res *Result
+		switch algorithm {
+		case "SUMMA":
+			res = RunSUMMA(c, n, p)
+		case "CAPS":
+			res = RunCAPS(c, n, cutover, p)
+		case "Strassen":
+			res = RunStrassen(c, n, cutover, p)
+		default:
+			panic(fmt.Sprintf("dmm: unknown algorithm %q", algorithm))
+		}
+		if base == nil {
+			base = res
+		}
+		points = append(points, ScalingPoint{
+			Ranks:    p,
+			Seconds:  res.Makespan,
+			Watts:    res.AvgWatts(),
+			Joules:   res.TotalJoules(),
+			CommMB:   res.BytesSent / 1e6,
+			EP:       res.EP(),
+			Speedup:  base.Makespan / res.Makespan,
+			PowerUp:  res.AvgWatts() / base.AvgWatts(),
+			ScalingS: res.EP() / base.EP(),
+		})
+	}
+	return points
+}

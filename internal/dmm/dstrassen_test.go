@@ -1,0 +1,95 @@
+package dmm
+
+import (
+	"testing"
+
+	"capscale/internal/cluster"
+)
+
+func TestDistributedStrassenSingleRank(t *testing.T) {
+	c := cluster.TS140Cluster(1)
+	res := RunStrassen(c, 1024, 64, 1)
+	if res.BytesSent != 0 {
+		t.Fatalf("1-rank Strassen communicated %v bytes", res.BytesSent)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no compute")
+	}
+}
+
+func TestDistributedStrassenArbitraryRankCounts(t *testing.T) {
+	// Unlike CAPS (7^k) and SUMMA (q²), DFS Strassen work-shares on any
+	// rank count.
+	for _, p := range []int{2, 3, 5, 6} {
+		c := cluster.TS140Cluster(p)
+		res := RunStrassen(c, 2048, 64, p)
+		if res.Makespan <= 0 {
+			t.Fatalf("p=%d degenerate", p)
+		}
+		if res.BytesSent <= 0 {
+			t.Fatalf("p=%d no communication", p)
+		}
+	}
+}
+
+func TestDistributedStrassenCommunicatesMoreThanCAPS(t *testing.T) {
+	// The distributed mirror of the paper's SMP comparison: at the same
+	// rank count, the non-avoiding DFS traversal moves more data and
+	// takes longer.
+	c := cluster.TS140Cluster(7)
+	n := 4096
+	str := RunStrassen(c, n, 64, 7)
+	caps := RunCAPS(c, n, 64, 7)
+	if str.BytesSent <= caps.BytesSent {
+		t.Fatalf("Strassen comm %v not above CAPS %v", str.BytesSent, caps.BytesSent)
+	}
+	if str.Makespan <= caps.Makespan {
+		t.Fatalf("Strassen (%v s) not slower than CAPS (%v s)", str.Makespan, caps.Makespan)
+	}
+}
+
+func TestDistributedStrassenFabricDecidesScaling(t *testing.T) {
+	// The honest headline: the full-redistribution DFS traversal is so
+	// communication-heavy that on gigabit Ethernet adding nodes makes
+	// it SLOWER, while on InfiniBand it scales — the gap communication
+	// avoidance exists to close.
+	n := 4096
+	node := cluster.TS140Cluster(1).Node
+
+	gige, err := cluster.New(node, 4, cluster.GigE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gigeSpeedup := RunStrassen(gige, n, 64, 1).Makespan / RunStrassen(gige, n, 64, 4).Makespan
+	if gigeSpeedup > 1.6 {
+		t.Fatalf("DFS Strassen 4-rank speedup %v on GigE — should be comm-crippled", gigeSpeedup)
+	}
+
+	ib, err := cluster.New(node, 4, cluster.InfiniBandFDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ibSpeedup := RunStrassen(ib, n, 64, 1).Makespan / RunStrassen(ib, n, 64, 4).Makespan
+	if ibSpeedup <= gigeSpeedup {
+		t.Fatalf("InfiniBand speedup %v not above GigE's %v", ibSpeedup, gigeSpeedup)
+	}
+	if ibSpeedup < 2 {
+		t.Fatalf("DFS Strassen speedup %v too low even on InfiniBand", ibSpeedup)
+	}
+}
+
+func TestStudySupportsStrassen(t *testing.T) {
+	c := cluster.TS140Cluster(4)
+	pts := Study(c, "Strassen", 2048, 64, []int{1, 4})
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 || p.Watts <= 0 || p.EP <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	if pts[1].CommMB <= 0 {
+		t.Fatal("no communication recorded at 4 ranks")
+	}
+}

@@ -1,0 +1,207 @@
+// Package energy implements the paper's contribution: the energy
+// performance scaling model of Section III, the CAPS communication
+// lower bound (Eq. 8) and the Strassen/blocked crossover model (Eq. 9).
+//
+// The equations deliberately leave measurement criteria and units open
+// ("to permit flexibility in the application of the equations"); this
+// package follows suit — EAvg values are whatever power figure the
+// caller measures (here: simulated RAPL watts), T values are seconds.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// EP computes Eq. 1, the energy-performance ratio of a simple parallel
+// algorithm: EP_p = EAvg_p / T_p. It panics on a non-positive runtime,
+// which indicates a measurement bug rather than an input condition.
+func EP(eavg, t float64) float64 {
+	if t <= 0 {
+		panic(fmt.Sprintf("energy: non-positive runtime %v", t))
+	}
+	return eavg / t
+}
+
+// PlaneReading is one power plane's average draw over a phase, the
+// PPL_p term of Eq. 3. Name is informational ("PKG", "PP0", "DRAM").
+type PlaneReading struct {
+	Name  string
+	Watts float64
+}
+
+// EAvg computes Eq. 3: the encapsulated power of a phase is the sum of
+// its measurable power planes, EAvg_n = Σ_f PPL_f.
+func EAvg(planes []PlaneReading) float64 {
+	sum := 0.0
+	for _, p := range planes {
+		sum += p.Watts
+	}
+	return sum
+}
+
+// Phase is one measured program phase: its power planes and duration.
+// A purely sequential stage is one Phase; each parallel unit of a
+// parallel stage is its own Phase.
+type Phase struct {
+	Planes []PlaneReading
+	T      float64
+}
+
+// EPMixed computes Eq. 2 (and its power-plane expansion, Eq. 4): the
+// total energy performance of a mixed sequential-parallel application,
+//
+//	EP_t = (EAvg_s + max(EAvg_p)) / (T_s + max(T_p)).
+//
+// seq may be the zero Phase for fully parallel programs; par must have
+// at least one element.
+func EPMixed(seq Phase, par []Phase) float64 {
+	if len(par) == 0 {
+		panic("energy: EPMixed requires at least one parallel phase")
+	}
+	maxE, maxT := 0.0, 0.0
+	for _, p := range par {
+		if e := EAvg(p.Planes); e > maxE {
+			maxE = e
+		}
+		if p.T > maxT {
+			maxT = p.T
+		}
+	}
+	total := seq.T + maxT
+	if total <= 0 {
+		panic(fmt.Sprintf("energy: non-positive total runtime %v", total))
+	}
+	return (EAvg(seq.Planes) + maxE) / total
+}
+
+// Scaling computes Eq. 5: S = EP_p / EP_1, the energy-performance
+// scaling of the P-way run relative to the single-unit run.
+func Scaling(epP, ep1 float64) float64 {
+	if ep1 <= 0 {
+		panic(fmt.Sprintf("energy: non-positive EP_1 %v", ep1))
+	}
+	return epP / ep1
+}
+
+// Class is the verdict of the paper's Fig. 1 taxonomy.
+type Class int
+
+const (
+	// Ideal: the scaling value lies on or below the linear threshold —
+	// power grows no faster than performance.
+	Ideal Class = iota
+	// Superlinear: power must grow faster than the performance speedup
+	// to reach this operating point.
+	Superlinear
+)
+
+func (c Class) String() string {
+	if c == Ideal {
+		return "ideal"
+	}
+	return "superlinear"
+}
+
+// Classify compares an energy-performance scaling value S at
+// parallelism P against the linear threshold S = P (Fig. 1): values at
+// or under the line are ideal, values above it superlinear.
+func Classify(s float64, p int) Class {
+	if s <= float64(p)+1e-9 {
+		return Ideal
+	}
+	return Superlinear
+}
+
+// LinearThreshold returns the Fig. 1 boundary value at parallelism p.
+func LinearThreshold(p int) float64 { return float64(p) }
+
+// Omega0 is ω₀ = log₂7, the exponent of Strassen's arithmetic
+// complexity, used by the communication bound.
+var Omega0 = math.Log2(7)
+
+// CommBound computes Eq. 8, the per-processor communication lower
+// bound of CAPS for an n×n multiply on P processors with M words of
+// local memory each:
+//
+//	max( n^ω₀ / (P·M^(ω₀/2−1)), n² / P^(2/ω₀) )
+//
+// in words moved. It panics on non-positive arguments.
+func CommBound(n, p, m float64) float64 {
+	if n <= 0 || p <= 0 || m <= 0 {
+		panic(fmt.Sprintf("energy: CommBound(%v, %v, %v)", n, p, m))
+	}
+	memBound := math.Pow(n, Omega0) / (p * math.Pow(m, Omega0/2-1))
+	indepBound := n * n / math.Pow(p, 2/Omega0)
+	return math.Max(memBound, indepBound)
+}
+
+// Crossover computes Eq. 9: the square-matrix dimension at which a
+// Strassen technique breaks even with a tuned classic multiply on a
+// platform that computes at y MFlop/s and moves data at z MB/s:
+//
+//	n = 480·y/z
+//
+// The constant follows from equating one recursion level's saved
+// multiplication (2·(n/2)³ flop) against its added data movement
+// (15 matrix operands of 32·(n/2)² bytes each... accumulated over the
+// level, per the derivation the paper cites from Wadleigh & Crawford).
+func Crossover(yMFlops, zMBs float64) float64 {
+	if yMFlops <= 0 || zMBs <= 0 {
+		panic(fmt.Sprintf("energy: Crossover(%v, %v)", yMFlops, zMBs))
+	}
+	return 480 * yMFlops / zMBs
+}
+
+// CrossoverForMachine evaluates Eq. 9 from absolute platform rates:
+// flops in flop/s and bandwidth in B/s.
+func CrossoverForMachine(flops, bandwidth float64) float64 {
+	return Crossover(flops/1e6, bandwidth/1e6)
+}
+
+// Series is one algorithm's energy-performance scaling curve: the S
+// value (Eq. 5) at each degree of parallelism, for one problem size.
+type Series struct {
+	Algorithm string
+	ProblemN  int
+	// P[i] and S[i] are parallelism degree and scaling value.
+	P []int
+	S []float64
+}
+
+// WorstClass returns the series' overall verdict: superlinear if any
+// point exceeds the linear threshold.
+func (s Series) WorstClass() Class {
+	for i, p := range s.P {
+		if Classify(s.S[i], p) == Superlinear {
+			return Superlinear
+		}
+	}
+	return Ideal
+}
+
+// MaxExcess returns the largest S−P distance above the linear
+// threshold (0 for ideal series) — how superlinear the series gets.
+func (s Series) MaxExcess() float64 {
+	worst := 0.0
+	for i, p := range s.P {
+		if d := s.S[i] - float64(p); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MeanDistanceToLinear returns the mean |S−P| over the series — the
+// paper's "closer to the linear scale" comparison between CAPS and
+// Strassen made quantitative.
+func (s Series) MeanDistanceToLinear() float64 {
+	if len(s.P) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, p := range s.P {
+		sum += math.Abs(s.S[i] - float64(p))
+	}
+	return sum / float64(len(s.P))
+}

@@ -1,0 +1,252 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEP(t *testing.T) {
+	if got := EP(30, 2); got != 15 {
+		t.Fatalf("EP %v", got)
+	}
+}
+
+func TestEPPanicsOnZeroTime(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	EP(30, 0)
+}
+
+func TestEAvgSumsPlanes(t *testing.T) {
+	planes := []PlaneReading{{"PKG", 30}, {"DRAM", 3.5}}
+	if got := EAvg(planes); got != 33.5 {
+		t.Fatalf("EAvg %v", got)
+	}
+	if EAvg(nil) != 0 {
+		t.Fatal("empty planes should sum to zero")
+	}
+}
+
+func TestEPMixed(t *testing.T) {
+	seq := Phase{Planes: []PlaneReading{{"PKG", 20}}, T: 1}
+	par := []Phase{
+		{Planes: []PlaneReading{{"PKG", 40}}, T: 2},
+		{Planes: []PlaneReading{{"PKG", 45}}, T: 1.5},
+		{Planes: []PlaneReading{{"PKG", 38}}, T: 2.5},
+	}
+	// (20 + max(40,45,38)) / (1 + max(2,1.5,2.5)) = 65 / 3.5
+	want := 65.0 / 3.5
+	if got := EPMixed(seq, par); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EPMixed %v want %v", got, want)
+	}
+}
+
+func TestEPMixedPurelyParallel(t *testing.T) {
+	par := []Phase{{Planes: []PlaneReading{{"PKG", 40}}, T: 2}}
+	if got := EPMixed(Phase{}, par); got != 20 {
+		t.Fatalf("EPMixed %v", got)
+	}
+}
+
+func TestEPMixedPanics(t *testing.T) {
+	panics := func(f func()) (p bool) {
+		defer func() { p = recover() != nil }()
+		f()
+		return
+	}
+	if !panics(func() { EPMixed(Phase{}, nil) }) {
+		t.Fatal("no parallel phases accepted")
+	}
+	if !panics(func() { EPMixed(Phase{}, []Phase{{T: 0}}) }) {
+		t.Fatal("zero total time accepted")
+	}
+}
+
+func TestEPMixedReducesToEPForOneUnit(t *testing.T) {
+	// With no sequential part and one parallel unit, Eq. 2 is Eq. 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 10 + rng.Float64()*50
+		tt := 0.1 + rng.Float64()*10
+		one := EPMixed(Phase{}, []Phase{{Planes: []PlaneReading{{"PKG", w}}, T: tt}})
+		return math.Abs(one-EP(w, tt)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	if got := Scaling(40, 10); got != 4 {
+		t.Fatalf("S %v", got)
+	}
+}
+
+func TestScalingPanicsOnZeroBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Scaling(40, 0)
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(3.9, 4) != Ideal {
+		t.Fatal("3.9 at P=4 should be ideal")
+	}
+	if Classify(4.0, 4) != Ideal {
+		t.Fatal("boundary should be ideal")
+	}
+	if Classify(4.1, 4) != Superlinear {
+		t.Fatal("4.1 at P=4 should be superlinear")
+	}
+	if Ideal.String() != "ideal" || Superlinear.String() != "superlinear" {
+		t.Fatal("class names")
+	}
+}
+
+func TestLinearThreshold(t *testing.T) {
+	if LinearThreshold(3) != 3 {
+		t.Fatal("threshold")
+	}
+}
+
+func TestOmega0(t *testing.T) {
+	if math.Abs(Omega0-2.807354922) > 1e-8 {
+		t.Fatalf("omega0 %v", Omega0)
+	}
+}
+
+func TestCommBoundRegimes(t *testing.T) {
+	// Memory-dependent bound dominates when local memory is small.
+	n, p := 4096.0, 64.0
+	small := CommBound(n, p, 1024)
+	memBound := math.Pow(n, Omega0) / (p * math.Pow(1024, Omega0/2-1))
+	if math.Abs(small-memBound)/memBound > 1e-12 {
+		t.Fatalf("small-memory bound %v want %v", small, memBound)
+	}
+	// Memory-independent bound dominates when memory is plentiful.
+	big := CommBound(n, p, 1e12)
+	indep := n * n / math.Pow(p, 2/Omega0)
+	if math.Abs(big-indep)/indep > 1e-12 {
+		t.Fatalf("large-memory bound %v want %v", big, indep)
+	}
+}
+
+func TestCommBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	CommBound(0, 4, 100)
+}
+
+func TestPropertyCommBoundMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128 + rng.Float64()*8192
+		p := 1 + rng.Float64()*1024
+		m := 256 + rng.Float64()*1e7
+		base := CommBound(n, p, m)
+		// More data to multiply → at least as much communication.
+		if CommBound(n*2, p, m) < base {
+			return false
+		}
+		// More processors → less communication per processor.
+		if CommBound(n, p*2, m) > base {
+			return false
+		}
+		// More local memory → no more communication.
+		return CommBound(n, p, m*2) <= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// Platform computing 1000 MFlop/s moving 1000 MB/s: n = 480.
+	if got := Crossover(1000, 1000); got != 480 {
+		t.Fatalf("crossover %v", got)
+	}
+	// The paper's machine: ~23500 MFlop/s tuned DGEMM per core, ~7500
+	// MB/s single stream → crossover ≈ 1504, in the region the paper
+	// could not reach with its 4 GB of RAM — consistent with "we were
+	// unable to execute problems large enough to realize the crossover".
+	n := Crossover(23500, 7500)
+	if n < 1000 || n > 2500 {
+		t.Fatalf("paper-platform crossover %v implausible", n)
+	}
+}
+
+func TestCrossoverForMachine(t *testing.T) {
+	if got := CrossoverForMachine(1e9, 1e9); got != 480 {
+		t.Fatalf("%v", got)
+	}
+}
+
+func TestPropertyCrossoverScaling(t *testing.T) {
+	// Faster compute pushes the crossover out; faster memory pulls it in.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		y := 100 + rng.Float64()*1e5
+		z := 100 + rng.Float64()*1e5
+		n := Crossover(y, z)
+		return Crossover(y*2, z) > n && Crossover(y, z*2) < n &&
+			math.Abs(Crossover(y*2, z*2)-n) < 1e-9*n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesClassification(t *testing.T) {
+	ideal := Series{P: []int{1, 2, 3, 4}, S: []float64{1, 1.8, 2.5, 3.2}}
+	super := Series{P: []int{1, 2, 3, 4}, S: []float64{1, 2.5, 4.2, 9.6}}
+	if ideal.WorstClass() != Ideal {
+		t.Fatal("ideal series misclassified")
+	}
+	if super.WorstClass() != Superlinear {
+		t.Fatal("superlinear series misclassified")
+	}
+	if ideal.MaxExcess() != 0 {
+		t.Fatalf("ideal excess %v", ideal.MaxExcess())
+	}
+	if got := super.MaxExcess(); math.Abs(got-5.6) > 1e-12 {
+		t.Fatalf("super excess %v", got)
+	}
+}
+
+func TestSeriesMeanDistanceToLinear(t *testing.T) {
+	s := Series{P: []int{1, 2}, S: []float64{1, 1.5}}
+	if got := s.MeanDistanceToLinear(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("mean distance %v", got)
+	}
+	if (Series{}).MeanDistanceToLinear() != 0 {
+		t.Fatal("empty series distance")
+	}
+}
+
+func TestPaperScenarioOpenBLASSuperlinear(t *testing.T) {
+	// Reconstruct Fig. 7's qualitative claim from Table III-like data:
+	// OpenBLAS power 20→49 W with speedup ~3.9 gives S ≈ 9.5 >> 4.
+	ep1 := EP(20.2, 1.0)
+	ep4 := EP(49.13, 1.0/3.9)
+	s := Scaling(ep4, ep1)
+	if Classify(s, 4) != Superlinear {
+		t.Fatalf("OpenBLAS-like scaling %v should be superlinear", s)
+	}
+	// Strassen-like: power 21→32 W with speedup ~2.1 gives S ≈ 3.2 < 4.
+	eps1 := EP(21.1, 1.0)
+	eps4 := EP(31.9, 1.0/2.1)
+	if Classify(Scaling(eps4, eps1), 4) != Ideal {
+		t.Fatal("Strassen-like scaling should be ideal")
+	}
+}

@@ -1,0 +1,59 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"capscale/internal/energy"
+)
+
+// The paper's core workflow: measure a run's power planes and runtime,
+// compute EP (Eq. 1/3), and classify its scaling against the
+// single-unit baseline (Eq. 5, Fig. 1).
+func Example() {
+	// A 4-thread run measured at 46 W (PKG) + 3 W (DRAM) for 0.25 s.
+	planes := []energy.PlaneReading{{Name: "PKG", Watts: 46}, {Name: "DRAM", Watts: 3}}
+	ep4 := energy.EP(energy.EAvg(planes), 0.25)
+
+	// Its 1-thread baseline: 20 W for 0.9 s.
+	ep1 := energy.EP(20, 0.9)
+
+	s := energy.Scaling(ep4, ep1)
+	fmt.Printf("EP_4 = %.0f, EP_1 = %.1f, S = %.1f -> %v at P=4\n",
+		ep4, ep1, s, energy.Classify(s, 4))
+	// Output:
+	// EP_4 = 196, EP_1 = 22.2, S = 8.8 -> superlinear at P=4
+}
+
+// Eq. 9 locates the problem size where Strassen techniques break even
+// with a tuned classic multiply on a given platform balance.
+func ExampleCrossover() {
+	// A platform computing 94208 MFlop/s against 11000 MB/s of memory
+	// bandwidth (the paper's node).
+	n := energy.Crossover(94208, 11000)
+	fmt.Printf("crossover at n = %.0f\n", n)
+	// Output:
+	// crossover at n = 4111
+}
+
+// Eq. 8 bounds CAPS's per-processor communication; more local memory
+// helps only until the memory-independent term dominates.
+func ExampleCommBound() {
+	small := energy.CommBound(4096, 49, 1<<16)
+	large := energy.CommBound(4096, 49, 1<<30)
+	fmt.Printf("tight memory: %.2e words, ample memory: %.2e words\n", small, large)
+	// Output:
+	// tight memory: 3.21e+06 words, ample memory: 1.05e+06 words
+}
+
+// EPMixed (Eq. 2/4) handles programs with a sequential stage followed
+// by parallel units measured separately.
+func ExampleEPMixed() {
+	seq := energy.Phase{Planes: []energy.PlaneReading{{Name: "PKG", Watts: 21}}, T: 0.5}
+	par := []energy.Phase{
+		{Planes: []energy.PlaneReading{{Name: "PKG", Watts: 45}}, T: 1.0},
+		{Planes: []energy.PlaneReading{{Name: "PKG", Watts: 48}}, T: 1.2},
+	}
+	fmt.Printf("EP_t = %.1f\n", energy.EPMixed(seq, par))
+	// Output:
+	// EP_t = 40.6
+}

@@ -1,0 +1,84 @@
+// Package kernel provides the real-arithmetic compute kernels used by
+// the multipliers' leaf tasks, together with the flop and traffic cost
+// formulas the simulator charges for those same leaves. Keeping the
+// math and its accounting side by side makes it hard for the simulated
+// cost of an operation to drift from what the operation actually does.
+package kernel
+
+import (
+	"fmt"
+
+	"capscale/internal/matrix"
+)
+
+// MulAdd computes dst += a·b with a cache-friendly i-k-j loop over row
+// slices. It is the building block of both the blocked DGEMM's inner
+// kernel and the Strassen base-case solver. dst must not alias a or b.
+func MulAdd(dst, a, b *matrix.Dense) {
+	m, k, n := a.Rows(), a.Cols(), b.Cols()
+	if b.Rows() != k || dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("kernel: MulAdd shapes %dx%d * %dx%d -> %dx%d",
+			m, k, b.Rows(), n, dst.Rows(), dst.Cols()))
+	}
+	for i := 0; i < m; i++ {
+		dr := dst.Row(i)
+		ar := a.Row(i)
+		for kk := 0; kk < k; kk++ {
+			aik := ar[kk]
+			if aik == 0 {
+				continue
+			}
+			br := b.Row(kk)
+			j := 0
+			// 4-wide unroll; Go's bounds-check elimination handles the
+			// slice pattern well.
+			for ; j+4 <= n; j += 4 {
+				dr[j] += aik * br[j]
+				dr[j+1] += aik * br[j+1]
+				dr[j+2] += aik * br[j+2]
+				dr[j+3] += aik * br[j+3]
+			}
+			for ; j < n; j++ {
+				dr[j] += aik * br[j]
+			}
+		}
+	}
+}
+
+// Mul computes dst = a·b (overwriting dst). dst must not alias a or b.
+func Mul(dst, a, b *matrix.Dense) {
+	dst.Zero()
+	MulAdd(dst, a, b)
+}
+
+// Pack copies src into dst, a compact buffer. It is the real-math
+// counterpart of a KindCopy leaf (BLAS packing, CAPS BFS staging).
+func Pack(dst, src *matrix.Dense) {
+	matrix.CopyTo(dst, src)
+}
+
+// MulFlops returns the double-precision operation count of an
+// m×k · k×n multiply-accumulate: one multiply and one add per term.
+func MulFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }
+
+// AddFlops returns the operation count of an r×c element-wise
+// addition or subtraction.
+func AddFlops(r, c int) float64 { return float64(r) * float64(c) }
+
+// Bytes returns the memory footprint of an r×c double matrix.
+func Bytes(r, c int) float64 { return 8 * float64(r) * float64(c) }
+
+// MulTraffic returns the bytes an m×k · k×n multiply leaf moves when
+// its operands stream in once and C is read and written: A + B + 2C.
+// Blocked algorithms that reuse panels should charge less by scaling
+// the relevant term (see blas.Plan).
+func MulTraffic(m, n, k int) float64 {
+	return Bytes(m, k) + Bytes(k, n) + 2*Bytes(m, n)
+}
+
+// AddTraffic returns the bytes an r×c addition moves: two operand
+// reads and one result write.
+func AddTraffic(r, c int) float64 { return 3 * Bytes(r, c) }
+
+// CopyTraffic returns the bytes an r×c copy moves: one read, one write.
+func CopyTraffic(r, c int) float64 { return 2 * Bytes(r, c) }

@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capscale/internal/matrix"
+)
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {7, 13, 3}, {16, 16, 16}, {33, 17, 9}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := matrix.Rand(rng, m, k)
+		b := matrix.Rand(rng, k, n)
+		got := matrix.New(m, n)
+		Mul(got, a, b)
+		want := matrix.New(m, n)
+		matrix.MulNaive(want, a, b)
+		if !matrix.AlmostEqual(got, want, 1e-12) {
+			t.Fatalf("%dx%dx%d: kernel mul differs from naive by %v", m, k, n, matrix.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestMulAddAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := matrix.Rand(rng, 4, 4)
+	b := matrix.Rand(rng, 4, 4)
+	dst := matrix.Rand(rng, 4, 4)
+	before := dst.Clone()
+	MulAdd(dst, a, b)
+	prod := matrix.New(4, 4)
+	matrix.MulNaive(prod, a, b)
+	want := matrix.New(4, 4)
+	matrix.AddTo(want, before, prod)
+	if !matrix.AlmostEqual(dst, want, 1e-12) {
+		t.Fatal("MulAdd did not accumulate onto existing dst")
+	}
+}
+
+func TestMulAddShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MulAdd(matrix.New(2, 2), matrix.New(2, 3), matrix.New(4, 2))
+}
+
+func TestMulOnViews(t *testing.T) {
+	// Kernels must honour strides: multiply quadrant views of a larger
+	// matrix and compare against compact copies.
+	rng := rand.New(rand.NewSource(3))
+	big := matrix.Rand(rng, 8, 8)
+	a11, _, _, a22 := big.Quadrants()
+	got := matrix.New(4, 4)
+	Mul(got, a11, a22)
+	want := matrix.New(4, 4)
+	matrix.MulNaive(want, a11.Clone(), a22.Clone())
+	if !matrix.AlmostEqual(got, want, 1e-12) {
+		t.Fatal("strided multiply wrong")
+	}
+}
+
+func TestPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	big := matrix.Rand(rng, 6, 6)
+	v := big.View(1, 2, 3, 3)
+	dst := matrix.New(3, 3)
+	Pack(dst, v)
+	if !matrix.Equal(dst, v.Clone()) {
+		t.Fatal("pack copied wrong data")
+	}
+}
+
+func TestCostFormulas(t *testing.T) {
+	if MulFlops(2, 3, 4) != 48 {
+		t.Fatalf("MulFlops %v", MulFlops(2, 3, 4))
+	}
+	if AddFlops(3, 5) != 15 {
+		t.Fatalf("AddFlops %v", AddFlops(3, 5))
+	}
+	if Bytes(2, 2) != 32 {
+		t.Fatalf("Bytes %v", Bytes(2, 2))
+	}
+	if MulTraffic(2, 2, 2) != 8*(4+4+8) {
+		t.Fatalf("MulTraffic %v", MulTraffic(2, 2, 2))
+	}
+	if AddTraffic(2, 2) != 96 {
+		t.Fatalf("AddTraffic %v", AddTraffic(2, 2))
+	}
+	if CopyTraffic(4, 4) != 256 {
+		t.Fatalf("CopyTraffic %v", CopyTraffic(4, 4))
+	}
+}
+
+func TestPropertyMulLinearity(t *testing.T) {
+	// (αA)·B == α(A·B) with exact powers of two as scalars.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := matrix.RandInts(rng, n, n, 3)
+		b := matrix.RandInts(rng, n, n, 3)
+		a2 := a.Clone()
+		a2.Scale(2)
+		lhs := matrix.New(n, n)
+		Mul(lhs, a2, b)
+		rhs := matrix.New(n, n)
+		Mul(rhs, a, b)
+		rhs.Scale(2)
+		return matrix.Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulMatchesNaiveRandomShapes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(20)
+		a := matrix.Rand(rng, m, k)
+		b := matrix.Rand(rng, k, n)
+		got := matrix.New(m, n)
+		Mul(got, a, b)
+		want := matrix.New(m, n)
+		matrix.MulNaive(want, a, b)
+		return matrix.AlmostEqual(got, want, 1e-11)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulAdd64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.Rand(rng, 64, 64)
+	y := matrix.Rand(rng, 64, 64)
+	dst := matrix.New(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAdd(dst, x, y)
+	}
+}

@@ -1,0 +1,87 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Cholesky is the L·Lᵀ factorization of a symmetric positive definite
+// matrix — the dense reference for the SPD systems the CG solver
+// targets.
+type Cholesky struct {
+	l *Dense
+}
+
+// ErrNotSPD is returned when factorization meets a non-positive pivot.
+var ErrNotSPD = errors.New("matrix: not symmetric positive definite")
+
+// FactorizeCholesky computes the lower-triangular Cholesky factor of a
+// symmetric positive definite matrix. Only the lower triangle of a is
+// read; a is not modified.
+func FactorizeCholesky(a *Dense) (*Cholesky, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("matrix: Cholesky of non-square %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			li, lj := l.Row(i), l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotSPD
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns the lower-triangular factor (a copy-free view of the
+// internal storage; treat as read-only).
+func (c *Cholesky) L() *Dense { return c.l }
+
+// Solve returns x with A·x = b via forward/back substitution.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.l.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: rhs length %d for %dx%d system", len(b), n, n)
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// L·y = b.
+	for i := 0; i < n; i++ {
+		row := c.l.Row(i)
+		sum := x[i]
+		for k := 0; k < i; k++ {
+			sum -= row[k] * x[k]
+		}
+		x[i] = sum / row[i]
+	}
+	// Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for k := i + 1; k < n; k++ {
+			sum -= c.l.At(k, i) * x[k]
+		}
+		x[i] = sum / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD is the one-shot convenience for SPD systems.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorizeCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

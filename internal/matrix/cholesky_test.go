@@ -1,0 +1,121 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD builds B·Bᵀ + n·I, guaranteed SPD.
+func randSPD(rng *rand.Rand, n int) *Dense {
+	b := Rand(rng, n, n)
+	bt := New(n, n)
+	TransposeTo(bt, b)
+	a := New(n, n)
+	MulNaive(a, b, bt)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// [4 2; 2 3] = L·Lᵀ with L = [2 0; 1 √2].
+	a := NewFromSlice(2, 2, []float64{4, 2, 2, 3})
+	f, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.L()
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt2) > 1e-12 || l.At(0, 1) != 0 {
+		t.Fatalf("L = %v", l)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	if _, err := FactorizeCholesky(NewFromSlice(2, 2, []float64{1, 2, 2, 1})); err != ErrNotSPD {
+		t.Fatalf("indefinite accepted: %v", err)
+	}
+	if _, err := FactorizeCholesky(New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randSPD(rng, 12)
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		sum := 0.0
+		for j := 0; j < 12; j++ {
+			sum += a.At(i, j) * x[j]
+		}
+		if math.Abs(sum-b[i]) > 1e-9 {
+			t.Fatalf("residual %v at row %d", sum-b[i], i)
+		}
+	}
+}
+
+func TestCholeskySolveRhsLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f, err := FactorizeCholesky(randSPD(rng, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestCholeskyMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(rng, 20)
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	xc, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xl, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xc {
+		if math.Abs(xc[i]-xl[i]) > 1e-9*math.Max(1, math.Abs(xl[i])) {
+			t.Fatalf("x[%d]: cholesky %v vs LU %v", i, xc[i], xl[i])
+		}
+	}
+}
+
+func TestPropertyCholeskyReconstructs(t *testing.T) {
+	// L·Lᵀ == A.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a := randSPD(rng, n)
+		fac, err := FactorizeCholesky(a)
+		if err != nil {
+			return false
+		}
+		l := fac.L()
+		lt := New(n, n)
+		TransposeTo(lt, l)
+		llt := New(n, n)
+		MulNaive(llt, l, lt)
+		return AlmostEqual(llt, a, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LU is an LU factorization with partial pivoting: P·A = L·U, stored
+// packed (unit-diagonal L below, U on and above the diagonal).
+type LU struct {
+	lu    *Dense
+	pivot []int
+	signD float64
+}
+
+// ErrSingular is returned when factorization meets a zero pivot.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Factorize computes the pivoted LU factorization of a square matrix.
+// a is not modified.
+func Factorize(a *Dense) (*LU, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("matrix: LU of non-square %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	f := &LU{lu: a.Clone(), pivot: make([]int, n), signD: 1}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at or below row k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				p, max = i, v
+			}
+		}
+		f.pivot[k] = p
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.signD = -f.signD
+		}
+		pivotVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivotVal
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve returns x with A·x = b.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: rhs length %d for %dx%d system", len(b), n, n)
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply the row exchanges.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		sum := x[i]
+		for j := 0; j < i; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.signD
+	for i := 0; i < f.lu.Rows(); i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveDense is the convenience one-shot: x with a·x = b.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,169 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorizeNonSquare(t *testing.T) {
+	if _, err := Factorize(New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Factorize(a); err != ErrSingular {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// [2 1; 1 3]·x = [5; 10] → x = [1; 3].
+	a := NewFromSlice(2, 2, []float64{2, 1, 1, 3})
+	x, err := SolveDense(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	id := Identity(5)
+	b := []float64{1, 2, 3, 4, 5}
+	x, err := SolveDense(id, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestSolveRhsLength(t *testing.T) {
+	f, err := Factorize(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{3, 1, 4, 2})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("det %v", d)
+	}
+	// Pivoting case: determinant sign must survive row swaps.
+	b := NewFromSlice(2, 2, []float64{0, 1, 1, 0})
+	fb, err := Factorize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fb.Det(); math.Abs(d+1) > 1e-12 {
+		t.Fatalf("permutation det %v", d)
+	}
+}
+
+func TestPivotingHandlesZeroLeadingEntry(t *testing.T) {
+	a := NewFromSlice(3, 3, []float64{0, 2, 1, 1, 0, 3, 2, 1, 0})
+	b := []float64{5, 10, 4}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual.
+	for i := 0; i < 3; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			sum += a.At(i, j) * x[j]
+		}
+		if math.Abs(sum-b[i]) > 1e-10 {
+			t.Fatalf("residual at row %d: %v", i, sum-b[i])
+		}
+	}
+}
+
+func TestFactorizeDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Rand(rng, 6, 6)
+	orig := a.Clone()
+	if _, err := Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, orig) {
+		t.Fatal("Factorize mutated its input")
+	}
+}
+
+func TestPropertySolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		a := Rand(rng, n, n)
+		// Diagonal dominance keeps conditioning sane.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a.At(i, j) * x[j]
+			}
+			if math.Abs(sum-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDetOfProduct(t *testing.T) {
+	// det(AB) == det(A)·det(B) on small well-scaled matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := Rand(rng, n, n)
+		b := Rand(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+2)
+			b.Set(i, i, b.At(i, i)+2)
+		}
+		ab := New(n, n)
+		MulNaive(ab, a, b)
+		fa, e1 := Factorize(a)
+		fb, e2 := Factorize(b)
+		fab, e3 := Factorize(ab)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return true // singular draws are fine to skip
+		}
+		want := fa.Det() * fb.Det()
+		got := fab.Det()
+		return math.Abs(got-want) <= 1e-8*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

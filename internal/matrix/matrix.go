@@ -1,0 +1,366 @@
+// Package matrix provides dense, row-major, double-precision matrices
+// with cheap sub-matrix views, the arithmetic needed by the blocked,
+// Strassen and CAPS multipliers, and deterministic generation utilities
+// used by the experiment harness.
+//
+// A Dense value never owns synchronization: callers partition matrices
+// into disjoint views before operating on them concurrently.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major matrix of float64 values. A Dense may be a
+// view into a larger matrix, in which case its stride exceeds its column
+// count and mutations are visible through the parent.
+type Dense struct {
+	rows, cols int
+	stride     int
+	data       []float64
+}
+
+// New returns a zeroed rows×cols matrix backed by freshly allocated
+// storage. It panics if either dimension is negative.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{
+		rows:   rows,
+		cols:   cols,
+		stride: cols,
+		data:   make([]float64, rows*cols),
+	}
+}
+
+// NewFromSlice returns a rows×cols matrix that adopts data as its
+// backing storage (row-major, stride == cols). It panics if
+// len(data) != rows*cols.
+func NewFromSlice(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("matrix: slice length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, stride: cols, data: data}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*m.stride+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows in m.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns in m.
+func (m *Dense) Cols() int { return m.cols }
+
+// Stride returns the distance, in elements, between the starts of
+// consecutive rows in the backing storage.
+func (m *Dense) Stride() int { return m.stride }
+
+// IsSquare reports whether m has as many rows as columns.
+func (m *Dense) IsSquare() bool { return m.rows == m.cols }
+
+// IsView reports whether m shares storage with a larger matrix.
+func (m *Dense) IsView() bool { return m.stride != m.cols || len(m.data) != m.rows*m.cols }
+
+// At returns the element at row i, column j. Bounds are checked.
+func (m *Dense) At(i, j int) float64 {
+	m.checkBounds(i, j)
+	return m.data[i*m.stride+j]
+}
+
+// Set stores v at row i, column j. Bounds are checked.
+func (m *Dense) Set(i, j int, v float64) {
+	m.checkBounds(i, j)
+	m.data[i*m.stride+j] = v
+}
+
+func (m *Dense) checkBounds(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of bounds %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns the i'th row as a slice sharing storage with m.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of bounds %d", i, m.rows))
+	}
+	return m.data[i*m.stride : i*m.stride+m.cols]
+}
+
+// Data returns the backing slice of m. For views the slice begins at
+// m's (0,0) element and rows are m.Stride() apart.
+func (m *Dense) Data() []float64 { return m.data }
+
+// View returns the r×c sub-matrix of m whose top-left corner is at
+// (i, j). The view shares storage with m.
+func (m *Dense) View(i, j, r, c int) *Dense {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.rows || j+c > m.cols {
+		panic(fmt.Sprintf("matrix: view (%d,%d)+%dx%d out of bounds %dx%d", i, j, r, c, m.rows, m.cols))
+	}
+	return &Dense{
+		rows:   r,
+		cols:   c,
+		stride: m.stride,
+		data:   m.data[i*m.stride+j:],
+	}
+}
+
+// Quadrants splits a square matrix with even dimension into its four
+// quadrant views, in the order A11, A12, A21, A22. It panics if m is
+// not square with even dimension.
+func (m *Dense) Quadrants() (a11, a12, a21, a22 *Dense) {
+	if !m.IsSquare() || m.rows%2 != 0 {
+		panic(fmt.Sprintf("matrix: quadrants of non-even square %dx%d", m.rows, m.cols))
+	}
+	h := m.rows / 2
+	return m.View(0, 0, h, h), m.View(0, h, h, h), m.View(h, 0, h, h), m.View(h, h, h, h)
+}
+
+// Clone returns a compact (stride == cols) deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	CopyTo(out, m)
+	return out
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Zero sets every element of m to zero.
+func (m *Dense) Zero() { m.Fill(0) }
+
+// String renders small matrices for debugging; large matrices render as
+// a dimension summary.
+func (m *Dense) String() string {
+	if m.rows > 8 || m.cols > 8 {
+		return fmt.Sprintf("Dense{%dx%d}", m.rows, m.cols)
+	}
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		s += "["
+		for j, v := range row {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", v)
+		}
+		s += "]\n"
+	}
+	return s
+}
+
+// CopyTo copies src into dst element-wise. The shapes must match.
+func CopyTo(dst, src *Dense) {
+	checkSameShape("CopyTo", dst, src)
+	for i := 0; i < dst.rows; i++ {
+		copy(dst.Row(i), src.Row(i))
+	}
+}
+
+// AddTo stores a + b into dst. Shapes must match; dst may alias a or b.
+func AddTo(dst, a, b *Dense) {
+	checkSameShape("AddTo", dst, a)
+	checkSameShape("AddTo", dst, b)
+	for i := 0; i < dst.rows; i++ {
+		dr, ar, br := dst.Row(i), a.Row(i), b.Row(i)
+		for j := range dr {
+			dr[j] = ar[j] + br[j]
+		}
+	}
+}
+
+// SubTo stores a - b into dst. Shapes must match; dst may alias a or b.
+func SubTo(dst, a, b *Dense) {
+	checkSameShape("SubTo", dst, a)
+	checkSameShape("SubTo", dst, b)
+	for i := 0; i < dst.rows; i++ {
+		dr, ar, br := dst.Row(i), a.Row(i), b.Row(i)
+		for j := range dr {
+			dr[j] = ar[j] - br[j]
+		}
+	}
+}
+
+// AccumTo adds src into dst element-wise (dst += src).
+func AccumTo(dst, src *Dense) {
+	checkSameShape("AccumTo", dst, src)
+	for i := 0; i < dst.rows; i++ {
+		dr, sr := dst.Row(i), src.Row(i)
+		for j := range dr {
+			dr[j] += sr[j]
+		}
+	}
+}
+
+// Scale multiplies every element of m by alpha in place.
+func (m *Dense) Scale(alpha float64) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= alpha
+		}
+	}
+}
+
+// TransposeTo stores aᵀ into dst. dst must be a.Cols()×a.Rows() and must
+// not alias a.
+func TransposeTo(dst, a *Dense) {
+	if dst.rows != a.cols || dst.cols != a.rows {
+		panic(fmt.Sprintf("matrix: TransposeTo shape %dx%d vs %dx%d", dst.rows, dst.cols, a.rows, a.cols))
+	}
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			dst.data[j*dst.stride+i] = v
+		}
+	}
+}
+
+// MulNaive computes dst = a*b with the straightforward i-k-j triple
+// loop. It is the correctness reference for every other multiplier in
+// the repository. dst must not alias a or b.
+func MulNaive(dst, a, b *Dense) {
+	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("matrix: MulNaive shapes %dx%d * %dx%d -> %dx%d",
+			a.rows, a.cols, b.rows, b.cols, dst.rows, dst.cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.rows; i++ {
+		dr := dst.Row(i)
+		ar := a.Row(i)
+		for k := 0; k < a.cols; k++ {
+			aik := ar[k]
+			if aik == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j := range dr {
+				dr[j] += aik * br[j]
+			}
+		}
+	}
+}
+
+// Equal reports whether a and b have the same shape and identical
+// elements.
+func Equal(a, b *Dense) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := 0; i < a.rows; i++ {
+		ar, br := a.Row(i), b.Row(i)
+		for j := range ar {
+			if ar[j] != br[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference
+// between a and b. Shapes must match.
+func MaxAbsDiff(a, b *Dense) float64 {
+	checkSameShape("MaxAbsDiff", a, b)
+	max := 0.0
+	for i := 0; i < a.rows; i++ {
+		ar, br := a.Row(i), b.Row(i)
+		for j := range ar {
+			if d := math.Abs(ar[j] - br[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// AlmostEqual reports whether a and b match element-wise within tol,
+// scaled by the magnitude of the elements (mixed absolute/relative
+// tolerance, appropriate for Strassen's weaker stability bound).
+func AlmostEqual(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := 0; i < a.rows; i++ {
+		ar, br := a.Row(i), b.Row(i)
+		for j := range ar {
+			scale := math.Max(1, math.Max(math.Abs(ar[j]), math.Abs(br[j])))
+			if math.Abs(ar[j]-br[j]) > tol*scale {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute element of m (its max-norm).
+func (m *Dense) MaxAbs() float64 {
+	max := 0.0
+	for i := 0; i < m.rows; i++ {
+		for _, v := range m.Row(i) {
+			if a := math.Abs(v); a > max {
+				max = a
+			}
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns sqrt(Σ m[i][j]²).
+func (m *Dense) FrobeniusNorm() float64 {
+	sum := 0.0
+	for i := 0; i < m.rows; i++ {
+		for _, v := range m.Row(i) {
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+func checkSameShape(op string, a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// NextPow2 returns the smallest power of two that is >= n and >= 1.
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// PadTo returns an r×c matrix whose top-left block is a copy of m and
+// whose remaining elements are zero. It panics if r or c is smaller
+// than m's corresponding dimension. If m is already r×c a compact copy
+// is returned.
+func PadTo(m *Dense, r, c int) *Dense {
+	if r < m.rows || c < m.cols {
+		panic(fmt.Sprintf("matrix: PadTo %dx%d smaller than %dx%d", r, c, m.rows, m.cols))
+	}
+	out := New(r, c)
+	CopyTo(out.View(0, 0, m.rows, m.cols), m)
+	return out
+}

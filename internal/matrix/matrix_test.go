@@ -1,0 +1,499 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 5)
+	if m.Rows() != 3 || m.Cols() != 5 || m.Stride() != 5 {
+		t.Fatalf("got %dx%d stride %d", m.Rows(), m.Cols(), m.Stride())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestNewFromSlice(t *testing.T) {
+	m := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("unexpected layout: %v", m)
+	}
+}
+
+func TestNewFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched slice did not panic")
+		}
+	}()
+	NewFromSlice(2, 3, []float64{1, 2, 3})
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 0, 7.5)
+	if m.At(1, 0) != 7.5 {
+		t.Fatalf("round trip failed: %v", m.At(1, 0))
+	}
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	m := New(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := New(4, 4)
+	v := m.View(1, 1, 2, 2)
+	v.Set(0, 0, 9)
+	if m.At(1, 1) != 9 {
+		t.Fatal("view write not visible in parent")
+	}
+	m.Set(2, 2, 3)
+	if v.At(1, 1) != 3 {
+		t.Fatal("parent write not visible in view")
+	}
+	if !v.IsView() {
+		t.Fatal("view not reported as view")
+	}
+	if m.IsView() {
+		t.Fatal("owner reported as view")
+	}
+}
+
+func TestViewOutOfBoundsPanics(t *testing.T) {
+	m := New(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized view did not panic")
+		}
+	}()
+	m.View(2, 2, 3, 3)
+}
+
+func TestQuadrants(t *testing.T) {
+	m := New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	a11, a12, a21, a22 := m.Quadrants()
+	if a11.At(0, 0) != 0 || a12.At(0, 0) != 2 || a21.At(0, 0) != 20 || a22.At(0, 0) != 22 {
+		t.Fatalf("quadrant corners wrong: %v %v %v %v",
+			a11.At(0, 0), a12.At(0, 0), a21.At(0, 0), a22.At(0, 0))
+	}
+	if a22.Rows() != 2 || a22.Cols() != 2 {
+		t.Fatalf("quadrant shape %dx%d", a22.Rows(), a22.Cols())
+	}
+}
+
+func TestQuadrantsOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd quadrants did not panic")
+		}
+	}()
+	New(3, 3).Quadrants()
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := RandSeeded(1, 3, 3)
+	c := m.Clone()
+	if !Equal(m, c) {
+		t.Fatal("clone differs")
+	}
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestCloneOfViewIsCompact(t *testing.T) {
+	m := RandSeeded(2, 6, 6)
+	v := m.View(1, 1, 3, 3)
+	c := v.Clone()
+	if c.Stride() != 3 || c.IsView() {
+		t.Fatalf("clone of view not compact: stride %d", c.Stride())
+	}
+	if !Equal(v, c) {
+		t.Fatal("clone of view differs")
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	m := New(3, 3)
+	m.Fill(2.5)
+	if m.At(2, 2) != 2.5 {
+		t.Fatal("fill failed")
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Fatal("zero failed")
+	}
+}
+
+func TestAddSubAccum(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 2, []float64{10, 20, 30, 40})
+	sum := New(2, 2)
+	AddTo(sum, a, b)
+	if sum.At(1, 1) != 44 {
+		t.Fatalf("add: %v", sum)
+	}
+	diff := New(2, 2)
+	SubTo(diff, b, a)
+	if diff.At(0, 0) != 9 {
+		t.Fatalf("sub: %v", diff)
+	}
+	AccumTo(sum, a)
+	if sum.At(0, 0) != 12 {
+		t.Fatalf("accum: %v", sum)
+	}
+}
+
+func TestAddAliasing(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	AddTo(a, a, a) // a = a + a
+	if a.At(1, 1) != 8 {
+		t.Fatalf("aliased add: %v", a)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{1, -2, 3})
+	a.Scale(-2)
+	if a.At(0, 0) != -2 || a.At(0, 1) != 4 || a.At(0, 2) != -6 {
+		t.Fatalf("scale: %v", a)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := New(3, 2)
+	TransposeTo(at, a)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulNaiveIdentity(t *testing.T) {
+	a := RandSeeded(3, 5, 5)
+	id := Identity(5)
+	out := New(5, 5)
+	MulNaive(out, a, id)
+	if !Equal(out, a) {
+		t.Fatal("A*I != A")
+	}
+	MulNaive(out, id, a)
+	if !Equal(out, a) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMulNaiveKnown(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewFromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	out := New(2, 2)
+	MulNaive(out, a, b)
+	want := NewFromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(out, want) {
+		t.Fatalf("got %v want %v", out, want)
+	}
+}
+
+func TestMulNaiveShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MulNaive(New(2, 2), New(2, 3), New(2, 2))
+}
+
+func TestMaxAbsDiffAndAlmostEqual(t *testing.T) {
+	a := NewFromSlice(1, 2, []float64{1, 2})
+	b := NewFromSlice(1, 2, []float64{1, 2.5})
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("diff %v", d)
+	}
+	if AlmostEqual(a, b, 1e-6) {
+		t.Fatal("should not be almost equal")
+	}
+	if !AlmostEqual(a, b, 0.3) { // relative: 0.5/2.5 = 0.2 <= 0.3
+		t.Fatal("should be almost equal at loose tolerance")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if Equal(New(2, 2), New(2, 3)) {
+		t.Fatal("different shapes reported equal")
+	}
+	if AlmostEqual(New(2, 2), New(3, 2), 1) {
+		t.Fatal("different shapes reported almost equal")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := NewFromSlice(1, 2, []float64{3, -4})
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs %v", m.MaxAbs())
+	}
+	if math.Abs(m.FrobeniusNorm()-5) > 1e-12 {
+		t.Fatalf("Frobenius %v", m.FrobeniusNorm())
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 64, 4096} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 100} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	p := PadTo(m, 4, 3)
+	if p.Rows() != 4 || p.Cols() != 3 {
+		t.Fatalf("pad shape %dx%d", p.Rows(), p.Cols())
+	}
+	if p.At(1, 1) != 4 || p.At(2, 0) != 0 || p.At(3, 2) != 0 {
+		t.Fatalf("pad content wrong: %v", p)
+	}
+}
+
+func TestPadToSmallerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shrinking pad did not panic")
+		}
+	}()
+	PadTo(New(3, 3), 2, 4)
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a := RandSeeded(42, 6, 6)
+	b := RandSeeded(42, 6, 6)
+	if !Equal(a, b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := RandSeeded(43, 6, 6)
+	if Equal(a, c) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestRandRange(t *testing.T) {
+	m := RandSeeded(7, 16, 16)
+	for i := 0; i < 16; i++ {
+		for _, v := range m.Row(i) {
+			if v < -1 || v >= 1 {
+				t.Fatalf("element %v outside [-1,1)", v)
+			}
+		}
+	}
+}
+
+func TestRandIntsExact(t *testing.T) {
+	m := RandInts(rand.New(rand.NewSource(1)), 8, 8, 3)
+	for i := 0; i < 8; i++ {
+		for _, v := range m.Row(i) {
+			if v != math.Trunc(v) || v < -3 || v > 3 {
+				t.Fatalf("element %v not an int in [-3,3]", v)
+			}
+		}
+	}
+}
+
+// randDense builds a small random matrix from quick-check parameters.
+func randDense(rng *rand.Rand, rows, cols int) *Dense {
+	return Rand(rng, rows, cols)
+}
+
+func TestPropertyAddCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randDense(rng, n, n)
+		b := randDense(rng, n, n)
+		ab, ba := New(n, n), New(n, n)
+		AddTo(ab, a, b)
+		AddTo(ba, b, a)
+		return Equal(ab, ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAddSubRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := randDense(rng, r, c)
+		b := randDense(rng, r, c)
+		sum, back := New(r, c), New(r, c)
+		AddTo(sum, a, b)
+		SubTo(back, sum, b)
+		return AlmostEqual(back, a, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := RandInts(rng, n, n, 4)
+		b := RandInts(rng, n, n, 4)
+		c := RandInts(rng, n, n, 4)
+		// a*(b+c) == a*b + a*c, exact for small integers.
+		bc := New(n, n)
+		AddTo(bc, b, c)
+		lhs := New(n, n)
+		MulNaive(lhs, a, bc)
+		ab, ac, rhs := New(n, n), New(n, n), New(n, n)
+		MulNaive(ab, a, b)
+		MulNaive(ac, a, c)
+		AddTo(rhs, ab, ac)
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := randDense(rng, r, c)
+		at := New(c, r)
+		att := New(r, c)
+		TransposeTo(at, a)
+		TransposeTo(att, at)
+		return Equal(a, att)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulTransposeIdentity(t *testing.T) {
+	// (A*B)ᵀ == Bᵀ*Aᵀ with exact integer matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := RandInts(rng, n, n, 3)
+		b := RandInts(rng, n, n, 3)
+		ab := New(n, n)
+		MulNaive(ab, a, b)
+		abT := New(n, n)
+		TransposeTo(abT, ab)
+		at, bt := New(n, n), New(n, n)
+		TransposeTo(at, a)
+		TransposeTo(bt, b)
+		btat := New(n, n)
+		MulNaive(btat, bt, at)
+		return Equal(abT, btat)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyViewCloneEqualsRegion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		m := randDense(rng, n, n)
+		i, j := rng.Intn(n/2), rng.Intn(n/2)
+		r, c := 1+rng.Intn(n-i-1), 1+rng.Intn(n-j-1)
+		v := m.View(i, j, r, c)
+		clone := v.Clone()
+		for x := 0; x < r; x++ {
+			for y := 0; y < c; y++ {
+				if clone.At(x, y) != m.At(i+x, j+y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := Identity(2)
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty string for small matrix")
+	}
+	big := New(100, 100)
+	if s := big.String(); s != "Dense{100x100}" {
+		t.Fatalf("large summary: %q", s)
+	}
+}

@@ -1,0 +1,34 @@
+package matrix
+
+import "math/rand"
+
+// Rand returns a rows×cols matrix with elements drawn uniformly from
+// [-1, 1) using rng. Passing an explicitly seeded rng makes the
+// experiment harness deterministic, matching the paper's "randomly
+// generated matrices" setup reproducibly.
+func Rand(rng *rand.Rand, rows, cols int) *Dense {
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// RandSeeded returns a rows×cols matrix filled from a fresh generator
+// seeded with seed.
+func RandSeeded(seed int64, rows, cols int) *Dense {
+	return Rand(rand.New(rand.NewSource(seed)), rows, cols)
+}
+
+// RandInts returns a rows×cols matrix whose elements are small integers
+// in [-maxAbs, maxAbs]. Integer matrices make Strassen's recombination
+// exact in floating point, which the equality-based property tests rely
+// on.
+func RandInts(rng *rand.Rand, rows, cols, maxAbs int) *Dense {
+	m := New(rows, cols)
+	span := 2*maxAbs + 1
+	for i := range m.data {
+		m.data[i] = float64(rng.Intn(span) - maxAbs)
+	}
+	return m
+}

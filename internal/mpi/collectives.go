@@ -1,0 +1,185 @@
+package mpi
+
+import "capscale/internal/task"
+
+// Collective operations built on Send/Recv with the standard
+// binomial-tree and ring algorithms. All ranks of the communicator
+// must call the collective with the same root, tag and byte count;
+// tags share the point-to-point namespace, so programs should reserve
+// distinct tags for overlapping collectives.
+
+// Bcast distributes `bytes` from root to every rank along a binomial
+// tree (ceil(log2 P) rounds on the critical path).
+func (r *Rank) Bcast(root, tag int, bytes float64) {
+	size := r.size
+	if size == 1 {
+		return
+	}
+	rel := (r.id - root + size) % size
+
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			src := (r.id - mask + size) % size
+			r.Recv(src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < size {
+			dst := (r.id + mask) % size
+			r.Send(dst, tag, bytes)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines `bytes` of data from every rank onto root along the
+// mirror-image binomial tree. Each combining step also costs an
+// element-wise reduction on the node (modeled as a bandwidth-bound
+// add over the payload).
+func (r *Rank) Reduce(root, tag int, bytes float64) {
+	size := r.size
+	if size == 1 {
+		return
+	}
+	rel := (r.id - root + size) % size
+
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			dst := (r.id - mask + size) % size
+			r.Send(dst, tag, bytes)
+			return
+		}
+		if rel+mask < size {
+			src := (r.id + mask) % size
+			got := r.Recv(src, tag)
+			// Combine the received payload with the local buffer.
+			r.Compute(ComputeWork{Kind: task.KindAdd, Flops: got / 8, DRAMBytes: 3 * got, Cores: 1})
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce is Reduce onto rank 0 followed by Bcast from it.
+func (r *Rank) Allreduce(tag int, bytes float64) {
+	r.Reduce(0, tag, bytes)
+	r.Bcast(0, tag, bytes)
+}
+
+// Barrier synchronizes all ranks (a zero-byte Allreduce).
+func (r *Rank) Barrier(tag int) {
+	r.Allreduce(tag, 0)
+}
+
+// Gather collects `bytes` from every rank onto root; interior tree
+// nodes forward their whole received subtree.
+func (r *Rank) Gather(root, tag int, bytes float64) {
+	size := r.size
+	if size == 1 {
+		return
+	}
+	rel := (r.id - root + size) % size
+
+	subtree := func(rel, mask int) int {
+		n := mask
+		if rel+n > size {
+			n = size - rel
+		}
+		return n
+	}
+
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			dst := (r.id - mask + size) % size
+			r.Send(dst, tag, bytes*float64(subtree(rel, mask)))
+			return
+		}
+		if rel+mask < size {
+			src := (r.id + mask) % size
+			r.Recv(src, tag)
+		}
+		mask <<= 1
+	}
+}
+
+// Scatter distributes `bytes` per rank from root down the binomial
+// tree; interior nodes receive their whole subtree's data first.
+func (r *Rank) Scatter(root, tag int, bytes float64) {
+	size := r.size
+	if size == 1 {
+		return
+	}
+	rel := (r.id - root + size) % size
+
+	subtree := func(rel, mask int) int {
+		n := mask
+		if rel+n > size {
+			n = size - rel
+		}
+		return n
+	}
+
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			src := (r.id - mask + size) % size
+			r.Recv(src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < size {
+			dst := (r.id + mask) % size
+			r.Send(dst, tag, bytes*float64(subtree(rel+mask, mask)))
+		}
+		mask >>= 1
+	}
+}
+
+// Allgather distributes every rank's `bytes` to every other rank with
+// the ring schedule: step k passes the block received at step k−1
+// onward, so after size−1 steps everyone holds everything.
+func (r *Rank) Allgather(tag int, bytes float64) {
+	size := r.size
+	next := (r.id + 1) % size
+	prev := (r.id - 1 + size) % size
+	for k := 0; k < size-1; k++ {
+		r.Send(next, tag, bytes)
+		r.Recv(prev, tag)
+	}
+}
+
+// ReduceScatter combines `bytes` per rank of data and leaves each rank
+// its reduced share, with the pairwise-exchange (ring) schedule: at
+// step k each rank sends the partial block destined for (id−k) and
+// combines the one it receives.
+func (r *Rank) ReduceScatter(tag int, bytes float64) {
+	size := r.size
+	next := (r.id + 1) % size
+	prev := (r.id - 1 + size) % size
+	for k := 0; k < size-1; k++ {
+		r.Send(next, tag, bytes)
+		got := r.Recv(prev, tag)
+		r.Compute(ComputeWork{Kind: task.KindAdd, Flops: got / 8, DRAMBytes: 3 * got, Cores: 1})
+	}
+}
+
+// Alltoall exchanges `bytes` between every pair of ranks with the ring
+// schedule: at step k each rank sends to (id+k) and receives from
+// (id−k). Sends are eager, so the blocking receives cannot deadlock.
+func (r *Rank) Alltoall(tag int, bytes float64) {
+	size := r.size
+	for k := 1; k < size; k++ {
+		dst := (r.id + k) % size
+		src := (r.id - k + size) % size
+		r.Send(dst, tag, bytes)
+		r.Recv(src, tag)
+	}
+}

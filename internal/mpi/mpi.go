@@ -1,0 +1,302 @@
+// Package mpi is a message-passing layer over the simulated cluster:
+// rank programs written as ordinary Go functions exchange virtual-time
+// messages (LogP-style: per-message CPU overhead on both ends, wire
+// latency, bandwidth-limited transfer) and advance their local clocks
+// through compute phases costed by the node's machine model. Energy —
+// node compute, NIC transfer, and cluster idle/switch draw — is
+// integrated alongside, giving the "multifaceted model of algorithmic
+// energy performance scaling" the paper's future work calls for.
+//
+// Determinism: message matching is FIFO per (source, destination,
+// tag) and receives always name their source, so results are
+// independent of goroutine interleaving.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"capscale/internal/cluster"
+	"capscale/internal/hw"
+	"capscale/internal/task"
+)
+
+// ComputeWork is one local compute phase of a rank program.
+type ComputeWork struct {
+	// Kind selects the kernel-efficiency class of the node model.
+	Kind task.Kind
+	// Flops and DRAMBytes are totals for the phase.
+	Flops     float64
+	DRAMBytes float64
+	// Cores is how many of the node's cores the phase uses (0 = all).
+	Cores int
+}
+
+// Result summarizes a distributed run.
+type Result struct {
+	// Makespan is the latest rank finish time, seconds.
+	Makespan float64
+	// Energy components in joules: node activity above idle, NIC
+	// transfer, and the whole-cluster idle baseline over the makespan.
+	ComputeJoules float64
+	NICJoules     float64
+	IdleJoules    float64
+	// BytesSent is total traffic offered to the fabric; Messages the
+	// message count.
+	BytesSent float64
+	Messages  int
+	// RankFinish and RankBusy are per-rank clocks and busy seconds.
+	RankFinish []float64
+	RankBusy   []float64
+}
+
+// TotalJoules returns the run's full energy.
+func (r *Result) TotalJoules() float64 { return r.ComputeJoules + r.NICJoules + r.IdleJoules }
+
+// AvgWatts returns mean cluster draw over the makespan.
+func (r *Result) AvgWatts() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return r.TotalJoules() / r.Makespan
+}
+
+// msgKey routes messages: FIFO queue per (dst, src, tag).
+type msgKey struct {
+	dst, src, tag int
+}
+
+type message struct {
+	bytes  float64
+	arrive float64
+}
+
+// world is the shared state of one Run.
+type world struct {
+	c  *cluster.Cluster
+	mu sync.Mutex
+	cv *sync.Cond
+	// queues holds in-flight messages.
+	queues map[msgKey][]message
+	// waiting records what each blocked rank is waiting for; alive
+	// counts unfinished ranks. Every live rank waiting with no
+	// deliverable message anywhere is a deadlock.
+	waiting map[int]msgKey
+	alive   int
+}
+
+// anyDeliverable reports whether any blocked rank's awaited queue has
+// a message (a transient state: that rank will wake and drain it).
+func (w *world) anyDeliverable() bool {
+	for _, k := range w.waiting {
+		if len(w.queues[k]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Rank is one process of the distributed program. Methods must only be
+// called from the rank's own goroutine.
+type Rank struct {
+	w    *world
+	id   int
+	size int
+
+	now     float64
+	busy    float64
+	energyJ float64 // activity premium above node idle
+	nicJ    float64
+	sent    float64
+	msgs    int
+}
+
+// ID returns the rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.size }
+
+// Now returns the rank's virtual clock.
+func (r *Rank) Now() float64 { return r.now }
+
+// Compute advances the rank's clock through a local compute phase and
+// integrates its energy premium over the node's idle draw.
+func (r *Rank) Compute(w ComputeWork) {
+	m := r.w.c.Node
+	cores := w.Cores
+	if cores <= 0 || cores > m.Cores {
+		cores = m.Cores
+	}
+	perCore := &task.Work{
+		Kind:      w.Kind,
+		Flops:     w.Flops / float64(cores),
+		DRAMBytes: w.DRAMBytes / float64(cores),
+	}
+	cost := m.CostLeaf(perCore, m.Shared(cores), 0, false)
+	acts := make([]hw.Activity, cores)
+	for i := range acts {
+		acts[i] = hw.Activity{Utilization: cost.Utilization, DRAMRate: cost.DRAMRate}
+	}
+	premium := m.SegmentPower(acts).Total() - m.IdlePower().Total()
+	r.now += cost.Duration
+	r.busy += cost.Duration
+	r.energyJ += premium * cost.Duration
+}
+
+// Sleep advances the rank's clock without activity.
+func (r *Rank) Sleep(seconds float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("mpi: negative sleep %v", seconds))
+	}
+	r.now += seconds
+}
+
+// Send posts bytes to rank `to` under `tag`. The sender pays the
+// per-message CPU overhead; the wire time is charged to the message's
+// arrival. Sends are buffered (eager) and never block.
+func (r *Rank) Send(to, tag int, bytes float64) {
+	if to < 0 || to >= r.size {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", to, r.size))
+	}
+	if to == r.id {
+		panic("mpi: send to self")
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("mpi: negative message size %v", bytes))
+	}
+	fab := &r.w.c.Fabric
+	r.chargeOverhead()
+	arrive := r.now + fab.TransferTime(bytes)
+	r.sent += bytes
+	r.msgs++
+	r.nicJ += fab.NICPerGBs * bytes / 1e9
+
+	w := r.w
+	w.mu.Lock()
+	key := msgKey{dst: to, src: r.id, tag: tag}
+	w.queues[key] = append(w.queues[key], message{bytes: bytes, arrive: arrive})
+	w.cv.Broadcast()
+	w.mu.Unlock()
+}
+
+// Recv blocks until the next message from `from` under `tag` arrives,
+// advances the clock to its arrival, pays the receive overhead, and
+// returns the message size. Receiving from an unknown source or a
+// cycle of waiting ranks panics with a deadlock diagnosis.
+func (r *Rank) Recv(from, tag int) float64 {
+	if from < 0 || from >= r.size {
+		panic(fmt.Sprintf("mpi: recv from rank %d of %d", from, r.size))
+	}
+	if from == r.id {
+		panic("mpi: recv from self")
+	}
+	w := r.w
+	key := msgKey{dst: r.id, src: from, tag: tag}
+	w.mu.Lock()
+	for len(w.queues[key]) == 0 {
+		w.waiting[r.id] = key
+		if len(w.waiting) == w.alive && !w.anyDeliverable() {
+			delete(w.waiting, r.id)
+			w.mu.Unlock()
+			panic(fmt.Sprintf("mpi: deadlock — every live rank is waiting (rank %d on src %d tag %d)", r.id, from, tag))
+		}
+		w.cv.Wait()
+		delete(w.waiting, r.id)
+	}
+	msg := w.queues[key][0]
+	w.queues[key] = w.queues[key][1:]
+	w.mu.Unlock()
+
+	if msg.arrive > r.now {
+		r.now = msg.arrive
+	}
+	r.chargeOverhead()
+	r.nicJ += w.c.Fabric.NICPerGBs * msg.bytes / 1e9
+	return msg.bytes
+}
+
+// SendRecv exchanges messages with a partner (both directions, same
+// tag) and returns the received size — the building block of the
+// pairwise-exchange collectives.
+func (r *Rank) SendRecv(peer, tag int, bytes float64) float64 {
+	r.Send(peer, tag, bytes)
+	return r.Recv(peer, tag)
+}
+
+// chargeOverhead advances the clock by the per-message CPU overhead
+// and charges its energy as a lightly active core.
+func (r *Rank) chargeOverhead() {
+	o := r.w.c.Fabric.PerMessageOverheadSec
+	if o == 0 {
+		return
+	}
+	m := r.w.c.Node
+	premium := m.Power.CoreIdle + 0.3*m.Power.CoreDyn
+	r.now += o
+	r.busy += o
+	r.energyJ += premium * o
+}
+
+// Run executes prog on `ranks` ranks of cluster c (one rank per node)
+// and integrates cluster energy over the run. It panics on invalid
+// rank counts and propagates the first rank panic.
+func Run(c *cluster.Cluster, ranks int, prog func(*Rank)) *Result {
+	if ranks <= 0 || ranks > c.Nodes {
+		panic(fmt.Sprintf("mpi: %d ranks on %d nodes", ranks, c.Nodes))
+	}
+	w := &world{c: c, queues: make(map[msgKey][]message), waiting: make(map[int]msgKey), alive: ranks}
+	w.cv = sync.NewCond(&w.mu)
+
+	rs := make([]*Rank, ranks)
+	for i := range rs {
+		rs[i] = &Rank{w: w, id: i, size: ranks}
+	}
+
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
+	for _, r := range rs {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = v
+					}
+					panicMu.Unlock()
+				}
+				w.mu.Lock()
+				w.alive--
+				w.cv.Broadcast()
+				w.mu.Unlock()
+			}()
+			prog(r)
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+
+	res := &Result{
+		RankFinish: make([]float64, ranks),
+		RankBusy:   make([]float64, ranks),
+	}
+	for i, r := range rs {
+		res.RankFinish[i] = r.now
+		res.RankBusy[i] = r.busy
+		res.ComputeJoules += r.energyJ
+		res.NICJoules += r.nicJ
+		res.BytesSent += r.sent
+		res.Messages += r.msgs
+		if r.now > res.Makespan {
+			res.Makespan = r.now
+		}
+	}
+	res.IdleJoules = c.IdlePowerFor(ranks) * res.Makespan
+	return res
+}

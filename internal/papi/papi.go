@@ -1,0 +1,178 @@
+// Package papi provides a minimal PAPI-like component interface over
+// the RAPL emulation — named energy events, event sets, and the
+// start/read/stop lifecycle the paper's test driver uses to measure
+// each matrix-multiplication run.
+//
+// Event naming follows PAPI's RAPL component convention
+// ("rapl:::PACKAGE_ENERGY:PACKAGE0"); values are reported in
+// nanojoules, as PAPI's scaled RAPL events are.
+package papi
+
+import (
+	"fmt"
+	"sort"
+
+	"capscale/internal/rapl"
+)
+
+// Event names exposed by the emulated RAPL component.
+const (
+	EventPackageEnergy = "rapl:::PACKAGE_ENERGY:PACKAGE0"
+	EventPP0Energy     = "rapl:::PP0_ENERGY:PACKAGE0"
+	EventDRAMEnergy    = "rapl:::DRAM_ENERGY:PACKAGE0"
+)
+
+var eventPlanes = map[string]rapl.Plane{
+	EventPackageEnergy: rapl.PlanePKG,
+	EventPP0Energy:     rapl.PlanePP0,
+	EventDRAMEnergy:    rapl.PlaneDRAM,
+}
+
+// AvailableEvents lists the component's event names, sorted, the way
+// papi_native_avail would.
+func AvailableEvents() []string {
+	names := make([]string, 0, len(eventPlanes))
+	for n := range eventPlanes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// state tracks the event-set lifecycle, mirroring PAPI's.
+type state int
+
+const (
+	stateStopped state = iota
+	stateRunning
+)
+
+// EventSet is a set of energy events measured together, like a PAPI
+// event set bound to the RAPL component.
+type EventSet struct {
+	dev    *rapl.Device
+	events []string
+	meter  *rapl.Meter
+	st     state
+}
+
+// NewEventSet returns an empty event set bound to dev.
+func NewEventSet(dev *rapl.Device) *EventSet {
+	return &EventSet{dev: dev, meter: rapl.NewMeter(dev)}
+}
+
+// Add registers a named event. Unknown names and duplicates are
+// errors; adding while running is an error, as in PAPI.
+func (es *EventSet) Add(name string) error {
+	if es.st == stateRunning {
+		return fmt.Errorf("papi: cannot add %q to a running event set", name)
+	}
+	if _, ok := eventPlanes[name]; !ok {
+		return fmt.Errorf("papi: unknown event %q", name)
+	}
+	for _, e := range es.events {
+		if e == name {
+			return fmt.Errorf("papi: event %q already in set", name)
+		}
+	}
+	es.events = append(es.events, name)
+	return nil
+}
+
+// Remove unregisters a named event from a stopped set.
+func (es *EventSet) Remove(name string) error {
+	if es.st == stateRunning {
+		return fmt.Errorf("papi: cannot remove %q from a running event set", name)
+	}
+	for i, e := range es.events {
+		if e == name {
+			es.events = append(es.events[:i], es.events[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("papi: event %q not in set", name)
+}
+
+// Running reports whether the set is counting.
+func (es *EventSet) Running() bool { return es.st == stateRunning }
+
+// Reset re-zeros a running set's accumulation, as PAPI_reset does.
+func (es *EventSet) Reset() error {
+	if es.st != stateRunning {
+		return fmt.Errorf("papi: resetting a stopped event set")
+	}
+	es.meter.Start()
+	return nil
+}
+
+// Events returns the registered event names in registration order.
+func (es *EventSet) Events() []string {
+	out := make([]string, len(es.events))
+	copy(out, es.events)
+	return out
+}
+
+// Start begins counting. It is an error to start an empty or already
+// running set.
+func (es *EventSet) Start() error {
+	if len(es.events) == 0 {
+		return fmt.Errorf("papi: starting empty event set")
+	}
+	if es.st == stateRunning {
+		return fmt.Errorf("papi: event set already running")
+	}
+	es.meter.Start()
+	es.st = stateRunning
+	return nil
+}
+
+// Read samples the counters without stopping and returns the values in
+// nanojoules, ordered as the events were added.
+func (es *EventSet) Read() ([]int64, error) {
+	if es.st != stateRunning {
+		return nil, fmt.Errorf("papi: reading a stopped event set")
+	}
+	es.meter.Sample()
+	return es.values(), nil
+}
+
+// Stop samples a final time, stops counting, and returns the values in
+// nanojoules.
+func (es *EventSet) Stop() ([]int64, error) {
+	if es.st != stateRunning {
+		return nil, fmt.Errorf("papi: stopping a stopped event set")
+	}
+	es.meter.Sample()
+	es.st = stateStopped
+	return es.values(), nil
+}
+
+func (es *EventSet) values() []int64 {
+	out := make([]int64, len(es.events))
+	for i, name := range es.events {
+		out[i] = int64(es.meter.Joules(eventPlanes[name]) * 1e9)
+	}
+	return out
+}
+
+// Measure runs fn with all three energy events armed and returns the
+// measured joules per plane and fn's duration in device time — the
+// convenience wrapper the experiment driver uses per run.
+func Measure(dev *rapl.Device, fn func()) (pkg, pp0, dram, seconds float64, err error) {
+	es := NewEventSet(dev)
+	for _, e := range []string{EventPackageEnergy, EventPP0Energy, EventDRAMEnergy} {
+		if err := es.Add(e); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	t0 := dev.Now()
+	if err := es.Start(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	fn()
+	vals, err := es.Stop()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return float64(vals[0]) / 1e9, float64(vals[1]) / 1e9, float64(vals[2]) / 1e9, dev.Now() - t0, nil
+}

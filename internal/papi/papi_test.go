@@ -1,0 +1,194 @@
+package papi
+
+import (
+	"math"
+	"testing"
+
+	"capscale/internal/hw"
+	"capscale/internal/rapl"
+)
+
+func TestAvailableEvents(t *testing.T) {
+	ev := AvailableEvents()
+	if len(ev) != 3 {
+		t.Fatalf("events %v", ev)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i-1] >= ev[i] {
+			t.Fatal("events not sorted")
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	es := NewEventSet(rapl.NewDevice())
+	if err := es.Add("rapl:::NOT_A_THING"); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+	if err := es.Add(EventPackageEnergy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Add(EventPackageEnergy); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if got := es.Events(); len(got) != 1 || got[0] != EventPackageEnergy {
+		t.Fatalf("events %v", got)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := NewEventSet(dev)
+	if err := es.Start(); err == nil {
+		t.Fatal("empty set started")
+	}
+	if _, err := es.Read(); err == nil {
+		t.Fatal("read while stopped")
+	}
+	if _, err := es.Stop(); err == nil {
+		t.Fatal("stop while stopped")
+	}
+	if err := es.Add(EventPackageEnergy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := es.Add(EventPP0Energy); err == nil {
+		t.Fatal("add while running accepted")
+	}
+	if _, err := es.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasuredValuesMatchDevice(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := NewEventSet(dev)
+	for _, e := range []string{EventPackageEnergy, EventPP0Energy, EventDRAMEnergy} {
+		if err := es.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Energy before Start must not count.
+	dev.Advance(10, hw.PlanePower{PKG: 50, PP0: 30, DRAM: 4})
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(2, hw.PlanePower{PKG: 35, PP0: 25, DRAM: 3})
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nanojoules, within one quantization unit.
+	wants := []float64{70e9, 50e9, 6e9}
+	for i, want := range wants {
+		if math.Abs(float64(vals[i])-want) > 20000 { // 15.3 µJ ≈ 15300 nJ
+			t.Fatalf("event %d: %d nJ want ~%v", i, vals[i], want)
+		}
+	}
+}
+
+func TestReadKeepsCounting(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := NewEventSet(dev)
+	if err := es.Add(EventPackageEnergy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(1, hw.PlanePower{PKG: 10})
+	v1, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(1, hw.PlanePower{PKG: 10})
+	v2, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2[0] <= v1[0] {
+		t.Fatalf("energy did not accumulate across Read: %d then %d", v1[0], v2[0])
+	}
+}
+
+func TestRemoveAndRunning(t *testing.T) {
+	es := NewEventSet(rapl.NewDevice())
+	if err := es.Add(EventPackageEnergy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Add(EventPP0Energy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Remove(EventPP0Energy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Remove(EventPP0Energy); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if got := es.Events(); len(got) != 1 {
+		t.Fatalf("events %v", got)
+	}
+	if es.Running() {
+		t.Fatal("stopped set reports running")
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !es.Running() {
+		t.Fatal("running set reports stopped")
+	}
+	if err := es.Remove(EventPackageEnergy); err == nil {
+		t.Fatal("remove while running accepted")
+	}
+	if _, err := es.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := NewEventSet(dev)
+	if err := es.Add(EventPackageEnergy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Reset(); err == nil {
+		t.Fatal("reset while stopped accepted")
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(1, hw.PlanePower{PKG: 100})
+	if err := es.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(1, hw.PlanePower{PKG: 10})
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the post-reset 10 J should be visible.
+	if vals[0] > 11e9 {
+		t.Fatalf("reset did not clear: %d nJ", vals[0])
+	}
+}
+
+func TestMeasureWrapper(t *testing.T) {
+	dev := rapl.NewDevice()
+	pkg, pp0, dram, secs, err := Measure(dev, func() {
+		dev.Advance(3, hw.PlanePower{PKG: 20, PP0: 12, DRAM: 2})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pkg-60) > 0.001 || math.Abs(pp0-36) > 0.001 || math.Abs(dram-6) > 0.001 {
+		t.Fatalf("measured %v %v %v", pkg, pp0, dram)
+	}
+	if secs != 3 {
+		t.Fatalf("duration %v", secs)
+	}
+}

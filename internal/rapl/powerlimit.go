@@ -1,0 +1,61 @@
+package rapl
+
+import (
+	"fmt"
+	"math"
+)
+
+// MSR_PKG_POWER_LIMIT: the register firmware and tools like
+// powercap/RAPL write to enforce a package power budget. The emulation
+// implements the PL1 fields (power limit in power units, enable bit),
+// which is what a DVFS governor consumes; internal/hw.DeratedForCap is
+// the frequency response to it.
+const MSRPkgPowerLimit = 0x610
+
+const (
+	plEnableBit = 1 << 15
+	plPowerMask = 0x7FFF
+)
+
+// powerUnit is watts per count in the POWER_UNITS field the device
+// reports (1/8 W, the Haswell default also encoded in MSRPowerUnit).
+const powerUnit = 1.0 / 8
+
+// WriteMSR emulates writing a model-specific register. Only
+// MSR_PKG_POWER_LIMIT is writable; energy counters are read-only as on
+// real parts.
+func (d *Device) WriteMSR(addr uint32, value uint64) error {
+	switch addr {
+	case MSRPkgPowerLimit:
+		d.powerLimitRaw = value
+		return nil
+	case MSRPowerUnit, MSRPkgEnergyStatus, MSRPP0EnergyStatus, MSRDramEnergyStatus:
+		return fmt.Errorf("rapl: MSR 0x%x is read-only", addr)
+	default:
+		return fmt.Errorf("rapl: unimplemented MSR 0x%x", addr)
+	}
+}
+
+// SetPowerLimit programs an enabled PL1 limit of the given watts,
+// quantized to the device's power unit. Non-positive watts disable the
+// limit.
+func (d *Device) SetPowerLimit(watts float64) {
+	if watts <= 0 {
+		d.powerLimitRaw = 0
+		return
+	}
+	counts := uint64(math.Round(watts/powerUnit)) & plPowerMask
+	d.powerLimitRaw = counts | plEnableBit
+}
+
+// PowerLimit returns the programmed PL1 limit in watts and whether it
+// is enabled.
+func (d *Device) PowerLimit() (watts float64, enabled bool) {
+	if d.powerLimitRaw&plEnableBit == 0 {
+		return 0, false
+	}
+	return float64(d.powerLimitRaw&plPowerMask) * powerUnit, true
+}
+
+// readPowerLimitMSR is the read path for MSRPkgPowerLimit.
+func (d *Device) readPowerLimitMSR() uint64 { return d.powerLimitRaw }

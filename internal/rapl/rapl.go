@@ -1,0 +1,196 @@
+// Package rapl emulates the Intel Running Average Power Limit (RAPL)
+// energy-reporting interface the paper reads through PAPI.
+//
+// The emulation is register-accurate where it matters to measurement
+// code: a MSR_RAPL_POWER_UNIT register whose ENERGY_STATUS_UNITS field
+// declares the energy quantum (2⁻¹⁶ J ≈ 15.3 µJ by default, the
+// Haswell value), and 32-bit wrapping ENERGY_STATUS counters for the
+// PKG, PP0 and DRAM planes. Consumers must apply the unit register and
+// correct for wraparound exactly as they would against real silicon —
+// internal/papi does, and its tests exercise the wrap path.
+//
+// Energy enters the device from the machine power model: the simulator
+// (or a live run) advances the device through (duration, plane-power)
+// segments and the device integrates them into counter units.
+package rapl
+
+import (
+	"fmt"
+	"math"
+
+	"capscale/internal/hw"
+)
+
+// MSR addresses, as on real Intel parts (and as listed in
+// /dev/cpu/*/msr consumers like PAPI's RAPL component).
+const (
+	MSRPowerUnit        = 0x606
+	MSRPkgEnergyStatus  = 0x611
+	MSRDramEnergyStatus = 0x619
+	MSRPP0EnergyStatus  = 0x639
+)
+
+// Plane identifies one RAPL power plane.
+type Plane int
+
+const (
+	// PlanePKG is the whole processor package (includes the cores).
+	PlanePKG Plane = iota
+	// PlanePP0 is power plane 0: the cores.
+	PlanePP0
+	// PlaneDRAM is the memory DIMMs.
+	PlaneDRAM
+	numPlanes
+)
+
+var planeNames = [...]string{"PKG", "PP0", "DRAM"}
+
+func (p Plane) String() string {
+	if p < 0 || p >= numPlanes {
+		return fmt.Sprintf("Plane(%d)", int(p))
+	}
+	return planeNames[p]
+}
+
+// Planes lists every emulated plane.
+func Planes() []Plane { return []Plane{PlanePKG, PlanePP0, PlaneDRAM} }
+
+// defaultESU is the ENERGY_STATUS_UNITS exponent: energy unit =
+// 1/2^esu joules. 16 is the client-Haswell value (≈15.3 µJ).
+const defaultESU = 16
+
+// Device is one emulated processor package's RAPL interface.
+type Device struct {
+	esu    uint
+	totalJ [numPlanes]float64
+	// now is the device's notion of elapsed time, for timestamped
+	// trace export.
+	now float64
+	// powerLimitRaw backs MSR_PKG_POWER_LIMIT (see powerlimit.go).
+	powerLimitRaw uint64
+}
+
+// NewDevice returns a device with the Haswell energy unit.
+func NewDevice() *Device { return &Device{esu: defaultESU} }
+
+// NewDeviceWithESU returns a device with a custom
+// ENERGY_STATUS_UNITS exponent (0 < esu ≤ 31).
+func NewDeviceWithESU(esu uint) (*Device, error) {
+	if esu == 0 || esu > 31 {
+		return nil, fmt.Errorf("rapl: ESU exponent %d out of range (1..31)", esu)
+	}
+	return &Device{esu: esu}, nil
+}
+
+// EnergyUnit returns the joules represented by one counter increment.
+func (d *Device) EnergyUnit() float64 { return 1 / math.Pow(2, float64(d.esu)) }
+
+// Advance integrates plane power p over dt seconds into the energy
+// counters. It panics on negative dt (time does not run backwards).
+func (d *Device) Advance(dt float64, p hw.PlanePower) {
+	if dt < 0 {
+		panic(fmt.Sprintf("rapl: negative interval %v", dt))
+	}
+	d.totalJ[PlanePKG] += p.PKG * dt
+	d.totalJ[PlanePP0] += p.PP0 * dt
+	d.totalJ[PlaneDRAM] += p.DRAM * dt
+	d.now += dt
+}
+
+// Now returns the device's elapsed time in seconds.
+func (d *Device) Now() float64 { return d.now }
+
+// TotalJoules returns the exact accumulated energy of a plane — ground
+// truth for validating measurement code, not reachable through the MSR
+// interface.
+func (d *Device) TotalJoules(p Plane) float64 {
+	if p < 0 || p >= numPlanes {
+		panic(fmt.Sprintf("rapl: bad plane %d", int(p)))
+	}
+	return d.totalJ[p]
+}
+
+// counter returns the 32-bit wrapped ENERGY_STATUS value for a plane.
+func (d *Device) counter(p Plane) uint64 {
+	units := uint64(d.totalJ[p] / d.EnergyUnit())
+	return units & 0xFFFFFFFF
+}
+
+// ReadMSR emulates reading a model-specific register, the way the
+// msr(4) device or the perf events sysfs interface exposes RAPL.
+func (d *Device) ReadMSR(addr uint32) (uint64, error) {
+	switch addr {
+	case MSRPowerUnit:
+		// Bits 12:8 hold ENERGY_STATUS_UNITS; power and time unit
+		// fields are filled with their documented Haswell defaults.
+		const powerUnits = 0x3 // 1/8 W
+		const timeUnits = 0xA  // 976 µs
+		return powerUnits | uint64(d.esu)<<8 | timeUnits<<16, nil
+	case MSRPkgEnergyStatus:
+		return d.counter(PlanePKG), nil
+	case MSRPP0EnergyStatus:
+		return d.counter(PlanePP0), nil
+	case MSRDramEnergyStatus:
+		return d.counter(PlaneDRAM), nil
+	case MSRPkgPowerLimit:
+		return d.readPowerLimitMSR(), nil
+	default:
+		return 0, fmt.Errorf("rapl: unimplemented MSR 0x%x", addr)
+	}
+}
+
+// EnergyUnitFromPowerUnitMSR decodes the ENERGY_STATUS_UNITS field of
+// a MSR_RAPL_POWER_UNIT value into joules per count — the decode every
+// RAPL consumer must perform.
+func EnergyUnitFromPowerUnitMSR(v uint64) float64 {
+	esu := (v >> 8) & 0x1F
+	return 1 / math.Pow(2, float64(esu))
+}
+
+// Meter accumulates wrap-corrected energy readings from a device, the
+// way a PAPI-style consumer polls ENERGY_STATUS. Sample must be called
+// at least once per counter wrap period (≈65 kJ at the default unit;
+// over 20 minutes at 50 W) or energy is lost exactly as it would be on
+// hardware.
+type Meter struct {
+	dev     *Device
+	started bool
+	last    [numPlanes]uint64
+	accum   [numPlanes]float64 // joules
+}
+
+// NewMeter returns a meter for dev. Call Start before sampling.
+func NewMeter(dev *Device) *Meter { return &Meter{dev: dev} }
+
+// Start snapshots the counters; subsequent samples measure energy
+// relative to this point.
+func (m *Meter) Start() {
+	for _, p := range Planes() {
+		m.last[p] = m.dev.counter(p)
+		m.accum[p] = 0
+	}
+	m.started = true
+}
+
+// Sample reads the counters, corrects 32-bit wraparound, and
+// accumulates the deltas. It panics if Start was never called.
+func (m *Meter) Sample() {
+	if !m.started {
+		panic("rapl: Meter.Sample before Start")
+	}
+	unit := m.dev.EnergyUnit()
+	for _, p := range Planes() {
+		cur := m.dev.counter(p)
+		delta := (cur - m.last[p]) & 0xFFFFFFFF
+		m.accum[p] += float64(delta) * unit
+		m.last[p] = cur
+	}
+}
+
+// Joules returns the wrap-corrected energy accumulated since Start.
+func (m *Meter) Joules(p Plane) float64 {
+	if p < 0 || p >= numPlanes {
+		panic(fmt.Sprintf("rapl: bad plane %d", int(p)))
+	}
+	return m.accum[p]
+}

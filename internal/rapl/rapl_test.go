@@ -1,0 +1,224 @@
+package rapl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capscale/internal/hw"
+)
+
+func TestPlaneNames(t *testing.T) {
+	if PlanePKG.String() != "PKG" || PlanePP0.String() != "PP0" || PlaneDRAM.String() != "DRAM" {
+		t.Fatal("plane names")
+	}
+	if Plane(9).String() != "Plane(9)" {
+		t.Fatal("out of range plane name")
+	}
+	if len(Planes()) != 3 {
+		t.Fatal("planes list")
+	}
+}
+
+func TestEnergyUnitDefault(t *testing.T) {
+	d := NewDevice()
+	// 2^-16 J ≈ 15.26 µJ, the Haswell quantum.
+	if got := d.EnergyUnit(); math.Abs(got-1.0/65536) > 1e-18 {
+		t.Fatalf("unit %v", got)
+	}
+}
+
+func TestCustomESU(t *testing.T) {
+	d, err := NewDeviceWithESU(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.EnergyUnit(); math.Abs(got-1.0/16384) > 1e-18 {
+		t.Fatalf("unit %v", got)
+	}
+	if _, err := NewDeviceWithESU(0); err == nil {
+		t.Fatal("ESU 0 accepted")
+	}
+	if _, err := NewDeviceWithESU(32); err == nil {
+		t.Fatal("ESU 32 accepted")
+	}
+}
+
+func TestPowerUnitMSRDecode(t *testing.T) {
+	d := NewDevice()
+	v, err := d.ReadMSR(MSRPowerUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EnergyUnitFromPowerUnitMSR(v); got != d.EnergyUnit() {
+		t.Fatalf("decoded unit %v want %v", got, d.EnergyUnit())
+	}
+}
+
+func TestAdvanceAccumulates(t *testing.T) {
+	d := NewDevice()
+	d.Advance(2, hw.PlanePower{PKG: 30, PP0: 20, DRAM: 3})
+	if got := d.TotalJoules(PlanePKG); got != 60 {
+		t.Fatalf("PKG %v", got)
+	}
+	if got := d.TotalJoules(PlanePP0); got != 40 {
+		t.Fatalf("PP0 %v", got)
+	}
+	if got := d.TotalJoules(PlaneDRAM); got != 6 {
+		t.Fatalf("DRAM %v", got)
+	}
+	if d.Now() != 2 {
+		t.Fatalf("now %v", d.Now())
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewDevice().Advance(-1, hw.PlanePower{})
+}
+
+func TestCounterQuantization(t *testing.T) {
+	d := NewDevice()
+	// Less than one unit: counter must stay at zero.
+	d.Advance(1, hw.PlanePower{PKG: d.EnergyUnit() / 2})
+	v, err := d.ReadMSR(MSRPkgEnergyStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("sub-unit energy visible: %d", v)
+	}
+	// One more half-unit crosses the quantum.
+	d.Advance(1, hw.PlanePower{PKG: d.EnergyUnit() / 2})
+	v, _ = d.ReadMSR(MSRPkgEnergyStatus)
+	if v != 1 {
+		t.Fatalf("counter %d want 1", v)
+	}
+}
+
+func TestReadMSRUnknownAddr(t *testing.T) {
+	if _, err := NewDevice().ReadMSR(0x1234); err == nil {
+		t.Fatal("unknown MSR accepted")
+	}
+}
+
+func TestCounterWraps32Bits(t *testing.T) {
+	d := NewDevice()
+	// Just under 2^32 units, then push over.
+	unit := d.EnergyUnit()
+	d.Advance(1, hw.PlanePower{PKG: (math.Pow(2, 32) - 10) * unit})
+	v1, _ := d.ReadMSR(MSRPkgEnergyStatus)
+	if v1 < 0xFFFFFFF0 {
+		t.Fatalf("counter %x not near wrap", v1)
+	}
+	d.Advance(1, hw.PlanePower{PKG: 20 * unit})
+	v2, _ := d.ReadMSR(MSRPkgEnergyStatus)
+	if v2 >= v1 {
+		t.Fatalf("counter did not wrap: %x -> %x", v1, v2)
+	}
+	if v2 > 20 {
+		t.Fatalf("wrapped counter %d too large", v2)
+	}
+}
+
+func TestMeterMeasuresEnergy(t *testing.T) {
+	d := NewDevice()
+	m := NewMeter(d)
+	d.Advance(5, hw.PlanePower{PKG: 40, PP0: 25, DRAM: 2}) // pre-Start energy must not count
+	m.Start()
+	d.Advance(2, hw.PlanePower{PKG: 30, PP0: 20, DRAM: 3})
+	m.Sample()
+	if got := m.Joules(PlanePKG); math.Abs(got-60) > 0.001 {
+		t.Fatalf("PKG joules %v want ~60", got)
+	}
+	if got := m.Joules(PlanePP0); math.Abs(got-40) > 0.001 {
+		t.Fatalf("PP0 joules %v want ~40", got)
+	}
+	if got := m.Joules(PlaneDRAM); math.Abs(got-6) > 0.001 {
+		t.Fatalf("DRAM joules %v want ~6", got)
+	}
+}
+
+func TestMeterSampleBeforeStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMeter(NewDevice()).Sample()
+}
+
+func TestMeterCorrectsWraparound(t *testing.T) {
+	d := NewDevice()
+	m := NewMeter(d)
+	unit := d.EnergyUnit()
+	// Park the counter near the wrap point, then measure across it.
+	d.Advance(1, hw.PlanePower{PKG: (math.Pow(2, 32) - 100) * unit})
+	m.Start()
+	d.Advance(1, hw.PlanePower{PKG: 200 * unit})
+	m.Sample()
+	want := 200 * unit
+	if got := m.Joules(PlanePKG); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("wrap-corrected joules %v want %v", got, want)
+	}
+}
+
+func TestMeterMultipleSamplesAccumulate(t *testing.T) {
+	d := NewDevice()
+	m := NewMeter(d)
+	m.Start()
+	for i := 0; i < 10; i++ {
+		d.Advance(1, hw.PlanePower{PKG: 25})
+		m.Sample()
+	}
+	if got := m.Joules(PlanePKG); math.Abs(got-250) > 0.01 {
+		t.Fatalf("accumulated %v want ~250", got)
+	}
+}
+
+func TestMeterRestartResets(t *testing.T) {
+	d := NewDevice()
+	m := NewMeter(d)
+	m.Start()
+	d.Advance(1, hw.PlanePower{PKG: 100})
+	m.Sample()
+	m.Start()
+	if m.Joules(PlanePKG) != 0 {
+		t.Fatal("Start did not reset accumulation")
+	}
+}
+
+func TestPropertyMeterMatchesGroundTruth(t *testing.T) {
+	// However the power varies, frequent sampling recovers total energy
+	// to within quantization (one unit per sample).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDevice()
+		m := NewMeter(d)
+		m.Start()
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			d.Advance(rng.Float64()*10, hw.PlanePower{
+				PKG:  rng.Float64() * 60,
+				PP0:  rng.Float64() * 40,
+				DRAM: rng.Float64() * 5,
+			})
+			m.Sample()
+		}
+		tol := float64(n+1) * d.EnergyUnit()
+		for _, p := range Planes() {
+			if math.Abs(m.Joules(p)-d.TotalJoules(p)) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"capscale/internal/workload"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title: "test chart",
+		X:     []float64{1, 2, 3, 4},
+		Series: []ChartSeries{
+			{Name: "rising", Y: []float64{1, 2, 3, 4}},
+			{Name: "flat", Y: []float64{2, 2, 2, 2}},
+		},
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	s := simpleChart().String()
+	if !strings.Contains(s, "test chart") {
+		t.Fatal("title missing")
+	}
+	for _, want := range []string{"o", "x", "rising", "flat", "+--"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("chart missing %q:\n%s", want, s)
+		}
+	}
+	// 12 plot rows by default plus axis/legend lines.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) < 15 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+}
+
+func TestChartMarkersAtExtremes(t *testing.T) {
+	ch := &Chart{
+		X:      []float64{1, 2},
+		Height: 5, Width: 11,
+		Series: []ChartSeries{{Name: "s", Y: []float64{0, 10}}},
+	}
+	s := ch.String()
+	lines := strings.Split(s, "\n")
+	// Max value on the top plot row, min on the bottom one.
+	if !strings.Contains(lines[0], "o") {
+		t.Fatalf("top row missing marker:\n%s", s)
+	}
+	if !strings.Contains(lines[4], "o") {
+		t.Fatalf("bottom row missing marker:\n%s", s)
+	}
+}
+
+func TestChartPanicsOnLengthMismatch(t *testing.T) {
+	ch := &Chart{X: []float64{1, 2}, Series: []ChartSeries{{Name: "bad", Y: []float64{1}}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_ = ch.String()
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	ch := &Chart{X: []float64{1, 2}, Series: []ChartSeries{{Name: "c", Y: []float64{5, 5}}}}
+	if s := ch.String(); !strings.Contains(s, "o") {
+		t.Fatal("constant series not plotted")
+	}
+}
+
+func TestChartDeterministic(t *testing.T) {
+	a, b := simpleChart().String(), simpleChart().String()
+	if a != b {
+		t.Fatal("chart render not deterministic")
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	mx := smokeMatrix(t)
+	for _, ch := range []*Chart{
+		PowerScalingChart(mx, workload.AlgOpenBLAS, 4),
+		ScalingChart(mx, mx.Cfg.Sizes[0]),
+		SlowdownChart(mx),
+	} {
+		s := ch.String()
+		if len(s) < 100 {
+			t.Fatalf("chart too small:\n%s", s)
+		}
+		if !strings.Contains(s, "Figure") {
+			t.Fatal("figure title missing")
+		}
+	}
+	// Fig. 7 chart must include the linear threshold series.
+	if s := ScalingChart(mx, mx.Cfg.Sizes[0]).String(); !strings.Contains(s, "linear threshold") {
+		t.Fatal("linear threshold missing")
+	}
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+
+	"capscale/internal/dmm"
+	"capscale/internal/sparse"
+	"capscale/internal/workload"
+)
+
+// Renderers for the future-work studies (paper §VIII) and the
+// cross-platform sweep, so the CLI and benches share one format.
+
+// DistributedStudyTable renders a dmm scaling study.
+func DistributedStudyTable(algorithm string, points []dmm.ScalingPoint) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Future work — distributed %s energy scaling (interconnect power included)", algorithm),
+		Header: []string{"ranks", "time (s)", "watts", "energy (J)", "comm (MB)", "speedup", "S (Eq.5)"},
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprint(p.Ranks), fmt.Sprintf("%.4f", p.Seconds), f2(p.Watts),
+			fmt.Sprintf("%.0f", p.Joules), f2(p.CommMB), f2(p.Speedup), f2(p.ScalingS))
+	}
+	return t
+}
+
+// SparseStudyTable renders a storage-format energy study.
+func SparseStudyTable(points []sparse.StudyPoint) *Table {
+	t := &Table{
+		Title:  "Future work — SpMV storage-format energy scaling",
+		Header: []string{"format", "threads", "time (s)", "watts", "EP (Eq.1)", "traffic (MB)"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Format.String(), fmt.Sprint(p.Threads),
+			fmt.Sprintf("%.4f", p.Seconds), f2(p.Watts), f2(p.EP), f2(p.BytesMB))
+	}
+	return t
+}
+
+// PlatformTable renders a cross-platform sweep.
+func PlatformTable(points []workload.PlatformPoint) *Table {
+	t := &Table{
+		Title:  "Cross-platform sweep (full threads per machine)",
+		Header: []string{"machine", "algorithm", "time (s)", "watts", "EP", "EDP (J·s)", "Eq.9 crossover"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Machine, p.Algorithm.String(),
+			fmt.Sprintf("%.4f", p.Seconds), f2(p.Watts), f2(p.EP), f2(p.EDP),
+			fmt.Sprintf("%.0f", p.CrossoverN))
+	}
+	return t
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"capscale/internal/cluster"
+	"capscale/internal/dmm"
+	"capscale/internal/hw"
+	"capscale/internal/sparse"
+	"capscale/internal/workload"
+
+	"math/rand"
+)
+
+func TestDistributedStudyTable(t *testing.T) {
+	c := cluster.TS140Cluster(7)
+	pts := dmm.Study(c, "CAPS", 2048, 64, []int{1, 7})
+	tbl := DistributedStudyTable("CAPS", pts)
+	s := tbl.String()
+	if !strings.Contains(s, "CAPS") || !strings.Contains(s, "ranks") {
+		t.Fatalf("table missing fields:\n%s", s)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+}
+
+func TestSparseStudyTable(t *testing.T) {
+	m := hw.HaswellE31225()
+	a := sparse.RandomUniform(rand.New(rand.NewSource(1)), 512, 0.02)
+	pts := sparse.EnergyStudy(m, a, []int{1, 2}, 5)
+	tbl := SparseStudyTable(pts)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	s := tbl.String()
+	for _, want := range []string{"CSR", "COO", "ELL"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestPlatformTable(t *testing.T) {
+	pts := workload.CrossPlatform([]*hw.Machine{hw.HaswellE31225()}, 512)
+	tbl := PlatformTable(pts)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "crossover") {
+		t.Fatal("crossover column missing")
+	}
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzChart feeds the ASCII chart renderer arbitrary geometry and
+// values (including NaN-free extremes); it must always render a
+// well-formed plot without panicking.
+func FuzzChart(f *testing.F) {
+	f.Add(4, 12, 56, []byte{1, 2, 3, 4})
+	f.Add(1, 1, 1, []byte{0})
+	f.Add(2, 40, 200, []byte{255, 0})
+	f.Fuzz(func(t *testing.T, points, height, width int, raw []byte) {
+		if points <= 0 || points > 64 || len(raw) == 0 {
+			return
+		}
+		if height < -5 || height > 100 || width < -5 || width > 300 {
+			return
+		}
+		ch := &Chart{Title: "fuzz", Height: height, Width: width}
+		for i := 0; i < points; i++ {
+			ch.X = append(ch.X, float64(i))
+		}
+		// Two series derived from the raw bytes.
+		for s := 0; s < 2; s++ {
+			series := ChartSeries{Name: "s"}
+			for i := 0; i < points; i++ {
+				b := raw[(s*points+i)%len(raw)]
+				v := (float64(b) - 128) * math.Pow(10, float64(int(b)%7-3))
+				series.Y = append(series.Y, v)
+			}
+			ch.Series = append(ch.Series, series)
+		}
+		out := ch.String()
+		if !strings.Contains(out, "fuzz") {
+			t.Fatal("title lost")
+		}
+		if !strings.Contains(out, "+") {
+			t.Fatal("axis lost")
+		}
+		// Every plot row has the same prefix shape.
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "|") && len(line) < 10 {
+				t.Fatalf("malformed row %q", line)
+			}
+		}
+	})
+}

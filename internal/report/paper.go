@@ -1,0 +1,59 @@
+package report
+
+import "capscale/internal/workload"
+
+// The paper's published numbers, for side-by-side comparison. Sources:
+// Table II (average Strassen/CAPS slowdown per problem size), Table III
+// (average watts per thread count), Table IV (average energy
+// performance per problem size).
+
+// PaperTable2 holds average slowdown versus OpenBLAS by problem size.
+var PaperTable2 = map[workload.Algorithm]map[int]float64{
+	workload.AlgStrassen: {512: 2.872, 1024: 3.477, 2048: 2.874, 4096: 2.637},
+	workload.AlgCAPS:     {512: 2.840, 1024: 2.942, 2048: 2.809, 4096: 2.561},
+}
+
+// PaperTable2Avg holds the all-sizes average slowdown.
+var PaperTable2Avg = map[workload.Algorithm]float64{
+	workload.AlgStrassen: 2.965,
+	workload.AlgCAPS:     2.788,
+}
+
+// PaperTable3 holds average watts by thread count (1..4).
+var PaperTable3 = map[workload.Algorithm]map[int]float64{
+	workload.AlgOpenBLAS: {1: 20.2, 2: 30.9, 3: 40.98, 4: 49.13},
+	workload.AlgStrassen: {1: 21.1, 2: 26.25, 3: 30.4, 4: 31.9},
+	workload.AlgCAPS:     {1: 17.7, 2: 25.75, 3: 30.175, 4: 33.175},
+}
+
+// PaperTable3Avg holds the all-thread-counts average watts.
+var PaperTable3Avg = map[workload.Algorithm]float64{
+	workload.AlgOpenBLAS: 35.3,
+	workload.AlgStrassen: 27.41,
+	workload.AlgCAPS:     26.7,
+}
+
+// PaperTable4 holds average energy performance (EP = EAvg/T) by size.
+var PaperTable4 = map[workload.Algorithm]map[int]float64{
+	workload.AlgOpenBLAS: {512: 6356.33, 1024: 1052.34, 2048: 136.38, 4096: 19.53},
+	workload.AlgStrassen: {512: 1912.76, 1024: 239.27, 2048: 24.60, 4096: 4.70},
+	workload.AlgCAPS:     {512: 1961.28, 1024: 244.57, 2048: 25.32, 4096: 4.86},
+}
+
+// PaperHeadlines collects the paper's scalar claims used by the
+// benchmark harness's shape checks.
+var PaperHeadlines = struct {
+	StrassenAvgSlowdown float64 // 2.965×
+	CAPSAvgSlowdown     float64 // 2.788×
+	CAPSPerfGain        float64 // CAPS 5.97% faster than Strassen
+	CAPSPowerGain       float64 // CAPS 2.59% lower average power
+	MinOpenBLASWatts    float64 // 17.7 W at 512/1 thread
+	MaxOpenBLASWatts    float64 // 56.4 W at 4096/4 threads
+}{
+	StrassenAvgSlowdown: 2.965,
+	CAPSAvgSlowdown:     2.788,
+	CAPSPerfGain:        0.0597,
+	CAPSPowerGain:       0.0259,
+	MinOpenBLASWatts:    17.7,
+	MaxOpenBLASWatts:    56.4,
+}

@@ -1,0 +1,175 @@
+package report
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"capscale/internal/workload"
+)
+
+var cached *workload.Matrix
+
+func smokeMatrix(t *testing.T) *workload.Matrix {
+	t.Helper()
+	if cached == nil {
+		cached = workload.Execute(workload.SmokeConfig())
+	}
+	return cached
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestTableRowWidthPanics(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tb.AddRow("only one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow(`has,comma`, `has"quote`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `"has,comma"`) || !strings.Contains(got, `"has""quote"`) {
+		t.Fatalf("csv escaping wrong: %q", got)
+	}
+}
+
+func TestPaperValuesComplete(t *testing.T) {
+	sizes := []int{512, 1024, 2048, 4096}
+	for _, alg := range []workload.Algorithm{workload.AlgStrassen, workload.AlgCAPS} {
+		for _, n := range sizes {
+			if _, ok := PaperTable2[alg][n]; !ok {
+				t.Errorf("Table II missing %v/%d", alg, n)
+			}
+		}
+	}
+	for _, alg := range workload.PaperAlgorithms() {
+		for p := 1; p <= 4; p++ {
+			if _, ok := PaperTable3[alg][p]; !ok {
+				t.Errorf("Table III missing %v/%d", alg, p)
+			}
+		}
+		for _, n := range sizes {
+			if _, ok := PaperTable4[alg][n]; !ok {
+				t.Errorf("Table IV missing %v/%d", alg, n)
+			}
+		}
+	}
+}
+
+func TestPaperTable3AveragesConsistent(t *testing.T) {
+	// The published per-thread values should average to the published
+	// all-thread averages (within rounding).
+	for alg, rows := range PaperTable3 {
+		sum := 0.0
+		for _, w := range rows {
+			sum += w
+		}
+		avg := sum / float64(len(rows))
+		if d := avg - PaperTable3Avg[alg]; d > 0.2 || d < -0.2 {
+			t.Errorf("%v: published rows average %v vs published avg %v", alg, avg, PaperTable3Avg[alg])
+		}
+	}
+}
+
+func TestRenderersProduceAllSections(t *testing.T) {
+	mx := smokeMatrix(t)
+	out := All(mx)
+	for _, want := range []string{
+		"Figure 1", "Figure 3", "Table II", "Figure 4", "Figure 5",
+		"Figure 6", "Table III", "Table IV", "Figure 7", "Headline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, alg := range []string{"OpenBLAS", "Strassen", "CAPS"} {
+		if !strings.Contains(out, alg) {
+			t.Errorf("output missing algorithm %q", alg)
+		}
+	}
+}
+
+func TestTable2RowsCoverSizesPlusAverage(t *testing.T) {
+	mx := smokeMatrix(t)
+	tb := Table2(mx)
+	// Two algorithms × (sizes + no published avg rows at smoke sizes).
+	wantMin := 2 * len(mx.Cfg.Sizes)
+	if len(tb.Rows) < wantMin {
+		t.Fatalf("rows %d want at least %d", len(tb.Rows), wantMin)
+	}
+}
+
+func TestFigure7ClassifiesSeries(t *testing.T) {
+	mx := smokeMatrix(t)
+	tb := Figure7(mx)
+	s := tb.String()
+	if !strings.Contains(s, "ideal") && !strings.Contains(s, "superlinear") {
+		t.Fatal("no classification rendered")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	tb := Figure1(4)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// The superlinear example must exceed the threshold at P=4; the
+	// ideal one must not.
+	last := tb.Rows[3]
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("cell %q not numeric: %v", s, err)
+		}
+		return v
+	}
+	if parse(last[2]) >= parse(last[1]) {
+		t.Fatalf("ideal example %s above threshold %s", last[2], last[1])
+	}
+	if parse(last[3]) <= parse(last[1]) {
+		t.Fatalf("superlinear example %s below threshold %s", last[3], last[1])
+	}
+}
+
+func TestPowerScalingFigureColumns(t *testing.T) {
+	mx := smokeMatrix(t)
+	tb := PowerScalingFigure(mx, workload.AlgOpenBLAS, 4)
+	if len(tb.Header) != 1+len(mx.Cfg.Sizes) {
+		t.Fatalf("header %v", tb.Header)
+	}
+	if len(tb.Rows) != len(mx.Cfg.Threads) {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+}
+
+func TestHeadlinesRender(t *testing.T) {
+	mx := smokeMatrix(t)
+	s := Headlines(mx).String()
+	for _, want := range []string{"slowdown", "power", "watts"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("headlines missing %q", want)
+		}
+	}
+}

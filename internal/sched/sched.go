@@ -1,0 +1,192 @@
+// Package sched is the real execution engine: it runs a task tree's
+// leaf closures on goroutines with fork-join semantics and a bounded
+// number of concurrently executing leaves, standing in for the OpenMP
+// task runtime the paper's codes used.
+//
+// Where the virtual-time simulator (internal/sim) models placement,
+// contention and power, this engine actually computes: examples and
+// correctness tests execute the same trees here and compare results.
+// Placement is delegated to the Go scheduler; worker identity is the
+// token a leaf holds while running, which bounds parallelism to the
+// configured worker count and attributes busy time.
+//
+// Use it on trees built WithMath at moderate problem sizes; an
+// accounting-only tree runs in zero time here (no closures) and should
+// go to the simulator instead.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"capscale/internal/task"
+)
+
+// Metrics summarizes one real execution.
+type Metrics struct {
+	// Wall is the measured wall-clock duration of the whole tree.
+	Wall time.Duration
+	// Leaves is the number of leaf tasks executed.
+	Leaves int
+	// PerWorkerLeaves and PerWorkerBusy attribute work to the worker
+	// token each leaf held.
+	PerWorkerLeaves []int64
+	PerWorkerBusy   []time.Duration
+	// Flops, L3Bytes and DRAMBytes are the accounting totals of the
+	// executed leaves, for feeding the power model after a live run.
+	Flops     float64
+	L3Bytes   float64
+	DRAMBytes float64
+}
+
+// Utilization returns mean busy fraction across workers over the wall
+// time.
+func (m Metrics) Utilization() float64 {
+	if m.Wall == 0 || len(m.PerWorkerBusy) == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range m.PerWorkerBusy {
+		busy += b
+	}
+	return float64(busy) / (float64(m.Wall) * float64(len(m.PerWorkerBusy)))
+}
+
+// Pool executes task trees with at most `workers` leaves in flight.
+type Pool struct {
+	workers int
+	tokens  chan int
+}
+
+// New returns a pool with the given worker count.
+func New(workers int) *Pool {
+	if workers < 1 {
+		panic(fmt.Sprintf("sched: workers %d", workers))
+	}
+	p := &Pool{workers: workers, tokens: make(chan int, workers)}
+	for i := 0; i < workers; i++ {
+		p.tokens <- i
+	}
+	return p
+}
+
+// Workers returns the pool's parallelism bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// run executes a subtree, collecting stats; panics from leaves are
+// captured into st.panic (first one wins) instead of killing the
+// offending goroutine's stack alone.
+type runState struct {
+	mu       sync.Mutex
+	leaves   int
+	busy     []time.Duration
+	byWorker []int64
+	flops    float64
+	l3       float64
+	dram     float64
+	panicked any
+}
+
+func (st *runState) notePanic(v any) {
+	st.mu.Lock()
+	if st.panicked == nil {
+		st.panicked = v
+	}
+	st.mu.Unlock()
+}
+
+func (st *runState) hasPanicked() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.panicked != nil
+}
+
+// Run executes root and blocks until every leaf has completed. If any
+// leaf panics, Run re-panics with that value after the tree quiesces.
+func (p *Pool) Run(root *task.Node) Metrics {
+	st := &runState{
+		busy:     make([]time.Duration, p.workers),
+		byWorker: make([]int64, p.workers),
+	}
+	start := time.Now()
+	p.exec(root, st)
+	wall := time.Since(start)
+	if st.panicked != nil {
+		panic(st.panicked)
+	}
+	return Metrics{
+		Wall:            wall,
+		Leaves:          st.leaves,
+		PerWorkerLeaves: st.byWorker,
+		PerWorkerBusy:   st.busy,
+		Flops:           st.flops,
+		L3Bytes:         st.l3,
+		DRAMBytes:       st.dram,
+	}
+}
+
+func (p *Pool) exec(n *task.Node, st *runState) {
+	switch {
+	case n.IsLeaf():
+		p.runLeaf(n, st)
+	case n.IsSeq():
+		for _, c := range n.Children() {
+			if st.hasPanicked() {
+				return
+			}
+			p.exec(c, st)
+		}
+	default: // Par
+		children := n.Children()
+		if len(children) == 1 {
+			p.exec(children[0], st)
+			return
+		}
+		var wg sync.WaitGroup
+		for _, c := range children[1:] {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if v := recover(); v != nil {
+						st.notePanic(v)
+					}
+				}()
+				p.exec(c, st)
+			}()
+		}
+		// The spawning task works on the first child itself
+		// (OpenMP-style: the encountering thread is also a worker).
+		p.exec(children[0], st)
+		wg.Wait()
+	}
+}
+
+func (p *Pool) runLeaf(n *task.Node, st *runState) {
+	w := n.Work()
+	worker := <-p.tokens
+	t0 := time.Now()
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				st.notePanic(v)
+			}
+		}()
+		if w.Run != nil {
+			w.Run()
+		}
+	}()
+	busy := time.Since(t0)
+	p.tokens <- worker
+
+	st.mu.Lock()
+	st.leaves++
+	st.byWorker[worker]++
+	st.busy[worker] += busy
+	st.flops += w.Flops
+	st.l3 += w.L3Bytes
+	st.dram += w.DRAMBytes
+	st.mu.Unlock()
+}

@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"capscale/internal/blas"
+	"capscale/internal/caps"
+	"capscale/internal/hw"
+	"capscale/internal/matrix"
+	"capscale/internal/strassen"
+	"capscale/internal/task"
+)
+
+func TestNewPanicsOnBadWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEveryLeafRunsOnce(t *testing.T) {
+	var count atomic.Int64
+	mk := func() *task.Node {
+		return task.Leaf(task.Work{Flops: 1, Run: func() { count.Add(1) }})
+	}
+	var leaves []*task.Node
+	for i := 0; i < 100; i++ {
+		leaves = append(leaves, mk())
+	}
+	root := task.Seq(task.Par(leaves[:50]...), task.Par(leaves[50:]...))
+	m := New(4).Run(root)
+	if count.Load() != 100 {
+		t.Fatalf("ran %d leaves", count.Load())
+	}
+	if m.Leaves != 100 {
+		t.Fatalf("metrics leaves %d", m.Leaves)
+	}
+	if m.Flops != 100 {
+		t.Fatalf("metrics flops %v", m.Flops)
+	}
+}
+
+func TestSeqOrdering(t *testing.T) {
+	var order []int
+	mk := func(i int) *task.Node {
+		return task.Leaf(task.Work{Run: func() { order = append(order, i) }})
+	}
+	New(4).Run(task.Seq(mk(0), mk(1), mk(2), mk(3), mk(4)))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestParallelismBounded(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	mk := func() *task.Node {
+		return task.Leaf(task.Work{Run: func() {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			for i := 0; i < 100000; i++ {
+				_ = i * i
+			}
+			inFlight.Add(-1)
+		}})
+	}
+	var leaves []*task.Node
+	for i := 0; i < 64; i++ {
+		leaves = append(leaves, mk())
+	}
+	New(2).Run(task.Par(leaves...))
+	if peak.Load() > 2 {
+		t.Fatalf("observed %d concurrent leaves with 2 workers", peak.Load())
+	}
+}
+
+func TestWorkerAttribution(t *testing.T) {
+	var leaves []*task.Node
+	for i := 0; i < 40; i++ {
+		leaves = append(leaves, task.Leaf(task.Work{Run: func() {
+			s := 0.0
+			for i := 0; i < 200000; i++ {
+				s += float64(i)
+			}
+			_ = s
+		}}))
+	}
+	m := New(3).Run(task.Par(leaves...))
+	total := int64(0)
+	for _, c := range m.PerWorkerLeaves {
+		total += c
+	}
+	if total != 40 {
+		t.Fatalf("attributed %d leaves", total)
+	}
+	if u := m.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	root := task.Par(
+		task.Leaf(task.Work{Run: func() {}}),
+		task.Leaf(task.Work{Run: func() { panic("leaf exploded") }}),
+	)
+	defer func() {
+		if v := recover(); v != "leaf exploded" {
+			t.Fatalf("recovered %v", v)
+		}
+	}()
+	New(2).Run(root)
+}
+
+func TestNilRunLeavesAreCounted(t *testing.T) {
+	m := New(2).Run(task.Par(task.Leaf(task.Work{Flops: 5}), task.Leaf(task.Work{Flops: 7})))
+	if m.Leaves != 2 || m.Flops != 12 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestRealSpeedupOnComputeBoundTree(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-CPU environment")
+	}
+	work := func() *task.Node {
+		return task.Leaf(task.Work{Run: func() {
+			s := 0.0
+			for i := 0; i < 3_000_000; i++ {
+				s += float64(i%7) * 1.0001
+			}
+			_ = s
+		}})
+	}
+	var leaves []*task.Node
+	for i := 0; i < 16; i++ {
+		leaves = append(leaves, work())
+	}
+	root := task.Par(leaves...)
+	t1 := New(1).Run(root).Wall
+	t2 := New(2).Run(root).Wall
+	if float64(t1)/float64(t2) < 1.2 {
+		t.Logf("warning: 2-worker speedup only %.2fx (loaded machine?)", float64(t1)/float64(t2))
+	}
+}
+
+// End-to-end: all three multipliers' trees computed by the real engine
+// match the naive product.
+func TestRealExecutionOfAllMultipliers(t *testing.T) {
+	m := hw.HaswellE31225()
+	rng := rand.New(rand.NewSource(9))
+	n := 128
+	a := matrix.Rand(rng, n, n)
+	b := matrix.Rand(rng, n, n)
+	want := matrix.New(n, n)
+	matrix.MulNaive(want, a, b)
+
+	trees := map[string]func(c *matrix.Dense) *task.Node{
+		"blas": func(c *matrix.Dense) *task.Node {
+			return blas.Build(m, c, a, b, blas.Options{Workers: 3, WithMath: true})
+		},
+		"strassen": func(c *matrix.Dense) *task.Node {
+			return strassen.Build(m, c, a, b, 3, strassen.Options{Cutover: 16, WithMath: true})
+		},
+		"winograd": func(c *matrix.Dense) *task.Node {
+			return strassen.Build(m, c, a, b, 3, strassen.Options{Cutover: 16, Winograd: true, WithMath: true})
+		},
+		"caps": func(c *matrix.Dense) *task.Node {
+			return caps.Build(m, c, a, b, 3, caps.Options{Cutover: 16, CutoffDepth: 2, WithMath: true})
+		},
+	}
+	for name, build := range trees {
+		c := matrix.New(n, n)
+		New(3).Run(build(c))
+		if !matrix.AlmostEqual(c, want, 1e-10) {
+			t.Errorf("%s: real execution differs by %v", name, matrix.MaxAbsDiff(c, want))
+		}
+	}
+}
+
+// The real engine must produce the same numbers as serial execution of
+// the same tree (determinism of the arithmetic under any schedule).
+func TestRealMatchesSerialExecution(t *testing.T) {
+	m := hw.HaswellE31225()
+	rng := rand.New(rand.NewSource(10))
+	n := 64
+	a := matrix.Rand(rng, n, n)
+	b := matrix.Rand(rng, n, n)
+
+	c1 := matrix.New(n, n)
+	task.RunSerial(strassen.Build(m, c1, a, b, 2, strassen.Options{Cutover: 8, WithMath: true}))
+	c2 := matrix.New(n, n)
+	New(4).Run(strassen.Build(m, c2, a, b, 2, strassen.Options{Cutover: 8, WithMath: true}))
+	if !matrix.Equal(c1, c2) {
+		t.Fatal("parallel real execution differs from serial")
+	}
+}

@@ -1,0 +1,529 @@
+// Package sim is the deterministic virtual-time execution engine.
+//
+// It schedules a fork-join task tree (internal/task) onto P modeled
+// cores of a machine (internal/hw) with greedy list scheduling,
+// accounting for DRAM bandwidth contention, affinity-based communication
+// (remote cache-to-cache traffic when a leaf reads data last written by
+// a different worker) and per-task dispatch overhead. While scheduling
+// it integrates the machine's power model over the timeline, producing
+// per-plane energy totals and, optionally, the full power trace that the
+// RAPL emulation replays.
+//
+// Virtual time makes the paper's 48-run experiment matrix deterministic
+// and independent of the host executing the reproduction.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"capscale/internal/hw"
+	"capscale/internal/task"
+)
+
+// Config controls one simulated execution.
+type Config struct {
+	// Workers is the simulated thread count (OMP_NUM_THREADS in the
+	// paper). It may be smaller than the machine's core count; it must
+	// not exceed it.
+	Workers int
+	// VerifyNumerics runs each leaf's Run closure in dependency order so
+	// tests can check that the scheduled tree computes correct results.
+	VerifyNumerics bool
+	// RecordTimeline retains the per-segment power trace in the result.
+	// Energy totals are always computed; the trace costs memory on large
+	// trees, so it is opt-in.
+	RecordTimeline bool
+	// DisableAffinity is an ablation switch: no remote traffic is
+	// charged and steals are free. It removes the mechanism that
+	// distinguishes CAPS from classic Strassen.
+	DisableAffinity bool
+	// DisableContention is an ablation switch: every leaf sees the
+	// machine's uncontended bandwidth regardless of concurrency.
+	DisableContention bool
+	// RecordSchedule retains every leaf's placement (worker, interval,
+	// kind) for Gantt rendering. Opt-in: large trees produce large
+	// schedules.
+	RecordSchedule bool
+}
+
+// LeafSpan is one scheduled leaf occurrence for Gantt rendering.
+type LeafSpan struct {
+	Worker     int
+	Start, End float64
+	Kind       task.Kind
+	Label      string
+}
+
+// Segment is one interval of the execution timeline during which the
+// set of running leaves — and therefore power — was constant.
+type Segment struct {
+	Start, End float64
+	Power      hw.PlanePower
+}
+
+// Result summarizes a simulated execution.
+type Result struct {
+	// Makespan is the virtual wall time in seconds.
+	Makespan float64
+	// EnergyPKG, EnergyPP0 and EnergyDRAM are integrated joules per
+	// RAPL plane (PKG includes PP0, as in real RAPL).
+	EnergyPKG, EnergyPP0, EnergyDRAM float64
+	// Leaves is the number of executed leaf tasks.
+	Leaves int
+	// RemoteBytes is total communication charged by affinity tracking.
+	RemoteBytes float64
+	// StolenLeaves counts leaves that executed away from their
+	// preferred (producer) worker.
+	StolenLeaves int
+	// WorkerBusy is per-worker busy time in seconds.
+	WorkerBusy []float64
+	// BusyByKind decomposes total busy seconds by leaf kind — where
+	// the cycles went (multiply kernels vs additions vs copies).
+	BusyByKind map[task.Kind]float64
+	// AllocHighWater is the peak of live temporary-buffer bytes
+	// actually reached under this schedule.
+	AllocHighWater float64
+	// Timeline is the power trace; nil unless Config.RecordTimeline.
+	Timeline []Segment
+	// Schedule is the per-leaf placement record; nil unless
+	// Config.RecordSchedule.
+	Schedule []LeafSpan
+}
+
+// AvgPowerPKG returns average package watts over the makespan.
+func (r *Result) AvgPowerPKG() float64 { return safeDiv(r.EnergyPKG, r.Makespan) }
+
+// AvgPowerPP0 returns average core-plane watts over the makespan.
+func (r *Result) AvgPowerPP0() float64 { return safeDiv(r.EnergyPP0, r.Makespan) }
+
+// AvgPowerDRAM returns average DRAM-plane watts over the makespan.
+func (r *Result) AvgPowerDRAM() float64 { return safeDiv(r.EnergyDRAM, r.Makespan) }
+
+// AvgPowerTotal returns average full-system watts (PKG + DRAM).
+func (r *Result) AvgPowerTotal() float64 {
+	return safeDiv(r.EnergyPKG+r.EnergyDRAM, r.Makespan)
+}
+
+// EnergyTotal returns full-system joules (PKG + DRAM).
+func (r *Result) EnergyTotal() float64 { return r.EnergyPKG + r.EnergyDRAM }
+
+// Utilization returns mean worker busy fraction over the makespan.
+func (r *Result) Utilization() float64 {
+	if r.Makespan == 0 || len(r.WorkerBusy) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range r.WorkerBusy {
+		sum += b
+	}
+	return sum / (r.Makespan * float64(len(r.WorkerBusy)))
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// nodeState is per-node runtime bookkeeping.
+type nodeState struct {
+	n         *task.Node
+	parent    *nodeState
+	pending   int    // outstanding children (Par) — Seq uses nextChild
+	nextChild int    // next child index to start (Seq)
+	mask      uint64 // effective affinity inherited from ancestors
+}
+
+// runningLeaf is one dispatched leaf awaiting its virtual finish time.
+type runningLeaf struct {
+	state    *nodeState
+	worker   int
+	finish   float64
+	seq      int // dispatch order, for deterministic tie-breaks
+	activity hw.Activity
+}
+
+type leafHeap []*runningLeaf
+
+func (h leafHeap) Len() int { return len(h) }
+func (h leafHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h leafHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *leafHeap) Push(x any)   { *h = append(*h, x.(*runningLeaf)) }
+func (h *leafHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// executor holds the state of one simulation run.
+type executor struct {
+	m   *hw.Machine
+	cfg Config
+
+	// ready is a FIFO of dispatchable leaves whose affinity permits
+	// more than one worker. Entries claimed out of order (affinity
+	// skips) are nilled and compacted lazily; readyHead tracks the
+	// first live entry and readyLive the live count.
+	ready     []*nodeState
+	readyHead int
+	readyLive int
+	// readyPinned holds per-worker FIFOs of leaves pinned to exactly
+	// one worker (the common case under CAPS ownership), so dispatch
+	// never scans past them while their worker is busy.
+	readyPinned [][]*nodeState
+	pinnedHead  []int
+
+	running leafHeap
+	now     float64
+	seq     int
+
+	workerBusyUntil []float64
+	workerBusyTotal []float64
+	workerIdle      []bool
+	idleCount       int
+
+	lastWriter map[task.RegionID]int
+
+	liveAlloc float64
+	res       Result
+}
+
+// Run simulates root on machine m under cfg and returns the result.
+// It panics on invalid configuration; algorithmic errors in tree
+// construction (e.g. impossible affinity) degrade to unrestricted
+// placement rather than deadlock.
+func Run(m *hw.Machine, root *task.Node, cfg Config) *Result {
+	if cfg.Workers <= 0 {
+		panic(fmt.Sprintf("sim: non-positive worker count %d", cfg.Workers))
+	}
+	if cfg.Workers > m.Cores {
+		panic(fmt.Sprintf("sim: %d workers exceed machine's %d cores", cfg.Workers, m.Cores))
+	}
+	e := &executor{
+		m:               m,
+		cfg:             cfg,
+		workerBusyUntil: make([]float64, cfg.Workers),
+		workerBusyTotal: make([]float64, cfg.Workers),
+		workerIdle:      make([]bool, cfg.Workers),
+		readyPinned:     make([][]*nodeState, cfg.Workers),
+		pinnedHead:      make([]int, cfg.Workers),
+		lastWriter:      make(map[task.RegionID]int),
+	}
+	e.res.BusyByKind = make(map[task.Kind]float64)
+	for i := range e.workerIdle {
+		e.workerIdle[i] = true
+	}
+	e.idleCount = cfg.Workers
+
+	e.startNode(&nodeState{n: root, mask: e.allMask()})
+	e.dispatch()
+	for len(e.running) > 0 {
+		e.advance()
+		e.dispatch()
+	}
+	e.res.Makespan = e.now
+	e.res.WorkerBusy = e.workerBusyTotal
+	return &e.res
+}
+
+func (e *executor) allMask() uint64 {
+	if e.cfg.Workers >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(e.cfg.Workers)) - 1
+}
+
+// effectiveMask intersects a node's own affinity with the inherited
+// mask, falling back to the inherited mask when the intersection is
+// empty (e.g. a tree built for more workers than are configured).
+func (e *executor) effectiveMask(n *task.Node, inherited uint64) uint64 {
+	if e.cfg.DisableAffinity || n.Affinity() == 0 {
+		return inherited
+	}
+	m := n.Affinity() & inherited
+	if m == 0 {
+		return inherited
+	}
+	return m
+}
+
+// startNode activates a node: leaves join the ready queue; interior
+// nodes start their children per Seq/Par semantics. Empty interior
+// nodes complete immediately.
+func (e *executor) startNode(s *nodeState) {
+	e.liveAlloc += s.n.AllocBytes()
+	if e.liveAlloc > e.res.AllocHighWater {
+		e.res.AllocHighWater = e.liveAlloc
+	}
+	switch {
+	case s.n.IsLeaf():
+		if w := singleWorker(s.mask); w >= 0 && w < e.cfg.Workers {
+			e.readyPinned[w] = append(e.readyPinned[w], s)
+		} else {
+			e.ready = append(e.ready, s)
+			e.readyLive++
+		}
+	case s.n.IsSeq():
+		if len(s.n.Children()) == 0 {
+			e.complete(s)
+			return
+		}
+		e.startChild(s, 0)
+	default: // Par
+		children := s.n.Children()
+		if len(children) == 0 {
+			e.complete(s)
+			return
+		}
+		s.pending = len(children)
+		for i := range children {
+			e.startChild(s, i)
+		}
+	}
+}
+
+func (e *executor) startChild(parent *nodeState, idx int) {
+	child := parent.n.Children()[idx]
+	cs := &nodeState{
+		n:      child,
+		parent: parent,
+		mask:   e.effectiveMask(child, parent.mask),
+	}
+	if parent.n.IsSeq() {
+		parent.nextChild = idx + 1
+	}
+	e.startNode(cs)
+}
+
+// complete propagates a finished node up the tree.
+func (e *executor) complete(s *nodeState) {
+	e.liveAlloc -= s.n.AllocBytes()
+	p := s.parent
+	if p == nil {
+		return
+	}
+	if p.n.IsSeq() {
+		if p.nextChild < len(p.n.Children()) {
+			e.startChild(p, p.nextChild)
+			return
+		}
+		e.complete(p)
+		return
+	}
+	p.pending--
+	if p.pending == 0 {
+		e.complete(p)
+	}
+}
+
+// preferredWorker returns the worker that produced the leaf's inputs,
+// or -1 when unknown.
+func (e *executor) preferredWorker(w *task.Work) int {
+	for _, r := range w.Reads {
+		if wr, ok := e.lastWriter[r]; ok {
+			return wr
+		}
+	}
+	return -1
+}
+
+// singleWorker returns the worker index when mask names exactly one
+// worker, else -1.
+func singleWorker(mask uint64) int {
+	if mask != 0 && mask&(mask-1) == 0 {
+		w := 0
+		for mask>>uint(w)&1 == 0 {
+			w++
+		}
+		return w
+	}
+	return -1
+}
+
+// dispatch greedily assigns ready leaves to idle workers at e.now.
+// Each idle worker drains its pinned FIFO first; remaining idle
+// workers take from the shared FIFO in order, skipping leaves whose
+// affinity mask has no idle worker without losing their position.
+func (e *executor) dispatch() {
+	for e.idleCount > 0 {
+		dispatched := false
+		for w := 0; w < e.cfg.Workers && e.idleCount > 0; w++ {
+			if !e.workerIdle[w] {
+				continue
+			}
+			q := e.readyPinned[w]
+			if e.pinnedHead[w] < len(q) {
+				s := q[e.pinnedHead[w]]
+				e.pinnedHead[w]++
+				if e.pinnedHead[w] > 64 && e.pinnedHead[w] > len(q)/2 {
+					n := copy(q, q[e.pinnedHead[w]:])
+					e.readyPinned[w] = q[:n]
+					e.pinnedHead[w] = 0
+				}
+				e.launch(s, w)
+				dispatched = true
+			}
+		}
+		for e.idleCount > 0 && e.readyLive > 0 {
+			found := false
+			for qi := e.readyHead; qi < len(e.ready); qi++ {
+				s := e.ready[qi]
+				if s == nil {
+					continue
+				}
+				worker := e.pickWorker(s)
+				if worker < 0 {
+					continue
+				}
+				e.ready[qi] = nil
+				e.readyLive--
+				e.launch(s, worker)
+				found = true
+				dispatched = true
+				break
+			}
+			if !found {
+				break
+			}
+			e.compactReady()
+		}
+		if !dispatched {
+			return
+		}
+	}
+}
+
+// compactReady advances past consumed slots and reclaims the queue's
+// prefix once it dominates the backing array.
+func (e *executor) compactReady() {
+	for e.readyHead < len(e.ready) && e.ready[e.readyHead] == nil {
+		e.readyHead++
+	}
+	if e.readyHead > 64 && e.readyHead > len(e.ready)/2 {
+		n := copy(e.ready, e.ready[e.readyHead:])
+		e.ready = e.ready[:n]
+		e.readyHead = 0
+	}
+}
+
+// pickWorker selects an idle worker permitted by the leaf's mask,
+// preferring the producer of its inputs; -1 when none is available.
+func (e *executor) pickWorker(s *nodeState) int {
+	w := s.n.Work()
+	pref := -1
+	if !e.cfg.DisableAffinity {
+		pref = e.preferredWorker(w)
+	}
+	if pref >= 0 && pref < e.cfg.Workers && e.workerIdle[pref] && s.mask&(1<<uint(pref)) != 0 {
+		return pref
+	}
+	for i := 0; i < e.cfg.Workers; i++ {
+		if e.workerIdle[i] && s.mask&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// launch starts a leaf on a worker at e.now.
+func (e *executor) launch(s *nodeState, worker int) {
+	w := s.n.Work()
+
+	remoteBytes := 0.0
+	stolen := false
+	if !e.cfg.DisableAffinity {
+		for _, r := range w.Reads {
+			if wr, ok := e.lastWriter[r]; ok && wr != worker {
+				remoteBytes += w.RegionBytes
+			}
+		}
+		if pref := e.preferredWorker(w); pref >= 0 && pref != worker {
+			stolen = true
+		}
+	}
+
+	var cont hw.Contention
+	if e.cfg.DisableContention {
+		cont = e.m.Uncontended()
+	} else {
+		cont = e.m.Shared(len(e.running) + 1)
+	}
+	cost := e.m.CostLeaf(w, cont, remoteBytes, stolen)
+
+	if e.cfg.VerifyNumerics && w.Run != nil {
+		w.Run()
+	}
+
+	for _, wr := range w.Writes {
+		e.lastWriter[wr] = worker
+	}
+
+	e.workerIdle[worker] = false
+	e.idleCount--
+	e.workerBusyUntil[worker] = e.now + cost.Duration
+	e.workerBusyTotal[worker] += cost.Duration
+	e.res.BusyByKind[w.Kind] += cost.Duration
+	e.res.Leaves++
+	if e.cfg.RecordSchedule {
+		e.res.Schedule = append(e.res.Schedule, LeafSpan{
+			Worker: worker,
+			Start:  e.now,
+			End:    e.now + cost.Duration,
+			Kind:   w.Kind,
+			Label:  w.Label,
+		})
+	}
+	e.res.RemoteBytes += remoteBytes
+	if stolen {
+		e.res.StolenLeaves++
+	}
+
+	e.seq++
+	heap.Push(&e.running, &runningLeaf{
+		state:  s,
+		worker: worker,
+		finish: e.now + cost.Duration,
+		seq:    e.seq,
+		activity: hw.Activity{
+			Utilization: cost.Utilization,
+			DRAMRate:    cost.DRAMRate,
+			L3Rate:      cost.L3Rate,
+		},
+	})
+}
+
+// advance integrates power up to the next completion time and retires
+// every leaf finishing at that instant.
+func (e *executor) advance() {
+	next := e.running[0].finish
+	if dt := next - e.now; dt > 0 {
+		acts := make([]hw.Activity, len(e.running))
+		for i, rl := range e.running {
+			acts[i] = rl.activity
+		}
+		p := e.m.SegmentPower(acts)
+		e.res.EnergyPKG += p.PKG * dt
+		e.res.EnergyPP0 += p.PP0 * dt
+		e.res.EnergyDRAM += p.DRAM * dt
+		if e.cfg.RecordTimeline {
+			e.res.Timeline = append(e.res.Timeline, Segment{Start: e.now, End: next, Power: p})
+		}
+	}
+	e.now = next
+	for len(e.running) > 0 && sameTime(e.running[0].finish, e.now) {
+		rl := heap.Pop(&e.running).(*runningLeaf)
+		e.workerIdle[rl.worker] = true
+		e.idleCount++
+		e.complete(rl.state)
+	}
+}
+
+// sameTime compares virtual timestamps with a relative epsilon so that
+// float accumulation does not split a batch of simultaneous finishes.
+func sameTime(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b))
+}

@@ -1,0 +1,482 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capscale/internal/hw"
+	"capscale/internal/task"
+)
+
+func machine() *hw.Machine { return hw.HaswellE31225() }
+
+func computeLeaf(flops float64) *task.Node {
+	return task.Leaf(task.Work{Kind: task.KindGEMM, Flops: flops})
+}
+
+func memLeaf(bytes float64) *task.Node {
+	return task.Leaf(task.Work{Kind: task.KindAdd, DRAMBytes: bytes})
+}
+
+func TestRunPanicsOnBadWorkers(t *testing.T) {
+	m := machine()
+	for _, workers := range []int{0, -1, m.Cores + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workers=%d did not panic", workers)
+				}
+			}()
+			Run(m, computeLeaf(1), Config{Workers: workers})
+		}()
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	m := machine()
+	res := Run(m, computeLeaf(2.56e9), Config{Workers: 1})
+	want := 2.56e9/(m.PeakFlopsPerCore()*0.92) + m.TaskOverhead
+	if math.Abs(res.Makespan-want)/want > 1e-9 {
+		t.Fatalf("makespan %v want %v", res.Makespan, want)
+	}
+	if res.Leaves != 1 {
+		t.Fatalf("leaves %d", res.Leaves)
+	}
+	if res.EnergyPKG <= 0 || res.EnergyPP0 <= 0 || res.EnergyDRAM <= 0 {
+		t.Fatalf("energies %v %v %v", res.EnergyPKG, res.EnergyPP0, res.EnergyDRAM)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	res := Run(machine(), task.Seq(), Config{Workers: 2})
+	if res.Makespan != 0 || res.Leaves != 0 {
+		t.Fatalf("empty tree: makespan %v leaves %d", res.Makespan, res.Leaves)
+	}
+}
+
+func TestEveryLeafRunsExactlyOnce(t *testing.T) {
+	counts := make([]int, 6)
+	mk := func(i int) *task.Node {
+		return task.Leaf(task.Work{Kind: task.KindGEMM, Flops: 1e6, Run: func() { counts[i]++ }})
+	}
+	root := task.Seq(
+		mk(0),
+		task.Par(mk(1), task.Seq(mk(2), mk(3)), mk(4)),
+		mk(5),
+	)
+	Run(machine(), root, Config{Workers: 3, VerifyNumerics: true})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("leaf %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestSeqOrderRespected(t *testing.T) {
+	var order []int
+	mk := func(i int) *task.Node {
+		return task.Leaf(task.Work{Kind: task.KindGEMM, Flops: 1e6, Run: func() { order = append(order, i) }})
+	}
+	Run(machine(), task.Seq(mk(0), mk(1), mk(2), mk(3)), Config{Workers: 4, VerifyNumerics: true})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	m := machine()
+	leaves := make([]*task.Node, 8)
+	for i := range leaves {
+		leaves[i] = computeLeaf(1e9)
+	}
+	one := Run(m, task.Par(leaves...), Config{Workers: 1})
+	four := Run(m, task.Par(leaves...), Config{Workers: 4})
+	speedup := one.Makespan / four.Makespan
+	if speedup < 3.5 || speedup > 4.01 {
+		t.Fatalf("compute-bound speedup %v, want ~4", speedup)
+	}
+}
+
+func TestMemoryBoundSpeedupLimitedByBandwidth(t *testing.T) {
+	m := machine()
+	leaves := make([]*task.Node, 8)
+	for i := range leaves {
+		leaves[i] = memLeaf(1e8)
+	}
+	one := Run(m, task.Par(leaves...), Config{Workers: 1})
+	four := Run(m, task.Par(leaves...), Config{Workers: 4})
+	speedup := one.Makespan / four.Makespan
+	// Aggregate DRAM is 11 GB/s vs a single stream's 7.5 GB/s: the most
+	// parallelism can buy is 11/7.5 ≈ 1.47.
+	if speedup > 1.6 {
+		t.Fatalf("memory-bound speedup %v exceeds bandwidth ratio", speedup)
+	}
+	if speedup < 1.0 {
+		t.Fatalf("memory-bound parallel run slower than serial: %v", speedup)
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(7))
+	root := randomSimTree(rng, 4)
+	serial := m.SerialTime(root)
+	span := m.CriticalPath(root)
+	res := Run(m, root, Config{Workers: 4, DisableContention: true})
+	if res.Makespan > serial*(1+1e-9) {
+		t.Fatalf("makespan %v exceeds serial %v", res.Makespan, serial)
+	}
+	if res.Makespan < span*(1-1e-9) {
+		t.Fatalf("makespan %v beats span %v", res.Makespan, span)
+	}
+	// Greedy (Brent) bound without contention: T_P <= T_1/P + T_inf.
+	if bound := serial/4 + span; res.Makespan > bound*(1+1e-9) {
+		t.Fatalf("makespan %v exceeds greedy bound %v", res.Makespan, bound)
+	}
+}
+
+func TestOneWorkerMatchesSerialTime(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(3))
+	root := randomSimTree(rng, 4)
+	res := Run(m, root, Config{Workers: 1})
+	serial := m.SerialTime(root)
+	if math.Abs(res.Makespan-serial)/serial > 1e-9 {
+		t.Fatalf("1-worker makespan %v vs serial %v", res.Makespan, serial)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(11))
+	root := randomSimTree(rng, 5)
+	a := Run(m, root, Config{Workers: 3})
+	b := Run(m, root, Config{Workers: 3})
+	if a.Makespan != b.Makespan || a.EnergyPKG != b.EnergyPKG ||
+		a.RemoteBytes != b.RemoteBytes || a.StolenLeaves != b.StolenLeaves {
+		t.Fatal("two identical runs differ")
+	}
+}
+
+func TestEnergyConsistentWithTimeline(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(5))
+	root := randomSimTree(rng, 4)
+	res := Run(m, root, Config{Workers: 4, RecordTimeline: true})
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+	var pkg, pp0, dram float64
+	prevEnd := 0.0
+	for _, seg := range res.Timeline {
+		if seg.End <= seg.Start {
+			t.Fatalf("degenerate segment %+v", seg)
+		}
+		if seg.Start < prevEnd-1e-12 {
+			t.Fatalf("overlapping segments at %v", seg.Start)
+		}
+		dt := seg.End - seg.Start
+		pkg += seg.Power.PKG * dt
+		pp0 += seg.Power.PP0 * dt
+		dram += seg.Power.DRAM * dt
+		prevEnd = seg.End
+	}
+	if math.Abs(pkg-res.EnergyPKG)/res.EnergyPKG > 1e-9 {
+		t.Fatalf("PKG integral %v vs %v", pkg, res.EnergyPKG)
+	}
+	if math.Abs(pp0-res.EnergyPP0)/math.Max(res.EnergyPP0, 1e-12) > 1e-9 {
+		t.Fatalf("PP0 integral %v vs %v", pp0, res.EnergyPP0)
+	}
+	if math.Abs(dram-res.EnergyDRAM)/res.EnergyDRAM > 1e-9 {
+		t.Fatalf("DRAM integral %v vs %v", dram, res.EnergyDRAM)
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	res := Run(machine(), computeLeaf(1e8), Config{Workers: 1})
+	if res.Timeline != nil {
+		t.Fatal("timeline recorded without RecordTimeline")
+	}
+}
+
+func TestAvgPowerWithinPhysicalRange(t *testing.T) {
+	m := machine()
+	leaves := make([]*task.Node, 16)
+	for i := range leaves {
+		leaves[i] = computeLeaf(1e9)
+	}
+	res := Run(m, task.Par(leaves...), Config{Workers: 4})
+	idle := m.IdlePower()
+	if res.AvgPowerPKG() <= idle.PKG {
+		t.Fatalf("avg PKG %v not above idle %v", res.AvgPowerPKG(), idle.PKG)
+	}
+	full := m.SegmentPower([]hw.Activity{{Utilization: 1}, {Utilization: 1}, {Utilization: 1}, {Utilization: 1}})
+	if res.AvgPowerPKG() > full.PKG+1 {
+		t.Fatalf("avg PKG %v above physical max %v", res.AvgPowerPKG(), full.PKG)
+	}
+	if res.AvgPowerPP0() >= res.AvgPowerPKG() {
+		t.Fatal("PP0 should be below PKG")
+	}
+	if res.AvgPowerTotal() <= res.AvgPowerPKG() {
+		t.Fatal("total should include DRAM plane")
+	}
+}
+
+func TestRemoteTrafficChargedAcrossWorkers(t *testing.T) {
+	var regions task.Regions
+	r := regions.New()
+	producer := task.Leaf(task.Work{
+		Kind: task.KindAdd, DRAMBytes: 1e6,
+		Writes: []task.RegionID{r}, RegionBytes: 1e6,
+	}).WithAffinity(0b01)
+	consumer := task.Leaf(task.Work{
+		Kind: task.KindBaseMul, Flops: 1e6,
+		Reads: []task.RegionID{r}, RegionBytes: 1e6,
+	}).WithAffinity(0b10)
+	root := task.Seq(producer, consumer)
+
+	res := Run(machine(), root, Config{Workers: 2})
+	if res.RemoteBytes != 1e6 {
+		t.Fatalf("remote bytes %v want 1e6", res.RemoteBytes)
+	}
+	if res.StolenLeaves != 1 {
+		t.Fatalf("stolen leaves %d want 1", res.StolenLeaves)
+	}
+
+	// Same tree on one worker: no communication possible.
+	resOne := Run(machine(), root, Config{Workers: 1})
+	if resOne.RemoteBytes != 0 || resOne.StolenLeaves != 0 {
+		t.Fatalf("single-worker run charged communication: %v bytes", resOne.RemoteBytes)
+	}
+}
+
+func TestAffinityPreferenceAvoidsRemote(t *testing.T) {
+	// Producer then consumer, unpinned: the scheduler should prefer the
+	// producing worker for the consumer even with others idle.
+	var regions task.Regions
+	r := regions.New()
+	producer := task.Leaf(task.Work{Kind: task.KindAdd, DRAMBytes: 1e6,
+		Writes: []task.RegionID{r}, RegionBytes: 1e6})
+	consumer := task.Leaf(task.Work{Kind: task.KindBaseMul, Flops: 1e6,
+		Reads: []task.RegionID{r}, RegionBytes: 1e6})
+	res := Run(machine(), task.Seq(producer, consumer), Config{Workers: 4})
+	if res.RemoteBytes != 0 {
+		t.Fatalf("affinity preference failed: %v remote bytes", res.RemoteBytes)
+	}
+}
+
+func TestDisableAffinityIgnoresMasksAndCharges(t *testing.T) {
+	var regions task.Regions
+	r := regions.New()
+	producer := task.Leaf(task.Work{Kind: task.KindAdd, DRAMBytes: 1e6,
+		Writes: []task.RegionID{r}, RegionBytes: 1e6}).WithAffinity(0b01)
+	consumer := task.Leaf(task.Work{Kind: task.KindBaseMul, Flops: 1e6,
+		Reads: []task.RegionID{r}, RegionBytes: 1e6}).WithAffinity(0b10)
+	res := Run(machine(), task.Seq(producer, consumer), Config{Workers: 2, DisableAffinity: true})
+	if res.RemoteBytes != 0 || res.StolenLeaves != 0 {
+		t.Fatal("ablation still charged communication")
+	}
+}
+
+func TestImpossibleAffinityFallsBack(t *testing.T) {
+	// Pinned to worker 7, but only 2 workers exist: must complete.
+	root := task.Seq(computeLeaf(1e6).WithAffinity(1 << 7))
+	res := Run(machine(), root, Config{Workers: 2})
+	if res.Leaves != 1 {
+		t.Fatal("leaf with impossible affinity did not run")
+	}
+}
+
+func TestAffinityRestrictsParallelism(t *testing.T) {
+	// Four compute leaves all pinned to worker 0 must serialize even
+	// with four workers available.
+	m := machine()
+	leaves := make([]*task.Node, 4)
+	for i := range leaves {
+		leaves[i] = computeLeaf(1e9).WithAffinity(0b1)
+	}
+	res := Run(m, task.Par(leaves...), Config{Workers: 4})
+	serial := m.SerialTime(task.Par(leaves...))
+	if math.Abs(res.Makespan-serial)/serial > 1e-9 {
+		t.Fatalf("pinned leaves did not serialize: %v vs %v", res.Makespan, serial)
+	}
+	if busy := res.WorkerBusy[1] + res.WorkerBusy[2] + res.WorkerBusy[3]; busy != 0 {
+		t.Fatalf("non-pinned workers were busy: %v", busy)
+	}
+}
+
+func TestDisableContentionSpeedsMemoryBoundRuns(t *testing.T) {
+	m := machine()
+	leaves := make([]*task.Node, 8)
+	for i := range leaves {
+		leaves[i] = memLeaf(1e8)
+	}
+	contended := Run(m, task.Par(leaves...), Config{Workers: 4})
+	free := Run(m, task.Par(leaves...), Config{Workers: 4, DisableContention: true})
+	if free.Makespan >= contended.Makespan {
+		t.Fatalf("contention ablation did not speed up: %v vs %v", free.Makespan, contended.Makespan)
+	}
+}
+
+func TestAllocHighWater(t *testing.T) {
+	// Par of two subtrees each holding 1 MB: both live at once under a
+	// 2-worker schedule.
+	sub := func() *task.Node {
+		return task.Seq(computeLeaf(1e9)).WithAlloc(1e6)
+	}
+	res := Run(machine(), task.Par(sub(), sub()), Config{Workers: 2})
+	if res.AllocHighWater != 2e6 {
+		t.Fatalf("high water %v want 2e6", res.AllocHighWater)
+	}
+	stats := task.Collect(task.Par(sub(), sub()))
+	if res.AllocHighWater > stats.AllocPeak {
+		t.Fatalf("scheduled high water %v exceeds structural bound %v", res.AllocHighWater, stats.AllocPeak)
+	}
+}
+
+func TestBusyByKindBreakdown(t *testing.T) {
+	m := machine()
+	root := task.Seq(
+		task.Leaf(task.Work{Kind: task.KindGEMM, Flops: 1e9}),
+		task.Leaf(task.Work{Kind: task.KindAdd, DRAMBytes: 1e8}),
+		task.Leaf(task.Work{Kind: task.KindCopy, DRAMBytes: 5e7}),
+	)
+	res := Run(m, root, Config{Workers: 2})
+	if len(res.BusyByKind) != 3 {
+		t.Fatalf("kinds %v", res.BusyByKind)
+	}
+	sumKinds := 0.0
+	for _, v := range res.BusyByKind {
+		sumKinds += v
+	}
+	sumWorkers := 0.0
+	for _, v := range res.WorkerBusy {
+		sumWorkers += v
+	}
+	if math.Abs(sumKinds-sumWorkers) > 1e-12 {
+		t.Fatalf("kind sum %v vs worker sum %v", sumKinds, sumWorkers)
+	}
+	if res.BusyByKind[task.KindGEMM] <= res.BusyByKind[task.KindCopy] {
+		t.Fatal("1 GFlop of GEMM should outweigh a 50MB copy")
+	}
+}
+
+func TestWorkerBusyAccounting(t *testing.T) {
+	m := machine()
+	leaves := make([]*task.Node, 4)
+	for i := range leaves {
+		leaves[i] = computeLeaf(1e9)
+	}
+	res := Run(m, task.Par(leaves...), Config{Workers: 4})
+	if len(res.WorkerBusy) != 4 {
+		t.Fatalf("busy slice len %d", len(res.WorkerBusy))
+	}
+	for i, b := range res.WorkerBusy {
+		if b <= 0 || b > res.Makespan*(1+1e-9) {
+			t.Fatalf("worker %d busy %v outside (0, %v]", i, b, res.Makespan)
+		}
+	}
+	if u := res.Utilization(); u < 0.9 || u > 1.0+1e-9 {
+		t.Fatalf("utilization %v for perfectly divisible work", u)
+	}
+}
+
+func TestSixtyFourWorkerMachine(t *testing.T) {
+	// Exercises the full-width affinity mask path (1<<64 overflow
+	// guard) and scheduling breadth well past the paper's 4 cores.
+	m := machine()
+	m.Cores = 64
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	leaves := make([]*task.Node, 256)
+	for i := range leaves {
+		leaves[i] = computeLeaf(1e8)
+	}
+	res := Run(m, task.Par(leaves...), Config{Workers: 64})
+	if res.Leaves != 256 {
+		t.Fatalf("leaves %d", res.Leaves)
+	}
+	one := Run(m, task.Par(leaves...), Config{Workers: 1})
+	if sp := one.Makespan / res.Makespan; sp < 50 {
+		t.Fatalf("64-worker speedup %v", sp)
+	}
+}
+
+func TestPropertyAllLeavesExecuted(t *testing.T) {
+	m := machine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := randomSimTree(rng, 4)
+		want := task.Collect(root).Leaves
+		workers := 1 + rng.Intn(4)
+		res := Run(m, root, Config{Workers: workers})
+		return res.Leaves == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoreWorkersNeverSlower(t *testing.T) {
+	m := machine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := randomSimTree(rng, 4)
+		// Contention off isolates scheduling: with it on, more workers
+		// can legitimately lengthen individual leaves.
+		cfgA := Config{Workers: 1, DisableContention: true}
+		cfgB := Config{Workers: 4, DisableContention: true}
+		a := Run(m, root, cfgA)
+		b := Run(m, root, cfgB)
+		return b.Makespan <= a.Makespan*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnergyPositiveAndBounded(t *testing.T) {
+	m := machine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := randomSimTree(rng, 3)
+		res := Run(m, root, Config{Workers: 2})
+		if res.Makespan == 0 {
+			return res.EnergyPKG == 0
+		}
+		maxP := m.SegmentPower([]hw.Activity{
+			{Utilization: 1, DRAMRate: m.DRAMBandwidth, L3Rate: m.L3Bandwidth},
+			{Utilization: 1, DRAMRate: m.DRAMBandwidth, L3Rate: m.L3Bandwidth},
+		})
+		return res.EnergyPKG > 0 && res.AvgPowerPKG() <= maxP.PKG+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomSimTree(rng *rand.Rand, depth int) *task.Node {
+	if depth == 0 || rng.Intn(3) == 0 {
+		kind := []task.Kind{task.KindGEMM, task.KindBaseMul, task.KindAdd, task.KindCopy}[rng.Intn(4)]
+		return task.Leaf(task.Work{
+			Kind:      kind,
+			Flops:     rng.Float64() * 1e8,
+			DRAMBytes: rng.Float64() * 1e7,
+			L3Bytes:   rng.Float64() * 1e7,
+		})
+	}
+	n := 1 + rng.Intn(4)
+	children := make([]*task.Node, n)
+	for i := range children {
+		children[i] = randomSimTree(rng, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return task.Seq(children...)
+	}
+	return task.Par(children...)
+}

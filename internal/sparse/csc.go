@@ -1,0 +1,98 @@
+package sparse
+
+import "fmt"
+
+// CSC is compressed sparse column storage — the transpose-friendly
+// counterpart of CSR. Its SpMV scatters into y column by column, which
+// parallelizes only with atomics or per-thread private y vectors, so
+// the parallel energy study sticks to the row-partitionable formats;
+// CSC is provided for storage completeness (transpose products, column
+// slicing) with the same correctness guarantees.
+type CSC struct {
+	RowsN, ColsN int
+	ColPtr       []int32 // len ColsN+1
+	Row          []int32
+	V            []float64
+}
+
+// NNZ returns the number of stored non-zeros.
+func (a *CSC) NNZ() int { return len(a.V) }
+
+// ToCSC converts coordinate storage to CSC.
+func (a *COO) ToCSC() *CSC {
+	out := &CSC{
+		RowsN: a.RowsN, ColsN: a.ColsN,
+		ColPtr: make([]int32, a.ColsN+1),
+		Row:    make([]int32, len(a.V)),
+		V:      make([]float64, len(a.V)),
+	}
+	for _, c := range a.J {
+		out.ColPtr[c+1]++
+	}
+	for c := 0; c < a.ColsN; c++ {
+		out.ColPtr[c+1] += out.ColPtr[c]
+	}
+	next := make([]int32, a.ColsN)
+	copy(next, out.ColPtr[:a.ColsN])
+	for k := range a.V {
+		c := a.J[k]
+		pos := next[c]
+		out.Row[pos] = a.I[k]
+		out.V[pos] = a.V[k]
+		next[c]++
+	}
+	return out
+}
+
+// ToCOO converts back to (row-sorted) coordinate storage.
+func (a *CSC) ToCOO() *COO {
+	is := make([]int32, len(a.V))
+	js := make([]int32, len(a.V))
+	vs := make([]float64, len(a.V))
+	idx := 0
+	for c := 0; c < a.ColsN; c++ {
+		for k := a.ColPtr[c]; k < a.ColPtr[c+1]; k++ {
+			is[idx] = a.Row[k]
+			js[idx] = int32(c)
+			vs[idx] = a.V[k]
+			idx++
+		}
+	}
+	out, err := NewCOO(a.RowsN, a.ColsN, is, js, vs)
+	if err != nil {
+		panic("sparse: CSC produced invalid COO: " + err.Error())
+	}
+	return out
+}
+
+// MulVec computes y = A·x by column scatter (y is overwritten).
+func (a *CSC) MulVec(y, x []float64) {
+	checkVecs(a.RowsN, a.ColsN, y, x)
+	for i := range y {
+		y[i] = 0
+	}
+	for c := 0; c < a.ColsN; c++ {
+		xc := x[c]
+		if xc == 0 {
+			continue
+		}
+		for k := a.ColPtr[c]; k < a.ColPtr[c+1]; k++ {
+			y[a.Row[k]] += a.V[k] * xc
+		}
+	}
+}
+
+// MulVecT computes y = Aᵀ·x — a gather over columns, CSC's natural
+// fast direction (each output element reads one column).
+func (a *CSC) MulVecT(y, x []float64) {
+	if len(y) != a.ColsN || len(x) != a.RowsN {
+		panic(fmt.Sprintf("sparse: MulVecT lengths y=%d x=%d for %dx%d", len(y), len(x), a.RowsN, a.ColsN))
+	}
+	for c := 0; c < a.ColsN; c++ {
+		sum := 0.0
+		for k := a.ColPtr[c]; k < a.ColPtr[c+1]; k++ {
+			sum += a.V[k] * x[a.Row[k]]
+		}
+		y[c] = sum
+	}
+}

@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capscale/internal/matrix"
+)
+
+func TestCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	coo := RandomUniform(rng, 24, 0.15)
+	csc := coo.ToCSC()
+	if csc.NNZ() != coo.NNZ() {
+		t.Fatalf("nnz %d vs %d", csc.NNZ(), coo.NNZ())
+	}
+	if !matrix.Equal(coo.ToDense(), csc.ToCOO().ToDense()) {
+		t.Fatal("COO→CSC→COO changed the matrix")
+	}
+}
+
+func TestCSCMulVecMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	coo := PowerLaw(rng, 60, 5, 2.0)
+	csr := coo.ToCSR()
+	csc := coo.ToCSC()
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	y1 := make([]float64, 60)
+	csr.MulVec(y1, x)
+	y2 := make([]float64, 60)
+	csc.MulVec(y2, x)
+	if !vecAlmostEqual(y1, y2, 1e-12) {
+		t.Fatal("CSC scatter SpMV differs from CSR")
+	}
+}
+
+func TestCSCMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	coo := RandomUniform(rng, 30, 0.1)
+	csc := coo.ToCSC()
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	got := make([]float64, 30)
+	csc.MulVecT(got, x)
+	// Reference: transpose densely.
+	d := coo.ToDense()
+	dt := matrix.New(30, 30)
+	matrix.TransposeTo(dt, d)
+	want := denseMulVec(dt, x)
+	if !vecAlmostEqual(got, want, 1e-12) {
+		t.Fatal("MulVecT wrong")
+	}
+}
+
+func TestCSCMulVecTShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	csc := RandomUniform(rng, 8, 0.2).ToCSC()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	csc.MulVecT(make([]float64, 3), make([]float64, 8))
+}
+
+func TestPropertyCSCTransposeIdentity(t *testing.T) {
+	// ⟨Ax, z⟩ == ⟨x, Aᵀz⟩ for all x, z.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		csc := RandomUniform(rng, n, 0.15).ToCSC()
+		x := make([]float64, n)
+		z := make([]float64, n)
+		for i := range x {
+			x[i], z[i] = rng.Float64(), rng.Float64()
+		}
+		ax := make([]float64, n)
+		csc.MulVec(ax, x)
+		atz := make([]float64, n)
+		csc.MulVecT(atz, z)
+		lhs, rhs := 0.0, 0.0
+		for i := range x {
+			lhs += ax[i] * z[i]
+			rhs += x[i] * atz[i]
+		}
+		return lhs-rhs < 1e-9 && rhs-lhs < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package sparse
+
+import (
+	"testing"
+
+	"capscale/internal/matrix"
+)
+
+// FuzzNewCOO drives the COO constructor with arbitrary triples: it
+// must either reject cleanly or produce a matrix whose conversions all
+// round-trip. Run with `go test -fuzz=FuzzNewCOO ./internal/sparse`;
+// the seed corpus runs under plain `go test`.
+func FuzzNewCOO(f *testing.F) {
+	f.Add(4, 4, []byte{0, 0, 1, 1, 2, 2})
+	f.Add(2, 3, []byte{0, 2, 1, 0})
+	f.Add(1, 1, []byte{0, 0})
+	f.Add(3, 3, []byte{})
+	f.Fuzz(func(t *testing.T, rows, cols int, pairs []byte) {
+		if rows <= 0 || cols <= 0 || rows > 64 || cols > 64 {
+			return
+		}
+		n := len(pairs) / 2
+		is := make([]int32, n)
+		js := make([]int32, n)
+		vs := make([]float64, n)
+		for k := 0; k < n; k++ {
+			is[k] = int32(pairs[2*k])
+			js[k] = int32(pairs[2*k+1])
+			vs[k] = float64(k + 1)
+		}
+		coo, err := NewCOO(rows, cols, is, js, vs)
+		if err != nil {
+			return // clean rejection is fine
+		}
+		// Every accepted matrix must survive all conversions.
+		d := coo.ToDense()
+		csr := coo.ToCSR()
+		if csr.NNZ() != coo.NNZ() {
+			t.Fatalf("CSR nnz %d vs %d", csr.NNZ(), coo.NNZ())
+		}
+		if !matrix.Equal(d, csr.ToCOO().ToDense()) {
+			t.Fatal("CSR round trip changed the matrix")
+		}
+		ell := csr.ToELL()
+		if ell.NNZ() != coo.NNZ() {
+			t.Fatalf("ELL nnz %d vs %d", ell.NNZ(), coo.NNZ())
+		}
+		// SpMV against the dense reference.
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = float64(i%5) - 2
+		}
+		y1 := make([]float64, rows)
+		coo.MulVec(y1, x)
+		y2 := make([]float64, rows)
+		csr.MulVec(y2, x)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("COO and CSR disagree at row %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomUniform returns an n×n matrix with approximately density·n²
+// non-zeros placed uniformly at random (deterministic under rng).
+func RandomUniform(rng *rand.Rand, n int, density float64) *COO {
+	if density <= 0 || density > 1 {
+		panic(fmt.Sprintf("sparse: density %v", density))
+	}
+	type key struct{ i, j int32 }
+	target := int(density * float64(n) * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	seen := make(map[key]bool, target)
+	var is, js []int32
+	var vs []float64
+	for len(vs) < target {
+		k := key{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		is = append(is, k.i)
+		js = append(js, k.j)
+		vs = append(vs, 2*rng.Float64()-1)
+	}
+	out, err := NewCOO(n, n, is, js, vs)
+	if err != nil {
+		panic("sparse: generator produced invalid matrix: " + err.Error())
+	}
+	return out
+}
+
+// Banded returns an n×n matrix with the given half-bandwidth fully
+// populated (a tridiagonal matrix has halfBand 1) — the regular
+// structure ELL is ideal for.
+func Banded(rng *rand.Rand, n, halfBand int) *COO {
+	if halfBand < 0 || halfBand >= n {
+		panic(fmt.Sprintf("sparse: half bandwidth %d for n=%d", halfBand, n))
+	}
+	var is, js []int32
+	var vs []float64
+	for i := 0; i < n; i++ {
+		lo := i - halfBand
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + halfBand
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			is = append(is, int32(i))
+			js = append(js, int32(j))
+			vs = append(vs, 2*rng.Float64()-1)
+		}
+	}
+	out, err := NewCOO(n, n, is, js, vs)
+	if err != nil {
+		panic("sparse: generator produced invalid matrix: " + err.Error())
+	}
+	return out
+}
+
+// SPDBanded returns a symmetric positive definite banded matrix:
+// random symmetric off-diagonals inside the half-bandwidth with each
+// diagonal entry exceeding its row's absolute off-diagonal sum
+// (diagonal dominance ⇒ SPD) — the canonical conjugate-gradient test
+// operator.
+func SPDBanded(rng *rand.Rand, n, halfBand int) *COO {
+	if halfBand < 0 || halfBand >= n {
+		panic(fmt.Sprintf("sparse: half bandwidth %d for n=%d", halfBand, n))
+	}
+	off := make(map[[2]int]float64)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j <= i+halfBand && j < n; j++ {
+			v := 2*rng.Float64() - 1
+			off[[2]int{i, j}] = v
+			rowAbs[i] += math.Abs(v)
+			rowAbs[j] += math.Abs(v)
+		}
+	}
+	var is, js []int32
+	var vs []float64
+	for i := 0; i < n; i++ {
+		is = append(is, int32(i))
+		js = append(js, int32(i))
+		vs = append(vs, rowAbs[i]+1)
+	}
+	for k, v := range off {
+		is = append(is, int32(k[0]), int32(k[1]))
+		js = append(js, int32(k[1]), int32(k[0]))
+		vs = append(vs, v, v)
+	}
+	out, err := NewCOO(n, n, is, js, vs)
+	if err != nil {
+		panic("sparse: generator produced invalid matrix: " + err.Error())
+	}
+	return out
+}
+
+// PowerLaw returns an n×n matrix whose row lengths follow a truncated
+// power law (a few very heavy rows, many light ones) — the skewed
+// structure that makes ELL padding catastrophic and is typical of
+// graph adjacency matrices.
+func PowerLaw(rng *rand.Rand, n int, avgNNZ int, alpha float64) *COO {
+	if avgNNZ < 1 || alpha <= 1 {
+		panic(fmt.Sprintf("sparse: avgNNZ %d alpha %v", avgNNZ, alpha))
+	}
+	var is, js []int32
+	var vs []float64
+	for i := 0; i < n; i++ {
+		// Inverse-CDF sample of a Pareto-ish length, scaled to the
+		// requested mean and capped at n.
+		u := rng.Float64()
+		ln := float64(avgNNZ) * (alpha - 1) / alpha * math.Pow(1-u, -1/alpha)
+		length := int(ln)
+		if length < 1 {
+			length = 1
+		}
+		if length > n {
+			length = n
+		}
+		cols := rng.Perm(n)[:length]
+		for _, j := range cols {
+			is = append(is, int32(i))
+			js = append(js, int32(j))
+			vs = append(vs, 2*rng.Float64()-1)
+		}
+	}
+	out, err := NewCOO(n, n, is, js, vs)
+	if err != nil {
+		panic("sparse: generator produced invalid matrix: " + err.Error())
+	}
+	return out
+}

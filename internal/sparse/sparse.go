@@ -1,0 +1,259 @@
+// Package sparse implements the paper's second future-work thread:
+// "quantify the energy performance scaling of ... sparse matrix
+// (vector) multiplication techniques [and] the energy performance
+// scaling properties of the various sparse matrix storage techniques."
+//
+// It provides COO, CSR and ELLPACK storage with real sparse
+// matrix-vector kernels, deterministic matrix generators, and task-tree
+// builders whose traffic accounting reflects each format's memory
+// behaviour (index overhead, ELL padding waste, COO scatter
+// accumulation, irregular gathers on x), so the same simulator and
+// energy model that reproduce the paper's dense study extend to SpMV.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"capscale/internal/matrix"
+)
+
+// COO is coordinate storage: parallel (row, col, value) triples,
+// sorted row-major by construction.
+type COO struct {
+	RowsN, ColsN int
+	I, J         []int32
+	V            []float64
+}
+
+// CSR is compressed sparse row storage.
+type CSR struct {
+	RowsN, ColsN int
+	RowPtr       []int32 // len RowsN+1
+	Col          []int32
+	V            []float64
+}
+
+// ELL is ELLPACK storage: every row padded to the matrix's maximum row
+// length. Padding slots have Col = -1 and V = 0.
+type ELL struct {
+	RowsN, ColsN, Width int
+	Col                 []int32 // RowsN × Width, row-major
+	V                   []float64
+}
+
+// NNZ returns stored non-zeros (COO/CSR) or real non-zeros (ELL,
+// excluding padding).
+func (a *COO) NNZ() int { return len(a.V) }
+
+// NNZ returns the number of stored non-zeros.
+func (a *CSR) NNZ() int { return len(a.V) }
+
+// NNZ returns the number of real (non-padding) entries.
+func (a *ELL) NNZ() int {
+	n := 0
+	for _, c := range a.Col {
+		if c >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PaddingWaste returns the fraction of ELL slots that are padding.
+func (a *ELL) PaddingWaste() float64 {
+	total := a.RowsN * a.Width
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(a.NNZ())/float64(total)
+}
+
+// NewCOO builds a COO matrix from triples, validating and sorting them
+// row-major (column within row). Duplicate coordinates are an error.
+func NewCOO(rows, cols int, i, j []int32, v []float64) (*COO, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: dimensions %dx%d", rows, cols)
+	}
+	if len(i) != len(j) || len(i) != len(v) {
+		return nil, fmt.Errorf("sparse: triple lengths %d/%d/%d", len(i), len(j), len(v))
+	}
+	type trip struct {
+		i, j int32
+		v    float64
+	}
+	ts := make([]trip, len(i))
+	for k := range i {
+		if i[k] < 0 || int(i[k]) >= rows || j[k] < 0 || int(j[k]) >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of %dx%d", i[k], j[k], rows, cols)
+		}
+		ts[k] = trip{i[k], j[k], v[k]}
+	}
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].i != ts[b].i {
+			return ts[a].i < ts[b].i
+		}
+		return ts[a].j < ts[b].j
+	})
+	out := &COO{RowsN: rows, ColsN: cols,
+		I: make([]int32, len(ts)), J: make([]int32, len(ts)), V: make([]float64, len(ts))}
+	for k, t := range ts {
+		if k > 0 && t.i == ts[k-1].i && t.j == ts[k-1].j {
+			return nil, fmt.Errorf("sparse: duplicate entry (%d,%d)", t.i, t.j)
+		}
+		out.I[k], out.J[k], out.V[k] = t.i, t.j, t.v
+	}
+	return out, nil
+}
+
+// FromDense extracts the non-zero structure of a dense matrix.
+func FromDense(d *matrix.Dense) *COO {
+	var i, j []int32
+	var v []float64
+	for r := 0; r < d.Rows(); r++ {
+		row := d.Row(r)
+		for c, val := range row {
+			if val != 0 {
+				i = append(i, int32(r))
+				j = append(j, int32(c))
+				v = append(v, val)
+			}
+		}
+	}
+	out, err := NewCOO(d.Rows(), d.Cols(), i, j, v)
+	if err != nil {
+		panic("sparse: FromDense produced invalid COO: " + err.Error())
+	}
+	return out
+}
+
+// ToDense materializes the matrix densely (for testing).
+func (a *COO) ToDense() *matrix.Dense {
+	d := matrix.New(a.RowsN, a.ColsN)
+	for k := range a.V {
+		d.Set(int(a.I[k]), int(a.J[k]), a.V[k])
+	}
+	return d
+}
+
+// ToCSR converts to compressed sparse row storage.
+func (a *COO) ToCSR() *CSR {
+	out := &CSR{
+		RowsN: a.RowsN, ColsN: a.ColsN,
+		RowPtr: make([]int32, a.RowsN+1),
+		Col:    make([]int32, len(a.V)),
+		V:      make([]float64, len(a.V)),
+	}
+	for _, r := range a.I {
+		out.RowPtr[r+1]++
+	}
+	for r := 0; r < a.RowsN; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	copy(out.Col, a.J)
+	copy(out.V, a.V)
+	return out
+}
+
+// ToCOO converts back to coordinate storage.
+func (a *CSR) ToCOO() *COO {
+	out := &COO{RowsN: a.RowsN, ColsN: a.ColsN,
+		I: make([]int32, len(a.V)), J: make([]int32, len(a.V)), V: make([]float64, len(a.V))}
+	for r := 0; r < a.RowsN; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			out.I[k] = int32(r)
+		}
+	}
+	copy(out.J, a.Col)
+	copy(out.V, a.V)
+	return out
+}
+
+// ToELL converts to ELLPACK; rows shorter than the widest are padded.
+func (a *CSR) ToELL() *ELL {
+	width := 0
+	for r := 0; r < a.RowsN; r++ {
+		if w := int(a.RowPtr[r+1] - a.RowPtr[r]); w > width {
+			width = w
+		}
+	}
+	out := &ELL{RowsN: a.RowsN, ColsN: a.ColsN, Width: width,
+		Col: make([]int32, a.RowsN*width), V: make([]float64, a.RowsN*width)}
+	for k := range out.Col {
+		out.Col[k] = -1
+	}
+	for r := 0; r < a.RowsN; r++ {
+		base := r * width
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			off := int(k - a.RowPtr[r])
+			out.Col[base+off] = a.Col[k]
+			out.V[base+off] = a.V[k]
+		}
+	}
+	return out
+}
+
+// RowNNZ returns the stored length of row r.
+func (a *CSR) RowNNZ(r int) int { return int(a.RowPtr[r+1] - a.RowPtr[r]) }
+
+// MulVec computes y = A·x from COO storage (y is overwritten).
+func (a *COO) MulVec(y, x []float64) {
+	checkVecs(a.RowsN, a.ColsN, y, x)
+	for i := range y {
+		y[i] = 0
+	}
+	for k := range a.V {
+		y[a.I[k]] += a.V[k] * x[a.J[k]]
+	}
+}
+
+// MulVec computes y = A·x from CSR storage (y is overwritten).
+func (a *CSR) MulVec(y, x []float64) {
+	checkVecs(a.RowsN, a.ColsN, y, x)
+	for r := 0; r < a.RowsN; r++ {
+		sum := 0.0
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			sum += a.V[k] * x[a.Col[k]]
+		}
+		y[r] = sum
+	}
+}
+
+// MulVecRows computes y[lo:hi] = A[lo:hi]·x — the row-partitioned
+// kernel the parallel task tree uses.
+func (a *CSR) MulVecRows(y, x []float64, lo, hi int) {
+	if lo < 0 || hi > a.RowsN || lo > hi {
+		panic(fmt.Sprintf("sparse: row range [%d,%d) of %d", lo, hi, a.RowsN))
+	}
+	for r := lo; r < hi; r++ {
+		sum := 0.0
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			sum += a.V[k] * x[a.Col[k]]
+		}
+		y[r] = sum
+	}
+}
+
+// MulVec computes y = A·x from ELL storage (y is overwritten).
+// Padding slots multiply by zero, exactly as a vectorized ELL kernel
+// does.
+func (a *ELL) MulVec(y, x []float64) {
+	checkVecs(a.RowsN, a.ColsN, y, x)
+	for r := 0; r < a.RowsN; r++ {
+		base := r * a.Width
+		sum := 0.0
+		for k := 0; k < a.Width; k++ {
+			c := a.Col[base+k]
+			if c >= 0 {
+				sum += a.V[base+k] * x[c]
+			}
+		}
+		y[r] = sum
+	}
+}
+
+func checkVecs(rows, cols int, y, x []float64) {
+	if len(y) != rows || len(x) != cols {
+		panic(fmt.Sprintf("sparse: vector lengths y=%d x=%d for %dx%d", len(y), len(x), rows, cols))
+	}
+}

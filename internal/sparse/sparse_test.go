@@ -1,0 +1,268 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capscale/internal/matrix"
+)
+
+func denseMulVec(d *matrix.Dense, x []float64) []float64 {
+	y := make([]float64, d.Rows())
+	for i := 0; i < d.Rows(); i++ {
+		sum := 0.0
+		row := d.Row(i)
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+func vecAlmostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*math.Max(1, math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewCOOValidation(t *testing.T) {
+	if _, err := NewCOO(0, 3, nil, nil, nil); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewCOO(2, 2, []int32{0}, []int32{0, 1}, []float64{1}); err == nil {
+		t.Fatal("mismatched triples accepted")
+	}
+	if _, err := NewCOO(2, 2, []int32{5}, []int32{0}, []float64{1}); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+	if _, err := NewCOO(2, 2, []int32{0, 0}, []int32{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("duplicate entry accepted")
+	}
+}
+
+func TestNewCOOSortsTriples(t *testing.T) {
+	a, err := NewCOO(3, 3, []int32{2, 0, 1}, []int32{0, 2, 1}, []float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.I[0] != 0 || a.I[1] != 1 || a.I[2] != 2 {
+		t.Fatalf("not row-sorted: %v", a.I)
+	}
+	if a.V[0] != 1 || a.V[1] != 2 || a.V[2] != 3 {
+		t.Fatalf("values not carried: %v", a.V)
+	}
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := matrix.New(8, 6)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 6; j++ {
+			if rng.Float64() < 0.3 {
+				d.Set(i, j, rng.Float64())
+			}
+		}
+	}
+	back := FromDense(d).ToDense()
+	if !matrix.Equal(d, back) {
+		t.Fatal("dense round trip failed")
+	}
+}
+
+func TestConversionsPreserveStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	coo := RandomUniform(rng, 32, 0.1)
+	csr := coo.ToCSR()
+	if csr.NNZ() != coo.NNZ() {
+		t.Fatalf("CSR nnz %d vs COO %d", csr.NNZ(), coo.NNZ())
+	}
+	back := csr.ToCOO()
+	if !matrix.Equal(coo.ToDense(), back.ToDense()) {
+		t.Fatal("COO→CSR→COO changed the matrix")
+	}
+	ell := csr.ToELL()
+	if ell.NNZ() != coo.NNZ() {
+		t.Fatalf("ELL nnz %d vs COO %d", ell.NNZ(), coo.NNZ())
+	}
+}
+
+func TestELLWidthAndPadding(t *testing.T) {
+	// Rows with 1, 3, 2 entries → width 3, waste = 1 - 6/9.
+	a, err := NewCOO(3, 4,
+		[]int32{0, 1, 1, 1, 2, 2},
+		[]int32{0, 0, 1, 2, 1, 3},
+		[]float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ell := a.ToCSR().ToELL()
+	if ell.Width != 3 {
+		t.Fatalf("width %d", ell.Width)
+	}
+	if w := ell.PaddingWaste(); math.Abs(w-(1-6.0/9.0)) > 1e-12 {
+		t.Fatalf("waste %v", w)
+	}
+}
+
+func TestMulVecAllFormatsMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, gen := range []func() *COO{
+		func() *COO { return RandomUniform(rng, 50, 0.08) },
+		func() *COO { return Banded(rng, 50, 2) },
+		func() *COO { return PowerLaw(rng, 50, 4, 2.0) },
+	} {
+		coo := gen()
+		d := coo.ToDense()
+		x := make([]float64, coo.ColsN)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		want := denseMulVec(d, x)
+
+		y := make([]float64, coo.RowsN)
+		coo.MulVec(y, x)
+		if !vecAlmostEqual(y, want, 1e-12) {
+			t.Fatal("COO MulVec wrong")
+		}
+		csr := coo.ToCSR()
+		csr.MulVec(y, x)
+		if !vecAlmostEqual(y, want, 1e-12) {
+			t.Fatal("CSR MulVec wrong")
+		}
+		csr.ToELL().MulVec(y, x)
+		if !vecAlmostEqual(y, want, 1e-12) {
+			t.Fatal("ELL MulVec wrong")
+		}
+	}
+}
+
+func TestMulVecRowsPartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	csr := RandomUniform(rng, 40, 0.1).ToCSR()
+	x := make([]float64, 40)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	full := make([]float64, 40)
+	csr.MulVec(full, x)
+	part := make([]float64, 40)
+	csr.MulVecRows(part, x, 10, 30)
+	for i := 10; i < 30; i++ {
+		if part[i] != full[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestMulVecShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	coo := RandomUniform(rng, 8, 0.2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	coo.MulVec(make([]float64, 3), make([]float64, 8))
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	uni := RandomUniform(rng, 100, 0.05)
+	if nnz := uni.NNZ(); nnz < 400 || nnz > 600 {
+		t.Fatalf("uniform nnz %d for target 500", nnz)
+	}
+	band := Banded(rng, 100, 1)
+	if band.NNZ() != 3*100-2 {
+		t.Fatalf("tridiagonal nnz %d", band.NNZ())
+	}
+	pl := PowerLaw(rng, 200, 6, 2.0)
+	csr := pl.ToCSR()
+	maxRow := 0
+	for r := 0; r < 200; r++ {
+		if l := csr.RowNNZ(r); l > maxRow {
+			maxRow = l
+		}
+	}
+	avg := float64(pl.NNZ()) / 200
+	if float64(maxRow) < 3*avg {
+		t.Fatalf("power law not skewed: max row %d vs avg %.1f", maxRow, avg)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandomUniform(rand.New(rand.NewSource(7)), 64, 0.1)
+	b := RandomUniform(rand.New(rand.NewSource(7)), 64, 0.1)
+	if !matrix.Equal(a.ToDense(), b.ToDense()) {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestPropertySpMVLinearity(t *testing.T) {
+	// A(x + z) == Ax + Az for every format.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		coo := RandomUniform(rng, n, 0.15)
+		csr := coo.ToCSR()
+		ell := csr.ToELL()
+		x := make([]float64, n)
+		z := make([]float64, n)
+		xz := make([]float64, n)
+		for i := range x {
+			x[i], z[i] = rng.Float64(), rng.Float64()
+			xz[i] = x[i] + z[i]
+		}
+		for _, mv := range []func(y, x []float64){coo.MulVec, csr.MulVec, ell.MulVec} {
+			ax, az, axz := make([]float64, n), make([]float64, n), make([]float64, n)
+			mv(ax, x)
+			mv(az, z)
+			mv(axz, xz)
+			for i := range ax {
+				if math.Abs(axz[i]-(ax[i]+az[i])) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyConversionRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		coo := RandomUniform(rng, n, 0.1)
+		d1 := coo.ToDense()
+		d2 := coo.ToCSR().ToCOO().ToDense()
+		d3 := FromDense(coo.ToCSR().ToELL().mustDense()).ToDense()
+		return matrix.Equal(d1, d2) && matrix.Equal(d1, d3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustDense materializes an ELL matrix densely for round-trip checks.
+func (a *ELL) mustDense() *matrix.Dense {
+	d := matrix.New(a.RowsN, a.ColsN)
+	for r := 0; r < a.RowsN; r++ {
+		for k := 0; k < a.Width; k++ {
+			if c := a.Col[r*a.Width+k]; c >= 0 {
+				d.Set(r, int(c), a.V[r*a.Width+k])
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,171 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"capscale/internal/hw"
+	"capscale/internal/sim"
+	"capscale/internal/task"
+)
+
+func machine() *hw.Machine { return hw.HaswellE31225() }
+
+func TestFormatNames(t *testing.T) {
+	if FormatCSR.String() != "CSR" || FormatCOO.String() != "COO" || FormatELL.String() != "ELL" {
+		t.Fatal("names")
+	}
+	if Format(9).String() != "Format(9)" {
+		t.Fatal("out of range")
+	}
+	if len(Formats()) != 3 {
+		t.Fatal("formats list")
+	}
+}
+
+func TestBuildSpMVNumericsMatchSerialKernel(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(1))
+	coo := PowerLaw(rng, 200, 5, 2.0)
+	csr := coo.ToCSR()
+
+	for _, f := range Formats() {
+		for _, workers := range []int{1, 3} {
+			spmv := BuildSpMV(m, csr, f, Options{Workers: workers, Iterations: 2, WithMath: true})
+			sim.Run(m, spmv.Root, sim.Config{Workers: workers, VerifyNumerics: true})
+			want := make([]float64, csr.RowsN)
+			csr.MulVec(want, spmv.X)
+			if !vecAlmostEqual(spmv.Y, want, 1e-12) {
+				t.Fatalf("%v workers=%d: parallel SpMV differs", f, workers)
+			}
+		}
+	}
+}
+
+func TestNNZBalancedBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	csr := PowerLaw(rng, 400, 8, 1.8).ToCSR()
+	bounds := nnzBalancedBounds(csr, 4)
+	if bounds[0] != 0 || bounds[4] != 400 {
+		t.Fatalf("bounds %v", bounds)
+	}
+	total := csr.NNZ()
+	for w := 0; w < 4; w++ {
+		nnz := int(csr.RowPtr[bounds[w+1]] - csr.RowPtr[bounds[w]])
+		if nnz > total/2 {
+			t.Fatalf("chunk %d holds %d of %d nnz — unbalanced", w, nnz, total)
+		}
+	}
+}
+
+func TestFlopAccountingMatchesNNZ(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(3))
+	csr := RandomUniform(rng, 256, 0.05).ToCSR()
+	spmv := BuildSpMV(m, csr, FormatCSR, Options{Workers: 4, Iterations: 3})
+	stats := task.Collect(spmv.Root)
+	want := 3 * 2 * float64(csr.NNZ())
+	if stats.Flops != want {
+		t.Fatalf("flops %v want %v", stats.Flops, want)
+	}
+}
+
+func TestELLPaysForPadding(t *testing.T) {
+	// On a skewed matrix ELL must charge more traffic and flops than
+	// CSR; on a perfectly regular band they should be comparable.
+	m := machine()
+	rng := rand.New(rand.NewSource(4))
+	skewed := PowerLaw(rng, 512, 4, 1.6).ToCSR()
+	ellStats := task.Collect(BuildSpMV(m, skewed, FormatELL, Options{Workers: 2}).Root)
+	csrStats := task.Collect(BuildSpMV(m, skewed, FormatCSR, Options{Workers: 2}).Root)
+	if ellStats.DRAMBytes <= 1.5*csrStats.DRAMBytes {
+		t.Fatalf("ELL traffic %v not well above CSR %v on skewed rows", ellStats.DRAMBytes, csrStats.DRAMBytes)
+	}
+
+	band := Banded(rng, 512, 3).ToCSR()
+	ellB := task.Collect(BuildSpMV(m, band, FormatELL, Options{Workers: 2}).Root)
+	csrB := task.Collect(BuildSpMV(m, band, FormatCSR, Options{Workers: 2}).Root)
+	if ellB.DRAMBytes > 1.3*csrB.DRAMBytes {
+		t.Fatalf("ELL traffic %v far above CSR %v on a regular band", ellB.DRAMBytes, csrB.DRAMBytes)
+	}
+}
+
+func TestCOOPaysForScatter(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(5))
+	csr := RandomUniform(rng, 512, 0.02).ToCSR()
+	coo := task.Collect(BuildSpMV(m, csr, FormatCOO, Options{Workers: 2}).Root)
+	plain := task.Collect(BuildSpMV(m, csr, FormatCSR, Options{Workers: 2}).Root)
+	if coo.DRAMBytes <= plain.DRAMBytes {
+		t.Fatal("COO should move more bytes than CSR")
+	}
+}
+
+func TestBytesPerNNZOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	skewed := PowerLaw(rng, 256, 4, 1.6).ToCSR()
+	csr := BytesPerNNZ(FormatCSR, skewed)
+	coo := BytesPerNNZ(FormatCOO, skewed)
+	ell := BytesPerNNZ(FormatELL, skewed)
+	if !(csr < coo && coo < ell) {
+		t.Fatalf("per-nnz bytes ordering: CSR %v COO %v ELL %v", csr, coo, ell)
+	}
+}
+
+func TestEnergyStudyShape(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(7))
+	a := PowerLaw(rng, 2048, 12, 1.8)
+	pts := EnergyStudy(m, a, []int{1, 2, 4}, 20)
+	if len(pts) != 9 {
+		t.Fatalf("points %d", len(pts))
+	}
+	byKey := map[string]StudyPoint{}
+	for _, p := range pts {
+		byKey[p.Format.String()+string(rune('0'+p.Threads))] = p
+		if p.Seconds <= 0 || p.Watts <= 0 || p.EP <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	// CSR is the fastest format on skewed matrices at every thread
+	// count; SpMV is bandwidth-bound so power stays comparatively flat
+	// (well under a compute-bound kernel's ~48 W at 4 threads).
+	for _, th := range []byte{'1', '2', '4'} {
+		if byKey["CSR"+string(th)].Seconds >= byKey["ELL"+string(th)].Seconds {
+			t.Errorf("threads %c: CSR not faster than ELL", th)
+		}
+	}
+	if byKey["CSR4"].Watts > 40 {
+		t.Errorf("bandwidth-bound SpMV drawing %v W at 4 threads", byKey["CSR4"].Watts)
+	}
+}
+
+func TestSpMVBandwidthBoundSpeedupLimited(t *testing.T) {
+	// SpMV cannot scale past the memory system: 4-thread speedup must
+	// sit near the aggregate/single-stream bandwidth ratio (~1.5), far
+	// from 4.
+	m := machine()
+	rng := rand.New(rand.NewSource(8))
+	csr := RandomUniform(rng, 4096, 0.004).ToCSR()
+	t1 := sim.Run(m, BuildSpMV(m, csr, FormatCSR, Options{Workers: 1, Iterations: 5}).Root, sim.Config{Workers: 1}).Makespan
+	t4 := sim.Run(m, BuildSpMV(m, csr, FormatCSR, Options{Workers: 4, Iterations: 5}).Root, sim.Config{Workers: 4}).Makespan
+	speedup := t1 / t4
+	if speedup > 2.0 {
+		t.Fatalf("SpMV speedup %v too high for a bandwidth-bound kernel", speedup)
+	}
+	if speedup < 1.0 {
+		t.Fatalf("SpMV slowed down with threads: %v", speedup)
+	}
+}
+
+func TestBuildSpMVPanicsOnZeroWorkers(t *testing.T) {
+	m := machine()
+	rng := rand.New(rand.NewSource(9))
+	csr := RandomUniform(rng, 16, 0.2).ToCSR()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BuildSpMV(m, csr, FormatCSR, Options{})
+}

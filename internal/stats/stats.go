@@ -1,0 +1,92 @@
+// Package stats holds the small numeric helpers the harness and
+// reports use: means, geometric means, extrema, least-squares fits and
+// relative errors.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean; it panics on an empty slice, which
+// indicates a harness bug.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: geomean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// MinMax returns the extrema; it panics on an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: minmax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// RelErr returns |got−want| / |want|. A zero want with a nonzero got
+// returns +Inf.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// LinearFit returns the least-squares slope and intercept of y over x.
+// It panics when fewer than two points are given or all x coincide.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: fit length mismatch %d vs %d", len(x), len(y)))
+	}
+	if len(x) < 2 {
+		panic("stats: fit needs at least two points")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: degenerate fit (all x equal)")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("mean")
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean %v", got)
+	}
+}
+
+func TestGeoMeanNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("minmax %v %v", lo, hi)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Fatal("relerr")
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("zero/zero")
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Fatal("x/0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, icept := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(icept-3) > 1e-12 {
+		t.Fatalf("fit %v %v", slope, icept)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	cases := []func(){
+		func() { LinearFit([]float64{1}, []float64{2}) },
+		func() { LinearFit([]float64{1, 2}, []float64{2}) },
+		func() { LinearFit([]float64{2, 2}, []float64{1, 3}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPropertyMeanBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(20))
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+		}
+		m := Mean(xs)
+		lo, hi := MinMax(xs)
+		return m >= lo-1e-12 && m <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGeoMeanLEMean(t *testing.T) {
+	// AM-GM inequality.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(20))
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*100
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFitRecoversLine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*10 - 5
+		b := rng.Float64()*10 - 5
+		x := make([]float64, 5)
+		y := make([]float64, 5)
+		for i := range x {
+			x[i] = float64(i) + rng.Float64()
+			y[i] = a*x[i] + b
+		}
+		slope, icept := LinearFit(x, y)
+		return math.Abs(slope-a) < 1e-9 && math.Abs(icept-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package strassen
+
+import (
+	"math/rand"
+
+	"capscale/internal/hw"
+	"capscale/internal/kernel"
+	"capscale/internal/matrix"
+	"capscale/internal/task"
+)
+
+// Numerical stability instrumentation. The paper notes that "Strassen
+// has been known to produce differences in the numerical stability as
+// compared with traditional techniques", citing Higham's analysis that
+// the effect is understood and bounded: the error bound grows by a
+// constant factor per recursion level (‖E‖ ≤ c·n^{log₂12}·u against
+// the conventional n²·u), so shallower recursion (larger cutover) is
+// more accurate. MeasureError makes that trade quantifiable on this
+// implementation.
+
+// ErrorReport compares one Strassen configuration against the
+// conventional product.
+type ErrorReport struct {
+	N        int
+	Cutover  int
+	Levels   int     // recursion depth actually taken
+	MaxAbs   float64 // max |strassen − conventional| element error
+	Relative float64 // MaxAbs scaled by the result's max magnitude
+}
+
+// MeasureError multiplies two deterministic random [-1,1) matrices
+// with the given options and reports the element-wise error against
+// kernel.Mul (the conventional product).
+func MeasureError(n int, opt Options, seed int64) ErrorReport {
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.Rand(rng, n, n)
+	b := matrix.Rand(rng, n, n)
+
+	want := matrix.New(n, n)
+	kernel.Mul(want, a, b)
+
+	got := matrix.New(n, n)
+	opt.WithMath = true
+	// The cost model never affects the Run closures; any valid machine
+	// serves for an accuracy measurement.
+	root := Build(hw.HaswellE31225(), got, a, b, 1, opt)
+	task.RunSerial(root)
+
+	levels := 0
+	for v := n; v > opt.cutover() && v%2 == 0; v /= 2 {
+		levels++
+	}
+	maxAbs := matrix.MaxAbsDiff(got, want)
+	scale := want.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	return ErrorReport{
+		N:        n,
+		Cutover:  opt.cutover(),
+		Levels:   levels,
+		MaxAbs:   maxAbs,
+		Relative: maxAbs / scale,
+	}
+}

@@ -1,0 +1,49 @@
+package strassen
+
+import "testing"
+
+func TestMeasureErrorBasics(t *testing.T) {
+	r := MeasureError(256, Options{Cutover: 32}, 1)
+	if r.N != 256 || r.Cutover != 32 || r.Levels != 3 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.MaxAbs <= 0 {
+		t.Fatal("Strassen agreed with conventional to the last bit — implausible")
+	}
+	if r.Relative > 1e-12 {
+		t.Fatalf("relative error %v far too large for n=256", r.Relative)
+	}
+}
+
+func TestErrorGrowsWithRecursionDepth(t *testing.T) {
+	// Higham's bound: each recursion level multiplies the error
+	// constant. Deeper recursion (smaller cutover) on the same data
+	// must not be more accurate; across a wide depth difference it
+	// must be strictly worse.
+	shallow := MeasureError(512, Options{Cutover: 256}, 7) // 1 level
+	deep := MeasureError(512, Options{Cutover: 8}, 7)      // 6 levels
+	if deep.Levels <= shallow.Levels {
+		t.Fatalf("levels %d vs %d", deep.Levels, shallow.Levels)
+	}
+	if deep.MaxAbs <= shallow.MaxAbs {
+		t.Fatalf("deep recursion error %v not above shallow %v", deep.MaxAbs, shallow.MaxAbs)
+	}
+}
+
+func TestErrorWellUnderStabilityBoundScale(t *testing.T) {
+	// Even at full depth the error stays in well-conditioned range —
+	// the paper's "these issues have been well understood" point.
+	r := MeasureError(512, Options{Cutover: 8}, 3)
+	if r.Relative > 1e-11 {
+		t.Fatalf("relative error %v beyond reasonable for [-1,1) inputs", r.Relative)
+	}
+}
+
+func TestWinogradErrorComparableToClassic(t *testing.T) {
+	classic := MeasureError(256, Options{Cutover: 16}, 5)
+	wino := MeasureError(256, Options{Cutover: 16, Winograd: true}, 5)
+	// Winograd's constant is slightly worse; both stay the same order.
+	if wino.MaxAbs > classic.MaxAbs*100 || classic.MaxAbs > wino.MaxAbs*100 {
+		t.Fatalf("classic %v vs winograd %v differ by orders of magnitude", classic.MaxAbs, wino.MaxAbs)
+	}
+}

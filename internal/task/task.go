@@ -1,0 +1,249 @@
+// Package task defines the fork-join intermediate representation shared
+// by every multiplier in the repository and by both execution engines.
+//
+// An algorithm (blocked DGEMM, Strassen, CAPS) is expressed once as a
+// tree of Leaf, Seq and Par nodes. The virtual-time simulator
+// (internal/sim) schedules the tree onto modeled hardware and integrates
+// power; the real executor (internal/sched) runs the leaves' closures on
+// goroutines. Keeping one IR guarantees the two engines execute the same
+// algorithmic structure.
+package task
+
+import "fmt"
+
+// Kind classifies a leaf's dominant activity, for tracing and for the
+// cost model's kernel-efficiency lookup.
+type Kind int
+
+const (
+	// KindGEMM is a packed, register-blocked matrix-multiply kernel
+	// (the OpenBLAS-style inner kernel).
+	KindGEMM Kind = iota
+	// KindBaseMul is the BOTS-style unrolled dense base-case solver
+	// used below the Strassen/CAPS recursion cutover.
+	KindBaseMul
+	// KindAdd is an element-wise matrix addition or subtraction.
+	KindAdd
+	// KindCopy is a bulk copy (packing, buffer staging).
+	KindCopy
+	// KindOverhead is scheduling/control work with no useful flops.
+	KindOverhead
+)
+
+var kindNames = [...]string{"gemm", "basemul", "add", "copy", "overhead"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// RegionID identifies a block of data for affinity tracking. Algorithms
+// obtain IDs from a Regions allocator; the simulator charges remote
+// traffic when a leaf reads a region last written by a different worker.
+type RegionID uint32
+
+// Regions hands out unique RegionIDs. The zero value is ready to use.
+// It is not safe for concurrent use; trees are built single-threaded.
+type Regions struct {
+	next RegionID
+}
+
+// New returns a fresh, never-before-issued RegionID.
+func (r *Regions) New() RegionID {
+	r.next++
+	return r.next
+}
+
+// Count returns how many regions have been issued.
+func (r *Regions) Count() int { return int(r.next) }
+
+// Work describes the resource demands of one leaf task. Byte fields
+// count traffic at each memory-hierarchy level beyond L1; the cost model
+// turns them into time and the power model into energy.
+type Work struct {
+	// Label names the leaf for traces ("mul C11", "pack A").
+	Label string
+	// Kind selects the kernel-efficiency class.
+	Kind Kind
+	// Flops is the number of double-precision operations performed.
+	Flops float64
+	// L3Bytes is traffic served by the shared last-level cache.
+	L3Bytes float64
+	// DRAMBytes is traffic that misses all caches.
+	DRAMBytes float64
+	// Reads and Writes are the data regions the leaf touches, used for
+	// communication (remote-traffic) accounting.
+	Reads  []RegionID
+	Writes []RegionID
+	// RegionBytes is the footprint of each listed region. When the
+	// scheduler places a leaf on a worker other than a read region's
+	// last writer, RegionBytes of remote (cache-to-cache) traffic are
+	// charged per such region.
+	RegionBytes float64
+	// Run optionally performs the leaf's real arithmetic. The simulator
+	// invokes it only when configured to verify numerics; the real
+	// executor always invokes it.
+	Run func()
+}
+
+type nodeKind int
+
+const (
+	leafNode nodeKind = iota
+	seqNode
+	parNode
+)
+
+// Node is a node of the fork-join tree. Nodes are immutable after
+// construction except for the affinity and buffer annotations set by
+// the With* methods during tree building.
+type Node struct {
+	kind     nodeKind
+	work     Work
+	children []*Node
+	// affinity, if nonzero, is a bitmask of workers permitted to run
+	// this subtree. Masks intersect down the tree.
+	affinity uint64
+	// allocBytes is temporary-buffer memory that is live while this
+	// subtree executes; the simulator tracks the high-water mark, which
+	// reproduces the paper's "Strassen needs intermediate buffers,
+	// so 4096 was the largest feasible size" observation.
+	allocBytes float64
+}
+
+// Leaf returns a leaf node performing w.
+func Leaf(w Work) *Node { return &Node{kind: leafNode, work: w} }
+
+// Seq returns a node whose children execute one after another.
+// Seq() with no children is a legal empty node.
+func Seq(children ...*Node) *Node { return &Node{kind: seqNode, children: children} }
+
+// Par returns a node whose children may execute concurrently.
+func Par(children ...*Node) *Node { return &Node{kind: parNode, children: children} }
+
+// WithAffinity restricts the subtree to the workers in mask (bit i set
+// means worker i may execute leaves of this subtree). A zero mask means
+// unrestricted. It returns n for chaining.
+func (n *Node) WithAffinity(mask uint64) *Node {
+	n.affinity = mask
+	return n
+}
+
+// WithAlloc records that allocBytes of temporary buffer are live while
+// this subtree executes. It returns n for chaining.
+func (n *Node) WithAlloc(bytes float64) *Node {
+	n.allocBytes = bytes
+	return n
+}
+
+// IsLeaf reports whether n is a leaf.
+func (n *Node) IsLeaf() bool { return n.kind == leafNode }
+
+// IsSeq reports whether n is a sequential composition.
+func (n *Node) IsSeq() bool { return n.kind == seqNode }
+
+// IsPar reports whether n is a parallel composition.
+func (n *Node) IsPar() bool { return n.kind == parNode }
+
+// Work returns the leaf's work descriptor; it panics for non-leaves.
+func (n *Node) Work() *Work {
+	if n.kind != leafNode {
+		panic("task: Work() on non-leaf node")
+	}
+	return &n.work
+}
+
+// Children returns the node's children (nil for leaves).
+func (n *Node) Children() []*Node { return n.children }
+
+// Affinity returns the node's worker mask (0 = unrestricted).
+func (n *Node) Affinity() uint64 { return n.affinity }
+
+// AllocBytes returns the temporary-buffer annotation.
+func (n *Node) AllocBytes() float64 { return n.allocBytes }
+
+// Walk visits every node in depth-first order, parents before children.
+func (n *Node) Walk(visit func(*Node)) {
+	visit(n)
+	for _, c := range n.children {
+		c.Walk(visit)
+	}
+}
+
+// Leaves returns the tree's leaves in deterministic depth-first order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) {
+		if m.IsLeaf() {
+			out = append(out, m)
+		}
+	})
+	return out
+}
+
+// Stats aggregates structural and resource totals over a tree.
+type Stats struct {
+	Leaves      int
+	Flops       float64
+	L3Bytes     float64
+	DRAMBytes   float64
+	Depth       int     // maximum nesting depth
+	AllocPeak   float64 // worst-case live temporary bytes along any path
+	FlopsByKind map[Kind]float64
+}
+
+// Collect computes Stats for the tree rooted at n.
+//
+// AllocPeak is the structural worst case: along a Seq, sibling buffers
+// are not live simultaneously (max); along a Par they may all be live
+// (sum). The simulator separately reports the *scheduled* high-water,
+// which can be lower when the executor runs Par children sequentially.
+func Collect(n *Node) Stats {
+	s := Stats{FlopsByKind: make(map[Kind]float64)}
+	var rec func(node *Node, depth int) float64 // returns live-alloc bound
+	rec = func(node *Node, depth int) float64 {
+		if depth > s.Depth {
+			s.Depth = depth
+		}
+		live := node.allocBytes
+		switch node.kind {
+		case leafNode:
+			s.Leaves++
+			s.Flops += node.work.Flops
+			s.L3Bytes += node.work.L3Bytes
+			s.DRAMBytes += node.work.DRAMBytes
+			s.FlopsByKind[node.work.Kind] += node.work.Flops
+		case seqNode:
+			maxChild := 0.0
+			for _, c := range node.children {
+				if v := rec(c, depth+1); v > maxChild {
+					maxChild = v
+				}
+			}
+			live += maxChild
+		case parNode:
+			for _, c := range node.children {
+				live += rec(c, depth+1)
+			}
+		}
+		if live > s.AllocPeak {
+			s.AllocPeak = live
+		}
+		return live
+	}
+	rec(n, 1)
+	return s
+}
+
+// RunSerial executes every leaf's Run closure in depth-first order on
+// the calling goroutine. It is the simplest correct executor and the
+// oracle the concurrent engines are tested against.
+func RunSerial(n *Node) {
+	n.Walk(func(m *Node) {
+		if m.IsLeaf() && m.work.Run != nil {
+			m.work.Run()
+		}
+	})
+}

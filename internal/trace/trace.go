@@ -1,0 +1,236 @@
+// Package trace represents power-over-time series: the simulator's
+// per-segment plane powers become a step function that can be
+// integrated, resampled at a fixed polling interval (the way a live
+// power monitor samples RAPL), concatenated across runs with quiesce
+// gaps, and exported as CSV for plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"capscale/internal/hw"
+	"capscale/internal/sim"
+)
+
+// Sample is one step of the power series: the plane powers hold from T
+// until the next sample's T (or the trace end).
+type Sample struct {
+	T    float64
+	PKG  float64
+	PP0  float64
+	DRAM float64
+}
+
+// Total returns the full-system draw at this sample.
+func (s Sample) Total() float64 { return s.PKG + s.DRAM }
+
+// Trace is a right-open step function of power over [start, End).
+type Trace struct {
+	Samples []Sample
+	End     float64
+}
+
+// FromSegments converts a simulator timeline into a trace.
+func FromSegments(segs []sim.Segment) *Trace {
+	tr := &Trace{}
+	for _, s := range segs {
+		tr.Samples = append(tr.Samples, Sample{
+			T: s.Start, PKG: s.Power.PKG, PP0: s.Power.PP0, DRAM: s.Power.DRAM,
+		})
+		tr.End = s.End
+	}
+	return tr
+}
+
+// Duration returns the trace's time extent.
+func (tr *Trace) Duration() float64 {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	return tr.End - tr.Samples[0].T
+}
+
+// Energy integrates the step function, returning joules per plane.
+func (tr *Trace) Energy() (pkg, pp0, dram float64) {
+	for i, s := range tr.Samples {
+		end := tr.End
+		if i+1 < len(tr.Samples) {
+			end = tr.Samples[i+1].T
+		}
+		dt := end - s.T
+		if dt < 0 {
+			panic(fmt.Sprintf("trace: non-monotone samples at %v", s.T))
+		}
+		pkg += s.PKG * dt
+		pp0 += s.PP0 * dt
+		dram += s.DRAM * dt
+	}
+	return pkg, pp0, dram
+}
+
+// AvgPower returns mean plane powers over the trace duration.
+func (tr *Trace) AvgPower() (pkg, pp0, dram float64) {
+	d := tr.Duration()
+	if d == 0 {
+		return 0, 0, 0
+	}
+	e1, e2, e3 := tr.Energy()
+	return e1 / d, e2 / d, e3 / d
+}
+
+// PeakPKG returns the largest package power step in the trace.
+func (tr *Trace) PeakPKG() float64 {
+	peak := 0.0
+	for _, s := range tr.Samples {
+		if s.PKG > peak {
+			peak = s.PKG
+		}
+	}
+	return peak
+}
+
+// At returns the sample in effect at time t; ok is false outside the
+// trace extent.
+func (tr *Trace) At(t float64) (Sample, bool) {
+	if len(tr.Samples) == 0 || t < tr.Samples[0].T || t >= tr.End {
+		return Sample{}, false
+	}
+	// Find the last sample with T <= t.
+	i := sort.Search(len(tr.Samples), func(i int) bool { return tr.Samples[i].T > t }) - 1
+	s := tr.Samples[i]
+	s.T = t
+	return s, true
+}
+
+// Resample returns the trace as seen by a poller reading every dt
+// seconds from the trace start — the view a PAPI-based monitor gets.
+// It panics on non-positive dt.
+func (tr *Trace) Resample(dt float64) *Trace {
+	if dt <= 0 {
+		panic(fmt.Sprintf("trace: non-positive resample interval %v", dt))
+	}
+	out := &Trace{End: tr.End}
+	if len(tr.Samples) == 0 {
+		return out
+	}
+	for t := tr.Samples[0].T; t < tr.End; t += dt {
+		if s, ok := tr.At(t); ok {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// AppendWithGap appends other to tr, inserting gap seconds at the idle
+// plane powers in between — the paper's 60-second quiesce between test
+// runs.
+func (tr *Trace) AppendWithGap(other *Trace, gap float64, idle hw.PlanePower) {
+	if gap < 0 {
+		panic(fmt.Sprintf("trace: negative gap %v", gap))
+	}
+	offset := tr.End
+	if gap > 0 {
+		tr.Samples = append(tr.Samples, Sample{T: offset, PKG: idle.PKG, PP0: idle.PP0, DRAM: idle.DRAM})
+		offset += gap
+	}
+	if len(other.Samples) == 0 {
+		tr.End = offset
+		return
+	}
+	base := other.Samples[0].T
+	for _, s := range other.Samples {
+		s.T = s.T - base + offset
+		tr.Samples = append(tr.Samples, s)
+	}
+	tr.End = other.End - base + offset
+}
+
+// WindowAvgPKG returns the mean package power over [t0, t1),
+// clipped to the trace extent. It panics on an inverted window.
+func (tr *Trace) WindowAvgPKG(t0, t1 float64) float64 {
+	if t1 < t0 {
+		panic(fmt.Sprintf("trace: inverted window [%v,%v)", t0, t1))
+	}
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	start := tr.Samples[0].T
+	if t0 < start {
+		t0 = start
+	}
+	if t1 > tr.End {
+		t1 = tr.End
+	}
+	if t1 <= t0 {
+		return 0
+	}
+	energy := 0.0
+	for i, s := range tr.Samples {
+		end := tr.End
+		if i+1 < len(tr.Samples) {
+			end = tr.Samples[i+1].T
+		}
+		lo, hi := s.T, end
+		if lo < t0 {
+			lo = t0
+		}
+		if hi > t1 {
+			hi = t1
+		}
+		if hi > lo {
+			energy += s.PKG * (hi - lo)
+		}
+	}
+	return energy / (t1 - t0)
+}
+
+// QuantilePKG returns the q-quantile (0..1) of package power weighted
+// by time — e.g. QuantilePKG(0.95) is the draw exceeded only 5% of the
+// run, the figure a facility sizes its provisioning against.
+func (tr *Trace) QuantilePKG(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("trace: quantile %v outside [0,1]", q))
+	}
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	type wp struct {
+		w float64
+		p float64
+	}
+	items := make([]wp, 0, len(tr.Samples))
+	total := 0.0
+	for i, s := range tr.Samples {
+		end := tr.End
+		if i+1 < len(tr.Samples) {
+			end = tr.Samples[i+1].T
+		}
+		dt := end - s.T
+		items = append(items, wp{w: dt, p: s.PKG})
+		total += dt
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].p < items[j].p })
+	cum := 0.0
+	for _, it := range items {
+		cum += it.w
+		if cum >= q*total {
+			return it.p
+		}
+	}
+	return items[len(items)-1].p
+}
+
+// WriteCSV emits "t,pkg_w,pp0_w,dram_w,total_w" rows.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_s,pkg_w,pp0_w,dram_w,total_w"); err != nil {
+		return err
+	}
+	for _, s := range tr.Samples {
+		if _, err := fmt.Fprintf(w, "%.6f,%.3f,%.3f,%.3f,%.3f\n", s.T, s.PKG, s.PP0, s.DRAM, s.Total()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

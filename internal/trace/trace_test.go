@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"capscale/internal/hw"
+	"capscale/internal/sim"
+)
+
+func stepTrace() *Trace {
+	return &Trace{
+		Samples: []Sample{
+			{T: 0, PKG: 10, PP0: 5, DRAM: 1},
+			{T: 1, PKG: 20, PP0: 12, DRAM: 2},
+			{T: 3, PKG: 30, PP0: 20, DRAM: 3},
+		},
+		End: 4,
+	}
+}
+
+func TestFromSegments(t *testing.T) {
+	segs := []sim.Segment{
+		{Start: 0, End: 1, Power: hw.PlanePower{PKG: 10, PP0: 5, DRAM: 1}},
+		{Start: 1, End: 2.5, Power: hw.PlanePower{PKG: 20, PP0: 12, DRAM: 2}},
+	}
+	tr := FromSegments(segs)
+	if len(tr.Samples) != 2 || tr.End != 2.5 {
+		t.Fatalf("trace %+v", tr)
+	}
+	if tr.Duration() != 2.5 {
+		t.Fatalf("duration %v", tr.Duration())
+	}
+}
+
+func TestEnergyStepIntegration(t *testing.T) {
+	tr := stepTrace()
+	pkg, pp0, dram := tr.Energy()
+	// 10·1 + 20·2 + 30·1 = 80; 5+24+20 = 49; 1+4+3 = 8.
+	if pkg != 80 || pp0 != 49 || dram != 8 {
+		t.Fatalf("energy %v %v %v", pkg, pp0, dram)
+	}
+}
+
+func TestAvgPower(t *testing.T) {
+	tr := stepTrace()
+	pkg, _, _ := tr.AvgPower()
+	if pkg != 20 {
+		t.Fatalf("avg pkg %v", pkg)
+	}
+	empty := &Trace{}
+	if p, _, _ := empty.AvgPower(); p != 0 {
+		t.Fatal("empty trace avg")
+	}
+}
+
+func TestPeakPKG(t *testing.T) {
+	if got := stepTrace().PeakPKG(); got != 30 {
+		t.Fatalf("peak %v", got)
+	}
+}
+
+func TestAt(t *testing.T) {
+	tr := stepTrace()
+	if s, ok := tr.At(0.5); !ok || s.PKG != 10 {
+		t.Fatalf("At(0.5) %v %v", s, ok)
+	}
+	if s, ok := tr.At(1.0); !ok || s.PKG != 20 {
+		t.Fatalf("At(1.0) %v %v", s, ok)
+	}
+	if s, ok := tr.At(3.9); !ok || s.PKG != 30 {
+		t.Fatalf("At(3.9) %v %v", s, ok)
+	}
+	if _, ok := tr.At(4.0); ok {
+		t.Fatal("At(end) should be out of range")
+	}
+	if _, ok := tr.At(-1); ok {
+		t.Fatal("At(-1) should be out of range")
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := stepTrace()
+	rs := tr.Resample(0.5)
+	if len(rs.Samples) != 8 {
+		t.Fatalf("resampled to %d samples", len(rs.Samples))
+	}
+	// Poller at 0.5 Hz intervals sees the step values in effect.
+	if rs.Samples[2].PKG != 20 || rs.Samples[7].PKG != 30 {
+		t.Fatalf("resampled values wrong: %+v", rs.Samples)
+	}
+	if rs.End != tr.End {
+		t.Fatal("resample end")
+	}
+}
+
+func TestResamplePanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	stepTrace().Resample(0)
+}
+
+func TestAppendWithGap(t *testing.T) {
+	a := stepTrace()
+	b := &Trace{
+		Samples: []Sample{{T: 0, PKG: 50, PP0: 40, DRAM: 4}},
+		End:     2,
+	}
+	idle := hw.PlanePower{PKG: 9.6, PP0: 0, DRAM: 1.1}
+	a.AppendWithGap(b, 60, idle)
+	if a.End != 4+60+2 {
+		t.Fatalf("end %v", a.End)
+	}
+	// Quiesce period at idle power.
+	if s, ok := a.At(30); !ok || s.PKG != 9.6 {
+		t.Fatalf("gap sample %v %v", s, ok)
+	}
+	if s, ok := a.At(65); !ok || s.PKG != 50 {
+		t.Fatalf("appended sample %v %v", s, ok)
+	}
+}
+
+func TestWindowAvgPKG(t *testing.T) {
+	tr := stepTrace() // 10W on [0,1), 20W on [1,3), 30W on [3,4)
+	if got := tr.WindowAvgPKG(0, 1); got != 10 {
+		t.Fatalf("[0,1) avg %v", got)
+	}
+	if got := tr.WindowAvgPKG(0.5, 1.5); got != 15 {
+		t.Fatalf("[0.5,1.5) avg %v", got)
+	}
+	if got := tr.WindowAvgPKG(0, 4); got != 20 {
+		t.Fatalf("full avg %v", got)
+	}
+	// Clipping outside the extent.
+	if got := tr.WindowAvgPKG(3, 99); got != 30 {
+		t.Fatalf("clipped avg %v", got)
+	}
+	if got := tr.WindowAvgPKG(10, 20); got != 0 {
+		t.Fatalf("empty window avg %v", got)
+	}
+}
+
+func TestWindowInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	stepTrace().WindowAvgPKG(2, 1)
+}
+
+func TestQuantilePKG(t *testing.T) {
+	tr := stepTrace() // durations: 10W×1s, 20W×2s, 30W×1s
+	if got := tr.QuantilePKG(0); got != 10 {
+		t.Fatalf("q0 %v", got)
+	}
+	if got := tr.QuantilePKG(0.5); got != 20 {
+		t.Fatalf("q50 %v", got)
+	}
+	if got := tr.QuantilePKG(1); got != 30 {
+		t.Fatalf("q100 %v", got)
+	}
+	// 80th percentile: 3s of ≤20W out of 4s → must be 30.
+	if got := tr.QuantilePKG(0.9); got != 30 {
+		t.Fatalf("q90 %v", got)
+	}
+}
+
+func TestQuantileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	stepTrace().QuantilePKG(1.5)
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := stepTrace().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_s,") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "10.000") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestPropertyResampleEnergyApproximatesExact(t *testing.T) {
+	// With a fine polling interval, resampled energy approaches exact.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{}
+		tt := 0.0
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			tr.Samples = append(tr.Samples, Sample{T: tt, PKG: 10 + rng.Float64()*40})
+			tt += 0.1 + rng.Float64()
+		}
+		tr.End = tt
+		exact, _, _ := tr.Energy()
+		approx, _, _ := tr.Resample(0.001).Energy()
+		return math.Abs(exact-approx)/exact < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnergyAdditiveUnderAppend(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Trace {
+			tr := &Trace{}
+			tt := 0.0
+			for i := 0; i < 2+rng.Intn(5); i++ {
+				tr.Samples = append(tr.Samples, Sample{T: tt, PKG: rng.Float64() * 50})
+				tt += rng.Float64()
+			}
+			tr.End = tt
+			return tr
+		}
+		a, b := mk(), mk()
+		ea, _, _ := a.Energy()
+		eb, _, _ := b.Energy()
+		gap := rng.Float64() * 10
+		idle := hw.PlanePower{PKG: 9.6}
+		a.AppendWithGap(b, gap, idle)
+		total, _, _ := a.Energy()
+		want := ea + eb + gap*idle.PKG
+		return math.Abs(total-want) < 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"capscale/internal/hw"
+)
+
+// JSON persistence for experiment matrices: epscale can save a run's
+// results and re-render tables later (or diff two calibrations)
+// without re-simulating. Traces are not serialized — they are cheap to
+// regenerate and large to store.
+
+// matrixJSON is the serialized form. The machine is stored by name and
+// resolved against the built-in zoo on load.
+type matrixJSON struct {
+	Machine    string      `json:"machine"`
+	Algorithms []Algorithm `json:"algorithms"`
+	Sizes      []int       `json:"sizes"`
+	Threads    []int       `json:"threads"`
+	Quiesce    float64     `json:"quiesce_seconds"`
+	Runs       []runJSON   `json:"runs"`
+}
+
+type runJSON struct {
+	Alg            Algorithm          `json:"alg"`
+	N              int                `json:"n"`
+	Threads        int                `json:"threads"`
+	Seconds        float64            `json:"seconds"`
+	PKGJoules      float64            `json:"pkg_j"`
+	PP0Joules      float64            `json:"pp0_j"`
+	DRAMJoules     float64            `json:"dram_j"`
+	Leaves         int                `json:"leaves"`
+	RemoteBytes    float64            `json:"remote_bytes"`
+	StolenLeaves   int                `json:"stolen_leaves"`
+	AllocHighWater float64            `json:"alloc_high_water"`
+	Utilization    float64            `json:"utilization"`
+	BusyByKind     map[string]float64 `json:"busy_by_kind,omitempty"`
+}
+
+// SaveJSON writes the matrix (without traces) to w.
+func (mx *Matrix) SaveJSON(w io.Writer) error {
+	out := matrixJSON{
+		Machine:    mx.Cfg.Machine.Name,
+		Algorithms: mx.Cfg.Algorithms,
+		Sizes:      mx.Cfg.Sizes,
+		Threads:    mx.Cfg.Threads,
+		Quiesce:    mx.Cfg.QuiesceSeconds,
+	}
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		out.Runs = append(out.Runs, runJSON{
+			Alg: r.Alg, N: r.N, Threads: r.Threads,
+			Seconds: r.Seconds, PKGJoules: r.PKGJoules, PP0Joules: r.PP0Joules, DRAMJoules: r.DRAMJoules,
+			Leaves: r.Leaves, RemoteBytes: r.RemoteBytes, StolenLeaves: r.StolenLeaves,
+			AllocHighWater: r.AllocHighWater, Utilization: r.Utilization,
+			BusyByKind: r.BusyByKind,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadJSON reads a matrix saved by SaveJSON, resolving the machine
+// against the built-in zoo by name.
+func LoadJSON(r io.Reader) (*Matrix, error) {
+	var in matrixJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decoding matrix: %w", err)
+	}
+	var machine *hw.Machine
+	for _, m := range hw.Zoo() {
+		if m.Name == in.Machine {
+			machine = m
+			break
+		}
+	}
+	if machine == nil {
+		return nil, fmt.Errorf("workload: unknown machine %q in saved matrix", in.Machine)
+	}
+	mx := &Matrix{Cfg: Config{
+		Machine:        machine,
+		Algorithms:     in.Algorithms,
+		Sizes:          in.Sizes,
+		Threads:        in.Threads,
+		QuiesceSeconds: in.Quiesce,
+	}}
+	for _, rj := range in.Runs {
+		mx.Runs = append(mx.Runs, Run{
+			Alg: rj.Alg, N: rj.N, Threads: rj.Threads,
+			Seconds: rj.Seconds, PKGJoules: rj.PKGJoules, PP0Joules: rj.PP0Joules, DRAMJoules: rj.DRAMJoules,
+			Leaves: rj.Leaves, RemoteBytes: rj.RemoteBytes, StolenLeaves: rj.StolenLeaves,
+			AllocHighWater: rj.AllocHighWater, Utilization: rj.Utilization,
+			BusyByKind: rj.BusyByKind,
+		})
+	}
+	return mx, nil
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	mx := getSmoke(t)
+	var buf bytes.Buffer
+	if err := mx.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != len(mx.Runs) {
+		t.Fatalf("runs %d vs %d", len(back.Runs), len(mx.Runs))
+	}
+	if back.Cfg.Machine.Name != mx.Cfg.Machine.Name {
+		t.Fatal("machine lost")
+	}
+	// Spot-check a cell and the aggregations still working.
+	a := mx.Get(AlgStrassen, 256, 2)
+	b := back.Get(AlgStrassen, 256, 2)
+	if b == nil || b.Seconds != a.Seconds || b.PKGJoules != a.PKGJoules {
+		t.Fatalf("cell mismatch: %+v vs %+v", b, a)
+	}
+	if got, want := back.AvgSlowdownAtSize(AlgStrassen, 256), mx.AvgSlowdownAtSize(AlgStrassen, 256); got != want {
+		t.Fatalf("aggregation %v vs %v", got, want)
+	}
+	if len(b.BusyByKind) == 0 {
+		t.Fatal("busy breakdown lost")
+	}
+}
+
+func TestLoadJSONUnknownMachine(t *testing.T) {
+	in := `{"machine":"Not A Machine","algorithms":[],"sizes":[],"threads":[],"runs":[]}`
+	if _, err := LoadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestLoadJSONGarbage(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("not json at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBusyByKindRecorded(t *testing.T) {
+	mx := getSmoke(t)
+	r := mx.Get(AlgStrassen, 256, 2)
+	if r.BusyByKind["basemul"] <= 0 || r.BusyByKind["add"] <= 0 {
+		t.Fatalf("breakdown %v", r.BusyByKind)
+	}
+	// The base multiplies dominate Strassen's busy time.
+	if r.BusyByKind["basemul"] <= r.BusyByKind["add"] {
+		t.Fatalf("basemul %v not above add %v", r.BusyByKind["basemul"], r.BusyByKind["add"])
+	}
+}

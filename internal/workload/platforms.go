@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"capscale/internal/energy"
+	"capscale/internal/hw"
+	"capscale/internal/sim"
+	"capscale/internal/task"
+)
+
+// Cross-platform sweep: the paper's ambition is making algorithmic
+// determinations "on arbitrary computing platforms"; this applies the
+// model across the machine zoo and reports, per platform, how each
+// algorithm fares and where Eq. 9 puts the Strassen crossover.
+
+// PlatformPoint is one (machine, algorithm) cell of the sweep.
+type PlatformPoint struct {
+	Machine   string
+	Algorithm Algorithm
+	N         int
+	Threads   int
+	Seconds   float64
+	Watts     float64
+	EP        float64
+	EDP       float64
+	// CrossoverN is the Eq. 9 prediction for the machine (same for
+	// every algorithm row of that machine).
+	CrossoverN float64
+}
+
+// CrossPlatform runs each paper algorithm at full threads on every
+// machine and derives the energy metrics.
+func CrossPlatform(machines []*hw.Machine, n int) []PlatformPoint {
+	var out []PlatformPoint
+	for _, m := range machines {
+		crossover := energy.CrossoverForMachine(
+			m.PeakFlops()*m.Eff(task.KindGEMM), m.DRAMBandwidth)
+		for _, alg := range PaperAlgorithms() {
+			root := BuildTree(m, alg, n, m.Cores)
+			res := sim.Run(m, root, sim.Config{Workers: m.Cores})
+			joules := res.EnergyTotal()
+			out = append(out, PlatformPoint{
+				Machine:    m.Name,
+				Algorithm:  alg,
+				N:          n,
+				Threads:    m.Cores,
+				Seconds:    res.Makespan,
+				Watts:      res.AvgPowerTotal(),
+				EP:         energy.EP(res.AvgPowerTotal(), res.Makespan),
+				EDP:        energy.EDP(joules, res.Makespan),
+				CrossoverN: crossover,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"capscale/internal/hw"
+)
+
+func TestCrossPlatformShape(t *testing.T) {
+	pts := CrossPlatform(hw.Zoo(), 1024)
+	if len(pts) != len(hw.Zoo())*3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	byMachine := map[string][]PlatformPoint{}
+	for _, p := range pts {
+		if p.Seconds <= 0 || p.Watts <= 0 || p.EP <= 0 || p.EDP <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		byMachine[p.Machine] = append(byMachine[p.Machine], p)
+	}
+	for name, rows := range byMachine {
+		if len(rows) != 3 {
+			t.Fatalf("%s has %d rows", name, len(rows))
+		}
+		// Crossover identical across a machine's rows.
+		for _, r := range rows[1:] {
+			if r.CrossoverN != rows[0].CrossoverN {
+				t.Fatalf("%s crossover varies per algorithm", name)
+			}
+		}
+		// OpenBLAS fastest on every platform at these sizes.
+		var blasT float64
+		for _, r := range rows {
+			if r.Algorithm == AlgOpenBLAS {
+				blasT = r.Seconds
+			}
+		}
+		for _, r := range rows {
+			if r.Algorithm != AlgOpenBLAS && r.Seconds <= blasT {
+				t.Errorf("%s: %v not slower than OpenBLAS", name, r.Algorithm)
+			}
+		}
+	}
+}
+
+func TestCrossPlatformCrossoverTracksBalance(t *testing.T) {
+	pts := CrossPlatform(hw.Zoo(), 512)
+	cross := map[string]float64{}
+	for _, p := range pts {
+		cross[p.Machine] = p.CrossoverN
+	}
+	hbm := cross[hw.BandwidthRichNode().Name]
+	paper := cross[hw.HaswellE31225().Name]
+	if hbm >= paper {
+		t.Fatalf("bandwidth-rich node crossover %v not below the paper machine's %v", hbm, paper)
+	}
+	// The HBM node's crossover should be small enough that Strassen
+	// pays off at modest sizes there.
+	if hbm > 512 {
+		t.Fatalf("HBM crossover %v unexpectedly large", hbm)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := SmokeConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*Config){
+		"nil machine":    func(c *Config) { c.Machine = nil },
+		"no sizes":       func(c *Config) { c.Sizes = nil },
+		"no threads":     func(c *Config) { c.Threads = nil },
+		"no algorithms":  func(c *Config) { c.Algorithms = nil },
+		"bad size":       func(c *Config) { c.Sizes = []int{0} },
+		"threads > core": func(c *Config) { c.Threads = []int{99} },
+		"neg quiesce":    func(c *Config) { c.QuiesceSeconds = -1 },
+	}
+	for name, mutate := range cases {
+		cfg := SmokeConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestExecutePanicsOnInvalidConfig(t *testing.T) {
+	cfg := SmokeConfig()
+	cfg.Threads = []int{0}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Execute(cfg)
+}
+
+// The whole pipeline on a 12-core machine: exercises the scheduler,
+// the CAPS ownership partition and the static BLAS split well past the
+// paper's 4 threads.
+func TestTwelveCoreMachineMatrix(t *testing.T) {
+	cfg := Config{
+		Machine:    hw.XeonE52690v3(),
+		Algorithms: PaperAlgorithms(),
+		Sizes:      []int{512},
+		Threads:    []int{1, 6, 12},
+	}
+	mx := Execute(cfg)
+	for _, alg := range cfg.Algorithms {
+		t1 := mx.Get(alg, 512, 1).Seconds
+		t12 := mx.Get(alg, 512, 12).Seconds
+		if t12 >= t1 {
+			t.Errorf("%v did not speed up on 12 cores: %v -> %v", alg, t1, t12)
+		}
+	}
+	// Power grows with threads on the big part too.
+	if mx.Get(AlgOpenBLAS, 512, 12).WattsTotal() <= mx.Get(AlgOpenBLAS, 512, 1).WattsTotal() {
+		t.Error("12-thread power not above 1-thread")
+	}
+}
+
+func TestCrossPlatformFasterMachineFasterRun(t *testing.T) {
+	pts := CrossPlatform([]*hw.Machine{hw.HaswellE31225(), hw.XeonE52690v3()}, 2048)
+	var paper, xeon float64
+	for _, p := range pts {
+		if p.Algorithm != AlgOpenBLAS {
+			continue
+		}
+		switch p.Machine {
+		case hw.HaswellE31225().Name:
+			paper = p.Seconds
+		case hw.XeonE52690v3().Name:
+			xeon = p.Seconds
+		}
+	}
+	if xeon >= paper {
+		t.Fatalf("12-core FMA Xeon (%v) not faster than the paper node (%v)", xeon, paper)
+	}
+}

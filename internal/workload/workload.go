@@ -1,0 +1,363 @@
+// Package workload drives the paper's experiment matrix: every
+// algorithm × problem size × thread count combination, executed on the
+// virtual-time simulator, measured through the emulated RAPL/PAPI
+// stack, and reduced to the energy-performance quantities of Section
+// III. The result feeds internal/report's tables and figures and the
+// repository's benchmark harness.
+package workload
+
+import (
+	"fmt"
+
+	"capscale/internal/blas"
+	"capscale/internal/caps"
+	"capscale/internal/energy"
+	"capscale/internal/hw"
+	"capscale/internal/matrix"
+	"capscale/internal/papi"
+	"capscale/internal/rapl"
+	"capscale/internal/sim"
+	"capscale/internal/strassen"
+	"capscale/internal/task"
+	"capscale/internal/trace"
+)
+
+// Algorithm identifies one of the multipliers under test.
+type Algorithm int
+
+const (
+	// AlgOpenBLAS is the blocked, statically partitioned DGEMM.
+	AlgOpenBLAS Algorithm = iota
+	// AlgStrassen is the task-parallel classic Strassen (BOTS style).
+	AlgStrassen
+	// AlgCAPS is Communication Avoiding Parallel Strassen.
+	AlgCAPS
+	// AlgWinograd is the Strassen-Winograd variant (an extension beyond
+	// the paper's three test fixtures).
+	AlgWinograd
+)
+
+var algNames = [...]string{"OpenBLAS", "Strassen", "CAPS", "Winograd"}
+
+func (a Algorithm) String() string {
+	if a < 0 || int(a) >= len(algNames) {
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+	return algNames[a]
+}
+
+// PaperAlgorithms returns the paper's three test fixtures in its order.
+func PaperAlgorithms() []Algorithm {
+	return []Algorithm{AlgOpenBLAS, AlgStrassen, AlgCAPS}
+}
+
+// Config describes an experiment matrix.
+type Config struct {
+	Machine    *hw.Machine
+	Algorithms []Algorithm
+	Sizes      []int
+	Threads    []int
+	// QuiesceSeconds is the idle gap inserted between runs in the
+	// concatenated power trace (the paper used 60 s).
+	QuiesceSeconds float64
+	// RecordTraces keeps each run's resampled power trace in the Run.
+	RecordTraces bool
+	// TraceSampleInterval is the poller period for recorded traces.
+	TraceSampleInterval float64
+	// DisableAffinity / DisableContention forward the simulator's
+	// ablation switches.
+	DisableAffinity   bool
+	DisableContention bool
+}
+
+// PaperConfig returns the paper's full 48-run matrix on its platform.
+func PaperConfig() Config {
+	return Config{
+		Machine:        hw.HaswellE31225(),
+		Algorithms:     PaperAlgorithms(),
+		Sizes:          []int{512, 1024, 2048, 4096},
+		Threads:        []int{1, 2, 3, 4},
+		QuiesceSeconds: 60,
+	}
+}
+
+// SmokeConfig returns a small, fast matrix with the same structure,
+// for tests.
+func SmokeConfig() Config {
+	return Config{
+		Machine:        hw.HaswellE31225(),
+		Algorithms:     PaperAlgorithms(),
+		Sizes:          []int{128, 256},
+		Threads:        []int{1, 2},
+		QuiesceSeconds: 1,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (cfg *Config) Validate() error {
+	if cfg.Machine == nil {
+		return fmt.Errorf("workload: nil machine")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return err
+	}
+	if len(cfg.Algorithms) == 0 || len(cfg.Sizes) == 0 || len(cfg.Threads) == 0 {
+		return fmt.Errorf("workload: empty algorithms/sizes/threads")
+	}
+	for _, n := range cfg.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("workload: non-positive size %d", n)
+		}
+	}
+	for _, p := range cfg.Threads {
+		if p <= 0 || p > cfg.Machine.Cores {
+			return fmt.Errorf("workload: thread count %d outside [1,%d]", p, cfg.Machine.Cores)
+		}
+	}
+	if cfg.QuiesceSeconds < 0 {
+		return fmt.Errorf("workload: negative quiesce %v", cfg.QuiesceSeconds)
+	}
+	return nil
+}
+
+// Run is one cell of the experiment matrix.
+type Run struct {
+	Alg     Algorithm
+	N       int
+	Threads int
+
+	// Seconds is the virtual runtime; the joule figures are what the
+	// PAPI layer measured from the emulated RAPL counters.
+	Seconds    float64
+	PKGJoules  float64
+	PP0Joules  float64
+	DRAMJoules float64
+
+	// Scheduling facts from the simulator.
+	Leaves         int
+	RemoteBytes    float64
+	StolenLeaves   int
+	AllocHighWater float64
+	Utilization    float64
+	// BusyByKind decomposes busy seconds by kernel class (keyed by the
+	// task.Kind name for serializability).
+	BusyByKind map[string]float64
+
+	// Trace is the resampled power series (nil unless recorded).
+	Trace *trace.Trace
+}
+
+// WattsPKG returns average package watts over the run.
+func (r *Run) WattsPKG() float64 { return r.PKGJoules / r.Seconds }
+
+// WattsPP0 returns average core-plane watts over the run.
+func (r *Run) WattsPP0() float64 { return r.PP0Joules / r.Seconds }
+
+// WattsDRAM returns average DRAM watts over the run.
+func (r *Run) WattsDRAM() float64 { return r.DRAMJoules / r.Seconds }
+
+// WattsTotal returns average full-system watts (package + DRAM), the
+// EAvg figure the tables use.
+func (r *Run) WattsTotal() float64 { return (r.PKGJoules + r.DRAMJoules) / r.Seconds }
+
+// EP returns the run's Eq. 1 energy-performance ratio, with EAvg
+// encapsulating the PKG and DRAM planes per Eq. 3.
+func (r *Run) EP() float64 {
+	return energy.EP(energy.EAvg(r.Planes()), r.Seconds)
+}
+
+// Planes returns the run's power-plane readings (Eq. 3 inputs). PP0 is
+// not listed separately because PKG already contains it, as on real
+// RAPL — summing all three would double-count the cores.
+func (r *Run) Planes() []energy.PlaneReading {
+	return []energy.PlaneReading{
+		{Name: "PKG", Watts: r.WattsPKG()},
+		{Name: "DRAM", Watts: r.WattsDRAM()},
+	}
+}
+
+// Matrix is a completed experiment matrix.
+type Matrix struct {
+	Cfg  Config
+	Runs []Run
+}
+
+// BuildTree constructs the task tree for one configuration. Exposed so
+// benchmarks and ablations can drive the simulator directly.
+func BuildTree(m *hw.Machine, alg Algorithm, n, threads int) *task.Node {
+	a, b, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+	switch alg {
+	case AlgOpenBLAS:
+		return blas.Build(m, c, a, b, blas.Options{Workers: threads})
+	case AlgStrassen:
+		return strassen.Build(m, c, a, b, threads, strassen.Options{})
+	case AlgWinograd:
+		return strassen.Build(m, c, a, b, threads, strassen.Options{Winograd: true})
+	case AlgCAPS:
+		return caps.Build(m, c, a, b, threads, caps.Options{})
+	default:
+		panic(fmt.Sprintf("workload: unknown algorithm %v", alg))
+	}
+}
+
+// ExecuteOne runs a single configuration through the simulator and the
+// RAPL/PAPI measurement stack.
+func ExecuteOne(cfg Config, alg Algorithm, n, threads int) Run {
+	root := BuildTree(cfg.Machine, alg, n, threads)
+	res := sim.Run(cfg.Machine, root, sim.Config{
+		Workers:           threads,
+		RecordTimeline:    true,
+		DisableAffinity:   cfg.DisableAffinity,
+		DisableContention: cfg.DisableContention,
+	})
+
+	// Replay the timeline through the emulated RAPL device and read it
+	// back through the PAPI layer, as the paper's driver does.
+	dev := rapl.NewDevice()
+	pkg, pp0, dram, secs, err := papi.Measure(dev, func() {
+		for _, seg := range res.Timeline {
+			dev.Advance(seg.End-seg.Start, seg.Power)
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("workload: measurement failed: %v", err))
+	}
+
+	byKind := make(map[string]float64, len(res.BusyByKind))
+	for k, v := range res.BusyByKind {
+		byKind[k.String()] = v
+	}
+	run := Run{
+		Alg: alg, N: n, Threads: threads,
+		Seconds: secs, PKGJoules: pkg, PP0Joules: pp0, DRAMJoules: dram,
+		Leaves:         res.Leaves,
+		RemoteBytes:    res.RemoteBytes,
+		StolenLeaves:   res.StolenLeaves,
+		AllocHighWater: res.AllocHighWater,
+		Utilization:    res.Utilization(),
+		BusyByKind:     byKind,
+	}
+	if cfg.RecordTraces {
+		tr := trace.FromSegments(res.Timeline)
+		interval := cfg.TraceSampleInterval
+		if interval > 0 {
+			tr = tr.Resample(interval)
+		}
+		run.Trace = tr
+	}
+	return run
+}
+
+// Execute runs the whole matrix in the paper's nesting order
+// (algorithm, then size, then thread count). It panics on invalid
+// configurations (Validate reports the reason).
+func Execute(cfg Config) *Matrix {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	mx := &Matrix{Cfg: cfg}
+	for _, alg := range cfg.Algorithms {
+		for _, n := range cfg.Sizes {
+			for _, p := range cfg.Threads {
+				mx.Runs = append(mx.Runs, ExecuteOne(cfg, alg, n, p))
+			}
+		}
+	}
+	return mx
+}
+
+// Get returns the run for a configuration, or nil when absent.
+func (mx *Matrix) Get(alg Algorithm, n, threads int) *Run {
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		if r.Alg == alg && r.N == n && r.Threads == threads {
+			return r
+		}
+	}
+	return nil
+}
+
+// mustGet panics on a missing cell — aggregations assume a full matrix.
+func (mx *Matrix) mustGet(alg Algorithm, n, threads int) *Run {
+	r := mx.Get(alg, n, threads)
+	if r == nil {
+		panic(fmt.Sprintf("workload: missing run %v n=%d p=%d", alg, n, threads))
+	}
+	return r
+}
+
+// Slowdown returns T_alg / T_OpenBLAS for one cell (Fig. 3's metric).
+func (mx *Matrix) Slowdown(alg Algorithm, n, threads int) float64 {
+	return mx.mustGet(alg, n, threads).Seconds / mx.mustGet(AlgOpenBLAS, n, threads).Seconds
+}
+
+// AvgSlowdownAtSize averages slowdown over thread counts (Table II).
+func (mx *Matrix) AvgSlowdownAtSize(alg Algorithm, n int) float64 {
+	sum := 0.0
+	for _, p := range mx.Cfg.Threads {
+		sum += mx.Slowdown(alg, n, p)
+	}
+	return sum / float64(len(mx.Cfg.Threads))
+}
+
+// AvgPowerAtThreads averages watts over sizes at one thread count
+// (Table III).
+func (mx *Matrix) AvgPowerAtThreads(alg Algorithm, threads int) float64 {
+	sum := 0.0
+	for _, n := range mx.Cfg.Sizes {
+		sum += mx.mustGet(alg, n, threads).WattsTotal()
+	}
+	return sum / float64(len(mx.Cfg.Sizes))
+}
+
+// AvgEPAtSize averages the Eq. 1 ratio over thread counts (Table IV).
+func (mx *Matrix) AvgEPAtSize(alg Algorithm, n int) float64 {
+	sum := 0.0
+	for _, p := range mx.Cfg.Threads {
+		sum += mx.mustGet(alg, n, p).EP()
+	}
+	return sum / float64(len(mx.Cfg.Threads))
+}
+
+// ScalingSeries returns the Eq. 5 energy-performance scaling curve of
+// one algorithm at one size across the thread counts (Fig. 7). The
+// baseline EP_1 is the algorithm's own single-thread run.
+func (mx *Matrix) ScalingSeries(alg Algorithm, n int) energy.Series {
+	base := mx.mustGet(alg, n, mx.Cfg.Threads[0]).EP()
+	s := energy.Series{Algorithm: alg.String(), ProblemN: n}
+	for _, p := range mx.Cfg.Threads {
+		s.P = append(s.P, p)
+		s.S = append(s.S, energy.Scaling(mx.mustGet(alg, n, p).EP(), base))
+	}
+	return s
+}
+
+// PowerCurve returns watts as a function of thread count at one size
+// (the per-size series of Figs. 4–6).
+func (mx *Matrix) PowerCurve(alg Algorithm, n int) []float64 {
+	out := make([]float64, 0, len(mx.Cfg.Threads))
+	for _, p := range mx.Cfg.Threads {
+		out = append(out, mx.mustGet(alg, n, p).WattsTotal())
+	}
+	return out
+}
+
+// SessionTrace concatenates every recorded run trace with the
+// configured quiesce gap — the full power log of the experiment
+// session. It panics when traces were not recorded.
+func (mx *Matrix) SessionTrace() *trace.Trace {
+	full := &trace.Trace{}
+	idle := mx.Cfg.Machine.IdlePower()
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		if r.Trace == nil {
+			panic("workload: SessionTrace requires Config.RecordTraces")
+		}
+		gap := mx.Cfg.QuiesceSeconds
+		if i == 0 {
+			gap = 0
+		}
+		full.AppendWithGap(r.Trace, gap, idle)
+	}
+	return full
+}
