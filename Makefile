@@ -1,0 +1,21 @@
+.PHONY: check test race bench bench-kernels
+
+# Full verify gate: gofmt, vet, build, tests, race pass on the
+# concurrent packages.
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/sched/... ./internal/kernel/...
+
+bench:
+	go test -bench=. -benchmem
+
+# The perf-trajectory benchmarks this repo tracks across PRs.
+bench-kernels:
+	go test ./internal/kernel/ -bench 'BenchmarkGemm' -benchmem
+	go test ./internal/sched/ -bench 'BenchmarkSchedDispatch' -benchmem
+	go test . -bench 'BenchmarkSimulatorThroughput'

@@ -18,6 +18,17 @@ const (
 	NR = 4
 )
 
+// micro's register file is hand-unrolled for a 4×4 block. These
+// constants fail to compile (negative constant converted to uint) if
+// MR or NR is changed without rewriting micro, instead of letting the
+// stale unroll silently corrupt results.
+const (
+	_ = uint(MR - 4)
+	_ = uint(4 - MR)
+	_ = uint(NR - 4)
+	_ = uint(4 - NR)
+)
+
 // PackA packs the mc×kc block of a starting at (i0, k0) into MR-row
 // panels: panel-major, then k, then row-within-panel. dst must hold
 // ceil(mc/MR)·MR·kc elements; rows beyond mc are zero-filled.
@@ -106,15 +117,21 @@ func micro(kc int, ap, bp []float64, c *matrix.Dense, i, j, mr, nr int) {
 	}
 }
 
+func checkGemmShapes(op string, dst, a, b *matrix.Dense) {
+	m, k, n := a.Rows(), a.Cols(), b.Cols()
+	if b.Rows() != k || dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("kernel: %s shapes %dx%d * %dx%d -> %dx%d",
+			op, m, k, b.Rows(), n, dst.Rows(), dst.Cols()))
+	}
+}
+
 // GemmPacked computes dst += a·b with three-level cache blocking
 // (mc×kc blocks of A against kc×nc panels of B) around the packed
 // micro-kernel. Zero block parameters select reasonable defaults.
+// Packing buffers come from a shared pool, so steady-state calls
+// allocate nothing.
 func GemmPacked(dst, a, b *matrix.Dense, mc, kc, nc int) {
-	m, k, n := a.Rows(), a.Cols(), b.Cols()
-	if b.Rows() != k || dst.Rows() != m || dst.Cols() != n {
-		panic(fmt.Sprintf("kernel: GemmPacked shapes %dx%d * %dx%d -> %dx%d",
-			m, k, b.Rows(), n, dst.Rows(), dst.Cols()))
-	}
+	checkGemmShapes("GemmPacked", dst, a, b)
 	if mc <= 0 {
 		mc = 128
 	}
@@ -124,9 +141,18 @@ func GemmPacked(dst, a, b *matrix.Dense, mc, kc, nc int) {
 	if nc <= 0 {
 		nc = 512
 	}
+	gemmBlocked(dst, a, b, mc, kc, nc)
+}
 
-	bpack := make([]float64, ((nc+NR-1)/NR)*NR*kc)
-	apack := make([]float64, ((mc+MR-1)/MR)*MR*kc)
+// gemmBlocked is the serial loop nest shared by GemmPacked and the
+// single-worker path of GemmParallel. Block parameters must be
+// positive.
+func gemmBlocked(dst, a, b *matrix.Dense, mc, kc, nc int) {
+	m, k, n := a.Rows(), a.Cols(), b.Cols()
+
+	bpP := getPackBuf(((nc + NR - 1) / NR) * NR * kc)
+	apP := getPackBuf(((mc + MR - 1) / MR) * MR * kc)
+	bpack, apack := *bpP, *apP
 
 	for jc := 0; jc < n; jc += nc {
 		ncCur := min(nc, n-jc)
@@ -148,6 +174,9 @@ func GemmPacked(dst, a, b *matrix.Dense, mc, kc, nc int) {
 			}
 		}
 	}
+
+	putPackBuf(apP)
+	putPackBuf(bpP)
 }
 
 // MulPacked computes dst = a·b with the packed kernel.

@@ -1,0 +1,178 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"capscale/internal/matrix"
+)
+
+// Parallel packed GEMM: the ic loop of the Goto blocking is fanned out
+// across a persistent worker pool. All participants share the packed
+// KC×NC panel of B (packed once per K-step by the caller, exactly as
+// OpenBLAS shares it across threads) and each packs its own MC×KC
+// blocks of A into a per-worker buffer drawn from a sync.Pool, so a
+// steady-state multiply allocates nothing.
+//
+// Each (jc, pc) panel step is a barrier: every C element is updated by
+// exactly one worker per step, and steps execute in the same order as
+// the serial loop nest, so GemmParallel is bit-identical to GemmPacked.
+
+// packBufPool recycles packing buffers across GemmPacked and
+// GemmParallel calls. It stores *[]float64 so Put does not allocate a
+// slice-header box.
+var packBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getPackBuf returns a pooled buffer with at least n elements. The
+// contents are undefined; PackA/PackB fully overwrite the prefix they
+// use.
+func getPackBuf(n int) *[]float64 {
+	p := packBufPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPackBuf(p *[]float64) { packBufPool.Put(p) }
+
+// gemmState is the shared state of one GemmParallel invocation. The
+// caller mutates the panel-step fields only between barriers; workers
+// touch the state only between wg.Add and wg.Wait.
+type gemmState struct {
+	dst, a, b *matrix.Dense
+	mc, kc    int
+	// Current (jc, pc) panel step.
+	jc, pc, ncCur, kcCur int
+	bpack                []float64
+	next                 atomic.Int64
+	wg                   sync.WaitGroup
+}
+
+var gemmStatePool = sync.Pool{New: func() any { return new(gemmState) }}
+
+var (
+	gemmOnce sync.Once
+	gemmJobs chan *gemmState
+)
+
+// startGemmWorkers lazily spawns the persistent helper goroutines.
+// They block on the job channel when idle and never block while
+// holding a job, so nested or concurrent GemmParallel calls cannot
+// deadlock: a caller that finds the pool saturated absorbs the work
+// itself.
+func startGemmWorkers() {
+	n := runtime.GOMAXPROCS(0)
+	gemmJobs = make(chan *gemmState, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for st := range gemmJobs {
+				st.sweep()
+				st.wg.Done()
+			}
+		}()
+	}
+}
+
+// sweep claims ic blocks of the current panel step until none remain,
+// packing A blocks into a pooled per-worker buffer.
+func (st *gemmState) sweep() {
+	m := st.a.Rows()
+	nBlocks := (m + st.mc - 1) / st.mc
+	apP := getPackBuf(((st.mc + MR - 1) / MR) * MR * st.kc)
+	ap := *apP
+	for {
+		bi := int(st.next.Add(1)) - 1
+		if bi >= nBlocks {
+			break
+		}
+		ic := bi * st.mc
+		mcCur := min(st.mc, m-ic)
+		PackA(ap, st.a, ic, st.pc, mcCur, st.kcCur)
+		for jr := 0; jr < st.ncCur; jr += NR {
+			nr := min(NR, st.ncCur-jr)
+			bp := st.bpack[(jr/NR)*NR*st.kcCur:]
+			for ir := 0; ir < mcCur; ir += MR {
+				mr := min(MR, mcCur-ir)
+				app := ap[(ir/MR)*MR*st.kcCur:]
+				micro(st.kcCur, app, bp, st.dst, ic+ir, st.jc+jr, mr, nr)
+			}
+		}
+	}
+	putPackBuf(apP)
+}
+
+// GemmParallel computes dst += a·b with the same blocking and the same
+// floating-point result as GemmPacked, parallelized over the ic loop.
+// workers is the number of participants including the caller; values
+// < 1 select GOMAXPROCS. Zero block parameters select the GemmPacked
+// defaults. Steady-state calls allocate nothing.
+func GemmParallel(dst, a, b *matrix.Dense, mc, kc, nc, workers int) {
+	m, k, n := a.Rows(), a.Cols(), b.Cols()
+	checkGemmShapes("GemmParallel", dst, a, b)
+	if mc <= 0 {
+		mc = 128
+	}
+	if kc <= 0 {
+		kc = 128
+	}
+	if nc <= 0 {
+		nc = 512
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Cap the fan-out at the number of ic blocks: extra helpers would
+	// only find the counter exhausted.
+	if nb := (m + mc - 1) / mc; workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		gemmBlocked(dst, a, b, mc, kc, nc)
+		return
+	}
+	gemmOnce.Do(startGemmWorkers)
+
+	st := gemmStatePool.Get().(*gemmState)
+	st.dst, st.a, st.b = dst, a, b
+	st.mc, st.kc = mc, kc
+	bpP := getPackBuf(((nc + NR - 1) / NR) * NR * kc)
+	st.bpack = *bpP
+
+	for jc := 0; jc < n; jc += nc {
+		st.jc = jc
+		st.ncCur = min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			st.pc = pc
+			st.kcCur = min(kc, k-pc)
+			PackB(st.bpack, b, pc, jc, st.kcCur, st.ncCur)
+			st.next.Store(0)
+			for i := 0; i < workers-1; i++ {
+				st.wg.Add(1)
+				select {
+				case gemmJobs <- st:
+				default:
+					// Helper pool saturated (nested call, or more
+					// workers requested than cores): the caller's own
+					// sweep absorbs the unclaimed share.
+					st.wg.Done()
+				}
+			}
+			st.sweep()
+			st.wg.Wait()
+		}
+	}
+
+	putPackBuf(bpP)
+	*st = gemmState{}
+	gemmStatePool.Put(st)
+}
+
+// MulParallel computes dst = a·b with default blocking across
+// GOMAXPROCS workers.
+func MulParallel(dst, a, b *matrix.Dense, workers int) {
+	dst.Zero()
+	GemmParallel(dst, a, b, 0, 0, 0, workers)
+}

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"capscale/internal/matrix"
+)
+
+// gemmSizes deliberately avoids multiples of MR/NR so every edge path
+// of the micro-kernel and both packers is exercised.
+var gemmSizes = [][3]int{
+	{1, 1, 1},
+	{3, 5, 2},
+	{5, 7, 3},
+	{17, 13, 19},
+	{33, 19, 27},
+	{63, 65, 62},
+	{100, 64, 80},
+	{129, 127, 131},
+	{130, 131, 129},
+	{257, 129, 255},
+}
+
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// GemmParallel must be bit-identical to GemmPacked at every worker
+// count: the (jc, pc) panel steps run in serial order with a barrier
+// between them, and within a step each C element is updated by exactly
+// one worker with the same micro-kernel FMA sequence.
+func TestGemmParallelBitIdenticalToPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range gemmSizes {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := matrix.Rand(rng, m, k)
+		b := matrix.Rand(rng, k, n)
+		want := matrix.New(m, n)
+		MulPacked(want, a, b)
+		naive := matrix.New(m, n)
+		matrix.MulNaive(naive, a, b)
+		for _, w := range workerCounts() {
+			got := matrix.New(m, n)
+			MulParallel(got, a, b, w)
+			if !matrix.Equal(got, want) {
+				t.Errorf("%v workers=%d: parallel differs from packed by %v",
+					dims, w, matrix.MaxAbsDiff(got, want))
+			}
+			if !matrix.AlmostEqual(got, naive, 1e-10) {
+				t.Errorf("%v workers=%d: parallel differs from naive by %v",
+					dims, w, matrix.MaxAbsDiff(got, naive))
+			}
+		}
+	}
+}
+
+// Awkward blocking parameters (small, non-multiples of each other and
+// of the problem size) must not change the result either: they force
+// multiple (jc, pc) panel steps and accumulate semantics across steps.
+func TestGemmParallelAccumulatesAcrossPanels(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m, k, n := 97, 101, 89
+	a := matrix.Rand(rng, m, k)
+	b := matrix.Rand(rng, k, n)
+	init := matrix.Rand(rng, m, n)
+
+	want := init.Clone()
+	GemmPacked(want, a, b, 24, 16, 40)
+	for _, w := range workerCounts() {
+		got := init.Clone()
+		GemmParallel(got, a, b, 24, 16, 40, w)
+		if !matrix.Equal(got, want) {
+			t.Errorf("workers=%d: accumulate differs from packed by %v",
+				w, matrix.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+// Concurrent GemmParallel callers (as sched workers would be) must not
+// interfere through the shared helper pool or buffer pools.
+func TestGemmParallelConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 150
+	a := matrix.Rand(rng, n, n)
+	b := matrix.Rand(rng, n, n)
+	want := matrix.New(n, n)
+	MulPacked(want, a, b)
+
+	const callers = 4
+	results := make([]*matrix.Dense, callers)
+	done := make(chan int, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			c := matrix.New(n, n)
+			MulParallel(c, a, b, 2)
+			results[i] = c
+			done <- i
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		<-done
+	}
+	for i, c := range results {
+		if !matrix.Equal(c, want) {
+			t.Errorf("caller %d: concurrent result differs by %v", i, matrix.MaxAbsDiff(c, want))
+		}
+	}
+}
+
+// The register-block constants are load-bearing for micro's hand
+// unrolled accumulator file; a compile-time guard in packed.go pins
+// them, and this test documents the invariant where a human will see
+// it fail first.
+func TestMicroKernelBlockConstants(t *testing.T) {
+	if MR != 4 || NR != 4 {
+		t.Fatalf("MR=%d NR=%d: micro's accumulators are hand-unrolled for 4x4; "+
+			"rewrite kernel.micro before changing the block constants", MR, NR)
+	}
+}

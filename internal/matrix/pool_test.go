@@ -1,0 +1,66 @@
+package matrix
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolRecyclesBySize(t *testing.T) {
+	var p Pool
+	a := p.Get(8, 8)
+	b := p.Get(8, 4)
+	p.Put(a, b)
+	if p.Len() != 2 {
+		t.Fatalf("pool len %d", p.Len())
+	}
+	if got := p.Get(8, 8); got != a {
+		t.Fatal("did not recycle the 8x8 matrix")
+	}
+	if got := p.Get(8, 4); got != b {
+		t.Fatal("did not recycle the 8x4 matrix")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("pool len %d after draining", p.Len())
+	}
+	// A miss on an empty size class allocates fresh storage.
+	c := p.Get(16, 16)
+	if c.Rows() != 16 || c.Cols() != 16 {
+		t.Fatalf("fresh matrix %dx%d", c.Rows(), c.Cols())
+	}
+}
+
+func TestPoolRejectsViews(t *testing.T) {
+	var p Pool
+	m := New(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on Put of a view")
+		}
+	}()
+	p.Put(m.View(0, 0, 4, 4))
+}
+
+func TestPoolIgnoresNil(t *testing.T) {
+	var p Pool
+	p.Put(nil, New(2, 2))
+	if p.Len() != 1 {
+		t.Fatalf("pool len %d", p.Len())
+	}
+}
+
+func TestPoolConcurrentUse(t *testing.T) {
+	var p Pool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m := p.Get(32, 32)
+				m.Set(0, 0, 1)
+				p.Put(m)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,14 +1,23 @@
 // Package sched is the real execution engine: it runs a task tree's
-// leaf closures on goroutines with fork-join semantics and a bounded
-// number of concurrently executing leaves, standing in for the OpenMP
-// task runtime the paper's codes used.
+// leaf closures on a pool of persistent worker goroutines with
+// fork-join semantics, standing in for the OpenMP task runtime the
+// paper's codes used.
 //
 // Where the virtual-time simulator (internal/sim) models placement,
 // contention and power, this engine actually computes: examples and
 // correctness tests execute the same trees here and compare results.
-// Placement is delegated to the Go scheduler; worker identity is the
-// token a leaf holds while running, which bounds parallelism to the
-// configured worker count and attributes busy time.
+//
+// Dispatch is a shared LIFO deque of ready leaves guarded by one
+// mutex: interior Seq/Par nodes are expanded into per-node join
+// counters at dispatch time, so no goroutine is ever spawned per task
+// — the pool's workers are created once in New and pull leaves until
+// the tree drains. LIFO order pops the most recently exposed subtree
+// first, which keeps a worker on the data it just produced (the same
+// reason Cilk-style runtimes pop their own deque from the top). This
+// makes fine-grained trees (Strassen at cutover 64 produces tens of
+// thousands of leaves) cheap to execute: per-leaf overhead is two
+// short critical sections, not a goroutine spawn plus channel
+// round-trip.
 //
 // Use it on trees built WithMath at moderate problem sizes; an
 // accounting-only tree runs in zero time here (no closures) and should
@@ -30,7 +39,7 @@ type Metrics struct {
 	// Leaves is the number of leaf tasks executed.
 	Leaves int
 	// PerWorkerLeaves and PerWorkerBusy attribute work to the worker
-	// token each leaf held.
+	// that executed each leaf.
 	PerWorkerLeaves []int64
 	PerWorkerBusy   []time.Duration
 	// Flops, L3Bytes and DRAMBytes are the accounting totals of the
@@ -53,32 +62,18 @@ func (m Metrics) Utilization() float64 {
 	return float64(busy) / (float64(m.Wall) * float64(len(m.PerWorkerBusy)))
 }
 
-// Pool executes task trees with at most `workers` leaves in flight.
-type Pool struct {
-	workers int
-	tokens  chan int
+// nodeState is the per-node join bookkeeping of the active run, the
+// executor-side mirror of the task tree.
+type nodeState struct {
+	n         *task.Node
+	parent    *nodeState
+	pending   int // outstanding children (Par)
+	nextChild int // next child index to start (Seq)
 }
 
-// New returns a pool with the given worker count.
-func New(workers int) *Pool {
-	if workers < 1 {
-		panic(fmt.Sprintf("sched: workers %d", workers))
-	}
-	p := &Pool{workers: workers, tokens: make(chan int, workers)}
-	for i := 0; i < workers; i++ {
-		p.tokens <- i
-	}
-	return p
-}
-
-// Workers returns the pool's parallelism bound.
-func (p *Pool) Workers() int { return p.workers }
-
-// run executes a subtree, collecting stats; panics from leaves are
-// captured into st.panic (first one wins) instead of killing the
-// offending goroutine's stack alone.
+// runState collects the results of one Run. All fields are guarded by
+// the pool's mutex.
 type runState struct {
-	mu       sync.Mutex
 	leaves   int
 	busy     []time.Duration
 	byWorker []int64
@@ -86,31 +81,82 @@ type runState struct {
 	l3       float64
 	dram     float64
 	panicked any
+	rootDone bool
+	done     chan struct{}
 }
 
-func (st *runState) notePanic(v any) {
-	st.mu.Lock()
-	if st.panicked == nil {
-		st.panicked = v
+// Pool executes task trees on `workers` persistent goroutines.
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond // workers wait here for ready leaves
+	deque  []*nodeState
+	st     *runState // active run; nil while idle
+	closed bool
+
+	runMu sync.Mutex // serializes Run calls
+}
+
+// New returns a pool with the given worker count. The workers are
+// spawned immediately and persist across Run calls; Close releases
+// them.
+func New(workers int) *Pool {
+	if workers < 1 {
+		panic(fmt.Sprintf("sched: workers %d", workers))
 	}
-	st.mu.Unlock()
+	p := &Pool{workers: workers, deque: make([]*nodeState, 0, 4*workers)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
 }
 
-func (st *runState) hasPanicked() bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.panicked != nil
+// Workers returns the pool's parallelism bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the pool's worker goroutines. A closed pool must not
+// Run again. Pools that live for the whole process need not be
+// closed; the workers park on a condition variable and cost nothing
+// while idle.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // Run executes root and blocks until every leaf has completed. If any
-// leaf panics, Run re-panics with that value after the tree quiesces.
+// leaf panics, the remaining leaves of sequential chains are skipped
+// and Run re-panics with the first value after the tree quiesces.
+// Concurrent Run calls on one pool are serialized.
 func (p *Pool) Run(root *task.Node) Metrics {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+
 	st := &runState{
 		busy:     make([]time.Duration, p.workers),
 		byWorker: make([]int64, p.workers),
+		done:     make(chan struct{}),
 	}
 	start := time.Now()
-	p.exec(root, st)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: Run on closed pool")
+	}
+	p.st = st
+	p.startNode(&nodeState{n: root})
+	p.mu.Unlock()
+
+	<-st.done
+
+	p.mu.Lock()
+	p.st = nil
+	p.mu.Unlock()
+
 	wall := time.Since(start)
 	if st.panicked != nil {
 		panic(st.panicked)
@@ -126,67 +172,114 @@ func (p *Pool) Run(root *task.Node) Metrics {
 	}
 }
 
-func (p *Pool) exec(n *task.Node, st *runState) {
+// startNode activates a node: leaves join the deque; interior nodes
+// expand per Seq/Par semantics. Empty interior nodes complete
+// immediately. Called with p.mu held.
+func (p *Pool) startNode(s *nodeState) {
 	switch {
-	case n.IsLeaf():
-		p.runLeaf(n, st)
-	case n.IsSeq():
-		for _, c := range n.Children() {
-			if st.hasPanicked() {
-				return
-			}
-			p.exec(c, st)
-		}
-	default: // Par
-		children := n.Children()
-		if len(children) == 1 {
-			p.exec(children[0], st)
+	case s.n.IsLeaf():
+		p.deque = append(p.deque, s)
+		p.cond.Signal()
+	case s.n.IsSeq():
+		if len(s.n.Children()) == 0 {
+			p.complete(s)
 			return
 		}
-		var wg sync.WaitGroup
-		for _, c := range children[1:] {
-			c := c
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() {
-					if v := recover(); v != nil {
-						st.notePanic(v)
-					}
-				}()
-				p.exec(c, st)
-			}()
+		p.startChild(s, 0)
+	default: // Par
+		children := s.n.Children()
+		if len(children) == 0 {
+			p.complete(s)
+			return
 		}
-		// The spawning task works on the first child itself
-		// (OpenMP-style: the encountering thread is also a worker).
-		p.exec(children[0], st)
-		wg.Wait()
+		s.pending = len(children)
+		for i := range children {
+			p.startChild(s, i)
+		}
 	}
 }
 
-func (p *Pool) runLeaf(n *task.Node, st *runState) {
-	w := n.Work()
-	worker := <-p.tokens
-	t0 := time.Now()
-	func() {
-		defer func() {
-			if v := recover(); v != nil {
-				st.notePanic(v)
-			}
-		}()
-		if w.Run != nil {
-			w.Run()
-		}
-	}()
-	busy := time.Since(t0)
-	p.tokens <- worker
+func (p *Pool) startChild(parent *nodeState, idx int) {
+	if parent.n.IsSeq() {
+		parent.nextChild = idx + 1
+	}
+	p.startNode(&nodeState{n: parent.n.Children()[idx], parent: parent})
+}
 
-	st.mu.Lock()
-	st.leaves++
-	st.byWorker[worker]++
-	st.busy[worker] += busy
-	st.flops += w.Flops
-	st.l3 += w.L3Bytes
-	st.dram += w.DRAMBytes
-	st.mu.Unlock()
+// complete propagates a finished node up the tree, starting successor
+// Seq children as they become runnable. After a leaf panic, pending
+// Seq successors are skipped so the run drains promptly. Called with
+// p.mu held.
+func (p *Pool) complete(s *nodeState) {
+	for {
+		par := s.parent
+		if par == nil {
+			p.st.rootDone = true
+			close(p.st.done)
+			return
+		}
+		if par.n.IsSeq() {
+			if p.st.panicked == nil && par.nextChild < len(par.n.Children()) {
+				p.startChild(par, par.nextChild)
+				return
+			}
+			s = par
+			continue
+		}
+		par.pending--
+		if par.pending > 0 {
+			return
+		}
+		s = par
+	}
+}
+
+// worker is the body of one persistent pool goroutine: pop a ready
+// leaf, run its closure outside the lock, fold the stats in and
+// propagate completion.
+func (p *Pool) worker(id int) {
+	p.mu.Lock()
+	for {
+		for !p.closed && len(p.deque) == 0 {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		s := p.deque[len(p.deque)-1]
+		p.deque[len(p.deque)-1] = nil
+		p.deque = p.deque[:len(p.deque)-1]
+		st := p.st
+		skip := st.panicked != nil
+		p.mu.Unlock()
+
+		w := s.n.Work()
+		var busy time.Duration
+		if !skip && w.Run != nil {
+			t0 := time.Now()
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						p.mu.Lock()
+						if st.panicked == nil {
+							st.panicked = v
+						}
+						p.mu.Unlock()
+					}
+				}()
+				w.Run()
+			}()
+			busy = time.Since(t0)
+		}
+
+		p.mu.Lock()
+		st.leaves++
+		st.byWorker[id]++
+		st.busy[id] += busy
+		st.flops += w.Flops
+		st.l3 += w.L3Bytes
+		st.dram += w.DRAMBytes
+		p.complete(s)
+	}
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -204,4 +205,100 @@ func TestRealMatchesSerialExecution(t *testing.T) {
 	if !matrix.Equal(c1, c2) {
 		t.Fatal("parallel real execution differs from serial")
 	}
+}
+
+// One pool's persistent workers must survive arbitrarily many runs and
+// keep each run's metrics separate.
+func TestPoolReuseAcrossRuns(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	for run := 0; run < 20; run++ {
+		var count atomic.Int64
+		var leaves []*task.Node
+		for i := 0; i < 30; i++ {
+			leaves = append(leaves, task.Leaf(task.Work{Flops: 2, Run: func() { count.Add(1) }}))
+		}
+		m := p.Run(task.Seq(task.Par(leaves[:15]...), task.Par(leaves[15:]...)))
+		if count.Load() != 30 || m.Leaves != 30 || m.Flops != 60 {
+			t.Fatalf("run %d: count=%d metrics=%+v", run, count.Load(), m)
+		}
+	}
+}
+
+// A pool must recover from a panicking tree and run the next tree
+// normally (the panic must not wedge the persistent workers).
+func TestPoolSurvivesPanickedRun(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.Run(task.Par(
+			task.Leaf(task.Work{Run: func() {}}),
+			task.Leaf(task.Work{Run: func() { panic("boom") }}),
+		))
+	}()
+	var count atomic.Int64
+	m := p.Run(task.Par(
+		task.Leaf(task.Work{Run: func() { count.Add(1) }}),
+		task.Leaf(task.Work{Run: func() { count.Add(1) }}),
+	))
+	if count.Load() != 2 || m.Leaves != 2 {
+		t.Fatalf("post-panic run broken: count=%d metrics=%+v", count.Load(), m)
+	}
+}
+
+// After a leaf panics, subsequent leaves of the same Seq chain are
+// skipped so the run drains instead of computing garbage.
+func TestPanicSkipsSeqSuccessors(t *testing.T) {
+	var ran atomic.Bool
+	root := task.Seq(
+		task.Leaf(task.Work{Run: func() { panic("first") }}),
+		task.Leaf(task.Work{Run: func() { ran.Store(true) }}),
+	)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		p := New(2)
+		defer p.Close()
+		p.Run(root)
+	}()
+	if ran.Load() {
+		t.Fatal("Seq successor ran after panic")
+	}
+}
+
+// Empty interior nodes (Seq()/Par() with no children) must complete
+// without deadlocking the join logic.
+func TestEmptyInteriorNodes(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	m := p.Run(task.Seq(task.Par(), task.Seq(), task.Leaf(task.Work{Flops: 1})))
+	if m.Leaves != 1 || m.Flops != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// Concurrent Run calls on one pool are serialized, not interleaved
+// into corrupt metrics.
+func TestConcurrentRunCallsSerialize(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var leaves []*task.Node
+			for i := 0; i < 50; i++ {
+				leaves = append(leaves, task.Leaf(task.Work{Flops: 1, Run: func() {}}))
+			}
+			if m := p.Run(task.Par(leaves...)); m.Leaves != 50 || m.Flops != 50 {
+				t.Errorf("metrics %+v", m)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -186,10 +186,57 @@ type executor struct {
 	workerIdle      []bool
 	idleCount       int
 
-	lastWriter map[task.RegionID]int
+	// lastWriter maps RegionID → last-writing worker (-1 unknown).
+	// Regions allocators issue dense IDs from 1, so a flat slice beats
+	// a map on the scheduler hot path; it grows by doubling on demand.
+	lastWriter []int32
+
+	// Hot-loop scratch, reused across events so the steady-state
+	// scheduling loop performs no allocation: actsBuf for the power
+	// integration in advance, leafFree recycles runningLeaf records,
+	// and stateArena block-allocates nodeStates.
+	actsBuf    []hw.Activity
+	leafFree   []*runningLeaf
+	stateArena []nodeState
 
 	liveAlloc float64
 	res       Result
+}
+
+// newState carves a nodeState out of the arena, amortizing one
+// allocation over a block of nodes.
+func (e *executor) newState(n *task.Node, parent *nodeState, mask uint64) *nodeState {
+	if len(e.stateArena) == 0 {
+		e.stateArena = make([]nodeState, 512)
+	}
+	s := &e.stateArena[0]
+	e.stateArena = e.stateArena[1:]
+	s.n, s.parent, s.mask = n, parent, mask
+	return s
+}
+
+// writerOf returns the last worker to write region r, or -1.
+func (e *executor) writerOf(r task.RegionID) int {
+	if int(r) < len(e.lastWriter) {
+		return int(e.lastWriter[r])
+	}
+	return -1
+}
+
+func (e *executor) setWriter(r task.RegionID, worker int) {
+	if int(r) >= len(e.lastWriter) {
+		size := 2 * len(e.lastWriter)
+		if size <= int(r) {
+			size = int(r) + 1
+		}
+		grown := make([]int32, size)
+		copy(grown, e.lastWriter)
+		for i := len(e.lastWriter); i < size; i++ {
+			grown[i] = -1
+		}
+		e.lastWriter = grown
+	}
+	e.lastWriter[r] = int32(worker)
 }
 
 // Run simulates root on machine m under cfg and returns the result.
@@ -211,7 +258,12 @@ func Run(m *hw.Machine, root *task.Node, cfg Config) *Result {
 		workerIdle:      make([]bool, cfg.Workers),
 		readyPinned:     make([][]*nodeState, cfg.Workers),
 		pinnedHead:      make([]int, cfg.Workers),
-		lastWriter:      make(map[task.RegionID]int),
+		lastWriter:      make([]int32, 1024),
+		running:         make(leafHeap, 0, cfg.Workers),
+		actsBuf:         make([]hw.Activity, 0, cfg.Workers),
+	}
+	for i := range e.lastWriter {
+		e.lastWriter[i] = -1
 	}
 	e.res.BusyByKind = make(map[task.Kind]float64)
 	for i := range e.workerIdle {
@@ -219,7 +271,7 @@ func Run(m *hw.Machine, root *task.Node, cfg Config) *Result {
 	}
 	e.idleCount = cfg.Workers
 
-	e.startNode(&nodeState{n: root, mask: e.allMask()})
+	e.startNode(e.newState(root, nil, e.allMask()))
 	e.dispatch()
 	for len(e.running) > 0 {
 		e.advance()
@@ -288,11 +340,7 @@ func (e *executor) startNode(s *nodeState) {
 
 func (e *executor) startChild(parent *nodeState, idx int) {
 	child := parent.n.Children()[idx]
-	cs := &nodeState{
-		n:      child,
-		parent: parent,
-		mask:   e.effectiveMask(child, parent.mask),
-	}
+	cs := e.newState(child, parent, e.effectiveMask(child, parent.mask))
 	if parent.n.IsSeq() {
 		parent.nextChild = idx + 1
 	}
@@ -324,7 +372,7 @@ func (e *executor) complete(s *nodeState) {
 // or -1 when unknown.
 func (e *executor) preferredWorker(w *task.Work) int {
 	for _, r := range w.Reads {
-		if wr, ok := e.lastWriter[r]; ok {
+		if wr := e.writerOf(r); wr >= 0 {
 			return wr
 		}
 	}
@@ -437,7 +485,7 @@ func (e *executor) launch(s *nodeState, worker int) {
 	stolen := false
 	if !e.cfg.DisableAffinity {
 		for _, r := range w.Reads {
-			if wr, ok := e.lastWriter[r]; ok && wr != worker {
+			if wr := e.writerOf(r); wr >= 0 && wr != worker {
 				remoteBytes += w.RegionBytes
 			}
 		}
@@ -459,7 +507,7 @@ func (e *executor) launch(s *nodeState, worker int) {
 	}
 
 	for _, wr := range w.Writes {
-		e.lastWriter[wr] = worker
+		e.setWriter(wr, worker)
 	}
 
 	e.workerIdle[worker] = false
@@ -483,17 +531,28 @@ func (e *executor) launch(s *nodeState, worker int) {
 	}
 
 	e.seq++
-	heap.Push(&e.running, &runningLeaf{
-		state:  s,
-		worker: worker,
-		finish: e.now + cost.Duration,
-		seq:    e.seq,
-		activity: hw.Activity{
-			Utilization: cost.Utilization,
-			DRAMRate:    cost.DRAMRate,
-			L3Rate:      cost.L3Rate,
-		},
-	})
+	rl := e.getLeaf()
+	rl.state = s
+	rl.worker = worker
+	rl.finish = e.now + cost.Duration
+	rl.seq = e.seq
+	rl.activity = hw.Activity{
+		Utilization: cost.Utilization,
+		DRAMRate:    cost.DRAMRate,
+		L3Rate:      cost.L3Rate,
+	}
+	heap.Push(&e.running, rl)
+}
+
+// getLeaf recycles runningLeaf records so the event loop stops
+// allocating once the heap has reached its steady size.
+func (e *executor) getLeaf() *runningLeaf {
+	if n := len(e.leafFree); n > 0 {
+		rl := e.leafFree[n-1]
+		e.leafFree = e.leafFree[:n-1]
+		return rl
+	}
+	return &runningLeaf{}
 }
 
 // advance integrates power up to the next completion time and retires
@@ -501,10 +560,11 @@ func (e *executor) launch(s *nodeState, worker int) {
 func (e *executor) advance() {
 	next := e.running[0].finish
 	if dt := next - e.now; dt > 0 {
-		acts := make([]hw.Activity, len(e.running))
-		for i, rl := range e.running {
-			acts[i] = rl.activity
+		acts := e.actsBuf[:0]
+		for _, rl := range e.running {
+			acts = append(acts, rl.activity)
 		}
+		e.actsBuf = acts
 		p := e.m.SegmentPower(acts)
 		e.res.EnergyPKG += p.PKG * dt
 		e.res.EnergyPP0 += p.PP0 * dt
@@ -518,7 +578,10 @@ func (e *executor) advance() {
 		rl := heap.Pop(&e.running).(*runningLeaf)
 		e.workerIdle[rl.worker] = true
 		e.idleCount++
-		e.complete(rl.state)
+		s := rl.state
+		rl.state = nil
+		e.leafFree = append(e.leafFree, rl)
+		e.complete(s)
 	}
 }
 

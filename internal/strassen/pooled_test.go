@@ -1,0 +1,99 @@
+package strassen
+
+import (
+	"math/rand"
+	"testing"
+
+	"capscale/internal/hw"
+	"capscale/internal/matrix"
+	"capscale/internal/task"
+)
+
+// BuildPooled must compute exactly what Build computes, for every
+// variant and for sizes that take the padded path.
+func TestBuildPooledMatchesBuild(t *testing.T) {
+	m := hw.HaswellE31225()
+	rng := rand.New(rand.NewSource(21))
+	var pool matrix.Pool
+	for _, tc := range []struct {
+		n   int
+		opt Options
+	}{
+		{64, Options{Cutover: 8, WithMath: true}},
+		{64, Options{Cutover: 8, Winograd: true, WithMath: true}},
+		{96, Options{Cutover: 16, WithMath: true}},  // 96 -> padded
+		{100, Options{Cutover: 16, WithMath: true}}, // padded, odd fill
+	} {
+		a := matrix.Rand(rng, tc.n, tc.n)
+		b := matrix.Rand(rng, tc.n, tc.n)
+
+		want := matrix.New(tc.n, tc.n)
+		task.RunSerial(Build(m, want, a, b, 2, tc.opt))
+
+		got := matrix.New(tc.n, tc.n)
+		root, release := BuildPooled(m, got, a, b, 2, tc.opt, &pool)
+		task.RunSerial(root)
+		release()
+
+		if !matrix.Equal(got, want) {
+			t.Errorf("n=%d winograd=%v: pooled result differs by %v",
+				tc.n, tc.opt.Winograd, matrix.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+// Rebuilding the same problem must reuse the released scratch: the
+// second build draws every temporary from the pool, and stale contents
+// from the first run must not leak into the second result.
+func TestBuildPooledReusesScratch(t *testing.T) {
+	m := hw.HaswellE31225()
+	rng := rand.New(rand.NewSource(22))
+	n := 64
+	opt := Options{Cutover: 8, WithMath: true}
+	var pool matrix.Pool
+
+	a1, b1 := matrix.Rand(rng, n, n), matrix.Rand(rng, n, n)
+	c1 := matrix.New(n, n)
+	root, release := BuildPooled(m, c1, a1, b1, 2, opt, &pool)
+	task.RunSerial(root)
+	release()
+	cached := pool.Len()
+	if cached == 0 {
+		t.Fatal("release returned nothing to the pool")
+	}
+
+	// Different operands, same shape: all scratch comes from the pool.
+	a2, b2 := matrix.Rand(rng, n, n), matrix.Rand(rng, n, n)
+	c2 := matrix.New(n, n)
+	root, release = BuildPooled(m, c2, a2, b2, 2, opt, &pool)
+	if pool.Len() != 0 {
+		t.Fatalf("second build left %d of %d cached temporaries unused", pool.Len(), cached)
+	}
+	task.RunSerial(root)
+
+	want := matrix.New(n, n)
+	matrix.MulNaive(want, a2, b2)
+	if !matrix.AlmostEqual(c2, want, 1e-10) {
+		t.Fatalf("recycled-scratch result differs by %v", matrix.MaxAbsDiff(c2, want))
+	}
+	release()
+	if pool.Len() != cached {
+		t.Fatalf("pool holds %d after second release, want %d", pool.Len(), cached)
+	}
+}
+
+// Release after an accounting-only build (no math) is a harmless no-op.
+func TestBuildPooledAccountingOnly(t *testing.T) {
+	m := hw.HaswellE31225()
+	n := 128
+	a, b, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+	var pool matrix.Pool
+	root, release := BuildPooled(m, c, a, b, 2, Options{}, &pool)
+	if root == nil {
+		t.Fatal("nil root")
+	}
+	release()
+	if pool.Len() != 0 {
+		t.Fatalf("accounting-only build pooled %d matrices", pool.Len())
+	}
+}

@@ -9,7 +9,10 @@
 // algorithmic structure.
 package task
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Kind classifies a leaf's dominant activity, for tracing and for the
 // cost model's kernel-efficiency lookup.
@@ -45,15 +48,31 @@ func (k Kind) String() string {
 type RegionID uint32
 
 // Regions hands out unique RegionIDs. The zero value is ready to use.
-// It is not safe for concurrent use; trees are built single-threaded.
+//
+// Invariant: tree construction is single-threaded. Regions is NOT safe
+// for concurrent use — IDs must stay dense and gap-free because the
+// simulator indexes its writer table by them — and now that tree
+// *execution* is multi-threaded (internal/sched runs leaves on
+// persistent workers) it is tempting to build trees from inside leaf
+// closures; don't. New detects overlapping calls and panics rather
+// than silently issuing duplicate IDs.
 type Regions struct {
 	next RegionID
+	busy int32 // overlap detector; see New
 }
 
-// New returns a fresh, never-before-issued RegionID.
+// New returns a fresh, never-before-issued RegionID. It panics if it
+// observes a concurrent New on the same Regions: the counter increment
+// is deliberately unsynchronized (builds are single-threaded by
+// contract), so an overlap would corrupt the ID sequence.
 func (r *Regions) New() RegionID {
+	if atomic.AddInt32(&r.busy, 1) != 1 {
+		panic("task: concurrent Regions.New — task trees must be built single-threaded")
+	}
 	r.next++
-	return r.next
+	id := r.next
+	atomic.AddInt32(&r.busy, -1)
+	return id
 }
 
 // Count returns how many regions have been issued.

@@ -2,6 +2,7 @@ package task
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -217,5 +218,32 @@ func TestPropertyLeavesMatchesCollect(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regions must detect overlapping New calls: tree construction is
+// single-threaded by contract (execution is not, since internal/sched
+// runs leaves on persistent workers), and the guard turns a violated
+// contract into a panic instead of duplicate region IDs.
+func TestRegionsGuardPanicsOnOverlappingNew(t *testing.T) {
+	var r Regions
+	atomic.StoreInt32(&r.busy, 1) // another goroutine is mid-New
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on overlapping Regions.New")
+		}
+	}()
+	r.New()
+}
+
+// Serialized cross-goroutine use (a handoff, not an overlap) stays
+// legal: the guard only rejects concurrency.
+func TestRegionsSequentialHandoffAllowed(t *testing.T) {
+	var r Regions
+	done := make(chan RegionID)
+	go func() { done <- r.New() }()
+	first := <-done
+	if second := r.New(); second != first+1 {
+		t.Fatalf("ids %d then %d", first, second)
 	}
 }

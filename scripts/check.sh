@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verify gate: formatting, vet, build, full tests, and a race pass
+# over the concurrent packages (the real executor and the parallel
+# GEMM kernel).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/sched/... ./internal/kernel/...
+echo "check.sh: all green"
