@@ -10,6 +10,7 @@ test:
 
 race:
 	go test -race ./internal/sched/... ./internal/kernel/...
+	go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/...
 
 bench:
 	go test -bench=. -benchmem

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		what       = flag.String("what", "all", "artifact: all, table2, table3, table4, fig1, fig3..fig7, headlines, future-dmm, future-sparse, platforms")
+		what       = flag.String("what", "all", "artifact: all, table2, table3, table4, fig1, fig3..fig7, headlines, breakdown, measurement, future-dmm, future-sparse, platforms")
 		quick      = flag.Bool("quick", false, "use a reduced matrix (sizes 512,1024; threads 1..4)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		chart      = flag.Bool("chart", false, "render figures as ASCII line charts (fig3..fig7)")
@@ -115,6 +115,7 @@ func main() {
 		"breakdown": func() *report.Table {
 			return report.BreakdownTable(mx, cfg.Sizes[len(cfg.Sizes)-1], maxOf(cfg.Threads))
 		},
+		"measurement": func() *report.Table { return report.MeasurementTable(mx) },
 	}
 
 	if *chart {

@@ -61,6 +61,8 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "powertrace: %v n=%d threads=%d: %.4fs, %.2f W avg (PKG %.2f + DRAM %.2f)\n",
 		a, *n, *threads, run.Seconds, run.WattsTotal(), run.WattsPKG(), run.WattsDRAM())
+	fmt.Fprintf(os.Stderr, "powertrace: monitor reconciled %d samples, max rel.err vs ground truth %.2e\n",
+		run.MeasSamples, run.MeasurementErr())
 	if err := run.Trace.WriteCSV(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "powertrace: %v\n", err)
 		os.Exit(1)

@@ -31,10 +31,16 @@ type PlaneReading struct {
 }
 
 // EAvg computes Eq. 3: the encapsulated power of a phase is the sum of
-// its measurable power planes, EAvg_n = Σ_f PPL_f.
+// its measurable power planes, EAvg_n = Σ_f PPL_f. It panics on a
+// negative reading: power planes cannot draw negative watts, so a
+// negative value is a sign error upstream that would otherwise
+// propagate into a plausible-looking EP.
 func EAvg(planes []PlaneReading) float64 {
 	sum := 0.0
 	for _, p := range planes {
+		if p.Watts < 0 {
+			panic(fmt.Sprintf("energy: negative power reading %s = %v W", p.Name, p.Watts))
+		}
 		sum += p.Watts
 	}
 	return sum
@@ -61,6 +67,9 @@ func EPMixed(seq Phase, par []Phase) float64 {
 	}
 	maxE, maxT := 0.0, 0.0
 	for _, p := range par {
+		if p.T < 0 {
+			panic(fmt.Sprintf("energy: negative phase duration %v", p.T))
+		}
 		if e := EAvg(p.Planes); e > maxE {
 			maxE = e
 		}
@@ -105,9 +114,14 @@ func (c Class) String() string {
 
 // Classify compares an energy-performance scaling value S at
 // parallelism P against the linear threshold S = P (Fig. 1): values at
-// or under the line are ideal, values above it superlinear.
+// or under the line are ideal, values above it superlinear. The
+// boundary tolerance is relative to the threshold (floored at one so
+// small P keeps an absolute epsilon): a fixed absolute epsilon is
+// invisible next to large S values, where float noise alone exceeds
+// it, misclassifying on-the-line points as superlinear.
 func Classify(s float64, p int) Class {
-	if s <= float64(p)+1e-9 {
+	thr := float64(p)
+	if s <= thr+1e-9*math.Max(1, thr) {
 		return Ideal
 	}
 	return Superlinear

@@ -250,3 +250,59 @@ func TestPaperScenarioOpenBLASSuperlinear(t *testing.T) {
 		t.Fatal("Strassen-like scaling should be ideal")
 	}
 }
+
+func TestEAvgRejectsNegativeReading(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative watts accepted: a sign error upstream would produce a plausible EP")
+		}
+	}()
+	EAvg([]PlaneReading{{"PKG", 30}, {"DRAM", -3.5}})
+}
+
+func TestEPMixedRejectsNegativeInputs(t *testing.T) {
+	panics := func(f func()) (p bool) {
+		defer func() { p = recover() != nil }()
+		f()
+		return
+	}
+	if !panics(func() {
+		EPMixed(Phase{}, []Phase{{Planes: []PlaneReading{{"PKG", -1}}, T: 2}})
+	}) {
+		t.Fatal("negative parallel-phase watts accepted")
+	}
+	if !panics(func() {
+		EPMixed(Phase{Planes: []PlaneReading{{"PKG", -1}}, T: 1},
+			[]Phase{{Planes: []PlaneReading{{"PKG", 40}}, T: 2}})
+	}) {
+		t.Fatal("negative sequential-phase watts accepted")
+	}
+	if !panics(func() {
+		EPMixed(Phase{}, []Phase{{Planes: []PlaneReading{{"PKG", 40}}, T: -2}, {T: 5}})
+	}) {
+		t.Fatal("negative phase duration accepted")
+	}
+}
+
+func TestClassifyRelativeEpsilonAtLargeS(t *testing.T) {
+	// At large S the old absolute 1e-9 epsilon is below float
+	// resolution: a value on the line but carrying one ulp of noise was
+	// classified superlinear. The threshold must scale with P.
+	p := 1 << 40
+	thr := float64(p)
+	onLine := thr * (1 + 1e-12) // float noise, far under the 1e-9 relative band
+	if Classify(onLine, p) != Ideal {
+		t.Fatalf("S=%v at P=%d misclassified as superlinear", onLine, p)
+	}
+	clearlyOver := thr * (1 + 1e-6)
+	if Classify(clearlyOver, p) != Superlinear {
+		t.Fatalf("S=%v at P=%d misclassified as ideal", clearlyOver, p)
+	}
+	// Small P keeps the absolute epsilon floor.
+	if Classify(1+5e-10, 1) != Ideal {
+		t.Fatal("boundary noise at P=1 misclassified")
+	}
+	if Classify(1.1, 1) != Superlinear {
+		t.Fatal("1.1 at P=1 should be superlinear")
+	}
+}

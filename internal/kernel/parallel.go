@@ -56,6 +56,12 @@ var gemmStatePool = sync.Pool{New: func() any { return new(gemmState) }}
 var (
 	gemmOnce sync.Once
 	gemmJobs chan *gemmState
+	// gemmPoolSize is the helper count recorded when the pool was
+	// spawned. Worker caps must use it, not the current GOMAXPROCS:
+	// raising GOMAXPROCS after the first call does not grow the pool,
+	// so "workers" beyond pool size + caller would silently never
+	// exist.
+	gemmPoolSize int
 )
 
 // startGemmWorkers lazily spawns the persistent helper goroutines.
@@ -65,6 +71,7 @@ var (
 // itself.
 func startGemmWorkers() {
 	n := runtime.GOMAXPROCS(0)
+	gemmPoolSize = n
 	gemmJobs = make(chan *gemmState, n)
 	for i := 0; i < n; i++ {
 		go func() {
@@ -134,6 +141,14 @@ func GemmParallel(dst, a, b *matrix.Dense, mc, kc, nc, workers int) {
 		return
 	}
 	gemmOnce.Do(startGemmWorkers)
+	// Cap the fan-out at the recorded pool size plus the caller: the
+	// helper pool was sized at first call and never grows, so capping
+	// against the *current* GOMAXPROCS would promise workers that
+	// cannot exist (their jobs would queue behind the pool and sweep
+	// an already-exhausted counter).
+	if workers > gemmPoolSize+1 {
+		workers = gemmPoolSize + 1
+	}
 
 	st := gemmStatePool.Get().(*gemmState)
 	st.dst, st.a, st.b = dst, a, b

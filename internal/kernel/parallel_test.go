@@ -114,6 +114,51 @@ func TestGemmParallelConcurrentCallers(t *testing.T) {
 	}
 }
 
+// Requesting far more workers than the helper pool holds must degrade
+// gracefully, not promise phantom workers: the fan-out is capped at
+// the pool size recorded when the helpers were spawned (plus the
+// caller), and when concurrent callers saturate the pool the
+// saturation fallback — the caller absorbing unclaimed shares itself —
+// must still produce bit-identical results. GOMAXPROCS is raised for
+// the duration to expose the stale-pool case the cap guards against:
+// the pool was sized at first use and never grows, so a cap against
+// the *current* GOMAXPROCS would count helpers that do not exist.
+func TestGemmParallelOversubscribedAndSaturated(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(2 * prev)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(14))
+	n := 170
+	a := matrix.Rand(rng, n, n)
+	b := matrix.Rand(rng, n, n)
+	want := matrix.New(n, n)
+	MulPacked(want, a, b)
+
+	const callers = 8
+	results := make([]*matrix.Dense, callers)
+	done := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			c := matrix.New(n, n)
+			// Far beyond any plausible pool: the cap plus the
+			// saturation fallback absorb the excess.
+			MulParallel(c, a, b, 16*prev)
+			results[i] = c
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		<-done
+	}
+	for i, c := range results {
+		if !matrix.Equal(c, want) {
+			t.Errorf("caller %d: oversubscribed result differs by %v", i, matrix.MaxAbsDiff(c, want))
+		}
+	}
+}
+
 // The register-block constants are load-bearing for micro's hand
 // unrolled accumulator file; a compile-time guard in packed.go pins
 // them, and this test documents the invariant where a human will see

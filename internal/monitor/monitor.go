@@ -1,0 +1,280 @@
+// Package monitor closes the measurement loop the paper's numbers
+// depend on: a virtual-time polling monitor that replays a simulated
+// power timeline (or a recorded trace) into the emulated RAPL device,
+// samples it through the PAPI event-set layer at a fixed device-time
+// interval — the way the paper's driver polled real silicon through
+// PAPI's RAPL component — and reconciles what the polling measured
+// against the device's exact accumulated energy.
+//
+// The reconciliation report states, per power plane, the measured and
+// ground-truth joules, the absolute and relative error, and the number
+// of 32-bit counter wraps the measurement lost (zero for a correctly
+// sampled run). It also warns when the chosen poll interval could
+// accumulate more than one wrap period of energy between samples at
+// the timeline's peak power — the undersampling condition under which
+// RAPL measurement silently loses energy on real hardware too.
+//
+// The experiment driver (internal/workload) measures every run through
+// this monitor, so the EP and scaling figures of Eq. 1 and Eq. 5 are
+// computed from measured energy, with the simulator's exact totals
+// kept as a cross-check rather than used directly.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"capscale/internal/hw"
+	"capscale/internal/papi"
+	"capscale/internal/rapl"
+	"capscale/internal/sim"
+	"capscale/internal/trace"
+)
+
+// Config controls one monitored replay.
+type Config struct {
+	// PollInterval is the sampling period in seconds of device time.
+	// It must be positive.
+	PollInterval float64
+	// Device is the RAPL device to replay into; nil selects a fresh
+	// device with the default (Haswell) energy unit. Passing a device
+	// with a custom ESU exponent narrows or widens the wrap period
+	// under test.
+	Device *rapl.Device
+}
+
+// PlaneReport is one plane's reconciliation verdict.
+type PlaneReport struct {
+	Plane rapl.Plane
+	// MeasuredJ is what the polled PAPI event set accumulated.
+	MeasuredJ float64
+	// TruthJ is the device's exact integrated energy over the replay —
+	// the oracle a real monitor never sees.
+	TruthJ float64
+	// AbsErr is MeasuredJ − TruthJ (non-positive in practice: the
+	// counters quantize downward and wraps only lose energy).
+	AbsErr float64
+	// RelErr is |AbsErr| / TruthJ, or 0 when TruthJ is 0.
+	RelErr float64
+	// LostWraps estimates how many full 32-bit counter wraps the
+	// measurement missed: the deficit rounded to whole wrap periods.
+	LostWraps int
+}
+
+// Report is the outcome of one monitored replay.
+type Report struct {
+	// PollInterval echoes the configured sampling period.
+	PollInterval float64
+	// Samples counts periodic polls plus the final Stop sample.
+	Samples int
+	// Duration is the replayed device time in seconds.
+	Duration float64
+	// WrapJoules is the energy of one full counter wrap at the
+	// device's unit (2³² · unit ≈ 65.5 kJ at the Haswell default).
+	WrapJoules float64
+	// Planes holds one report per RAPL plane, in rapl.Planes() order.
+	Planes []PlaneReport
+	// Warnings lists sampling-adequacy diagnostics: undersampling
+	// relative to the wrap period at peak power, or too few samples to
+	// call the run monitored.
+	Warnings []string
+}
+
+// Plane returns the report for one plane; it panics on an unknown
+// plane, which indicates a caller bug.
+func (r *Report) Plane(p rapl.Plane) PlaneReport {
+	for _, pr := range r.Planes {
+		if pr.Plane == p {
+			return pr
+		}
+	}
+	panic(fmt.Sprintf("monitor: no report for plane %v", p))
+}
+
+// MaxAbsErr returns the largest per-plane |measured − truth| in joules.
+func (r *Report) MaxAbsErr() float64 {
+	worst := 0.0
+	for _, pr := range r.Planes {
+		if e := math.Abs(pr.AbsErr); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// MaxRelErr returns the largest per-plane relative error.
+func (r *Report) MaxRelErr() float64 {
+	worst := 0.0
+	for _, pr := range r.Planes {
+		if pr.RelErr > worst {
+			worst = pr.RelErr
+		}
+	}
+	return worst
+}
+
+// WrapLoss reports whether any plane lost at least one counter wrap.
+func (r *Report) WrapLoss() bool {
+	for _, pr := range r.Planes {
+		if pr.LostWraps > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reconciled reports whether the measurement agrees with ground truth:
+// no wrap loss and every plane within relTol relative error (planes
+// with zero truth must measure within one counter quantum).
+func (r *Report) Reconciled(relTol float64) bool {
+	if r.WrapLoss() {
+		return false
+	}
+	for _, pr := range r.Planes {
+		if pr.TruthJ == 0 {
+			if math.Abs(pr.MeasuredJ) > r.WrapJoules/math.Pow(2, 32) {
+				return false
+			}
+			continue
+		}
+		if pr.RelErr > relTol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a one-paragraph summary for logs and CLI output.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "monitor: %d samples @ %gs over %.4fs", r.Samples, r.PollInterval, r.Duration)
+	for _, pr := range r.Planes {
+		fmt.Fprintf(&sb, "; %s %.4f/%.4f J (rel.err %.2e", pr.Plane, pr.MeasuredJ, pr.TruthJ, pr.RelErr)
+		if pr.LostWraps > 0 {
+			fmt.Fprintf(&sb, ", %d wraps LOST", pr.LostWraps)
+		}
+		sb.WriteString(")")
+	}
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&sb, "\nwarning: %s", w)
+	}
+	return sb.String()
+}
+
+// Replay feeds a simulator timeline into the RAPL device segment by
+// segment, sampling through a PAPI event set every cfg.PollInterval
+// seconds of device time, and reconciles the measurement against the
+// device's exact energy totals.
+func Replay(segs []sim.Segment, cfg Config) (*Report, error) {
+	if cfg.PollInterval <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive poll interval %v", cfg.PollInterval)
+	}
+	dev := cfg.Device
+	if dev == nil {
+		dev = rapl.NewDevice()
+	}
+
+	var truth0 [3]float64
+	for i, p := range rapl.Planes() {
+		truth0[i] = dev.TotalJoules(p)
+	}
+
+	es := papi.NewEventSet(dev)
+	for _, e := range []string{papi.EventPackageEnergy, papi.EventPP0Energy, papi.EventDRAMEnergy} {
+		if err := es.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	if err := es.Start(); err != nil {
+		return nil, err
+	}
+	samples := 0
+	dev.SetPoll(cfg.PollInterval, func() {
+		es.Poll()
+		samples++
+	})
+	defer dev.SetPoll(0, nil)
+
+	t0 := dev.Now()
+	var peak hw.PlanePower
+	for _, seg := range segs {
+		dt := seg.End - seg.Start
+		if dt < 0 {
+			return nil, fmt.Errorf("monitor: non-monotone segment [%v,%v)", seg.Start, seg.End)
+		}
+		if seg.Power.PKG > peak.PKG {
+			peak.PKG = seg.Power.PKG
+		}
+		if seg.Power.PP0 > peak.PP0 {
+			peak.PP0 = seg.Power.PP0
+		}
+		if seg.Power.DRAM > peak.DRAM {
+			peak.DRAM = seg.Power.DRAM
+		}
+		dev.Advance(dt, seg.Power)
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		return nil, err
+	}
+	samples++ // Stop's final sample
+
+	rep := &Report{
+		PollInterval: cfg.PollInterval,
+		Samples:      samples,
+		Duration:     dev.Now() - t0,
+		WrapJoules:   math.Pow(2, 32) * dev.EnergyUnit(),
+	}
+	peaks := [3]float64{peak.PKG, peak.PP0, peak.DRAM}
+	for i, p := range rapl.Planes() {
+		measured := float64(vals[i]) / 1e9
+		truth := dev.TotalJoules(p) - truth0[i]
+		pr := PlaneReport{
+			Plane:     p,
+			MeasuredJ: measured,
+			TruthJ:    truth,
+			AbsErr:    measured - truth,
+		}
+		if truth != 0 {
+			pr.RelErr = math.Abs(pr.AbsErr) / truth
+		}
+		// A correctly sampled measurement is short by at most one
+		// counter quantum; any deficit near a multiple of the wrap
+		// period is lost wraps.
+		if deficit := truth - measured; deficit > rep.WrapJoules/2 {
+			pr.LostWraps = int(math.Round(deficit / rep.WrapJoules))
+		}
+		rep.Planes = append(rep.Planes, pr)
+
+		if maxGain := peaks[i] * cfg.PollInterval; maxGain >= rep.WrapJoules {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+				"%s: poll interval %gs can accumulate %.0f J between samples at peak %.1f W, exceeding the %.0f J wrap period — wrap correction is unsound",
+				p, cfg.PollInterval, maxGain, peaks[i], rep.WrapJoules))
+		}
+	}
+	if rep.Duration > 0 && samples < 2 {
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+			"only %d sample(s) over %.4fs: poll interval %gs undersamples the run",
+			samples, rep.Duration, cfg.PollInterval))
+	}
+	return rep, nil
+}
+
+// ReplayTrace replays a recorded power trace — each step of the trace
+// becomes one constant-power segment.
+func ReplayTrace(tr *trace.Trace, cfg Config) (*Report, error) {
+	segs := make([]sim.Segment, 0, len(tr.Samples))
+	for i, s := range tr.Samples {
+		end := tr.End
+		if i+1 < len(tr.Samples) {
+			end = tr.Samples[i+1].T
+		}
+		segs = append(segs, sim.Segment{
+			Start: s.T,
+			End:   end,
+			Power: hw.PlanePower{PKG: s.PKG, PP0: s.PP0, DRAM: s.DRAM},
+		})
+	}
+	return Replay(segs, cfg)
+}

@@ -126,6 +126,18 @@ func (es *EventSet) Start() error {
 	return nil
 }
 
+// Poll samples the counters without stopping and without materializing
+// values — the allocation-free call a timer-thread poller makes between
+// Reads. Sampling at least once per counter wrap period is what keeps
+// the wrap correction sound.
+func (es *EventSet) Poll() error {
+	if es.st != stateRunning {
+		return fmt.Errorf("papi: polling a stopped event set")
+	}
+	es.meter.Sample()
+	return nil
+}
+
 // Read samples the counters without stopping and returns the values in
 // nanojoules, ordered as the events were added.
 func (es *EventSet) Read() ([]int64, error) {
@@ -155,10 +167,29 @@ func (es *EventSet) values() []int64 {
 	return out
 }
 
-// Measure runs fn with all three energy events armed and returns the
-// measured joules per plane and fn's duration in device time — the
+// DefaultPollInterval is the device-time sampling period Measure uses
+// between Start and Stop. One second keeps any plausible power model
+// orders of magnitude inside the 32-bit wrap period (a plane would
+// need to sustain ≈65 kW at the Haswell energy unit to wrap between
+// samples), while a Stop-only measurement silently loses a full wrap's
+// worth of energy (~65 kJ/plane) every time a run crosses one.
+const DefaultPollInterval = 1.0
+
+// Measure runs fn with all three energy events armed, sampling the
+// counters every DefaultPollInterval seconds of device time, and
+// returns the measured joules per plane and fn's duration — the
 // convenience wrapper the experiment driver uses per run.
 func Measure(dev *rapl.Device, fn func()) (pkg, pp0, dram, seconds float64, err error) {
+	return MeasureAt(dev, DefaultPollInterval, fn)
+}
+
+// MeasureAt is Measure with an explicit poll interval (seconds of
+// device time). A non-positive interval disables periodic sampling and
+// reads the counters only at Stop — which under-reports by one full
+// wrap (~65 kJ/plane at the default unit) for every counter wrap the
+// run accumulates, exactly as an undersampled monitor would on real
+// silicon.
+func MeasureAt(dev *rapl.Device, pollInterval float64, fn func()) (pkg, pp0, dram, seconds float64, err error) {
 	es := NewEventSet(dev)
 	for _, e := range []string{EventPackageEnergy, EventPP0Energy, EventDRAMEnergy} {
 		if err := es.Add(e); err != nil {
@@ -168,6 +199,10 @@ func Measure(dev *rapl.Device, fn func()) (pkg, pp0, dram, seconds float64, err 
 	t0 := dev.Now()
 	if err := es.Start(); err != nil {
 		return 0, 0, 0, 0, err
+	}
+	if pollInterval > 0 {
+		dev.SetPoll(pollInterval, func() { es.Poll() })
+		defer dev.SetPoll(0, nil)
 	}
 	fn()
 	vals, err := es.Stop()

@@ -192,3 +192,74 @@ func TestMeasureWrapper(t *testing.T) {
 		t.Fatalf("duration %v", secs)
 	}
 }
+
+func TestPollLifecycle(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := NewEventSet(dev)
+	if err := es.Add(EventPackageEnergy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Poll(); err == nil {
+		t.Fatal("poll while stopped accepted")
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(1, hw.PlanePower{PKG: 10})
+	if err := es.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(vals[0])-10e9) > 20000 {
+		t.Fatalf("polled energy %d nJ", vals[0])
+	}
+}
+
+// TestMeasureSurvivesCounterWrap is the regression test for the silent
+// wrap loss Measure used to have: sampling only at Stop, any run
+// accumulating more than one 32-bit counter wrap (~65.5 kJ/plane at
+// the default unit) under-reported with no error. Measure now samples
+// every DefaultPollInterval of device time, so a 200 kJ run (three
+// wraps) is recovered in full.
+func TestMeasureSurvivesCounterWrap(t *testing.T) {
+	dev := rapl.NewDevice()
+	pkg, pp0, dram, secs, err := Measure(dev, func() {
+		// 4000 s at 50 W PKG / 30 W PP0 = 200 kJ / 120 kJ: two wraps on
+		// PP0, three on PKG at the 2³²·2⁻¹⁶ ≈ 65.5 kJ wrap period.
+		for i := 0; i < 4000; i++ {
+			dev.Advance(1, hw.PlanePower{PKG: 50, PP0: 30, DRAM: 2})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs != 4000 {
+		t.Fatalf("duration %v", secs)
+	}
+	if math.Abs(pkg-200000) > 0.001 || math.Abs(pp0-120000) > 0.001 || math.Abs(dram-8000) > 0.001 {
+		t.Fatalf("wrap-corrected energy %v %v %v want 200000 120000 8000", pkg, pp0, dram)
+	}
+}
+
+// TestMeasureAtUndersampledLosesWraps documents the failure mode the
+// polling fix removes: with periodic sampling disabled, each full wrap
+// vanishes silently.
+func TestMeasureAtUndersampledLosesWraps(t *testing.T) {
+	dev := rapl.NewDevice()
+	pkg, _, _, _, err := MeasureAt(dev, 0, func() {
+		for i := 0; i < 4000; i++ {
+			dev.Advance(1, hw.PlanePower{PKG: 50})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapJ := math.Pow(2, 32) / 65536.0
+	want := 200000 - 3*wrapJ
+	if math.Abs(pkg-want) > 0.001 {
+		t.Fatalf("undersampled measurement %v J want %v (three wraps lost)", pkg, want)
+	}
+}

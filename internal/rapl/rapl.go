@@ -68,6 +68,15 @@ type Device struct {
 	now float64
 	// powerLimitRaw backs MSR_PKG_POWER_LIMIT (see powerlimit.go).
 	powerLimitRaw uint64
+
+	// Poll hook (SetPoll): pollFn fires every pollInterval seconds of
+	// device time. pollStart/pollCount derive each tick as
+	// pollStart + count·interval so long runs accumulate no float
+	// drift.
+	pollInterval float64
+	pollFn       func()
+	pollStart    float64
+	pollCount    int64
 }
 
 // NewDevice returns a device with the Haswell energy unit.
@@ -87,14 +96,58 @@ func (d *Device) EnergyUnit() float64 { return 1 / math.Pow(2, float64(d.esu)) }
 
 // Advance integrates plane power p over dt seconds into the energy
 // counters. It panics on negative dt (time does not run backwards).
+// When a poller is registered (SetPoll), the integration is split at
+// every poll tick inside the interval so the poller observes the
+// counters exactly as a timer thread on real silicon would —
+// including mid-segment, which is what makes wrap correction across
+// long constant-power stretches possible.
 func (d *Device) Advance(dt float64, p hw.PlanePower) {
 	if dt < 0 {
 		panic(fmt.Sprintf("rapl: negative interval %v", dt))
 	}
+	if d.pollFn == nil {
+		d.integrate(dt, p)
+		d.now += dt
+		return
+	}
+	end := d.now + dt
+	for {
+		tick := d.pollStart + float64(d.pollCount+1)*d.pollInterval
+		if tick > end {
+			break
+		}
+		if step := tick - d.now; step > 0 {
+			d.integrate(step, p)
+		}
+		d.now = tick
+		d.pollCount++
+		d.pollFn()
+	}
+	if step := end - d.now; step > 0 {
+		d.integrate(step, p)
+	}
+	d.now = end
+}
+
+// integrate accumulates energy without touching the clock.
+func (d *Device) integrate(dt float64, p hw.PlanePower) {
 	d.totalJ[PlanePKG] += p.PKG * dt
 	d.totalJ[PlanePP0] += p.PP0 * dt
 	d.totalJ[PlaneDRAM] += p.DRAM * dt
-	d.now += dt
+}
+
+// SetPoll registers fn to be invoked every interval seconds of device
+// time, starting one interval after the current instant — the virtual
+// equivalent of the timer thread a PAPI-based monitor runs. A
+// non-positive interval (or nil fn) removes the poller.
+func (d *Device) SetPoll(interval float64, fn func()) {
+	if interval <= 0 || fn == nil {
+		d.pollInterval, d.pollFn = 0, nil
+		return
+	}
+	d.pollInterval, d.pollFn = interval, fn
+	d.pollStart = d.now
+	d.pollCount = 0
 }
 
 // Now returns the device's elapsed time in seconds.

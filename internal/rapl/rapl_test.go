@@ -222,3 +222,100 @@ func TestPropertyMeterMatchesGroundTruth(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSetPollTicksInsideAdvance(t *testing.T) {
+	d := NewDevice()
+	var times []float64
+	d.SetPoll(0.5, func() { times = append(times, d.Now()) })
+	// One Advance spanning several ticks must fire the poller at each
+	// tick, with the counters integrated up to exactly that instant.
+	d.Advance(1.6, hw.PlanePower{PKG: 10})
+	want := []float64{0.5, 1.0, 1.5}
+	if len(times) != len(want) {
+		t.Fatalf("ticks at %v want %v", times, want)
+	}
+	for i, w := range want {
+		if math.Abs(times[i]-w) > 1e-12 {
+			t.Fatalf("tick %d at %v want %v", i, times[i], w)
+		}
+	}
+	if math.Abs(d.Now()-1.6) > 1e-12 {
+		t.Fatalf("clock %v", d.Now())
+	}
+	if got := d.TotalJoules(PlanePKG); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("energy %v", got)
+	}
+}
+
+func TestSetPollSeesIntermediateCounters(t *testing.T) {
+	d := NewDevice()
+	var joules []float64
+	d.SetPoll(1, func() { joules = append(joules, d.TotalJoules(PlanePKG)) })
+	d.Advance(3, hw.PlanePower{PKG: 10})
+	if len(joules) != 3 {
+		t.Fatalf("%d ticks", len(joules))
+	}
+	for i, want := range []float64{10, 20, 30} {
+		if math.Abs(joules[i]-want) > 1e-9 {
+			t.Fatalf("tick %d saw %v J want %v", i, joules[i], want)
+		}
+	}
+}
+
+func TestSetPollNoDriftOverLongRuns(t *testing.T) {
+	d := NewDevice()
+	n := 0
+	d.SetPoll(0.1, func() { n++ })
+	// 0.1 is not exactly representable; a naive t += dt poller drifts.
+	// 10000 seconds in uneven chunks must yield exactly 100000 ticks,
+	// each at pollStart + k·interval.
+	for i := 0; i < 10000; i++ {
+		d.Advance(0.7, hw.PlanePower{})
+		d.Advance(0.3, hw.PlanePower{})
+	}
+	if n != 100000 {
+		t.Fatalf("%d ticks want 100000", n)
+	}
+}
+
+func TestSetPollRemoval(t *testing.T) {
+	d := NewDevice()
+	n := 0
+	d.SetPoll(1, func() { n++ })
+	d.Advance(2, hw.PlanePower{PKG: 1})
+	d.SetPoll(0, nil)
+	d.Advance(5, hw.PlanePower{PKG: 1})
+	if n != 2 {
+		t.Fatalf("%d ticks after removal want 2", n)
+	}
+	if math.Abs(d.TotalJoules(PlanePKG)-7) > 1e-9 {
+		t.Fatalf("energy %v", d.TotalJoules(PlanePKG))
+	}
+}
+
+func TestSetPollMeterRecoversWrappedEnergy(t *testing.T) {
+	// The scenario the poll hook exists for: a run whose energy exceeds
+	// one 32-bit counter wrap. A meter sampled only at the end loses a
+	// full wrap; one sampled from the poll hook recovers ground truth.
+	run := func(poll bool) float64 {
+		d := NewDevice()
+		m := NewMeter(d)
+		m.Start()
+		if poll {
+			d.SetPoll(60, func() { m.Sample() })
+		}
+		// 100 kJ at 50 W — ~1.5 wraps at the 65.5 kJ wrap period.
+		for i := 0; i < 2000; i++ {
+			d.Advance(1, hw.PlanePower{PKG: 50})
+		}
+		m.Sample()
+		return m.Joules(PlanePKG)
+	}
+	wrapJ := math.Pow(2, 32) / 65536.0
+	if got := run(false); math.Abs(got-(100000-wrapJ)) > 1 {
+		t.Fatalf("unpolled meter measured %v J, expected exactly one wrap lost", got)
+	}
+	if got := run(true); math.Abs(got-100000) > 0.001 {
+		t.Fatalf("polled meter measured %v J want 100000", got)
+	}
+}

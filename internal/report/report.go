@@ -158,6 +158,36 @@ func Figure7(mx *workload.Matrix) *Table {
 	return t
 }
 
+// MeasurementTable reconciles the polled monitor's measured energy
+// against the device's ground-truth accumulators for every run in the
+// matrix: the numbers all downstream tables (EP, scaling, power) are
+// computed from, versus what the hardware actually dissipated. A run
+// whose relative error strays past float-accumulation noise — or whose
+// sample count is suspiciously low — indicates undersampling and
+// possible 32-bit counter wrap loss. Matrices loaded from JSON saved
+// before the measurement loop was closed carry no truth columns and
+// render as "-".
+func MeasurementTable(mx *workload.Matrix) *Table {
+	t := &Table{
+		Title:  "Measurement reconciliation — monitor vs. RAPL ground truth",
+		Header: []string{"algorithm", "N", "threads", "measured J", "truth J", "max rel.err", "samples"},
+	}
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		meas := r.PKGJoules + r.DRAMJoules
+		truth := r.TruthPKGJoules + r.TruthDRAMJoules
+		if truth == 0 && r.MeasSamples == 0 {
+			t.AddRow(r.Alg.String(), fmt.Sprint(r.N), fmt.Sprint(r.Threads),
+				f2(meas), "-", "-", "-")
+			continue
+		}
+		t.AddRow(r.Alg.String(), fmt.Sprint(r.N), fmt.Sprint(r.Threads),
+			f2(meas), f2(truth), fmt.Sprintf("%.2e", r.MeasurementErr()),
+			fmt.Sprint(r.MeasSamples))
+	}
+	return t
+}
+
 // BreakdownTable decomposes each algorithm's busy time by kernel class
 // at one configuration — where the cycles (and therefore the dynamic
 // energy) go.
@@ -209,7 +239,25 @@ func Headlines(mx *workload.Matrix) *Table {
 	lo, hi := openBLASPowerEnvelope(mx)
 	t.AddRow("OpenBLAS min watts", f2(lo), f2(PaperHeadlines.MinOpenBLASWatts))
 	t.AddRow("OpenBLAS max watts", f2(hi), f2(PaperHeadlines.MaxOpenBLASWatts))
+
+	// Not a paper claim, but the precondition for all of the above: the
+	// measured energy the tables are computed from must agree with the
+	// device's ground truth (the paper trusts PAPI the same way).
+	t.AddRow("Max measurement rel.err", fmt.Sprintf("%.2e", maxMeasurementErr(mx)), "-")
 	return t
+}
+
+// maxMeasurementErr returns the worst per-plane monitor-vs-truth
+// relative error across the matrix (0 for matrices without recorded
+// ground truth).
+func maxMeasurementErr(mx *workload.Matrix) float64 {
+	worst := 0.0
+	for i := range mx.Runs {
+		if e := mx.Runs[i].MeasurementErr(); e > worst {
+			worst = e
+		}
+	}
+	return worst
 }
 
 func avgSlowdown(mx *workload.Matrix, alg workload.Algorithm) float64 {
@@ -261,6 +309,7 @@ func All(mx *workload.Matrix) string {
 		Table4(mx).String(),
 		Figure7(mx).String(),
 		BreakdownTable(mx, mx.Cfg.Sizes[len(mx.Cfg.Sizes)-1], maxThreads(mx)).String(),
+		MeasurementTable(mx).String(),
 		Headlines(mx).String(),
 	}
 	return strings.Join(parts, "\n")

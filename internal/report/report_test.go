@@ -98,7 +98,8 @@ func TestRenderersProduceAllSections(t *testing.T) {
 	out := All(mx)
 	for _, want := range []string{
 		"Figure 1", "Figure 3", "Table II", "Figure 4", "Figure 5",
-		"Figure 6", "Table III", "Table IV", "Figure 7", "Headline",
+		"Figure 6", "Table III", "Table IV", "Figure 7",
+		"Measurement reconciliation", "Headline",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
@@ -161,6 +162,46 @@ func TestPowerScalingFigureColumns(t *testing.T) {
 	}
 	if len(tb.Rows) != len(mx.Cfg.Threads) {
 		t.Fatalf("rows %d", len(tb.Rows))
+	}
+}
+
+func TestMeasurementTableReconciles(t *testing.T) {
+	mx := smokeMatrix(t)
+	tb := MeasurementTable(mx)
+	if len(tb.Rows) != len(mx.Runs) {
+		t.Fatalf("rows %d want %d", len(tb.Rows), len(mx.Runs))
+	}
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		if r.TruthPKGJoules <= 0 {
+			t.Fatalf("run %d carries no ground truth", i)
+		}
+		// Smoke runs are sub-millisecond, so relative error is floored
+		// by counter quantization; the absolute error is what separates
+		// "reconciled" (a few 15 µJ quanta) from wrap loss (~65 kJ).
+		if e := r.MeasurementAbsErr(); e > 1e-4 {
+			t.Errorf("run %d: abs.err %.3e J above quantization noise", i, e)
+		}
+		if tb.Rows[i][4] == "-" {
+			t.Errorf("run %d rendered as legacy (no truth column)", i)
+		}
+	}
+}
+
+func TestMeasurementTableLegacyMatrix(t *testing.T) {
+	// A matrix loaded from JSON saved before the measurement loop was
+	// closed has no truth or sample columns; it must render as "-"
+	// rather than claiming a perfect (zero) error.
+	mx := &workload.Matrix{Runs: []workload.Run{{
+		Alg: workload.AlgOpenBLAS, N: 512, Threads: 2,
+		Seconds: 1, PKGJoules: 30, DRAMJoules: 3,
+	}}}
+	tb := MeasurementTable(mx)
+	if got := tb.Rows[0][4]; got != "-" {
+		t.Fatalf("truth cell %q want -", got)
+	}
+	if got := tb.Rows[0][5]; got != "-" {
+		t.Fatalf("err cell %q want -", got)
 	}
 }
 

@@ -23,7 +23,11 @@ type Sample struct {
 	DRAM float64
 }
 
-// Total returns the full-system draw at this sample.
+// Total returns the full-system draw at this sample: PKG + DRAM only.
+// PP0 (the cores) is deliberately excluded because on RAPL it is a
+// sub-plane of PKG — the package counter already contains the core
+// energy, so adding PP0 again would triple-count the cores. This
+// matches Eq. 3's plane encapsulation in internal/energy.
 func (s Sample) Total() float64 { return s.PKG + s.DRAM }
 
 // Trace is a right-open step function of power over [start, End).
@@ -107,6 +111,10 @@ func (tr *Trace) At(t float64) (Sample, bool) {
 // Resample returns the trace as seen by a poller reading every dt
 // seconds from the trace start — the view a PAPI-based monitor gets.
 // It panics on non-positive dt.
+//
+// Sample times are computed as start + i·dt rather than by repeated
+// addition: accumulating t += dt compounds float rounding over long
+// traces, skewing late sample timestamps and the total sample count.
 func (tr *Trace) Resample(dt float64) *Trace {
 	if dt <= 0 {
 		panic(fmt.Sprintf("trace: non-positive resample interval %v", dt))
@@ -115,7 +123,12 @@ func (tr *Trace) Resample(dt float64) *Trace {
 	if len(tr.Samples) == 0 {
 		return out
 	}
-	for t := tr.Samples[0].T; t < tr.End; t += dt {
+	start := tr.Samples[0].T
+	for i := 0; ; i++ {
+		t := start + float64(i)*dt
+		if t >= tr.End {
+			break
+		}
 		if s, ok := tr.At(t); ok {
 			out.Samples = append(out.Samples, s)
 		}
@@ -222,7 +235,9 @@ func (tr *Trace) QuantilePKG(q float64) float64 {
 	return items[len(items)-1].p
 }
 
-// WriteCSV emits "t,pkg_w,pp0_w,dram_w,total_w" rows.
+// WriteCSV emits "t,pkg_w,pp0_w,dram_w,total_w" rows. The total_w
+// column is PKG + DRAM (see Sample.Total): PP0 is a subset of PKG on
+// RAPL, so it is reported for inspection but never summed in.
 func (tr *Trace) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "t_s,pkg_w,pp0_w,dram_w,total_w"); err != nil {
 		return err

@@ -245,3 +245,60 @@ func TestPropertyEnergyAdditiveUnderAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestResampleNoTimestampDrift is the regression test for the t += dt
+// accumulation bug: 0.1 is not exactly representable, so repeated
+// addition drifts the sample clock and can change the sample count
+// over a long trace. Index-scaled timestamps must match start + i·dt
+// bitwise, with exactly duration/dt samples.
+func TestResampleNoTimestampDrift(t *testing.T) {
+	tr := &Trace{
+		Samples: []Sample{{T: 0, PKG: 10, PP0: 5, DRAM: 1}},
+		End:     10000,
+	}
+	rs := tr.Resample(0.1)
+	if len(rs.Samples) != 100000 {
+		t.Fatalf("%d samples want 100000", len(rs.Samples))
+	}
+	for _, i := range []int{1, 99999, 31415} {
+		want := float64(i) * 0.1
+		if rs.Samples[i].T != want {
+			t.Fatalf("sample %d at %v want exactly %v", i, rs.Samples[i].T, want)
+		}
+	}
+	// The accumulating poller drifts: by sample 100000 the error of
+	// repeated 0.1 addition is ~1.9e-9 s, and the drifted timestamps
+	// diverge from the exact grid.
+	drift := 0.0
+	for i := 0; i < 100000; i++ {
+		drift += 0.1
+	}
+	if drift == 10000.0 {
+		t.Skip("platform sums 0.1 exactly; drift not observable")
+	}
+	if rs.Samples[99999].T == drift-0.1 {
+		t.Fatal("resample still uses accumulated timestamps")
+	}
+}
+
+func TestResampleNonZeroStart(t *testing.T) {
+	tr := &Trace{
+		Samples: []Sample{{T: 2, PKG: 7}},
+		End:     3,
+	}
+	rs := tr.Resample(0.25)
+	if len(rs.Samples) != 4 {
+		t.Fatalf("%d samples", len(rs.Samples))
+	}
+	if rs.Samples[0].T != 2 || rs.Samples[3].T != 2.75 {
+		t.Fatalf("timestamps %v %v", rs.Samples[0].T, rs.Samples[3].T)
+	}
+}
+
+func TestSampleTotalExcludesPP0(t *testing.T) {
+	// PP0 is a sub-plane of PKG: total must be PKG + DRAM only.
+	s := Sample{PKG: 30, PP0: 22, DRAM: 4}
+	if got := s.Total(); got != 34 {
+		t.Fatalf("total %v want 34 (PKG+DRAM, PP0 already inside PKG)", got)
+	}
+}

@@ -25,19 +25,26 @@ type matrixJSON struct {
 }
 
 type runJSON struct {
-	Alg            Algorithm          `json:"alg"`
-	N              int                `json:"n"`
-	Threads        int                `json:"threads"`
-	Seconds        float64            `json:"seconds"`
-	PKGJoules      float64            `json:"pkg_j"`
-	PP0Joules      float64            `json:"pp0_j"`
-	DRAMJoules     float64            `json:"dram_j"`
-	Leaves         int                `json:"leaves"`
-	RemoteBytes    float64            `json:"remote_bytes"`
-	StolenLeaves   int                `json:"stolen_leaves"`
-	AllocHighWater float64            `json:"alloc_high_water"`
-	Utilization    float64            `json:"utilization"`
-	BusyByKind     map[string]float64 `json:"busy_by_kind,omitempty"`
+	Alg        Algorithm `json:"alg"`
+	N          int       `json:"n"`
+	Threads    int       `json:"threads"`
+	Seconds    float64   `json:"seconds"`
+	PKGJoules  float64   `json:"pkg_j"`
+	PP0Joules  float64   `json:"pp0_j"`
+	DRAMJoules float64   `json:"dram_j"`
+	// Oracle energy and sample count (absent in matrices saved before
+	// the measurement loop was closed; MeasurementErr treats zero
+	// truth as "no oracle recorded").
+	TruthPKGJoules  float64            `json:"truth_pkg_j,omitempty"`
+	TruthPP0Joules  float64            `json:"truth_pp0_j,omitempty"`
+	TruthDRAMJoules float64            `json:"truth_dram_j,omitempty"`
+	MeasSamples     int                `json:"meas_samples,omitempty"`
+	Leaves          int                `json:"leaves"`
+	RemoteBytes     float64            `json:"remote_bytes"`
+	StolenLeaves    int                `json:"stolen_leaves"`
+	AllocHighWater  float64            `json:"alloc_high_water"`
+	Utilization     float64            `json:"utilization"`
+	BusyByKind      map[string]float64 `json:"busy_by_kind,omitempty"`
 }
 
 // SaveJSON writes the matrix (without traces) to w.
@@ -54,7 +61,9 @@ func (mx *Matrix) SaveJSON(w io.Writer) error {
 		out.Runs = append(out.Runs, runJSON{
 			Alg: r.Alg, N: r.N, Threads: r.Threads,
 			Seconds: r.Seconds, PKGJoules: r.PKGJoules, PP0Joules: r.PP0Joules, DRAMJoules: r.DRAMJoules,
-			Leaves: r.Leaves, RemoteBytes: r.RemoteBytes, StolenLeaves: r.StolenLeaves,
+			TruthPKGJoules: r.TruthPKGJoules, TruthPP0Joules: r.TruthPP0Joules, TruthDRAMJoules: r.TruthDRAMJoules,
+			MeasSamples: r.MeasSamples,
+			Leaves:      r.Leaves, RemoteBytes: r.RemoteBytes, StolenLeaves: r.StolenLeaves,
 			AllocHighWater: r.AllocHighWater, Utilization: r.Utilization,
 			BusyByKind: r.BusyByKind,
 		})
@@ -92,7 +101,9 @@ func LoadJSON(r io.Reader) (*Matrix, error) {
 		mx.Runs = append(mx.Runs, Run{
 			Alg: rj.Alg, N: rj.N, Threads: rj.Threads,
 			Seconds: rj.Seconds, PKGJoules: rj.PKGJoules, PP0Joules: rj.PP0Joules, DRAMJoules: rj.DRAMJoules,
-			Leaves: rj.Leaves, RemoteBytes: rj.RemoteBytes, StolenLeaves: rj.StolenLeaves,
+			TruthPKGJoules: rj.TruthPKGJoules, TruthPP0Joules: rj.TruthPP0Joules, TruthDRAMJoules: rj.TruthDRAMJoules,
+			MeasSamples: rj.MeasSamples,
+			Leaves:      rj.Leaves, RemoteBytes: rj.RemoteBytes, StolenLeaves: rj.StolenLeaves,
 			AllocHighWater: rj.AllocHighWater, Utilization: rj.Utilization,
 			BusyByKind: rj.BusyByKind,
 		})

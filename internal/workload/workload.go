@@ -8,19 +8,26 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"capscale/internal/blas"
 	"capscale/internal/caps"
 	"capscale/internal/energy"
 	"capscale/internal/hw"
 	"capscale/internal/matrix"
-	"capscale/internal/papi"
+	"capscale/internal/monitor"
 	"capscale/internal/rapl"
 	"capscale/internal/sim"
 	"capscale/internal/strassen"
 	"capscale/internal/task"
 	"capscale/internal/trace"
 )
+
+// DefaultPollInterval is the monitor's sampling period when the
+// configuration leaves PollInterval unset: 10 ms (100 Hz), a typical
+// rate for a PAPI-based RAPL poller, and far inside the counter wrap
+// period at any power the machine zoo can draw.
+const DefaultPollInterval = 0.01
 
 // Algorithm identifies one of the multipliers under test.
 type Algorithm int
@@ -64,6 +71,12 @@ type Config struct {
 	RecordTraces bool
 	// TraceSampleInterval is the poller period for recorded traces.
 	TraceSampleInterval float64
+	// PollInterval is the measurement monitor's sampling period in
+	// seconds of device time; non-positive selects
+	// DefaultPollInterval. Every run's joule figures are what the
+	// polled RAPL/PAPI stack measured at this rate, reconciled against
+	// the device's exact totals (internal/monitor).
+	PollInterval float64
 	// DisableAffinity / DisableContention forward the simulator's
 	// ablation switches.
 	DisableAffinity   bool
@@ -117,6 +130,9 @@ func (cfg *Config) Validate() error {
 	if cfg.QuiesceSeconds < 0 {
 		return fmt.Errorf("workload: negative quiesce %v", cfg.QuiesceSeconds)
 	}
+	if cfg.PollInterval < 0 {
+		return fmt.Errorf("workload: negative poll interval %v", cfg.PollInterval)
+	}
 	return nil
 }
 
@@ -127,11 +143,22 @@ type Run struct {
 	Threads int
 
 	// Seconds is the virtual runtime; the joule figures are what the
-	// PAPI layer measured from the emulated RAPL counters.
+	// polling monitor measured through the emulated RAPL/PAPI stack —
+	// the same wrap-corrected counter deltas a live driver gets. All
+	// EP and scaling figures derive from these measured values.
 	Seconds    float64
 	PKGJoules  float64
 	PP0Joules  float64
 	DRAMJoules float64
+
+	// TruthPKGJoules, TruthPP0Joules and TruthDRAMJoules are the RAPL
+	// device's exact integrated energy — the oracle kept as a
+	// cross-check on the measurement path, never fed into the model.
+	TruthPKGJoules  float64
+	TruthPP0Joules  float64
+	TruthDRAMJoules float64
+	// MeasSamples counts the monitor's counter samples over the run.
+	MeasSamples int
 
 	// Scheduling facts from the simulator.
 	Leaves         int
@@ -145,6 +172,49 @@ type Run struct {
 
 	// Trace is the resampled power series (nil unless recorded).
 	Trace *trace.Trace
+}
+
+// MeasurementErr returns the largest per-plane relative error between
+// the monitor's measurement and the oracle energy — 0 for a perfectly
+// reconciled run, and 0 for legacy runs with no recorded truth. Note
+// the floor on relative error is counter quantization (~15 µJ at the
+// default ESU), so very short runs show percent-level values without
+// anything being wrong; use MeasurementAbsErr to check reconciliation
+// independent of run length.
+func (r *Run) MeasurementErr() float64 {
+	worst := 0.0
+	for _, pair := range [][2]float64{
+		{r.PKGJoules, r.TruthPKGJoules},
+		{r.PP0Joules, r.TruthPP0Joules},
+		{r.DRAMJoules, r.TruthDRAMJoules},
+	} {
+		if pair[1] == 0 {
+			continue
+		}
+		if e := math.Abs(pair[0]-pair[1]) / pair[1]; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// MeasurementAbsErr returns the largest per-plane absolute error in
+// joules between the monitor's measurement and the oracle energy. A
+// correctly sampled run is within a few counter quanta; a missed
+// 32-bit wrap shows up as ~65 kJ, so the two are unambiguous at any
+// run length.
+func (r *Run) MeasurementAbsErr() float64 {
+	worst := 0.0
+	for _, pair := range [][2]float64{
+		{r.PKGJoules, r.TruthPKGJoules},
+		{r.PP0Joules, r.TruthPP0Joules},
+		{r.DRAMJoules, r.TruthDRAMJoules},
+	} {
+		if e := math.Abs(pair[0] - pair[1]); e > worst {
+			worst = e
+		}
+	}
+	return worst
 }
 
 // WattsPKG returns average package watts over the run.
@@ -211,16 +281,33 @@ func ExecuteOne(cfg Config, alg Algorithm, n, threads int) Run {
 		DisableContention: cfg.DisableContention,
 	})
 
-	// Replay the timeline through the emulated RAPL device and read it
-	// back through the PAPI layer, as the paper's driver does.
-	dev := rapl.NewDevice()
-	pkg, pp0, dram, secs, err := papi.Measure(dev, func() {
-		for _, seg := range res.Timeline {
-			dev.Advance(seg.End-seg.Start, seg.Power)
-		}
-	})
+	// Replay the timeline through the polling monitor: the emulated
+	// RAPL device is advanced segment by segment while a PAPI event
+	// set samples it in device time, as the paper's driver polled real
+	// silicon. The model consumes the measured joules; the device's
+	// exact totals ride along as the reconciliation oracle.
+	interval := cfg.PollInterval
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	rep, err := monitor.Replay(res.Timeline, monitor.Config{PollInterval: interval})
 	if err != nil {
 		panic(fmt.Sprintf("workload: measurement failed: %v", err))
+	}
+	pkg := rep.Plane(rapl.PlanePKG)
+	pp0 := rep.Plane(rapl.PlanePP0)
+	dram := rep.Plane(rapl.PlaneDRAM)
+
+	// Cross-check the oracle itself: the device's integration of the
+	// replayed timeline must agree with the simulator's own energy
+	// accounting to float accumulation noise, or the measurement stack
+	// replayed a different run than it claims.
+	for _, chk := range [][2]float64{
+		{pkg.TruthJ, res.EnergyPKG}, {pp0.TruthJ, res.EnergyPP0}, {dram.TruthJ, res.EnergyDRAM},
+	} {
+		if diff := math.Abs(chk[0] - chk[1]); diff > 1e-6*math.Max(1, chk[1]) {
+			panic(fmt.Sprintf("workload: replay oracle %v J diverged from simulator %v J", chk[0], chk[1]))
+		}
 	}
 
 	byKind := make(map[string]float64, len(res.BusyByKind))
@@ -229,7 +316,10 @@ func ExecuteOne(cfg Config, alg Algorithm, n, threads int) Run {
 	}
 	run := Run{
 		Alg: alg, N: n, Threads: threads,
-		Seconds: secs, PKGJoules: pkg, PP0Joules: pp0, DRAMJoules: dram,
+		Seconds:   rep.Duration,
+		PKGJoules: pkg.MeasuredJ, PP0Joules: pp0.MeasuredJ, DRAMJoules: dram.MeasuredJ,
+		TruthPKGJoules: pkg.TruthJ, TruthPP0Joules: pp0.TruthJ, TruthDRAMJoules: dram.TruthJ,
+		MeasSamples:    rep.Samples,
 		Leaves:         res.Leaves,
 		RemoteBytes:    res.RemoteBytes,
 		StolenLeaves:   res.StolenLeaves,

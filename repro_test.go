@@ -230,6 +230,34 @@ func TestReproCAPSCopyOverheadVisible(t *testing.T) {
 	}
 }
 
+func TestReproMeasurementReconciles(t *testing.T) {
+	// Every run's energy figures now come from the polling monitor, not
+	// the simulator's oracle. The two must agree: at the default poll
+	// interval no 32-bit counter wrap can be missed, so the residual
+	// per-plane error is counter quantization plus float accumulation
+	// noise — a few 15 µJ quanta, with 1 mJ as a generous ceiling. A
+	// larger error means wrap loss (~65 kJ per missed wrap) or a broken
+	// sampling path.
+	mx := testMatrix(t)
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		if r.TruthPKGJoules <= 0 {
+			t.Errorf("%v n=%d p=%d: no ground truth recorded", r.Alg, r.N, r.Threads)
+			continue
+		}
+		if e := r.MeasurementAbsErr(); e > 1e-3 {
+			t.Errorf("%v n=%d p=%d: measurement abs.err %.3e J vs ground truth (PKG %.6f/%.6f J)",
+				r.Alg, r.N, r.Threads, e, r.PKGJoules, r.TruthPKGJoules)
+		}
+		// Runs longer than the poll interval must have been sampled
+		// mid-run, not just at Stop.
+		if r.Seconds > workload.DefaultPollInterval && r.MeasSamples < 2 {
+			t.Errorf("%v n=%d p=%d: %.4f s run but only %d monitor samples — poller not firing",
+				r.Alg, r.N, r.Threads, r.Seconds, r.MeasSamples)
+		}
+	}
+}
+
 func TestReproDeterminism(t *testing.T) {
 	// The virtual-time pipeline is bit-for-bit deterministic.
 	cfg := workload.SmokeConfig()

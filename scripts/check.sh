@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Repo verify gate: formatting, vet, build, full tests, and a race pass
-# over the concurrent packages (the real executor and the parallel
-# GEMM kernel).
+# Repo verify gate: formatting, vet, build, full tests, a race pass
+# over the concurrent packages (the real executor and the parallel GEMM
+# kernel) and the measurement stack (device poll hooks, PAPI meters,
+# the polling monitor and trace resampling), and a named monitor
+# reconciliation smoke: measured energy must match device ground truth,
+# and deliberately undersampled runs must be flagged for wrap loss.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,4 +19,6 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sched/... ./internal/kernel/...
+go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/...
+go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss|TestReplaySameRunReconciledWhenSampledFastEnough' -count=1 ./internal/monitor/
 echo "check.sh: all green"
