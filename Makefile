@@ -1,4 +1,4 @@
-.PHONY: check test race bench bench-kernels
+.PHONY: check test race bench bench-kernels bench-driver
 
 # Full verify gate: gofmt, vet, build, tests, race pass on the
 # concurrent packages.
@@ -20,3 +20,9 @@ bench-kernels:
 	go test ./internal/kernel/ -bench 'BenchmarkGemm' -benchmem
 	go test ./internal/sched/ -bench 'BenchmarkSchedDispatch' -benchmem
 	go test . -bench 'BenchmarkSimulatorThroughput'
+
+# Experiment-driver trajectory: sequential vs parallel vs memoized
+# sweeps and dense vs shape-only tree builds, recorded to
+# BENCH_driver.json.
+bench-driver:
+	./scripts/bench_driver.sh

@@ -42,6 +42,7 @@ func main() {
 		noContend  = flag.Bool("ablate-contention", false, "disable DRAM bandwidth contention")
 		save       = flag.String("save", "", "save the executed matrix as JSON to this file")
 		load       = flag.String("load", "", "render from a previously saved matrix instead of simulating")
+		jobs       = flag.Int("j", 0, "matrix cells to simulate concurrently (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 	}
 	cfg.DisableAffinity = *noAffinity
 	cfg.DisableContention = *noContend
+	cfg.Parallelism = *jobs
 
 	var mx *workload.Matrix
 	if *load != "" {

@@ -24,6 +24,7 @@ func main() {
 		threads  = flag.Int("threads", 4, "thread count (1..4 on the paper's machine)")
 		interval = flag.Float64("interval", 0.001, "sampling interval in seconds")
 		session  = flag.Bool("session", false, "emit the whole 48-run experiment session (quick sizes) with 60s quiesce gaps instead of one run")
+		jobs     = flag.Int("j", 0, "matrix cells to simulate concurrently in -session mode (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -32,6 +33,7 @@ func main() {
 		cfg.Sizes = []int{512, 1024} // keep the emitted CSV manageable
 		cfg.RecordTraces = true
 		cfg.TraceSampleInterval = *interval
+		cfg.Parallelism = *jobs
 		mx := workload.Execute(cfg)
 		tr := mx.SessionTrace()
 		fmt.Fprintf(os.Stderr, "powertrace: session of %d runs, %.1f s total\n", len(mx.Runs), tr.Duration())

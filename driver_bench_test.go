@@ -1,0 +1,73 @@
+package capscale
+
+import (
+	"testing"
+
+	"capscale/internal/hw"
+	"capscale/internal/matrix"
+	"capscale/internal/strassen"
+	"capscale/internal/workload"
+)
+
+// BenchmarkExecuteMatrix measures the experiment driver itself on the
+// smoke matrix (12 cells through build, simulate, measure):
+//
+//   - sequential: one worker, memoization off — the baseline sweep.
+//   - parallel: GOMAXPROCS workers, memoization off — the concurrent
+//     driver, bit-identical results in the same order.
+//   - memoized: cache on — what repeat consumers (the table benches,
+//     the CLIs) pay after the first sweep.
+//
+// This is the perf-trajectory benchmark `make bench-driver` records in
+// BENCH_driver.json.
+func BenchmarkExecuteMatrix(b *testing.B) {
+	base := workload.SmokeConfig()
+	b.Run("sequential", func(b *testing.B) {
+		cfg := base
+		cfg.NoCache = true
+		cfg.Parallelism = 1
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = workload.Execute(cfg)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		cfg := base
+		cfg.NoCache = true
+		cfg.Parallelism = 0 // GOMAXPROCS
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = workload.Execute(cfg)
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		cfg := base
+		workload.ResetRunCache()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = workload.Execute(cfg)
+		}
+	})
+}
+
+// BenchmarkBuildTree isolates the shape-only build win: the dense
+// variant is the seed path (three n×n operands allocated and zeroed
+// just to describe the multiply), the shape variant is what
+// workload.BuildTree does now.
+func BenchmarkBuildTree(b *testing.B) {
+	m := hw.HaswellE31225()
+	const n = 2048
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, bb, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+			_ = strassen.Build(m, c, a, bb, 4, strassen.Options{})
+		}
+	})
+	b.Run("shape", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = workload.BuildTree(m, workload.AlgStrassen, n, 4)
+		}
+	})
+}

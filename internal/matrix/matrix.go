@@ -15,10 +15,18 @@ import (
 // Dense is a dense row-major matrix of float64 values. A Dense may be a
 // view into a larger matrix, in which case its stride exceeds its column
 // count and mutations are visible through the parent.
+//
+// A Dense may also be shape-only (see Shape): it carries dimensions and
+// region identity but no backing storage, and panics on any element
+// access. Shape-only matrices let the task-tree builders — which never
+// read matrix elements when real math is off — describe arbitrarily
+// large problems without allocating O(n²) zeros.
 type Dense struct {
 	rows, cols int
 	stride     int
 	data       []float64
+	// shape marks a dimensions-only matrix with no backing storage.
+	shape bool
 }
 
 // New returns a zeroed rows×cols matrix backed by freshly allocated
@@ -45,6 +53,28 @@ func NewFromSlice(rows, cols int, data []float64) *Dense {
 	return &Dense{rows: rows, cols: cols, stride: cols, data: data}
 }
 
+// Shape returns a rows×cols matrix that carries only its dimensions:
+// no element storage is allocated, and any element access (At, Set,
+// Row, Data and everything built on them) panics. View and Quadrants
+// work and yield shape-only views, which is exactly what the task-tree
+// builders need to describe a multiply without materializing operands.
+func Shape(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, stride: cols, shape: true}
+}
+
+// IsShape reports whether m is shape-only (no backing storage).
+func (m *Dense) IsShape() bool { return m.shape }
+
+// denyShape panics when op would touch elements of a shape-only matrix.
+func (m *Dense) denyShape(op string) {
+	if m.shape {
+		panic(fmt.Sprintf("matrix: %s on shape-only %dx%d matrix", op, m.rows, m.cols))
+	}
+}
+
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Dense {
 	m := New(n, n)
@@ -68,16 +98,24 @@ func (m *Dense) Stride() int { return m.stride }
 func (m *Dense) IsSquare() bool { return m.rows == m.cols }
 
 // IsView reports whether m shares storage with a larger matrix.
-func (m *Dense) IsView() bool { return m.stride != m.cols || len(m.data) != m.rows*m.cols }
+// Shape-only matrices have no storage to share and report false.
+func (m *Dense) IsView() bool {
+	if m.shape {
+		return false
+	}
+	return m.stride != m.cols || len(m.data) != m.rows*m.cols
+}
 
 // At returns the element at row i, column j. Bounds are checked.
 func (m *Dense) At(i, j int) float64 {
+	m.denyShape("At")
 	m.checkBounds(i, j)
 	return m.data[i*m.stride+j]
 }
 
 // Set stores v at row i, column j. Bounds are checked.
 func (m *Dense) Set(i, j int, v float64) {
+	m.denyShape("Set")
 	m.checkBounds(i, j)
 	m.data[i*m.stride+j] = v
 }
@@ -90,6 +128,7 @@ func (m *Dense) checkBounds(i, j int) {
 
 // Row returns the i'th row as a slice sharing storage with m.
 func (m *Dense) Row(i int) []float64 {
+	m.denyShape("Row")
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("matrix: row %d out of bounds %d", i, m.rows))
 	}
@@ -98,13 +137,20 @@ func (m *Dense) Row(i int) []float64 {
 
 // Data returns the backing slice of m. For views the slice begins at
 // m's (0,0) element and rows are m.Stride() apart.
-func (m *Dense) Data() []float64 { return m.data }
+func (m *Dense) Data() []float64 {
+	m.denyShape("Data")
+	return m.data
+}
 
 // View returns the r×c sub-matrix of m whose top-left corner is at
-// (i, j). The view shares storage with m.
+// (i, j). The view shares storage with m; a view of a shape-only
+// matrix is itself shape-only.
 func (m *Dense) View(i, j, r, c int) *Dense {
 	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.rows || j+c > m.cols {
 		panic(fmt.Sprintf("matrix: view (%d,%d)+%dx%d out of bounds %dx%d", i, j, r, c, m.rows, m.cols))
+	}
+	if m.shape {
+		return &Dense{rows: r, cols: c, stride: m.stride, shape: true}
 	}
 	return &Dense{
 		rows:   r,
@@ -148,6 +194,9 @@ func (m *Dense) Zero() { m.Fill(0) }
 // String renders small matrices for debugging; large matrices render as
 // a dimension summary.
 func (m *Dense) String() string {
+	if m.shape {
+		return fmt.Sprintf("Dense{shape %dx%d}", m.rows, m.cols)
+	}
 	if m.rows > 8 || m.cols > 8 {
 		return fmt.Sprintf("Dense{%dx%d}", m.rows, m.cols)
 	}

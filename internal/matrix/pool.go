@@ -48,6 +48,9 @@ func (p *Pool) Put(ms ...*Dense) {
 		if m == nil {
 			continue
 		}
+		if m.IsShape() {
+			panic(fmt.Sprintf("matrix: Pool.Put of a shape-only %dx%d matrix", m.rows, m.cols))
+		}
 		if m.IsView() {
 			panic(fmt.Sprintf("matrix: Pool.Put of a %dx%d view", m.rows, m.cols))
 		}

@@ -162,11 +162,32 @@ func (r *Report) String() string {
 	return sb.String()
 }
 
-// Replay feeds a simulator timeline into the RAPL device segment by
-// segment, sampling through a PAPI event set every cfg.PollInterval
-// seconds of device time, and reconciles the measurement against the
-// device's exact energy totals.
-func Replay(segs []sim.Segment, cfg Config) (*Report, error) {
+// Stream is an incremental monitor: the same polling measurement
+// Replay performs, but fed one power segment at a time as a producer
+// (typically sim.Config.OnSegment) emits them. This fuses measurement
+// into the simulator's event loop — no materialized timeline, no
+// second O(segments) pass.
+//
+// Usage: NewStream, then Observe once per segment in time order, then
+// Finish exactly once to stop the event set and build the Report.
+// A Stream is not safe for concurrent use; each simulated run gets its
+// own Stream.
+type Stream struct {
+	cfg     Config
+	dev     *rapl.Device
+	es      *papi.EventSet
+	truth0  [3]float64
+	t0      float64
+	peak    hw.PlanePower
+	samples int
+	err     error
+	done    bool
+}
+
+// NewStream prepares a monitored measurement: it arms the PAPI event
+// set on the RAPL device and schedules periodic polling every
+// cfg.PollInterval seconds of device time.
+func NewStream(cfg Config) (*Stream, error) {
 	if cfg.PollInterval <= 0 {
 		return nil, fmt.Errorf("monitor: non-positive poll interval %v", cfg.PollInterval)
 	}
@@ -175,61 +196,83 @@ func Replay(segs []sim.Segment, cfg Config) (*Report, error) {
 		dev = rapl.NewDevice()
 	}
 
-	var truth0 [3]float64
+	s := &Stream{cfg: cfg, dev: dev}
 	for i, p := range rapl.Planes() {
-		truth0[i] = dev.TotalJoules(p)
+		s.truth0[i] = dev.TotalJoules(p)
 	}
 
-	es := papi.NewEventSet(dev)
+	s.es = papi.NewEventSet(dev)
 	for _, e := range []string{papi.EventPackageEnergy, papi.EventPP0Energy, papi.EventDRAMEnergy} {
-		if err := es.Add(e); err != nil {
+		if err := s.es.Add(e); err != nil {
 			return nil, err
 		}
 	}
-	if err := es.Start(); err != nil {
+	if err := s.es.Start(); err != nil {
 		return nil, err
 	}
-	samples := 0
 	dev.SetPoll(cfg.PollInterval, func() {
-		es.Poll()
-		samples++
+		s.es.Poll()
+		s.samples++
 	})
-	defer dev.SetPoll(0, nil)
+	s.t0 = dev.Now()
+	return s, nil
+}
 
-	t0 := dev.Now()
-	var peak hw.PlanePower
-	for _, seg := range segs {
-		dt := seg.End - seg.Start
-		if dt < 0 {
-			return nil, fmt.Errorf("monitor: non-monotone segment [%v,%v)", seg.Start, seg.End)
-		}
-		if seg.Power.PKG > peak.PKG {
-			peak.PKG = seg.Power.PKG
-		}
-		if seg.Power.PP0 > peak.PP0 {
-			peak.PP0 = seg.Power.PP0
-		}
-		if seg.Power.DRAM > peak.DRAM {
-			peak.DRAM = seg.Power.DRAM
-		}
-		dev.Advance(dt, seg.Power)
+// Observe advances the device through one power segment. Segments must
+// arrive in time order; a non-monotone segment poisons the stream and
+// the error surfaces from Finish. The signature matches
+// sim.Config.OnSegment so a Stream can be wired into the simulator
+// directly.
+func (s *Stream) Observe(seg sim.Segment) {
+	if s.err != nil || s.done {
+		return
 	}
-	vals, err := es.Stop()
+	dt := seg.End - seg.Start
+	if dt < 0 {
+		s.err = fmt.Errorf("monitor: non-monotone segment [%v,%v)", seg.Start, seg.End)
+		return
+	}
+	if seg.Power.PKG > s.peak.PKG {
+		s.peak.PKG = seg.Power.PKG
+	}
+	if seg.Power.PP0 > s.peak.PP0 {
+		s.peak.PP0 = seg.Power.PP0
+	}
+	if seg.Power.DRAM > s.peak.DRAM {
+		s.peak.DRAM = seg.Power.DRAM
+	}
+	s.dev.Advance(dt, seg.Power)
+}
+
+// Finish stops the event set, takes the final sample, and reconciles
+// the polled measurement against the device's exact energy totals. It
+// must be called exactly once; the Stream is unusable afterwards.
+func (s *Stream) Finish() (*Report, error) {
+	if s.done {
+		return nil, fmt.Errorf("monitor: Finish called twice on the same Stream")
+	}
+	s.done = true
+	s.dev.SetPoll(0, nil)
+	if s.err != nil {
+		s.es.Stop()
+		return nil, s.err
+	}
+	vals, err := s.es.Stop()
 	if err != nil {
 		return nil, err
 	}
-	samples++ // Stop's final sample
+	s.samples++ // Stop's final sample
 
 	rep := &Report{
-		PollInterval: cfg.PollInterval,
-		Samples:      samples,
-		Duration:     dev.Now() - t0,
-		WrapJoules:   math.Pow(2, 32) * dev.EnergyUnit(),
+		PollInterval: s.cfg.PollInterval,
+		Samples:      s.samples,
+		Duration:     s.dev.Now() - s.t0,
+		WrapJoules:   math.Pow(2, 32) * s.dev.EnergyUnit(),
 	}
-	peaks := [3]float64{peak.PKG, peak.PP0, peak.DRAM}
+	peaks := [3]float64{s.peak.PKG, s.peak.PP0, s.peak.DRAM}
 	for i, p := range rapl.Planes() {
 		measured := float64(vals[i]) / 1e9
-		truth := dev.TotalJoules(p) - truth0[i]
+		truth := s.dev.TotalJoules(p) - s.truth0[i]
 		pr := PlaneReport{
 			Plane:     p,
 			MeasuredJ: measured,
@@ -247,18 +290,33 @@ func Replay(segs []sim.Segment, cfg Config) (*Report, error) {
 		}
 		rep.Planes = append(rep.Planes, pr)
 
-		if maxGain := peaks[i] * cfg.PollInterval; maxGain >= rep.WrapJoules {
+		if maxGain := peaks[i] * s.cfg.PollInterval; maxGain >= rep.WrapJoules {
 			rep.Warnings = append(rep.Warnings, fmt.Sprintf(
 				"%s: poll interval %gs can accumulate %.0f J between samples at peak %.1f W, exceeding the %.0f J wrap period — wrap correction is unsound",
-				p, cfg.PollInterval, maxGain, peaks[i], rep.WrapJoules))
+				p, s.cfg.PollInterval, maxGain, peaks[i], rep.WrapJoules))
 		}
 	}
-	if rep.Duration > 0 && samples < 2 {
+	if rep.Duration > 0 && rep.Samples < 2 {
 		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
 			"only %d sample(s) over %.4fs: poll interval %gs undersamples the run",
-			samples, rep.Duration, cfg.PollInterval))
+			rep.Samples, rep.Duration, s.cfg.PollInterval))
 	}
 	return rep, nil
+}
+
+// Replay feeds a simulator timeline into the RAPL device segment by
+// segment, sampling through a PAPI event set every cfg.PollInterval
+// seconds of device time, and reconciles the measurement against the
+// device's exact energy totals. It is the batch form of Stream.
+func Replay(segs []sim.Segment, cfg Config) (*Report, error) {
+	s, err := NewStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range segs {
+		s.Observe(seg)
+	}
+	return s.Finish()
 }
 
 // ReplayTrace replays a recorded power trace — each step of the trace

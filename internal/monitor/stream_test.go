@@ -1,0 +1,71 @@
+package monitor
+
+import (
+	"testing"
+
+	"capscale/internal/sim"
+)
+
+func TestStreamMatchesReplay(t *testing.T) {
+	segs := segsFor(500, 0.25)
+	cfg := Config{PollInterval: 0.01}
+
+	batch, err := Replay(segs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		s.Observe(seg)
+	}
+	streamed, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if streamed.Samples != batch.Samples || streamed.Duration != batch.Duration ||
+		streamed.WrapJoules != batch.WrapJoules {
+		t.Fatalf("stream header %+v != replay %+v", streamed, batch)
+	}
+	if len(streamed.Planes) != len(batch.Planes) {
+		t.Fatalf("plane counts %d vs %d", len(streamed.Planes), len(batch.Planes))
+	}
+	for i, pr := range streamed.Planes {
+		if pr != batch.Planes[i] {
+			t.Fatalf("plane %v: streamed %+v != replay %+v", pr.Plane, pr, batch.Planes[i])
+		}
+	}
+}
+
+func TestStreamNonMonotoneSegmentErrors(t *testing.T) {
+	s, err := NewStream(Config{PollInterval: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(sim.Segment{Start: 1, End: 0})
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("non-monotone segment did not surface from Finish")
+	}
+}
+
+func TestStreamFinishTwiceErrors(t *testing.T) {
+	s, err := NewStream(Config{PollInterval: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("second Finish did not error")
+	}
+}
+
+func TestStreamBadIntervalErrors(t *testing.T) {
+	if _, err := NewStream(Config{PollInterval: 0}); err == nil {
+		t.Fatal("zero poll interval accepted")
+	}
+}

@@ -46,6 +46,12 @@ type Config struct {
 	// kind) for Gantt rendering. Opt-in: large trees produce large
 	// schedules.
 	RecordSchedule bool
+	// OnSegment, when non-nil, is invoked with each finished power
+	// segment in time order as the event loop advances. It lets
+	// measurement consumers stream the power trace without retaining
+	// the whole timeline (RecordTimeline) and replaying it afterwards.
+	// The callback runs on the simulating goroutine and must not block.
+	OnSegment func(Segment)
 }
 
 // LeafSpan is one scheduled leaf occurrence for Gantt rendering.
@@ -571,6 +577,9 @@ func (e *executor) advance() {
 		e.res.EnergyDRAM += p.DRAM * dt
 		if e.cfg.RecordTimeline {
 			e.res.Timeline = append(e.res.Timeline, Segment{Start: e.now, End: next, Power: p})
+		}
+		if e.cfg.OnSegment != nil {
+			e.cfg.OnSegment(Segment{Start: e.now, End: next, Power: p})
 		}
 	}
 	e.now = next

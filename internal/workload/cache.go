@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"capscale/internal/hw"
+	"capscale/internal/task"
+	"capscale/internal/trace"
+)
+
+// Run memoization: the simulator is deterministic, so a cell's Run is
+// a pure function of the machine and the cell coordinates plus the
+// measurement settings. The bench harness and the CLIs repeatedly
+// execute identical cells (epscale renders four tables from one
+// matrix, powertrace re-runs the smoke matrix per invocation in tests,
+// benchmarks iterate); memoizing the Run makes every repeat nearly
+// free. The cache holds private deep copies — callers can mutate what
+// they get back without poisoning later hits.
+
+// runKey identifies one memoizable cell. Machines are folded to a
+// fingerprint hash of every model-relevant field, so two distinct
+// *hw.Machine values describing the same platform share entries while
+// any coefficient tweak misses.
+type runKey struct {
+	machine           uint64
+	alg               Algorithm
+	n                 int
+	threads           int
+	disableAffinity   bool
+	disableContention bool
+	pollInterval      float64
+	recordTraces      bool
+	traceInterval     float64
+}
+
+// runCache maps runKey to *Run (a private deep copy).
+var runCache sync.Map
+
+// cacheKey derives the memoization key for one cell under cfg. The
+// poll interval is normalized (unset selects DefaultPollInterval) so
+// explicit and defaulted configurations share entries.
+func cacheKey(cfg Config, alg Algorithm, n, threads int) runKey {
+	interval := cfg.PollInterval
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	return runKey{
+		machine:           machineFingerprint(cfg.Machine),
+		alg:               alg,
+		n:                 n,
+		threads:           threads,
+		disableAffinity:   cfg.DisableAffinity,
+		disableContention: cfg.DisableContention,
+		pollInterval:      interval,
+		recordTraces:      cfg.RecordTraces,
+		traceInterval:     cfg.TraceSampleInterval,
+	}
+}
+
+// machineFingerprint hashes every field of the machine that feeds the
+// cost or power model. The KernelEff map is folded in sorted-kind
+// order so the hash is independent of map iteration order.
+func machineFingerprint(m *hw.Machine) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%g|%g|", m.Name, m.Cores, m.FreqHz, m.FlopsPerCycle)
+	for _, c := range [3]hw.Cache{m.L1, m.L2, m.L3} {
+		fmt.Fprintf(h, "%d:%d|", c.SizeBytes, c.LineBytes)
+	}
+	fmt.Fprintf(h, "%g|%g|%g|%g|",
+		m.L3Bandwidth, m.DRAMBandwidth, m.DRAMStreamBandwidth, m.RemoteBandwidth)
+	kinds := make([]task.Kind, 0, len(m.KernelEff))
+	for k := range m.KernelEff {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(h, "%d=%g|", int(k), m.KernelEff[k])
+	}
+	fmt.Fprintf(h, "%g|%g|", m.TaskOverhead, m.StealOverhead)
+	p := m.Power
+	fmt.Fprintf(h, "%g|%g|%g|%g|%g|%g",
+		p.PkgIdle, p.CoreIdle, p.CoreDyn, p.L3PerGBs, p.DRAMIdle, p.DRAMPerGBs)
+	return h.Sum64()
+}
+
+// cloneRun deep-copies a Run: the BusyByKind map and the Trace are the
+// only shared-reference fields.
+func cloneRun(r *Run) Run {
+	out := *r
+	if r.BusyByKind != nil {
+		out.BusyByKind = make(map[string]float64, len(r.BusyByKind))
+		for k, v := range r.BusyByKind {
+			out.BusyByKind[k] = v
+		}
+	}
+	if r.Trace != nil {
+		out.Trace = &trace.Trace{
+			Samples: append([]trace.Sample(nil), r.Trace.Samples...),
+			End:     r.Trace.End,
+		}
+	}
+	return out
+}
+
+// ResetRunCache empties the run memoization cache. Tests use it to
+// force re-simulation; long-lived processes can use it to bound memory
+// after sweeping many distinct configurations.
+func ResetRunCache() {
+	runCache.Range(func(k, _ any) bool {
+		runCache.Delete(k)
+		return true
+	})
+}
+
+// runCacheLen counts cached cells (test hook).
+func runCacheLen() int {
+	n := 0
+	runCache.Range(func(_, _ any) bool { n++; return true })
+	return n
+}

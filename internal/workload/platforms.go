@@ -1,6 +1,10 @@
 package workload
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"capscale/internal/energy"
 	"capscale/internal/hw"
 	"capscale/internal/sim"
@@ -28,27 +32,72 @@ type PlatformPoint struct {
 }
 
 // CrossPlatform runs each paper algorithm at full threads on every
-// machine and derives the energy metrics.
+// machine and derives the energy metrics. The (machine, algorithm)
+// cells are independent simulations, so they fan across a bounded
+// worker pool; the result order (machines outer, paper algorithms
+// inner) matches the sequential sweep exactly.
 func CrossPlatform(machines []*hw.Machine, n int) []PlatformPoint {
-	var out []PlatformPoint
+	algs := PaperAlgorithms()
+	type pcell struct {
+		m   *hw.Machine
+		alg Algorithm
+	}
+	cells := make([]pcell, 0, len(machines)*len(algs))
 	for _, m := range machines {
-		crossover := energy.CrossoverForMachine(
-			m.PeakFlops()*m.Eff(task.KindGEMM), m.DRAMBandwidth)
-		for _, alg := range PaperAlgorithms() {
-			root := BuildTree(m, alg, n, m.Cores)
-			res := sim.Run(m, root, sim.Config{Workers: m.Cores})
-			joules := res.EnergyTotal()
-			out = append(out, PlatformPoint{
-				Machine:    m.Name,
-				Algorithm:  alg,
-				N:          n,
-				Threads:    m.Cores,
-				Seconds:    res.Makespan,
-				Watts:      res.AvgPowerTotal(),
-				EP:         energy.EP(res.AvgPowerTotal(), res.Makespan),
-				EDP:        energy.EDP(joules, res.Makespan),
-				CrossoverN: crossover,
-			})
+		for _, alg := range algs {
+			cells = append(cells, pcell{m, alg})
+		}
+	}
+	out := make([]PlatformPoint, len(cells))
+	runCell := func(i int) {
+		c := cells[i]
+		root := BuildTree(c.m, c.alg, n, c.m.Cores)
+		res := sim.Run(c.m, root, sim.Config{Workers: c.m.Cores})
+		out[i] = PlatformPoint{
+			Machine:   c.m.Name,
+			Algorithm: c.alg,
+			N:         n,
+			Threads:   c.m.Cores,
+			Seconds:   res.Makespan,
+			Watts:     res.AvgPowerTotal(),
+			EP:        energy.EP(res.AvgPowerTotal(), res.Makespan),
+			EDP:       energy.EDP(res.EnergyTotal(), res.Makespan),
+			CrossoverN: energy.CrossoverForMachine(
+				c.m.PeakFlops()*c.m.Eff(task.KindGEMM), c.m.DRAMBandwidth),
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i := range cells {
+			runCell(i)
+		}
+		return out
+	}
+	var next int64 = -1
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() { panics[w] = recover() }()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cells) {
+					return
+				}
+				runCell(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
 		}
 	}
 	return out

@@ -9,6 +9,9 @@ package workload
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"capscale/internal/blas"
 	"capscale/internal/caps"
@@ -81,6 +84,16 @@ type Config struct {
 	// ablation switches.
 	DisableAffinity   bool
 	DisableContention bool
+	// Parallelism bounds how many matrix cells execute concurrently.
+	// Cells are independent simulations, so the driver fans them across
+	// a worker pool; results land in the paper's nesting order and are
+	// bit-identical to a sequential sweep. Zero selects GOMAXPROCS;
+	// negative is rejected by Validate.
+	Parallelism int
+	// NoCache bypasses the in-process run memoization cache: every cell
+	// is re-simulated even when an identical configuration has already
+	// been executed. Benchmarks and determinism tests use it.
+	NoCache bool
 }
 
 // PaperConfig returns the paper's full 48-run matrix on its platform.
@@ -132,6 +145,9 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.PollInterval < 0 {
 		return fmt.Errorf("workload: negative poll interval %v", cfg.PollInterval)
+	}
+	if cfg.Parallelism < 0 {
+		return fmt.Errorf("workload: negative parallelism %d", cfg.Parallelism)
 	}
 	return nil
 }
@@ -217,18 +233,27 @@ func (r *Run) MeasurementAbsErr() float64 {
 	return worst
 }
 
+// safeDiv returns a/b, or 0 when b is 0 — zero-duration runs report
+// zero watts rather than NaN/Inf, matching sim.Result's convention.
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
 // WattsPKG returns average package watts over the run.
-func (r *Run) WattsPKG() float64 { return r.PKGJoules / r.Seconds }
+func (r *Run) WattsPKG() float64 { return safeDiv(r.PKGJoules, r.Seconds) }
 
 // WattsPP0 returns average core-plane watts over the run.
-func (r *Run) WattsPP0() float64 { return r.PP0Joules / r.Seconds }
+func (r *Run) WattsPP0() float64 { return safeDiv(r.PP0Joules, r.Seconds) }
 
 // WattsDRAM returns average DRAM watts over the run.
-func (r *Run) WattsDRAM() float64 { return r.DRAMJoules / r.Seconds }
+func (r *Run) WattsDRAM() float64 { return safeDiv(r.DRAMJoules, r.Seconds) }
 
 // WattsTotal returns average full-system watts (package + DRAM), the
 // EAvg figure the tables use.
-func (r *Run) WattsTotal() float64 { return (r.PKGJoules + r.DRAMJoules) / r.Seconds }
+func (r *Run) WattsTotal() float64 { return safeDiv(r.PKGJoules+r.DRAMJoules, r.Seconds) }
 
 // EP returns the run's Eq. 1 energy-performance ratio, with EAvg
 // encapsulating the PKG and DRAM planes per Eq. 3.
@@ -246,16 +271,27 @@ func (r *Run) Planes() []energy.PlaneReading {
 	}
 }
 
-// Matrix is a completed experiment matrix.
+// Matrix is a completed experiment matrix. A Matrix is used through a
+// pointer (the lazy Get index embeds a sync.Once); Runs holds the
+// cells in the paper's nesting order.
 type Matrix struct {
 	Cfg  Config
 	Runs []Run
+
+	indexOnce sync.Once
+	index     map[cell]int
 }
 
 // BuildTree constructs the task tree for one configuration. Exposed so
 // benchmarks and ablations can drive the simulator directly.
+//
+// The operands are shape-only matrices (matrix.Shape): the builders
+// read dimensions and region identity but never elements when real
+// math is off, so describing an n×n multiply costs KB of tree nodes
+// instead of three n×n backing arrays of zeros — hundreds of MB at
+// n=4096, which is what made large sweeps memory-bound.
 func BuildTree(m *hw.Machine, alg Algorithm, n, threads int) *task.Node {
-	a, b, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
+	a, b, c := matrix.Shape(n, n), matrix.Shape(n, n), matrix.Shape(n, n)
 	switch alg {
 	case AlgOpenBLAS:
 		return blas.Build(m, c, a, b, blas.Options{Workers: threads})
@@ -271,26 +307,53 @@ func BuildTree(m *hw.Machine, alg Algorithm, n, threads int) *task.Node {
 }
 
 // ExecuteOne runs a single configuration through the simulator and the
-// RAPL/PAPI measurement stack.
+// RAPL/PAPI measurement stack. Results are memoized in-process keyed
+// by machine fingerprint × algorithm × size × threads × ablations ×
+// poll interval (see cache.go); set Config.NoCache to force
+// re-simulation. Cached calls return an independent deep copy.
 func ExecuteOne(cfg Config, alg Algorithm, n, threads int) Run {
-	root := BuildTree(cfg.Machine, alg, n, threads)
-	res := sim.Run(cfg.Machine, root, sim.Config{
-		Workers:           threads,
-		RecordTimeline:    true,
-		DisableAffinity:   cfg.DisableAffinity,
-		DisableContention: cfg.DisableContention,
-	})
+	if cfg.NoCache {
+		return executeCell(cfg, alg, n, threads)
+	}
+	key := cacheKey(cfg, alg, n, threads)
+	if hit, ok := runCache.Load(key); ok {
+		return cloneRun(hit.(*Run))
+	}
+	run := executeCell(cfg, alg, n, threads)
+	stored := cloneRun(&run)
+	runCache.Store(key, &stored)
+	return run
+}
 
-	// Replay the timeline through the polling monitor: the emulated
-	// RAPL device is advanced segment by segment while a PAPI event
-	// set samples it in device time, as the paper's driver polled real
-	// silicon. The model consumes the measured joules; the device's
-	// exact totals ride along as the reconciliation oracle.
+// executeCell simulates and measures one matrix cell, bypassing the
+// memoization cache.
+func executeCell(cfg Config, alg Algorithm, n, threads int) Run {
+	root := BuildTree(cfg.Machine, alg, n, threads)
+
+	// Stream the measurement through the polling monitor as the
+	// simulator produces segments: the emulated RAPL device advances
+	// segment by segment while a PAPI event set samples it in device
+	// time, as the paper's driver polled real silicon. Fusing the
+	// monitor into the simulator's advance loop (sim.Config.OnSegment)
+	// avoids materializing the timeline and replaying it in a second
+	// pass. The model consumes the measured joules; the device's exact
+	// totals ride along as the reconciliation oracle.
 	interval := cfg.PollInterval
 	if interval <= 0 {
 		interval = DefaultPollInterval
 	}
-	rep, err := monitor.Replay(res.Timeline, monitor.Config{PollInterval: interval})
+	stream, err := monitor.NewStream(monitor.Config{PollInterval: interval})
+	if err != nil {
+		panic(fmt.Sprintf("workload: measurement failed: %v", err))
+	}
+	res := sim.Run(cfg.Machine, root, sim.Config{
+		Workers:           threads,
+		RecordTimeline:    cfg.RecordTraces, // traces still need the materialized timeline
+		OnSegment:         stream.Observe,
+		DisableAffinity:   cfg.DisableAffinity,
+		DisableContention: cfg.DisableContention,
+	})
+	rep, err := stream.Finish()
 	if err != nil {
 		panic(fmt.Sprintf("workload: measurement failed: %v", err))
 	}
@@ -338,31 +401,100 @@ func ExecuteOne(cfg Config, alg Algorithm, n, threads int) Run {
 	return run
 }
 
-// Execute runs the whole matrix in the paper's nesting order
-// (algorithm, then size, then thread count). It panics on invalid
-// configurations (Validate reports the reason).
+// cell is one (algorithm, size, threads) coordinate of the matrix.
+type cell struct {
+	alg     Algorithm
+	n       int
+	threads int
+}
+
+// cells enumerates the matrix coordinates in the paper's nesting order
+// (algorithm, then size, then thread count).
+func (cfg *Config) cells() []cell {
+	out := make([]cell, 0, len(cfg.Algorithms)*len(cfg.Sizes)*len(cfg.Threads))
+	for _, alg := range cfg.Algorithms {
+		for _, n := range cfg.Sizes {
+			for _, p := range cfg.Threads {
+				out = append(out, cell{alg, n, p})
+			}
+		}
+	}
+	return out
+}
+
+// Execute runs the whole matrix, fanning independent cells across a
+// bounded worker pool (Config.Parallelism workers; zero selects
+// GOMAXPROCS). Every cell is an isolated simulation — its own task
+// tree, RAPL device and event set — so the concurrent sweep is
+// bit-identical to the sequential one, with Matrix.Runs in the paper's
+// nesting order (algorithm, then size, then thread count) either way.
+// It panics on invalid configurations (Validate reports the reason).
 func Execute(cfg Config) *Matrix {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
-	mx := &Matrix{Cfg: cfg}
-	for _, alg := range cfg.Algorithms {
-		for _, n := range cfg.Sizes {
-			for _, p := range cfg.Threads {
-				mx.Runs = append(mx.Runs, ExecuteOne(cfg, alg, n, p))
+	cells := cfg.cells()
+	mx := &Matrix{Cfg: cfg, Runs: make([]Run, len(cells))}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, c := range cells {
+			mx.Runs[i] = ExecuteOne(cfg, c.alg, c.n, c.threads)
+		}
+		return mx
+	}
+
+	var next int64 = -1
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() { panics[w] = recover() }()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cells) {
+					return
+				}
+				c := cells[i]
+				mx.Runs[i] = ExecuteOne(cfg, c.alg, c.n, c.threads)
 			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
 		}
 	}
 	return mx
 }
 
-// Get returns the run for a configuration, or nil when absent.
+// Get returns the run for a configuration, or nil when absent. The
+// first call builds an index over Runs, so lookups from the table and
+// figure aggregations are O(1); Runs must not be appended to or
+// reordered after the first Get.
 func (mx *Matrix) Get(alg Algorithm, n, threads int) *Run {
-	for i := range mx.Runs {
-		r := &mx.Runs[i]
-		if r.Alg == alg && r.N == n && r.Threads == threads {
-			return r
+	mx.indexOnce.Do(func() {
+		mx.index = make(map[cell]int, len(mx.Runs))
+		for i := range mx.Runs {
+			r := &mx.Runs[i]
+			k := cell{r.Alg, r.N, r.Threads}
+			// First match wins, preserving the linear scan's semantics
+			// on (malformed) matrices with duplicate cells.
+			if _, dup := mx.index[k]; !dup {
+				mx.index[k] = i
+			}
 		}
+	})
+	if i, ok := mx.index[cell{alg, n, threads}]; ok {
+		return &mx.Runs[i]
 	}
 	return nil
 }

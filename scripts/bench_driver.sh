@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the experiment-driver benchmarks (BenchmarkExecuteMatrix's
+# sequential/parallel/memoized variants plus BenchmarkBuildTree's
+# dense/shape variants) and records ns/op, B/op and allocs/op in
+# BENCH_driver.json so the perf trajectory is comparable across PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_driver.json
+raw=$(go test . -run 'XXX' -bench 'BenchmarkExecuteMatrix|BenchmarkBuildTree' -benchmem "$@")
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark(ExecuteMatrix|BuildTree)\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        name, $2, $3, $5, $7
+}
+END { print "\n}" }
+' > "$out"
+echo "bench_driver.sh: wrote $out"

@@ -20,5 +20,8 @@ go build ./...
 go test ./...
 go test -race ./internal/sched/... ./internal/kernel/...
 go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/...
+# The parallel experiment driver: the concurrent sweep must be race-free
+# and bit-identical to the sequential one.
+go test -race -run 'TestExecuteParallelBitIdenticalToSequential' -count=1 ./internal/workload/
 go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss|TestReplaySameRunReconciledWhenSampledFastEnough' -count=1 ./internal/monitor/
 echo "check.sh: all green"
