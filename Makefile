@@ -1,4 +1,4 @@
-.PHONY: check test race bench bench-kernels bench-driver
+.PHONY: check test race bench bench-kernels bench-driver trace-smoke
 
 # Full verify gate: gofmt, vet, build, tests, race pass on the
 # concurrent packages.
@@ -9,8 +9,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/sched/... ./internal/kernel/...
+	go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
 	go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/...
+
+# Run a small sweep through the powertrace CLI with -trace-out and
+# validate the emitted Perfetto trace structurally.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 bench:
 	go test -bench=. -benchmem

@@ -13,19 +13,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"capscale/internal/energy"
 	"capscale/internal/hw"
+	"capscale/internal/obs"
 	"capscale/internal/task"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable CLI body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crossover", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		y     = flag.Float64("y", 0, "platform compute rate in MFlop/s (0 = derive from the paper's machine)")
-		z     = flag.Float64("z", 0, "platform data-movement rate in MB/s (0 = derive from the paper's machine)")
-		sweep = flag.Bool("sweep", false, "sweep balance ratios around the platform point")
+		y          = fs.Float64("y", 0, "platform compute rate in MFlop/s (0 = derive from the paper's machine)")
+		z          = fs.Float64("z", 0, "platform data-movement rate in MB/s (0 = derive from the paper's machine)")
+		sweep      = fs.Bool("sweep", false, "sweep balance ratios around the platform point")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *y < 0 || *z < 0 {
+		fmt.Fprintf(stderr, "crossover: -y and -z must be >= 0, got y=%g z=%g\n", *y, *z)
+		return 2
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "crossover: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "crossover: %v\n", err)
+		}
+	}()
 
 	m := hw.HaswellE31225()
 	yv, zv := *y, *z
@@ -41,17 +68,18 @@ func main() {
 	}
 
 	n := energy.Crossover(yv, zv)
-	fmt.Printf("platform: y = %.0f MFlop/s, z = %.0f MB/s\n", yv, zv)
-	fmt.Printf("Eq. 9 crossover: n = 480*y/z = %.0f\n", n)
-	fmt.Printf("(problems with n above this favour Strassen-derived techniques)\n")
+	fmt.Fprintf(stdout, "platform: y = %.0f MFlop/s, z = %.0f MB/s\n", yv, zv)
+	fmt.Fprintf(stdout, "Eq. 9 crossover: n = 480*y/z = %.0f\n", n)
+	fmt.Fprintf(stdout, "(problems with n above this favour Strassen-derived techniques)\n")
 
 	if *sweep {
-		fmt.Printf("\n%-12s %-12s %s\n", "y (MFlop/s)", "z (MB/s)", "crossover n")
+		fmt.Fprintf(stdout, "\n%-12s %-12s %s\n", "y (MFlop/s)", "z (MB/s)", "crossover n")
 		for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
-			fmt.Printf("%-12.0f %-12.0f %.0f\n", yv*f, zv, energy.Crossover(yv*f, zv))
+			fmt.Fprintf(stdout, "%-12.0f %-12.0f %.0f\n", yv*f, zv, energy.Crossover(yv*f, zv))
 		}
 		for _, f := range []float64{0.25, 0.5, 2, 4} {
-			fmt.Printf("%-12.0f %-12.0f %.0f\n", yv, zv*f, energy.Crossover(yv, zv*f))
+			fmt.Fprintf(stdout, "%-12.0f %-12.0f %.0f\n", yv, zv*f, energy.Crossover(yv, zv*f))
 		}
 	}
+	return 0
 }

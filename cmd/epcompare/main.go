@@ -13,32 +13,61 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"capscale/internal/obs"
 	"capscale/internal/report"
 	"capscale/internal/workload"
 )
 
-func main() {
-	threshold := flag.Float64("threshold", 0.005, "hide rows where every delta is under this fraction")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: epcompare [-threshold f] base.json other.json")
-		os.Exit(2)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable CLI body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("epcompare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold  = fs.Float64("threshold", 0.005, "hide rows where every delta is under this fraction")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	base, err := loadMatrix(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "epcompare: %v\n", err)
-		os.Exit(1)
+	if *threshold < 0 {
+		fmt.Fprintf(stderr, "epcompare: -threshold must be >= 0, got %g\n", *threshold)
+		return 2
 	}
-	other, err := loadMatrix(flag.Arg(1))
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: epcompare [-threshold f] base.json other.json")
+		return 2
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "epcompare: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "epcompare: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "epcompare: %v\n", err)
+		}
+	}()
+
+	base, err := loadMatrix(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "epcompare: %v\n", err)
+		return 1
+	}
+	other, err := loadMatrix(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "epcompare: %v\n", err)
+		return 1
 	}
 
 	t := &report.Table{
-		Title:  fmt.Sprintf("%s vs %s (positive = second slower/hotter)", flag.Arg(0), flag.Arg(1)),
+		Title:  fmt.Sprintf("%s vs %s (positive = second slower/hotter)", fs.Arg(0), fs.Arg(1)),
 		Header: []string{"algorithm", "N", "threads", "Δtime", "Δwatts", "ΔEP"},
 	}
 	shown, hidden := 0, 0
@@ -61,8 +90,9 @@ func main() {
 			pct(dt), pct(dw), pct(de))
 		shown++
 	}
-	fmt.Print(t.String())
-	fmt.Printf("(%d rows shown, %d under the %.1f%% threshold hidden)\n", shown, hidden, *threshold*100)
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintf(stdout, "(%d rows shown, %d under the %.1f%% threshold hidden)\n", shown, hidden, *threshold*100)
+	return 0
 }
 
 func loadMatrix(path string) (*workload.Matrix, error) {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"capscale/internal/workload"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"no args", nil, "usage: epcompare"},
+		{"one arg", []string{"base.json"}, "usage: epcompare"},
+		{"three args", []string{"a.json", "b.json", "c.json"}, "usage: epcompare"},
+		{"negative threshold", []string{"-threshold", "-0.1", "a.json", "b.json"}, "-threshold must be >= 0"},
+		{"missing file", []string{"/nonexistent/base.json", "/nonexistent/other.json"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("args %v exited 0; stderr:\n%s", tc.args, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("args %v: stderr %q lacks %q", tc.args, stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+func saveSmokeMatrix(t *testing.T, dir, name string, ablate bool) string {
+	t.Helper()
+	cfg := workload.SmokeConfig()
+	cfg.DisableAffinity = ablate
+	mx := workload.Execute(cfg)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := mx.SaveJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareTwoMatrices(t *testing.T) {
+	dir := t.TempDir()
+	base := saveSmokeMatrix(t, dir, "base.json", false)
+	noaff := saveSmokeMatrix(t, dir, "noaff.json", true)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-threshold", "0", base, noaff}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "rows shown") {
+		t.Fatalf("diff summary missing:\n%s", stdout.String())
+	}
+}

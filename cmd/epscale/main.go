@@ -9,11 +9,13 @@
 //	epscale -csv -what fig7    # CSV instead of aligned text
 //	epscale -sizes 512,1024 -threads 1,2,3,4
 //	epscale -ablate-affinity   # communication charging off
+//	epscale -trace-out sweep.json -metrics   # Perfetto trace + metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -24,36 +26,64 @@ import (
 	"capscale/internal/dmm"
 	"capscale/internal/hw"
 	"capscale/internal/matrix"
+	"capscale/internal/obs"
 	"capscale/internal/report"
 	"capscale/internal/sim"
 	"capscale/internal/sparse"
 	"capscale/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its environment abducted: flag parsing, validation
+// and the whole pipeline run against explicit writers so the CLI
+// boundary is testable. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("epscale", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		what       = flag.String("what", "all", "artifact: all, table2, table3, table4, fig1, fig3..fig7, headlines, breakdown, measurement, future-dmm, future-sparse, platforms")
-		quick      = flag.Bool("quick", false, "use a reduced matrix (sizes 512,1024; threads 1..4)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		chart      = flag.Bool("chart", false, "render figures as ASCII line charts (fig3..fig7)")
-		sizes      = flag.String("sizes", "", "comma-separated problem sizes (default: paper's 512,1024,2048,4096)")
-		threads    = flag.String("threads", "", "comma-separated thread counts (default: paper's 1,2,3,4)")
-		noAffinity = flag.Bool("ablate-affinity", false, "disable affinity/communication charging")
-		noContend  = flag.Bool("ablate-contention", false, "disable DRAM bandwidth contention")
-		save       = flag.String("save", "", "save the executed matrix as JSON to this file")
-		load       = flag.String("load", "", "render from a previously saved matrix instead of simulating")
-		jobs       = flag.Int("j", 0, "matrix cells to simulate concurrently (0 = GOMAXPROCS)")
+		what       = fs.String("what", "all", "artifact: all, table2, table3, table4, fig1, fig3..fig7, headlines, breakdown, measurement, future-dmm, future-sparse, platforms")
+		quick      = fs.Bool("quick", false, "use a reduced matrix (sizes 512,1024; threads 1..4)")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		chart      = fs.Bool("chart", false, "render figures as ASCII line charts (fig3..fig7)")
+		sizes      = fs.String("sizes", "", "comma-separated problem sizes (default: paper's 512,1024,2048,4096)")
+		threads    = fs.String("threads", "", "comma-separated thread counts (default: paper's 1,2,3,4)")
+		noAffinity = fs.Bool("ablate-affinity", false, "disable affinity/communication charging")
+		noContend  = fs.Bool("ablate-contention", false, "disable DRAM bandwidth contention")
+		save       = fs.String("save", "", "save the executed matrix as JSON to this file")
+		load       = fs.String("load", "", "render from a previously saved matrix instead of simulating")
+		jobs       = fs.Int("j", 0, "matrix cells to simulate concurrently (0 = GOMAXPROCS)")
+		traceOut   = fs.String("trace-out", "", "write the sweep as Chrome trace-event JSON (load at ui.perfetto.dev)")
+		metrics    = fs.Bool("metrics", false, "print the pipeline metrics table to stderr after the run")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jobs < 0 {
+		fmt.Fprintf(stderr, "epscale: -j must be >= 0, got %d\n", *jobs)
+		return 2
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "epscale: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "epscale: %v\n", err)
+		}
+	}()
 
 	// Study artifacts that do not need the 48-run matrix.
-	if tbl := studyArtifact(*what); tbl != nil {
-		emit(tbl, *csv)
-		return
+	if tbl := studyArtifact(*what, stderr); tbl != nil {
+		return emit(tbl, *csv, stdout, stderr)
 	}
 	if *what == "fig2" {
-		printFigure2()
-		return
+		printFigure2(stdout)
+		return 0
 	}
 
 	cfg := workload.PaperConfig()
@@ -61,46 +91,74 @@ func main() {
 		cfg.Sizes = []int{512, 1024}
 	}
 	if *sizes != "" {
-		cfg.Sizes = parseInts(*sizes)
+		if cfg.Sizes, err = parseInts(*sizes); err != nil {
+			fmt.Fprintf(stderr, "epscale: -sizes: %v\n", err)
+			return 2
+		}
 	}
 	if *threads != "" {
-		cfg.Threads = parseInts(*threads)
+		if cfg.Threads, err = parseInts(*threads); err != nil {
+			fmt.Fprintf(stderr, "epscale: -threads: %v\n", err)
+			return 2
+		}
+		if max := cfg.Machine.Cores; maxOf(cfg.Threads) > max {
+			fmt.Fprintf(stderr, "epscale: -threads %d exceeds the %d cores of %q\n",
+				maxOf(cfg.Threads), max, cfg.Machine.Name)
+			return 2
+		}
 	}
 	cfg.DisableAffinity = *noAffinity
 	cfg.DisableContention = *noContend
 	cfg.Parallelism = *jobs
 
+	var spans *obs.Collector
+	if *traceOut != "" {
+		cfg.RecordTraces = true // the exporter needs per-run power traces
+		spans = obs.Enable()
+		defer obs.Disable()
+	}
+
 	var mx *workload.Matrix
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "epscale: %v\n", err)
+			return 1
 		}
 		mx, err = workload.LoadJSON(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "epscale: %v\n", err)
+			return 1
 		}
 		cfg = mx.Cfg
 	} else {
-		fmt.Fprintf(os.Stderr, "epscale: running %d configurations on %q...\n",
+		fmt.Fprintf(stderr, "epscale: running %d configurations on %q...\n",
 			len(cfg.Algorithms)*len(cfg.Sizes)*len(cfg.Threads), cfg.Machine.Name)
 		mx = workload.Execute(cfg)
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "epscale: %v\n", err)
+			return 1
 		}
 		if err := mx.SaveJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "epscale: %v\n", err)
+			return 1
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "epscale: saved matrix to %s\n", *save)
+		fmt.Fprintf(stderr, "epscale: saved matrix to %s\n", *save)
+	}
+	if *traceOut != "" {
+		if err := writeMatrixTrace(*traceOut, mx, spans); err != nil {
+			fmt.Fprintf(stderr, "epscale: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "epscale: wrote trace to %s (load at ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metrics {
+		fmt.Fprint(stderr, report.MetricsTable().String())
 	}
 
 	tables := map[string]func() *report.Table{
@@ -132,46 +190,59 @@ func main() {
 		}
 		mk, ok := charts[*what]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "epscale: no chart for %q (use fig3..fig7)\n", *what)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "epscale: no chart for %q (use fig3..fig7)\n", *what)
+			return 2
 		}
-		fmt.Print(mk().String())
-		return
+		fmt.Fprint(stdout, mk().String())
+		return 0
 	}
 
 	if *what == "all" {
 		if *csv {
-			fmt.Fprintln(os.Stderr, "epscale: -csv requires a single -what artifact")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "epscale: -csv requires a single -what artifact")
+			return 2
 		}
-		fmt.Print(report.All(mx))
-		return
+		fmt.Fprint(stdout, report.All(mx))
+		return 0
 	}
 	mk, ok := tables[*what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "epscale: unknown artifact %q\n", *what)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "epscale: unknown artifact %q\n", *what)
+		return 2
 	}
-	emit(mk(), *csv)
+	return emit(mk(), *csv, stdout, stderr)
 }
 
-func emit(tbl *report.Table, csv bool) {
-	if csv {
-		if err := tbl.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "epscale: %v\n", err)
-			os.Exit(1)
-		}
-		return
+func writeMatrixTrace(path string, mx *workload.Matrix, spans *obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	fmt.Print(tbl.String())
+	if err := workload.WriteMatrixChromeTrace(f, mx, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func emit(tbl *report.Table, csv bool, stdout, stderr io.Writer) int {
+	if csv {
+		if err := tbl.WriteCSV(stdout); err != nil {
+			fmt.Fprintf(stderr, "epscale: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, tbl.String())
+	return 0
 }
 
 // printFigure2 renders the paper's Fig. 2 content — depth-first vs
 // breadth-first CAPS traversal — as simulated schedule Gantt charts.
-func printFigure2() {
+func printFigure2(w io.Writer) {
 	m := hw.HaswellE31225()
 	n := 512
-	fmt.Printf("Figure 2 — depth-first vs breadth-first CAPS traversal (%d², 4 workers):\n", n)
+	fmt.Fprintf(w, "Figure 2 — depth-first vs breadth-first CAPS traversal (%d², 4 workers):\n", n)
 	for _, cutoff := range []int{-1, 2} {
 		a, b, c := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
 		root := caps.Build(m, c, a, b, 4, caps.Options{CutoffDepth: cutoff})
@@ -181,42 +252,47 @@ func printFigure2() {
 			title = fmt.Sprintf("pure DFS (%.4f s, %.0f%% busy)", res.Makespan, 100*res.Utilization())
 		}
 		g := &report.Gantt{Title: title, Workers: 4, Spans: res.Schedule}
-		fmt.Println(g.String())
+		fmt.Fprintln(w, g.String())
 	}
 }
 
 // studyArtifact produces the future-work and platform artifacts, which
 // run their own experiments instead of the paper matrix.
-func studyArtifact(what string) *report.Table {
+func studyArtifact(what string, stderr io.Writer) *report.Table {
 	switch what {
 	case "future-dmm":
 		c := cluster.TS140Cluster(49)
-		fmt.Fprintln(os.Stderr, "epscale: running distributed CAPS study (8192², up to 49 ranks)...")
+		fmt.Fprintln(stderr, "epscale: running distributed CAPS study (8192², up to 49 ranks)...")
 		return report.DistributedStudyTable("CAPS", dmm.Study(c, "CAPS", 8192, 64, []int{1, 7, 49}))
 	case "future-sparse":
-		fmt.Fprintln(os.Stderr, "epscale: running SpMV storage study (power-law 8192²)...")
+		fmt.Fprintln(stderr, "epscale: running SpMV storage study (power-law 8192²)...")
 		m := hw.HaswellE31225()
 		a := sparse.PowerLaw(rand.New(rand.NewSource(42)), 8192, 16, 1.8)
 		return report.SparseStudyTable(sparse.EnergyStudy(m, a, []int{1, 2, 3, 4}, 50))
 	case "platforms":
-		fmt.Fprintln(os.Stderr, "epscale: running cross-platform sweep (2048²)...")
+		fmt.Fprintln(stderr, "epscale: running cross-platform sweep (2048²)...")
 		return report.PlatformTable(workload.CrossPlatform(hw.Zoo(), 2048))
 	default:
 		return nil
 	}
 }
 
-func parseInts(s string) []int {
+// parseInts parses a comma-separated list of positive integers,
+// returning an error instead of exiting so the CLI boundary reports
+// bad input uniformly.
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "epscale: bad integer %q\n", part)
-			os.Exit(2)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", v)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 func maxOf(xs []int) int {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation pins the CLI boundary: bad input produces a
+// one-line usage error on stderr and a non-zero exit, never a panic or
+// a silently-clamped run.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"bad sizes", []string{"-sizes", "512,banana"}, "bad integer"},
+		{"zero size", []string{"-sizes", "0"}, "must be positive"},
+		{"negative threads", []string{"-threads", "-2"}, "-threads"},
+		{"threads beyond cores", []string{"-threads", "64"}, "exceeds"},
+		{"negative jobs", []string{"-j", "-1"}, "-j must be >= 0"},
+		{"unknown artifact", []string{"-what", "table99", "-quick", "-sizes", "64", "-threads", "1"}, "unknown artifact"},
+		{"csv needs artifact", []string{"-csv", "-sizes", "64", "-threads", "1"}, "-csv requires"},
+		{"chart for table", []string{"-chart", "-what", "table2", "-sizes", "64", "-threads", "1"}, "no chart"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("args %v exited 0; stderr:\n%s", tc.args, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("args %v: stderr %q lacks %q", tc.args, stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestTinyMatrixRuns exercises a full tiny pipeline through the CLI
+// entry point.
+func TestTinyMatrixRuns(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-what", "table3", "-sizes", "64", "-threads", "1,2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Table III") {
+		t.Fatalf("stdout lacks Table III:\n%s", stdout.String())
+	}
+}
+
+// TestMetricsFlagPrintsTable: -metrics lands the registry snapshot on
+// stderr alongside the scientific output.
+func TestMetricsFlagPrintsTable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-what", "table3", "-sizes", "64", "-threads", "1", "-metrics"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	for _, want := range []string{"Pipeline metrics", "workload.cache", "sim.leaves.executed"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("stderr lacks %q:\n%s", want, stderr.String())
+		}
+	}
+}

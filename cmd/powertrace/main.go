@@ -6,42 +6,97 @@
 // Usage:
 //
 //	powertrace -alg caps -n 1024 -threads 4 -interval 0.001 > trace.csv
+//	powertrace -alg caps -n 1024 -trace-out run.json >/dev/null
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"capscale/internal/obs"
 	"capscale/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable CLI body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("powertrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		alg      = flag.String("alg", "openblas", "algorithm: openblas, strassen, winograd, caps")
-		n        = flag.Int("n", 1024, "square problem dimension")
-		threads  = flag.Int("threads", 4, "thread count (1..4 on the paper's machine)")
-		interval = flag.Float64("interval", 0.001, "sampling interval in seconds")
-		session  = flag.Bool("session", false, "emit the whole 48-run experiment session (quick sizes) with 60s quiesce gaps instead of one run")
-		jobs     = flag.Int("j", 0, "matrix cells to simulate concurrently in -session mode (0 = GOMAXPROCS)")
+		alg        = fs.String("alg", "openblas", "algorithm: openblas, strassen, winograd, caps")
+		n          = fs.Int("n", 1024, "square problem dimension")
+		threads    = fs.Int("threads", 4, "thread count (1..4 on the paper's machine)")
+		interval   = fs.Float64("interval", 0.001, "sampling interval in seconds")
+		session    = fs.Bool("session", false, "emit the whole 48-run experiment session (quick sizes) with 60s quiesce gaps instead of one run")
+		jobs       = fs.Int("j", 0, "matrix cells to simulate concurrently in -session mode (0 = GOMAXPROCS)")
+		traceOut   = fs.String("trace-out", "", "also write the run as Chrome trace-event JSON (load at ui.perfetto.dev)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := workload.PaperConfig()
+	switch {
+	case *n <= 0:
+		fmt.Fprintf(stderr, "powertrace: -n must be positive, got %d\n", *n)
+		return 2
+	case *threads < 1 || *threads > cfg.Machine.Cores:
+		fmt.Fprintf(stderr, "powertrace: -threads must be in 1..%d on %q, got %d\n",
+			cfg.Machine.Cores, cfg.Machine.Name, *threads)
+		return 2
+	case *interval <= 0:
+		fmt.Fprintf(stderr, "powertrace: -interval must be positive, got %g\n", *interval)
+		return 2
+	case *jobs < 0:
+		fmt.Fprintf(stderr, "powertrace: -j must be >= 0, got %d\n", *jobs)
+		return 2
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "powertrace: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "powertrace: %v\n", err)
+		}
+	}()
+
+	var spans *obs.Collector
+	if *traceOut != "" {
+		spans = obs.Enable()
+		defer obs.Disable()
+	}
 
 	if *session {
-		cfg := workload.PaperConfig()
 		cfg.Sizes = []int{512, 1024} // keep the emitted CSV manageable
 		cfg.RecordTraces = true
 		cfg.TraceSampleInterval = *interval
 		cfg.Parallelism = *jobs
 		mx := workload.Execute(cfg)
 		tr := mx.SessionTrace()
-		fmt.Fprintf(os.Stderr, "powertrace: session of %d runs, %.1f s total\n", len(mx.Runs), tr.Duration())
-		if err := tr.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "powertrace: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintf(stderr, "powertrace: session of %d runs, %.1f s total\n", len(mx.Runs), tr.Duration())
+		if *traceOut != "" {
+			if err := writeTraceFile(*traceOut, func(w io.Writer) error {
+				return workload.WriteMatrixChromeTrace(w, mx, spans)
+			}); err != nil {
+				fmt.Fprintf(stderr, "powertrace: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "powertrace: wrote trace to %s (load at ui.perfetto.dev)\n", *traceOut)
 		}
-		return
+		if err := tr.WriteCSV(stdout); err != nil {
+			fmt.Fprintf(stderr, "powertrace: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	algs := map[string]workload.Algorithm{
@@ -52,21 +107,43 @@ func main() {
 	}
 	a, ok := algs[strings.ToLower(*alg)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "powertrace: unknown algorithm %q\n", *alg)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "powertrace: unknown algorithm %q\n", *alg)
+		return 2
 	}
 
-	cfg := workload.PaperConfig()
 	cfg.RecordTraces = true
+	cfg.RecordSchedule = *traceOut != "" // the trace's worker tracks need leaf placement
 	cfg.TraceSampleInterval = *interval
 	run := workload.ExecuteOne(cfg, a, *n, *threads)
 
-	fmt.Fprintf(os.Stderr, "powertrace: %v n=%d threads=%d: %.4fs, %.2f W avg (PKG %.2f + DRAM %.2f)\n",
+	fmt.Fprintf(stderr, "powertrace: %v n=%d threads=%d: %.4fs, %.2f W avg (PKG %.2f + DRAM %.2f)\n",
 		a, *n, *threads, run.Seconds, run.WattsTotal(), run.WattsPKG(), run.WattsDRAM())
-	fmt.Fprintf(os.Stderr, "powertrace: monitor reconciled %d samples, max rel.err vs ground truth %.2e\n",
+	fmt.Fprintf(stderr, "powertrace: monitor reconciled %d samples, max rel.err vs ground truth %.2e\n",
 		run.MeasSamples, run.MeasurementErr())
-	if err := run.Trace.WriteCSV(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "powertrace: %v\n", err)
-		os.Exit(1)
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut, func(w io.Writer) error {
+			return workload.WriteRunChromeTrace(w, &run, spans)
+		}); err != nil {
+			fmt.Fprintf(stderr, "powertrace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "powertrace: wrote trace to %s (load at ui.perfetto.dev)\n", *traceOut)
 	}
+	if err := run.Trace.WriteCSV(stdout); err != nil {
+		fmt.Fprintf(stderr, "powertrace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func writeTraceFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"capscale/internal/obs"
+)
+
+// TestFlagValidation pins the CLI boundary: bad input produces a
+// one-line usage error on stderr and a non-zero exit.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"zero n", []string{"-n", "0"}, "-n must be positive"},
+		{"negative n", []string{"-n", "-64"}, "-n must be positive"},
+		{"zero threads", []string{"-threads", "0"}, "-threads must be in 1.."},
+		{"threads beyond cores", []string{"-threads", "99"}, "-threads must be in 1.."},
+		{"zero interval", []string{"-interval", "0"}, "-interval must be positive"},
+		{"negative jobs", []string{"-j", "-1"}, "-j must be >= 0"},
+		{"unknown algorithm", []string{"-alg", "cannon", "-n", "64", "-threads", "1"}, "unknown algorithm"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("args %v exited 0; stderr:\n%s", tc.args, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("args %v: stderr %q lacks %q", tc.args, stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestSingleRunEmitsCSV exercises the default path end to end.
+func TestSingleRunEmitsCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-alg", "openblas", "-n", "64", "-threads", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "t_s,") {
+		t.Fatalf("stdout is not a power-trace CSV:\n%.120s", stdout.String())
+	}
+}
+
+// TestTraceOutWritesValidChromeTrace: the -trace-out artifact must
+// pass the structural validator — the same check the trace-smoke
+// script applies to the installed binary.
+func TestTraceOutWritesValidChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-alg", "caps", "-n", "128", "-threads", "2", "-trace-out", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stats, err := obs.ValidateChromeTrace(f)
+	if err != nil {
+		t.Fatalf("-trace-out produced an invalid trace: %v", err)
+	}
+	for _, plane := range []string{"PKG W", "PP0 W", "DRAM W"} {
+		if stats.CounterSamples[plane] == 0 {
+			t.Fatalf("trace lacks RAPL counter track %q", plane)
+		}
+	}
+	for _, key := range []string{"1/0", "1/1"} {
+		if stats.SpansPerThread[key] == 0 {
+			t.Fatalf("trace lacks worker track %s spans", key)
+		}
+	}
+}

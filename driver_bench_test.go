@@ -5,6 +5,7 @@ import (
 
 	"capscale/internal/hw"
 	"capscale/internal/matrix"
+	"capscale/internal/obs"
 	"capscale/internal/strassen"
 	"capscale/internal/workload"
 )
@@ -17,6 +18,9 @@ import (
 //     driver, bit-identical results in the same order.
 //   - memoized: cache on — what repeat consumers (the table benches,
 //     the CLIs) pay after the first sweep.
+//   - observed: sequential again but with span tracing enabled — the
+//     price of watching a run. The sequential case doubles as the
+//     guard that the disabled observability hooks cost nothing.
 //
 // This is the perf-trajectory benchmark `make bench-driver` records in
 // BENCH_driver.json.
@@ -43,6 +47,17 @@ func BenchmarkExecuteMatrix(b *testing.B) {
 	b.Run("memoized", func(b *testing.B) {
 		cfg := base
 		workload.ResetRunCache()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = workload.Execute(cfg)
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		cfg := base
+		cfg.NoCache = true
+		cfg.Parallelism = 1
+		obs.Enable()
+		defer obs.Disable()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = workload.Execute(cfg)

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"capscale/internal/hw"
+	"capscale/internal/obs"
 	"capscale/internal/papi"
 	"capscale/internal/rapl"
 	"capscale/internal/sim"
@@ -42,7 +43,18 @@ type Config struct {
 	// with a custom ESU exponent narrows or widens the wrap period
 	// under test.
 	Device *rapl.Device
+	// ObsTrack, when tracing is enabled, is the span track the
+	// stream's "monitor.stream" span lands on. The zero Track targets
+	// "main".
+	ObsTrack obs.Track
 }
+
+// Measurement metrics, folded into the registry at Finish.
+var (
+	monitorStreams   = obs.GetCounter("monitor.streams.finished")
+	monitorSamples   = obs.GetCounter("monitor.samples.observed")
+	monitorLostWraps = obs.GetCounter("monitor.wraps.lost")
+)
 
 // PlaneReport is one plane's reconciliation verdict.
 type PlaneReport struct {
@@ -171,7 +183,9 @@ func (r *Report) String() string {
 // Usage: NewStream, then Observe once per segment in time order, then
 // Finish exactly once to stop the event set and build the Report.
 // A Stream is not safe for concurrent use; each simulated run gets its
-// own Stream.
+// own Stream. Streams must be constructed with NewStream: methods on a
+// zero-value Stream return descriptive errors instead of sampling a
+// nonexistent event set.
 type Stream struct {
 	cfg     Config
 	dev     *rapl.Device
@@ -182,6 +196,7 @@ type Stream struct {
 	samples int
 	err     error
 	done    bool
+	sp      obs.Span
 }
 
 // NewStream prepares a monitored measurement: it arms the PAPI event
@@ -215,22 +230,32 @@ func NewStream(cfg Config) (*Stream, error) {
 		s.samples++
 	})
 	s.t0 = dev.Now()
+	if obs.Enabled() {
+		s.sp = obs.StartOn(cfg.ObsTrack, "monitor.stream")
+	}
 	return s, nil
 }
 
 // Observe advances the device through one power segment. Segments must
-// arrive in time order; a non-monotone segment poisons the stream and
-// the error surfaces from Finish. The signature matches
-// sim.Config.OnSegment so a Stream can be wired into the simulator
-// directly.
-func (s *Stream) Observe(seg sim.Segment) {
-	if s.err != nil || s.done {
-		return
+// arrive in time order; a non-monotone segment poisons the stream (the
+// same error then surfaces from Finish). Misuse — Observe on a
+// zero-value Stream or after Finish — returns a descriptive error
+// without touching the event set. Use OnSegment to wire a Stream into
+// the simulator.
+func (s *Stream) Observe(seg sim.Segment) error {
+	if s.es == nil {
+		return fmt.Errorf("monitor: Observe on an unstarted Stream (construct with NewStream)")
+	}
+	if s.done {
+		return fmt.Errorf("monitor: Observe after Finish on a stopped Stream")
+	}
+	if s.err != nil {
+		return s.err
 	}
 	dt := seg.End - seg.Start
 	if dt < 0 {
 		s.err = fmt.Errorf("monitor: non-monotone segment [%v,%v)", seg.Start, seg.End)
-		return
+		return s.err
 	}
 	if seg.Power.PKG > s.peak.PKG {
 		s.peak.PKG = seg.Power.PKG
@@ -242,16 +267,26 @@ func (s *Stream) Observe(seg sim.Segment) {
 		s.peak.DRAM = seg.Power.DRAM
 	}
 	s.dev.Advance(dt, seg.Power)
+	return nil
 }
+
+// OnSegment is Observe shaped for sim.Config.OnSegment (which takes no
+// error return). Errors are not lost: a poisoned or misused stream
+// surfaces the same error from Finish.
+func (s *Stream) OnSegment(seg sim.Segment) { _ = s.Observe(seg) }
 
 // Finish stops the event set, takes the final sample, and reconciles
 // the polled measurement against the device's exact energy totals. It
 // must be called exactly once; the Stream is unusable afterwards.
 func (s *Stream) Finish() (*Report, error) {
+	if s.es == nil {
+		return nil, fmt.Errorf("monitor: Finish on an unstarted Stream (construct with NewStream)")
+	}
 	if s.done {
 		return nil, fmt.Errorf("monitor: Finish called twice on the same Stream")
 	}
 	s.done = true
+	defer s.sp.End()
 	s.dev.SetPoll(0, nil)
 	if s.err != nil {
 		s.es.Stop()
@@ -300,6 +335,16 @@ func (s *Stream) Finish() (*Report, error) {
 		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
 			"only %d sample(s) over %.4fs: poll interval %gs undersamples the run",
 			rep.Samples, rep.Duration, s.cfg.PollInterval))
+	}
+
+	monitorStreams.Inc()
+	monitorSamples.Add(int64(rep.Samples))
+	for _, pr := range rep.Planes {
+		monitorLostWraps.Add(int64(pr.LostWraps))
+	}
+	if s.sp.Live() {
+		s.sp.ArgInt("samples", rep.Samples)
+		s.sp.ArgFloat("device_s", rep.Duration)
 	}
 	return rep, nil
 }

@@ -1,8 +1,10 @@
 package monitor
 
 import (
+	"strings"
 	"testing"
 
+	"capscale/internal/hw"
 	"capscale/internal/sim"
 )
 
@@ -67,5 +69,42 @@ func TestStreamFinishTwiceErrors(t *testing.T) {
 func TestStreamBadIntervalErrors(t *testing.T) {
 	if _, err := NewStream(Config{PollInterval: 0}); err == nil {
 		t.Fatal("zero poll interval accepted")
+	}
+}
+
+// Misuse hardening: both illegal orderings must fail loudly instead of
+// silently corrupting the sample record.
+
+func TestStreamObserveAfterFinishErrors(t *testing.T) {
+	s, err := NewStream(Config{PollInterval: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(sim.Segment{Start: 0, End: 0.1, Power: hw.PlanePower{PKG: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Observe(sim.Segment{Start: 0.1, End: 0.2, Power: hw.PlanePower{PKG: 10}})
+	if err == nil {
+		t.Fatal("Observe after Finish did not error")
+	}
+	if !strings.Contains(err.Error(), "after Finish") {
+		t.Fatalf("Observe-after-Finish error %q does not name the misuse", err)
+	}
+}
+
+func TestZeroValueStreamErrors(t *testing.T) {
+	var s Stream
+	err := s.Observe(sim.Segment{Start: 0, End: 0.1})
+	if err == nil {
+		t.Fatal("Observe on zero-value Stream did not error")
+	}
+	if !strings.Contains(err.Error(), "NewStream") {
+		t.Fatalf("zero-value Observe error %q does not point at NewStream", err)
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("Finish on zero-value Stream did not error")
 	}
 }

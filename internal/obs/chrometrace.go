@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event (Perfetto-loadable) export. The builder is
+// deliberately generic — named processes, named threads, complete
+// ("X") spans and counter ("C") series with float timestamps in
+// seconds — so consumers can merge heterogeneous timebases into one
+// file: the simulator's virtual-time worker schedule and RAPL power
+// counters live in one process, the driver's wall-clock spans in
+// another. Perfetto nests same-thread spans by time containment, so no
+// parent ids are needed.
+//
+// The exported JSON is the object form {"traceEvents": [...]}, which
+// both chrome://tracing and https://ui.perfetto.dev load directly.
+
+// traceEvent is one Chrome trace event. Timestamps and durations are
+// microseconds, per the trace-event spec.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceBuilder accumulates trace events for one exported file. Not
+// safe for concurrent use; build from one goroutine after the run.
+type TraceBuilder struct {
+	events []traceEvent
+}
+
+// NewTraceBuilder returns an empty builder.
+func NewTraceBuilder() *TraceBuilder { return &TraceBuilder{} }
+
+// ProcessName names a process (one top-level group in the viewer).
+func (b *TraceBuilder) ProcessName(pid int, name string) {
+	b.events = append(b.events, traceEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// ThreadName names a thread (one track) within a process.
+func (b *TraceBuilder) ThreadName(pid, tid int, name string) {
+	b.events = append(b.events, traceEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Complete adds one complete span. startSec/durSec are seconds in the
+// track's timebase (virtual or wall — the file does not care).
+func (b *TraceBuilder) Complete(pid, tid int, name string, startSec, durSec float64, args map[string]any) {
+	b.events = append(b.events, traceEvent{
+		Name: name, Ph: "X", TS: startSec * 1e6, Dur: durSec * 1e6,
+		PID: pid, TID: tid, Args: args,
+	})
+}
+
+// Counter adds one sample of a counter track. Each distinct name is
+// its own track; the series map's keys chart as stacked series.
+func (b *TraceBuilder) Counter(pid int, name string, tSec float64, series map[string]float64) {
+	args := make(map[string]any, len(series))
+	for k, v := range series {
+		args[k] = v
+	}
+	b.events = append(b.events, traceEvent{
+		Name: name, Ph: "C", TS: tSec * 1e6, PID: pid, Args: args,
+	})
+}
+
+// AddCollector dumps a span collector's tracks and spans into the
+// builder under one process: one named thread per obs track.
+func (b *TraceBuilder) AddCollector(c *Collector, pid int, processName string) {
+	if c == nil {
+		return
+	}
+	b.ProcessName(pid, processName)
+	for id, name := range c.TrackNames() {
+		b.ThreadName(pid, id, name)
+	}
+	for _, sp := range c.Spans() {
+		var args map[string]any
+		if len(sp.Args) > 0 {
+			args = make(map[string]any, len(sp.Args))
+			for k, v := range sp.Args {
+				args[k] = v
+			}
+		}
+		b.Complete(pid, int(sp.Track), sp.Name, sp.Start.Seconds(), sp.Dur.Seconds(), args)
+	}
+}
+
+// WriteJSON sorts the events by timestamp (metadata first) and writes
+// the {"traceEvents": [...]} object.
+func (b *TraceBuilder) WriteJSON(w io.Writer) error {
+	sort.SliceStable(b.events, func(i, j int) bool {
+		mi, mj := b.events[i].Ph == "M", b.events[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return b.events[i].TS < b.events[j].TS
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     b.events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// TraceStats summarizes a validated trace file for structural golden
+// tests: which tracks exist, how many spans and counter samples each
+// carries.
+type TraceStats struct {
+	// Events is the total event count, metadata included.
+	Events int
+	// Processes maps pid → process_name.
+	Processes map[int]string
+	// ThreadNames maps "pid/tid" → thread_name.
+	ThreadNames map[string]string
+	// SpansPerThread maps "pid/tid" → number of X events.
+	SpansPerThread map[string]int
+	// CounterSamples maps counter track name → number of C events.
+	CounterSamples map[string]int
+}
+
+// ValidateChromeTrace structurally checks an exported trace: the JSON
+// decodes as {"traceEvents": [...]}, every event has a known phase and
+// sane timestamps, and per-track event timestamps are monotone
+// non-decreasing. It returns per-track statistics for golden
+// assertions.
+func ValidateChromeTrace(r io.Reader) (*TraceStats, error) {
+	var file struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("obs: trace does not decode: %w", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		return nil, fmt.Errorf("obs: trace holds no events")
+	}
+	st := &TraceStats{
+		Events:         len(file.TraceEvents),
+		Processes:      make(map[int]string),
+		ThreadNames:    make(map[string]string),
+		SpansPerThread: make(map[string]int),
+		CounterSamples: make(map[string]int),
+	}
+	lastSpanTS := make(map[string]float64)    // per pid/tid
+	lastCounterTS := make(map[string]float64) // per pid/name
+	for i, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			switch ev.Name {
+			case "process_name":
+				st.Processes[ev.PID] = name
+			case "thread_name":
+				st.ThreadNames[fmt.Sprintf("%d/%d", ev.PID, ev.TID)] = name
+			default:
+				return nil, fmt.Errorf("obs: event %d: unknown metadata %q", i, ev.Name)
+			}
+		case "X":
+			if ev.TS < 0 || ev.Dur < 0 {
+				return nil, fmt.Errorf("obs: event %d (%q): negative ts/dur %v/%v", i, ev.Name, ev.TS, ev.Dur)
+			}
+			key := fmt.Sprintf("%d/%d", ev.PID, ev.TID)
+			if last, ok := lastSpanTS[key]; ok && ev.TS < last {
+				return nil, fmt.Errorf("obs: event %d (%q): track %s timestamps regress (%v after %v)",
+					i, ev.Name, key, ev.TS, last)
+			}
+			lastSpanTS[key] = ev.TS
+			st.SpansPerThread[key]++
+		case "C":
+			if ev.TS < 0 {
+				return nil, fmt.Errorf("obs: event %d (%q): negative counter ts %v", i, ev.Name, ev.TS)
+			}
+			key := fmt.Sprintf("%d/%s", ev.PID, ev.Name)
+			if last, ok := lastCounterTS[key]; ok && ev.TS < last {
+				return nil, fmt.Errorf("obs: event %d: counter %q timestamps regress (%v after %v)",
+					i, ev.Name, ev.TS, last)
+			}
+			lastCounterTS[key] = ev.TS
+			if len(ev.Args) == 0 {
+				return nil, fmt.Errorf("obs: event %d: counter %q carries no series", i, ev.Name)
+			}
+			st.CounterSamples[ev.Name]++
+		default:
+			return nil, fmt.Errorf("obs: event %d (%q): unsupported phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceBuilderRoundTrip(t *testing.T) {
+	b := NewTraceBuilder()
+	b.ProcessName(1, "simulated machine")
+	b.ThreadName(1, 0, "worker 0")
+	b.ThreadName(1, 1, "worker 1")
+	b.Complete(1, 0, "gemm", 0, 0.5, map[string]any{"kind": "GEMM"})
+	b.Complete(1, 1, "add", 0.1, 0.2, nil)
+	b.Complete(1, 0, "gemm", 0.5, 0.5, nil)
+	for i := 0; i < 10; i++ {
+		ts := float64(i) * 0.1
+		b.Counter(1, "PKG W", ts, map[string]float64{"W": 20 + float64(i)})
+		b.Counter(1, "DRAM W", ts, map[string]float64{"W": 3})
+	}
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processes[1] != "simulated machine" {
+		t.Fatalf("process name lost: %v", st.Processes)
+	}
+	if st.ThreadNames["1/0"] != "worker 0" || st.ThreadNames["1/1"] != "worker 1" {
+		t.Fatalf("thread names lost: %v", st.ThreadNames)
+	}
+	if st.SpansPerThread["1/0"] != 2 || st.SpansPerThread["1/1"] != 1 {
+		t.Fatalf("span counts %v", st.SpansPerThread)
+	}
+	if st.CounterSamples["PKG W"] != 10 || st.CounterSamples["DRAM W"] != 10 {
+		t.Fatalf("counter samples %v", st.CounterSamples)
+	}
+}
+
+// TestWriteJSONSortsOutOfOrderSpans: events appended out of time order
+// (the natural result of collecting spans at End time) must still emit
+// monotone per-track timestamps.
+func TestWriteJSONSortsOutOfOrderSpans(t *testing.T) {
+	b := NewTraceBuilder()
+	b.Complete(1, 0, "late", 5, 1, nil)
+	b.Complete(1, 0, "early", 0, 1, nil)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(&buf); err != nil {
+		t.Fatalf("sorted output fails validation: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformedTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"traceEvents": [}`,
+		"empty":           `{"traceEvents": []}`,
+		"bad phase":       `{"traceEvents": [{"name":"x","ph":"Q","ts":0,"pid":1,"tid":0}]}`,
+		"negative ts":     `{"traceEvents": [{"name":"x","ph":"X","ts":-1,"dur":1,"pid":1,"tid":0}]}`,
+		"regressing":      `{"traceEvents": [{"name":"a","ph":"X","ts":5,"dur":1,"pid":1,"tid":0},{"name":"b","ph":"X","ts":1,"dur":1,"pid":1,"tid":0}]}`,
+		"bare counter":    `{"traceEvents": [{"name":"c","ph":"C","ts":0,"pid":1,"tid":0}]}`,
+		"counter regress": `{"traceEvents": [{"name":"c","ph":"C","ts":5,"pid":1,"args":{"W":1}},{"name":"c","ph":"C","ts":1,"pid":1,"args":{"W":2}}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := ValidateChromeTrace(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestAddCollectorExportsSpans(t *testing.T) {
+	c := Enable()
+	defer Disable()
+	tr := NewTrack("driver worker 0")
+	sp := StartOn(tr, "cell")
+	sp.Arg("alg", "Strassen")
+	sp.End()
+
+	b := NewTraceBuilder()
+	b.AddCollector(c, 2, "experiment driver (wall time)")
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processes[2] != "experiment driver (wall time)" {
+		t.Fatalf("processes %v", st.Processes)
+	}
+	if st.ThreadNames["2/1"] != "driver worker 0" {
+		t.Fatalf("threads %v", st.ThreadNames)
+	}
+	if st.SpansPerThread["2/1"] != 1 {
+		t.Fatalf("spans %v", st.SpansPerThread)
+	}
+}

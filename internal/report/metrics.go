@@ -1,0 +1,20 @@
+package report
+
+import "capscale/internal/obs"
+
+// MetricsTable renders the observability registry as a table: one row
+// per counter, gauge and histogram, sorted by name. Counters are
+// cumulative for the process; gauges also show their high-water mark.
+// CLIs print this to stderr under -metrics so the run's pipeline
+// health (cache hit rate, samples observed, leaves dispatched) rides
+// along with the scientific output.
+func MetricsTable() *Table {
+	t := &Table{
+		Title:  "Pipeline metrics",
+		Header: []string{"metric", "kind", "value"},
+	}
+	for _, m := range obs.Metrics() {
+		t.AddRow(m.Name, m.Kind, m.Value)
+	}
+	return t
+}

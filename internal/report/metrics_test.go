@@ -1,0 +1,30 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"capscale/internal/obs"
+)
+
+func TestMetricsTableListsRegisteredMetrics(t *testing.T) {
+	obs.GetCounter("report.test.counter").Add(7)
+	obs.GetGauge("report.test.gauge").Set(3)
+
+	tbl := MetricsTable()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("metrics table is empty")
+	}
+	s := tbl.String()
+	for _, want := range []string{"report.test.counter", "counter", "report.test.gauge", "gauge"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("metrics table lacks %q:\n%s", want, s)
+		}
+	}
+	// Rows arrive sorted by metric name from the registry snapshot.
+	for i := 1; i < len(tbl.Rows); i++ {
+		if tbl.Rows[i-1][0] > tbl.Rows[i][0] {
+			t.Fatalf("rows not sorted: %q after %q", tbl.Rows[i][0], tbl.Rows[i-1][0])
+		}
+	}
+}

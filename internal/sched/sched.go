@@ -29,7 +29,18 @@ import (
 	"sync"
 	"time"
 
+	"capscale/internal/obs"
 	"capscale/internal/task"
+)
+
+// Dispatch metrics: run/leaf throughput is batched into the registry
+// once per Run; the per-leaf occupancy gauge is only touched while
+// span tracing is enabled, so the multi-million-leaves-per-second
+// dispatch path stays a single atomic load when observability is off.
+var (
+	schedRuns        = obs.GetCounter("sched.runs")
+	schedLeaves      = obs.GetCounter("sched.leaves.dispatched")
+	schedBusyWorkers = obs.GetGauge("sched.workers.busy")
 )
 
 // Metrics summarizes one real execution.
@@ -135,6 +146,12 @@ func (p *Pool) Run(root *task.Node) Metrics {
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
 
+	var sp obs.Span
+	if obs.Enabled() {
+		sp = obs.StartOn(obs.Track{}, "sched.run")
+		sp.ArgInt("workers", p.workers)
+	}
+
 	st := &runState{
 		busy:     make([]time.Duration, p.workers),
 		byWorker: make([]int64, p.workers),
@@ -158,6 +175,12 @@ func (p *Pool) Run(root *task.Node) Metrics {
 	p.mu.Unlock()
 
 	wall := time.Since(start)
+	schedRuns.Inc()
+	schedLeaves.Add(int64(st.leaves))
+	if sp.Live() {
+		sp.ArgInt("leaves", st.leaves)
+	}
+	sp.End()
 	if st.panicked != nil {
 		panic(st.panicked)
 	}
@@ -257,6 +280,10 @@ func (p *Pool) worker(id int) {
 		w := s.n.Work()
 		var busy time.Duration
 		if !skip && w.Run != nil {
+			observed := obs.Enabled()
+			if observed {
+				schedBusyWorkers.Add(1)
+			}
 			t0 := time.Now()
 			func() {
 				defer func() {
@@ -271,6 +298,9 @@ func (p *Pool) worker(id int) {
 				w.Run()
 			}()
 			busy = time.Since(t0)
+			if observed {
+				schedBusyWorkers.Add(-1)
+			}
 		}
 
 		p.mu.Lock()

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"capscale/internal/hw"
+	"capscale/internal/obs"
 	"capscale/internal/task"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// the whole timeline (RecordTimeline) and replaying it afterwards.
 	// The callback runs on the simulating goroutine and must not block.
 	OnSegment func(Segment)
+	// ObsTrack, when tracing is enabled, is the span track the
+	// simulation's "sim.run" span lands on (typically the driver
+	// worker executing this cell). The zero Track targets "main".
+	ObsTrack obs.Track
 }
 
 // LeafSpan is one scheduled leaf occurrence for Gantt rendering.
@@ -206,8 +211,17 @@ type executor struct {
 	stateArena []nodeState
 
 	liveAlloc float64
+	segCount  int
 	res       Result
 }
+
+// Simulation throughput metrics, batched into the registry once per
+// Run so the event loop itself stays untouched.
+var (
+	simRuns     = obs.GetCounter("sim.runs")
+	simLeaves   = obs.GetCounter("sim.leaves.executed")
+	simSegments = obs.GetCounter("sim.segments.produced")
+)
 
 // newState carves a nodeState out of the arena, amortizing one
 // allocation over a block of nodes.
@@ -277,6 +291,12 @@ func Run(m *hw.Machine, root *task.Node, cfg Config) *Result {
 	}
 	e.idleCount = cfg.Workers
 
+	var sp obs.Span
+	if obs.Enabled() {
+		sp = obs.StartOn(cfg.ObsTrack, "sim.run")
+		sp.ArgInt("workers", cfg.Workers)
+	}
+
 	e.startNode(e.newState(root, nil, e.allMask()))
 	e.dispatch()
 	for len(e.running) > 0 {
@@ -285,6 +305,16 @@ func Run(m *hw.Machine, root *task.Node, cfg Config) *Result {
 	}
 	e.res.Makespan = e.now
 	e.res.WorkerBusy = e.workerBusyTotal
+
+	simRuns.Inc()
+	simLeaves.Add(int64(e.res.Leaves))
+	simSegments.Add(int64(e.segCount))
+	if sp.Live() {
+		sp.ArgInt("leaves", e.res.Leaves)
+		sp.ArgInt("segments", e.segCount)
+		sp.ArgFloat("makespan_s", e.res.Makespan)
+	}
+	sp.End()
 	return &e.res
 }
 
@@ -566,6 +596,7 @@ func (e *executor) getLeaf() *runningLeaf {
 func (e *executor) advance() {
 	next := e.running[0].finish
 	if dt := next - e.now; dt > 0 {
+		e.segCount++
 		acts := e.actsBuf[:0]
 		for _, rl := range e.running {
 			acts = append(acts, rl.activity)

@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"capscale/internal/hw"
+	"capscale/internal/obs"
+	"capscale/internal/sim"
 	"capscale/internal/task"
 	"capscale/internal/trace"
 )
@@ -19,6 +21,31 @@ import (
 // benchmarks iterate); memoizing the Run makes every repeat nearly
 // free. The cache holds private deep copies — callers can mutate what
 // they get back without poisoning later hits.
+//
+// The cache is bounded: at most runCacheCap entries, evicted in
+// insertion (FIFO) order. An unbounded cache of deep-copied Runs —
+// with full traces when RecordTraces is set — grows without limit
+// under a long sweep over many machines/intervals, which is exactly
+// the workload a bench loop produces. Hits, misses and evictions are
+// visible in the obs metrics registry.
+
+// DefaultRunCacheCap is the default bound on memoized cells. The full
+// paper matrix is 48 cells; 256 leaves room for several machines and
+// measurement settings while capping worst-case (traced) memory at a
+// few hundred MB.
+const DefaultRunCacheCap = 256
+
+var (
+	cacheMu      sync.Mutex
+	cacheEntries = make(map[runKey]*Run)
+	cacheOrder   []runKey // insertion order; evictions pop the front
+	runCacheCap  = DefaultRunCacheCap
+
+	cacheHits      = obs.GetCounter("workload.cache.hits")
+	cacheMisses    = obs.GetCounter("workload.cache.misses")
+	cacheEvictions = obs.GetCounter("workload.cache.evictions")
+	cacheSize      = obs.GetGauge("workload.cache.size")
+)
 
 // runKey identifies one memoizable cell. Machines are folded to a
 // fingerprint hash of every model-relevant field, so two distinct
@@ -34,10 +61,8 @@ type runKey struct {
 	pollInterval      float64
 	recordTraces      bool
 	traceInterval     float64
+	recordSchedule    bool
 }
-
-// runCache maps runKey to *Run (a private deep copy).
-var runCache sync.Map
 
 // cacheKey derives the memoization key for one cell under cfg. The
 // poll interval is normalized (unset selects DefaultPollInterval) so
@@ -57,7 +82,76 @@ func cacheKey(cfg Config, alg Algorithm, n, threads int) runKey {
 		pollInterval:      interval,
 		recordTraces:      cfg.RecordTraces,
 		traceInterval:     cfg.TraceSampleInterval,
+		recordSchedule:    cfg.RecordSchedule,
 	}
+}
+
+// cacheLoad returns a private copy of the memoized run for key, and
+// counts the hit or miss.
+func cacheLoad(key runKey) (Run, bool) {
+	cacheMu.Lock()
+	r, ok := cacheEntries[key]
+	cacheMu.Unlock()
+	if !ok {
+		cacheMisses.Inc()
+		return Run{}, false
+	}
+	// Cached *Run values are immutable once stored, so cloning outside
+	// the critical section is safe even if the entry is evicted
+	// concurrently.
+	cacheHits.Inc()
+	return cloneRun(r), true
+}
+
+// cacheStore memoizes a private copy of run, evicting the oldest
+// entries once the cap is reached. A non-positive cap disables
+// storing entirely.
+func cacheStore(key runKey, run *Run) {
+	stored := cloneRun(run)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if runCacheCap <= 0 {
+		return
+	}
+	if _, exists := cacheEntries[key]; exists {
+		// Deterministic simulator: a concurrent sweep re-simulated the
+		// same cell; keep the existing entry and its age.
+		return
+	}
+	evictDownToLocked(runCacheCap - 1)
+	cacheEntries[key] = &stored
+	cacheOrder = append(cacheOrder, key)
+	cacheSize.Set(int64(len(cacheEntries)))
+}
+
+// evictDownToLocked removes oldest entries until at most n remain.
+// Called with cacheMu held.
+func evictDownToLocked(n int) {
+	for len(cacheEntries) > n && len(cacheOrder) > 0 {
+		oldest := cacheOrder[0]
+		cacheOrder = cacheOrder[1:]
+		if _, ok := cacheEntries[oldest]; ok {
+			delete(cacheEntries, oldest)
+			cacheEvictions.Inc()
+		}
+	}
+	cacheSize.Set(int64(len(cacheEntries)))
+}
+
+// SetRunCacheCap bounds the memoization cache to at most n entries,
+// evicting oldest entries immediately if the cache is over the new
+// cap, and returns the previous cap. A non-positive n disables
+// caching. Tests use small caps to exercise eviction.
+func SetRunCacheCap(n int) int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	prev := runCacheCap
+	runCacheCap = n
+	if n <= 0 {
+		n = 0
+	}
+	evictDownToLocked(n)
+	return prev
 }
 
 // machineFingerprint hashes every field of the machine that feeds the
@@ -86,8 +180,8 @@ func machineFingerprint(m *hw.Machine) uint64 {
 	return h.Sum64()
 }
 
-// cloneRun deep-copies a Run: the BusyByKind map and the Trace are the
-// only shared-reference fields.
+// cloneRun deep-copies a Run: the BusyByKind map, the Trace and the
+// Schedule are the only shared-reference fields.
 func cloneRun(r *Run) Run {
 	out := *r
 	if r.BusyByKind != nil {
@@ -102,22 +196,26 @@ func cloneRun(r *Run) Run {
 			End:     r.Trace.End,
 		}
 	}
+	if r.Schedule != nil {
+		out.Schedule = append([]sim.LeafSpan(nil), r.Schedule...)
+	}
 	return out
 }
 
 // ResetRunCache empties the run memoization cache. Tests use it to
-// force re-simulation; long-lived processes can use it to bound memory
-// after sweeping many distinct configurations.
+// force re-simulation; long-lived processes can use it to release
+// memory after sweeping many distinct configurations.
 func ResetRunCache() {
-	runCache.Range(func(k, _ any) bool {
-		runCache.Delete(k)
-		return true
-	})
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cacheEntries = make(map[runKey]*Run)
+	cacheOrder = nil
+	cacheSize.Set(0)
 }
 
 // runCacheLen counts cached cells (test hook).
 func runCacheLen() int {
-	n := 0
-	runCache.Range(func(_, _ any) bool { n++; return true })
-	return n
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return len(cacheEntries)
 }

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"capscale/internal/obs"
+)
+
+// TestRunCacheIsBounded pins the memory fix: with a cap of 2, sweeping
+// more than 2 distinct cells must evict oldest entries instead of
+// growing without limit, and the eviction counter must advance.
+func TestRunCacheIsBounded(t *testing.T) {
+	ResetRunCache()
+	prev := SetRunCacheCap(2)
+	defer func() { SetRunCacheCap(prev); ResetRunCache() }()
+
+	evicted0 := obs.GetCounter("workload.cache.evictions").Value()
+	cfg := SmokeConfig()
+	for _, n := range []int{64, 128, 256} {
+		ExecuteOne(cfg, AlgOpenBLAS, n, 1)
+	}
+	if got := runCacheLen(); got != 2 {
+		t.Fatalf("cache holds %d entries under cap 2", got)
+	}
+	evictions := obs.GetCounter("workload.cache.evictions").Value() - evicted0
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+
+	// FIFO: the oldest cell (n=64) was evicted, the newer two remain.
+	hits0 := obs.GetCounter("workload.cache.hits").Value()
+	ExecuteOne(cfg, AlgOpenBLAS, 128, 1)
+	ExecuteOne(cfg, AlgOpenBLAS, 256, 1)
+	if hits := obs.GetCounter("workload.cache.hits").Value() - hits0; hits != 2 {
+		t.Fatalf("remaining entries did not hit (hits=%d, want 2)", hits)
+	}
+	misses0 := obs.GetCounter("workload.cache.misses").Value()
+	ExecuteOne(cfg, AlgOpenBLAS, 64, 1)
+	if misses := obs.GetCounter("workload.cache.misses").Value() - misses0; misses != 1 {
+		t.Fatalf("evicted entry hit the cache (misses=%d, want 1)", misses)
+	}
+}
+
+// TestRunCacheShrinksWhenCapLowered: lowering the cap below the live
+// entry count evicts immediately.
+func TestRunCacheShrinksWhenCapLowered(t *testing.T) {
+	ResetRunCache()
+	prev := SetRunCacheCap(8)
+	defer func() { SetRunCacheCap(prev); ResetRunCache() }()
+
+	cfg := SmokeConfig()
+	for _, n := range []int{64, 128, 256} {
+		ExecuteOne(cfg, AlgOpenBLAS, n, 1)
+	}
+	if got := runCacheLen(); got != 3 {
+		t.Fatalf("cache holds %d entries, want 3", got)
+	}
+	SetRunCacheCap(1)
+	if got := runCacheLen(); got != 1 {
+		t.Fatalf("cache holds %d entries after cap 1, want 1", got)
+	}
+}
+
+// TestRunCacheDisabledByNonPositiveCap: cap 0 stores nothing.
+func TestRunCacheDisabledByNonPositiveCap(t *testing.T) {
+	ResetRunCache()
+	prev := SetRunCacheCap(0)
+	defer func() { SetRunCacheCap(prev); ResetRunCache() }()
+
+	cfg := SmokeConfig()
+	ExecuteOne(cfg, AlgOpenBLAS, 64, 1)
+	if got := runCacheLen(); got != 0 {
+		t.Fatalf("cap 0 cached %d entries", got)
+	}
+}
+
+// TestRunCacheCountsHitsAndMisses: the registry sees exactly one miss
+// for the first execution and one hit for the repeat.
+func TestRunCacheCountsHitsAndMisses(t *testing.T) {
+	ResetRunCache()
+	defer ResetRunCache()
+	cfg := SmokeConfig()
+	hits0 := obs.GetCounter("workload.cache.hits").Value()
+	misses0 := obs.GetCounter("workload.cache.misses").Value()
+	ExecuteOne(cfg, AlgOpenBLAS, 64, 1)
+	ExecuteOne(cfg, AlgOpenBLAS, 64, 1)
+	if d := obs.GetCounter("workload.cache.misses").Value() - misses0; d != 1 {
+		t.Fatalf("misses +%d, want +1", d)
+	}
+	if d := obs.GetCounter("workload.cache.hits").Value() - hits0; d != 1 {
+		t.Fatalf("hits +%d, want +1", d)
+	}
+}
+
+// TestConcurrentExecuteResetAndMetricsRace drives concurrent Execute
+// sweeps against cache resets, cap changes and registry reads — the
+// observability layer itself must be race-free. It runs under -race in
+// scripts/check.sh.
+func TestConcurrentExecuteResetAndMetricsRace(t *testing.T) {
+	ResetRunCache()
+	defer func() { obs.Disable(); ResetRunCache() }()
+	col := obs.Enable()
+
+	cfg := SmokeConfig()
+	cfg.Sizes = []int{64, 128}
+	cfg.Threads = []int{1, 2}
+	cfg.Algorithms = []Algorithm{AlgOpenBLAS}
+	cfg.Parallelism = 2
+
+	const iters = 20
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				Execute(cfg)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			ResetRunCache()
+			SetRunCacheCap(1 + i%4)
+		}
+		SetRunCacheCap(DefaultRunCacheCap)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			obs.Metrics()
+			col.Spans()
+			col.TrackNames()
+		}
+	}()
+	wg.Wait()
+
+	// The sweeps must still be deterministic under all that churn.
+	ResetRunCache()
+	a := Execute(cfg)
+	b := Execute(cfg)
+	if !reflect.DeepEqual(a.Runs, b.Runs) {
+		t.Fatal("concurrent churn broke sweep determinism")
+	}
+}

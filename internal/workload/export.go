@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"capscale/internal/obs"
+	"capscale/internal/trace"
+)
+
+// Chrome trace-event (Perfetto-loadable) export: the observability
+// window into a run the paper's Figs. 3–6 opened with a chart
+// recorder. The exported file merges two timebases as two trace
+// processes — the simulated machine in virtual time (one track per
+// worker from the recorded schedule, one counter track per RAPL
+// plane from the power trace) and the experiment driver in wall time
+// (the obs span collector: one track per driver worker, cells
+// annotated with their cache verdict). Load the file at
+// https://ui.perfetto.dev or chrome://tracing.
+
+// Trace process ids. Perfetto groups tracks by process; the simulated
+// machine and the wall-clock driver get one each.
+const (
+	simPID    = 1
+	driverPID = 2
+)
+
+// addRunProcess emits one run's worker tracks and RAPL counter tracks
+// as trace process pid.
+func addRunProcess(b *obs.TraceBuilder, r *Run, pid int) {
+	b.ProcessName(pid, fmt.Sprintf("sim %s n=%d p=%d (virtual time)", r.Alg, r.N, r.Threads))
+	for w := 0; w < r.Threads; w++ {
+		b.ThreadName(pid, w, fmt.Sprintf("worker %d", w))
+	}
+	for _, ls := range r.Schedule {
+		name := ls.Label
+		if name == "" {
+			name = ls.Kind.String()
+		}
+		b.Complete(pid, ls.Worker, name, ls.Start, ls.End-ls.Start,
+			map[string]any{"kind": ls.Kind.String()})
+	}
+	addPowerCounters(b, r.Trace, pid, 0)
+}
+
+// addPowerCounters emits one counter track per RAPL plane from a power
+// trace, shifted by offset seconds (for session concatenation).
+func addPowerCounters(b *obs.TraceBuilder, tr *trace.Trace, pid int, offset float64) {
+	if tr == nil {
+		return
+	}
+	for _, s := range tr.Samples {
+		t := s.T + offset
+		b.Counter(pid, "PKG W", t, map[string]float64{"W": s.PKG})
+		b.Counter(pid, "PP0 W", t, map[string]float64{"W": s.PP0})
+		b.Counter(pid, "DRAM W", t, map[string]float64{"W": s.DRAM})
+	}
+}
+
+// WriteRunChromeTrace exports a single run — executed with
+// Config.RecordSchedule and Config.RecordTraces — plus the driver's
+// span collector (nil to omit) as Chrome trace-event JSON.
+func WriteRunChromeTrace(w io.Writer, r *Run, spans *obs.Collector) error {
+	if len(r.Schedule) == 0 && r.Trace == nil {
+		return fmt.Errorf("workload: run has neither schedule nor trace; execute with RecordSchedule/RecordTraces")
+	}
+	b := obs.NewTraceBuilder()
+	addRunProcess(b, r, simPID)
+	b.AddCollector(spans, driverPID, "experiment driver (wall time)")
+	return b.WriteJSON(w)
+}
+
+// WriteMatrixChromeTrace exports a whole sweep — executed with
+// Config.RecordTraces — as one session in virtual time: a "runs"
+// track with one span per cell, the concatenated RAPL counter tracks
+// with the configured quiesce gaps (the paper's session power log),
+// and the driver's wall-clock spans (nil to omit).
+func WriteMatrixChromeTrace(w io.Writer, mx *Matrix, spans *obs.Collector) error {
+	b := obs.NewTraceBuilder()
+	b.ProcessName(simPID, fmt.Sprintf("power session on %q (virtual time)", mx.Cfg.Machine.Name))
+	b.ThreadName(simPID, 0, "runs")
+	offset := 0.0
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		if r.Trace == nil {
+			return fmt.Errorf("workload: run %v n=%d p=%d has no trace; execute with RecordTraces", r.Alg, r.N, r.Threads)
+		}
+		if i > 0 {
+			offset += mx.Cfg.QuiesceSeconds
+		}
+		d := r.Trace.Duration()
+		b.Complete(simPID, 0, fmt.Sprintf("%s n=%d p=%d", r.Alg, r.N, r.Threads), offset, d,
+			map[string]any{
+				"seconds": r.Seconds,
+				"watts":   r.WattsTotal(),
+				"ep":      r.EP(),
+			})
+		base := 0.0
+		if len(r.Trace.Samples) > 0 {
+			base = r.Trace.Samples[0].T
+		}
+		addPowerCounters(b, r.Trace, simPID, offset-base)
+		offset += d
+	}
+	b.AddCollector(spans, driverPID, "experiment driver (wall time)")
+	return b.WriteJSON(w)
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"capscale/internal/blas"
 	"capscale/internal/caps"
@@ -19,6 +20,7 @@ import (
 	"capscale/internal/hw"
 	"capscale/internal/matrix"
 	"capscale/internal/monitor"
+	"capscale/internal/obs"
 	"capscale/internal/rapl"
 	"capscale/internal/sim"
 	"capscale/internal/strassen"
@@ -72,6 +74,11 @@ type Config struct {
 	QuiesceSeconds float64
 	// RecordTraces keeps each run's resampled power trace in the Run.
 	RecordTraces bool
+	// RecordSchedule keeps each run's per-leaf placement (worker,
+	// interval, kind) in the Run — the worker tracks of an exported
+	// Chrome/Perfetto trace. Opt-in: large trees produce large
+	// schedules.
+	RecordSchedule bool
 	// TraceSampleInterval is the poller period for recorded traces.
 	TraceSampleInterval float64
 	// PollInterval is the measurement monitor's sampling period in
@@ -188,6 +195,11 @@ type Run struct {
 
 	// Trace is the resampled power series (nil unless recorded).
 	Trace *trace.Trace
+
+	// Schedule is the per-leaf placement record (nil unless
+	// Config.RecordSchedule); it feeds the exported trace's per-worker
+	// tracks and is never serialized to JSON.
+	Schedule []sim.LeafSpan
 }
 
 // MeasurementErr returns the largest per-plane relative error between
@@ -306,29 +318,60 @@ func BuildTree(m *hw.Machine, alg Algorithm, n, threads int) *task.Node {
 	}
 }
 
+// Driver metrics: cell throughput and worker occupancy, visible in
+// expvar and report.MetricsTable.
+var (
+	cellsExecuted  = obs.GetCounter("workload.cells.executed")
+	cellSeconds    = obs.GetHistogram("workload.cell.seconds")
+	driverBusy     = obs.GetGauge("workload.workers.busy")
+	sweepsExecuted = obs.GetCounter("workload.sweeps.executed")
+)
+
 // ExecuteOne runs a single configuration through the simulator and the
 // RAPL/PAPI measurement stack. Results are memoized in-process keyed
 // by machine fingerprint × algorithm × size × threads × ablations ×
 // poll interval (see cache.go); set Config.NoCache to force
 // re-simulation. Cached calls return an independent deep copy.
 func ExecuteOne(cfg Config, alg Algorithm, n, threads int) Run {
+	return executeOne(cfg, alg, n, threads, obs.Track{})
+}
+
+// executeOne is ExecuteOne on an explicit span track (the driver pool
+// gives each of its workers one).
+func executeOne(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
+	var sp obs.Span
+	if obs.Enabled() {
+		sp = obs.StartOn(tr, "cell")
+		sp.Arg("alg", alg.String())
+		sp.ArgInt("n", n)
+		sp.ArgInt("threads", threads)
+		defer sp.End()
+	}
 	if cfg.NoCache {
-		return executeCell(cfg, alg, n, threads)
+		return executeCell(cfg, alg, n, threads, tr)
 	}
 	key := cacheKey(cfg, alg, n, threads)
-	if hit, ok := runCache.Load(key); ok {
-		return cloneRun(hit.(*Run))
+	if hit, ok := cacheLoad(key); ok {
+		sp.Arg("cache", "hit")
+		return hit
 	}
-	run := executeCell(cfg, alg, n, threads)
-	stored := cloneRun(&run)
-	runCache.Store(key, &stored)
+	sp.Arg("cache", "miss")
+	run := executeCell(cfg, alg, n, threads, tr)
+	cacheStore(key, &run)
 	return run
 }
 
 // executeCell simulates and measures one matrix cell, bypassing the
 // memoization cache.
-func executeCell(cfg Config, alg Algorithm, n, threads int) Run {
+func executeCell(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
+	t0 := time.Now()
+
+	var buildSp obs.Span
+	if obs.Enabled() {
+		buildSp = obs.StartOn(tr, "build-tree")
+	}
 	root := BuildTree(cfg.Machine, alg, n, threads)
+	buildSp.End()
 
 	// Stream the measurement through the polling monitor as the
 	// simulator produces segments: the emulated RAPL device advances
@@ -342,16 +385,18 @@ func executeCell(cfg Config, alg Algorithm, n, threads int) Run {
 	if interval <= 0 {
 		interval = DefaultPollInterval
 	}
-	stream, err := monitor.NewStream(monitor.Config{PollInterval: interval})
+	stream, err := monitor.NewStream(monitor.Config{PollInterval: interval, ObsTrack: tr})
 	if err != nil {
 		panic(fmt.Sprintf("workload: measurement failed: %v", err))
 	}
 	res := sim.Run(cfg.Machine, root, sim.Config{
 		Workers:           threads,
 		RecordTimeline:    cfg.RecordTraces, // traces still need the materialized timeline
-		OnSegment:         stream.Observe,
+		RecordSchedule:    cfg.RecordSchedule,
+		OnSegment:         stream.OnSegment,
 		DisableAffinity:   cfg.DisableAffinity,
 		DisableContention: cfg.DisableContention,
+		ObsTrack:          tr,
 	})
 	rep, err := stream.Finish()
 	if err != nil {
@@ -390,14 +435,19 @@ func executeCell(cfg Config, alg Algorithm, n, threads int) Run {
 		Utilization:    res.Utilization(),
 		BusyByKind:     byKind,
 	}
+	if cfg.RecordSchedule {
+		run.Schedule = res.Schedule
+	}
 	if cfg.RecordTraces {
-		tr := trace.FromSegments(res.Timeline)
+		t := trace.FromSegments(res.Timeline)
 		interval := cfg.TraceSampleInterval
 		if interval > 0 {
-			tr = tr.Resample(interval)
+			t = t.Resample(interval)
 		}
-		run.Trace = tr
+		run.Trace = t
 	}
+	cellsExecuted.Inc()
+	cellSeconds.Observe(time.Since(t0).Seconds())
 	return run
 }
 
@@ -442,10 +492,22 @@ func Execute(cfg Config) *Matrix {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+
+	var sweepSp obs.Span
+	if obs.Enabled() {
+		sweepSp = obs.StartOn(obs.Track{}, "workload.sweep")
+		sweepSp.ArgInt("cells", len(cells))
+		sweepSp.ArgInt("workers", workers)
+		defer sweepSp.End()
+	}
+	sweepsExecuted.Inc()
+
 	if workers <= 1 {
+		driverBusy.Add(1)
 		for i, c := range cells {
-			mx.Runs[i] = ExecuteOne(cfg, c.alg, c.n, c.threads)
+			mx.Runs[i] = executeOne(cfg, c.alg, c.n, c.threads, obs.Track{})
 		}
+		driverBusy.Add(-1)
 		return mx
 	}
 
@@ -457,13 +519,19 @@ func Execute(cfg Config) *Matrix {
 		go func(w int) {
 			defer wg.Done()
 			defer func() { panics[w] = recover() }()
+			var tr obs.Track
+			if obs.Enabled() {
+				tr = obs.NewTrack(fmt.Sprintf("driver worker %d", w))
+			}
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(cells) {
 					return
 				}
 				c := cells[i]
-				mx.Runs[i] = ExecuteOne(cfg, c.alg, c.n, c.threads)
+				driverBusy.Add(1)
+				mx.Runs[i] = executeOne(cfg, c.alg, c.n, c.threads, tr)
+				driverBusy.Add(-1)
 			}
 		}(w)
 	}

@@ -18,10 +18,14 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sched/... ./internal/kernel/...
+go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
 go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/...
 # The parallel experiment driver: the concurrent sweep must be race-free
-# and bit-identical to the sequential one.
-go test -race -run 'TestExecuteParallelBitIdenticalToSequential' -count=1 ./internal/workload/
+# and bit-identical to the sequential one, including under cache churn
+# and live metric/span reads from the observability layer.
+go test -race -run 'TestExecuteParallelBitIdenticalToSequential|TestConcurrentExecuteResetAndMetricsRace' -count=1 ./internal/workload/
 go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss|TestReplaySameRunReconciledWhenSampledFastEnough' -count=1 ./internal/monitor/
+# Trace export smoke: the real powertrace binary must emit a
+# structurally valid Perfetto trace.
+./scripts/trace_smoke.sh
 echo "check.sh: all green"

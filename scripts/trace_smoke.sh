@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Trace-export smoke: run the powertrace CLI with -trace-out on a small
+# problem and validate the emitted Chrome trace-event JSON against the
+# structural golden check (well-formed events, monotone per-track
+# timestamps, RAPL counter tracks present). This exercises the real
+# binary boundary — flag parsing, file writing, exporter — not just the
+# in-process export path the unit tests cover.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./cmd/powertrace -alg caps -n 128 -threads 2 -interval 0.001 \
+    -trace-out "$tmp/trace.json" > "$tmp/trace.csv"
+
+CAPSCALE_TRACE_FILE="$tmp/trace.json" \
+    go test -run 'TestTraceSmokeGoldenFile' -count=1 ./internal/workload/
+
+echo "trace_smoke.sh: trace export green"
