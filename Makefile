@@ -1,4 +1,4 @@
-.PHONY: check test race bench bench-kernels bench-driver trace-smoke
+.PHONY: check test race bench bench-kernels bench-driver trace-smoke chaos-smoke
 
 # Full verify gate: gofmt, vet, build, tests, race pass on the
 # concurrent packages.
@@ -10,12 +10,18 @@ test:
 
 race:
 	go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
-	go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/...
+	go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/... ./internal/faults/...
 
 # Run a small sweep through the powertrace CLI with -trace-out and
 # validate the emitted Perfetto trace structurally.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# Seeded fault-injection sweep through the powertrace CLI: asserts the
+# pipeline degrades gracefully (exit 0, degradation flagged on stderr,
+# deterministic per seed, checkpoint resume bit-identical).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 bench:
 	go test -bench=. -benchmem

@@ -65,6 +65,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "epcompare: %v\n", err)
 		return 1
 	}
+	// A saved matrix can carry degraded or failed cells (fault-injected
+	// sweeps); deltas computed from them are not clean-vs-clean.
+	for i, mx := range []*workload.Matrix{base, other} {
+		if s := mx.DegradationSummary(); s != "" {
+			fmt.Fprintf(stderr, "epcompare: %s is degraded:\n%s", fs.Arg(i), s)
+		}
+	}
 
 	t := &report.Table{
 		Title:  fmt.Sprintf("%s vs %s (positive = second slower/hotter)", fs.Arg(0), fs.Arg(1)),

@@ -24,6 +24,7 @@ import (
 	"capscale/internal/caps"
 	"capscale/internal/cluster"
 	"capscale/internal/dmm"
+	"capscale/internal/faults"
 	"capscale/internal/hw"
 	"capscale/internal/matrix"
 	"capscale/internal/obs"
@@ -57,6 +58,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metrics    = fs.Bool("metrics", false, "print the pipeline metrics table to stderr after the run")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
+		faultSeed  = fs.Int64("faults", 0, "arm the deterministic fault injector with this seed (0 = off)")
+		faultRate  = fs.Float64("fault-rate", 0.5, "fraction of matrix cells armed for injection (with -faults)")
+		checkpoint = fs.String("checkpoint", "", "journal completed cells to this file and resume from it")
+		cellRetry  = fs.Int("cell-retries", 0, "re-attempts per failed cell under -faults (0 = default, negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,6 +115,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.DisableAffinity = *noAffinity
 	cfg.DisableContention = *noContend
 	cfg.Parallelism = *jobs
+	cfg.MaxRetries = *cellRetry
+	cfg.CheckpointPath = *checkpoint
+	if *faultSeed != 0 {
+		sch := faults.DefaultSchedule(*faultSeed)
+		sch.CellFraction = *faultRate
+		cfg.Faults = sch
+		fmt.Fprintf(stderr, "epscale: fault injection armed (seed %d, %.0f%% of cells)\n",
+			*faultSeed, 100**faultRate)
+	}
 
 	var spans *obs.Collector
 	if *traceOut != "" {
@@ -136,6 +150,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "epscale: running %d configurations on %q...\n",
 			len(cfg.Algorithms)*len(cfg.Sizes)*len(cfg.Threads), cfg.Machine.Name)
 		mx = workload.Execute(cfg)
+		if n := mx.RestoredCells(); n > 0 {
+			fmt.Fprintf(stderr, "epscale: restored %d cell(s) from checkpoint %s\n", n, *checkpoint)
+		}
+	}
+	if s := mx.DegradationSummary(); s != "" {
+		fmt.Fprintf(stderr, "epscale: sweep degraded:\n%s", s)
 	}
 	if *save != "" {
 		f, err := os.Create(*save)

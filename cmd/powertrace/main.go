@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"capscale/internal/faults"
 	"capscale/internal/obs"
 	"capscale/internal/workload"
 )
@@ -36,6 +37,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut   = fs.String("trace-out", "", "also write the run as Chrome trace-event JSON (load at ui.perfetto.dev)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
+		faultSeed  = fs.Int64("faults", 0, "arm the deterministic fault injector with this seed (0 = off)")
+		faultRate  = fs.Float64("fault-rate", 0.5, "fraction of session cells armed for injection (single runs are always armed)")
+		checkpoint = fs.String("checkpoint", "", "journal completed session cells to this file and resume from it (requires -session)")
+		cellRetry  = fs.Int("cell-retries", 0, "re-attempts per failed cell under -faults (0 = default, negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -56,6 +61,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *jobs < 0:
 		fmt.Fprintf(stderr, "powertrace: -j must be >= 0, got %d\n", *jobs)
 		return 2
+	case *checkpoint != "" && !*session:
+		fmt.Fprintln(stderr, "powertrace: -checkpoint requires -session (single runs are not resumable)")
+		return 2
+	}
+	cfg.MaxRetries = *cellRetry
+	if *faultSeed != 0 {
+		sch := faults.DefaultSchedule(*faultSeed)
+		if *session {
+			sch.CellFraction = *faultRate
+		} else {
+			sch.CellFraction = 1 // the one run under test is the armed cell
+		}
+		cfg.Faults = sch
+		fmt.Fprintf(stderr, "powertrace: fault injection armed (seed %d, %.0f%% of cells)\n",
+			*faultSeed, 100*sch.CellFraction)
 	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
@@ -80,7 +100,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.RecordTraces = true
 		cfg.TraceSampleInterval = *interval
 		cfg.Parallelism = *jobs
+		cfg.CheckpointPath = *checkpoint
 		mx := workload.Execute(cfg)
+		if n := mx.RestoredCells(); n > 0 {
+			fmt.Fprintf(stderr, "powertrace: restored %d cell(s) from checkpoint %s\n", n, *checkpoint)
+		}
+		if s := mx.DegradationSummary(); s != "" {
+			fmt.Fprintf(stderr, "powertrace: session degraded:\n%s", s)
+		}
 		tr := mx.SessionTrace()
 		fmt.Fprintf(stderr, "powertrace: session of %d runs, %.1f s total\n", len(mx.Runs), tr.Duration())
 		if *traceOut != "" {
@@ -115,11 +142,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.RecordSchedule = *traceOut != "" // the trace's worker tracks need leaf placement
 	cfg.TraceSampleInterval = *interval
 	run := workload.ExecuteOne(cfg, a, *n, *threads)
+	if run.Failed() {
+		fmt.Fprintf(stderr, "powertrace: run FAILED after %d attempt(s): %s\n", run.Attempts, run.Err)
+		return 1
+	}
 
 	fmt.Fprintf(stderr, "powertrace: %v n=%d threads=%d: %.4fs, %.2f W avg (PKG %.2f + DRAM %.2f)\n",
 		a, *n, *threads, run.Seconds, run.WattsTotal(), run.WattsPKG(), run.WattsDRAM())
 	fmt.Fprintf(stderr, "powertrace: monitor reconciled %d samples, max rel.err vs ground truth %.2e\n",
 		run.MeasSamples, run.MeasurementErr())
+	if run.Degraded {
+		fmt.Fprintf(stderr, "powertrace: run degraded (%d read errors, %d dropped samples, quarantined: %s) — flagged figures are not clean measurements\n",
+			run.MeasReadErrors, run.MeasDrops, strings.Join(run.QuarantinedPlanes, "+"))
+	}
 	if *traceOut != "" {
 		if err := writeTraceFile(*traceOut, func(w io.Writer) error {
 			return workload.WriteRunChromeTrace(w, &run, spans)

@@ -1,0 +1,299 @@
+// Package faults is a deterministic, seed-driven fault injector for
+// the emulated measurement stack. It perturbs the exact failure
+// surface a real RAPL/PAPI monitor lives with — MSR reads that
+// transiently fail, ENERGY_STATUS counters that stick or wrap an
+// extra time, PAPI timer-thread samples that are silently dropped,
+// poll clocks that drift and jitter, and whole power planes that
+// disappear mid-run — so the pipeline's graceful-degradation paths
+// (retry, quarantine, ground-truth fallback, per-cell containment)
+// can be exercised and asserted on in tests and chaos sweeps.
+//
+// An Injector is wired into the stack through small hooks the
+// measurement packages expose: rapl.Device.SetCounterFault and
+// SetPollJitter, papi.EventSet.SetFaultHook, and
+// monitor.Config.Faults. All hooks are nil by default and the hot
+// paths pay nothing until one is installed, mirroring the
+// internal/obs disabled-path discipline.
+//
+// Determinism: every decision an Injector makes is drawn from one
+// seeded math/rand stream in call order. A cell simulated twice with
+// the same seed experiences the same faults at the same reads, which
+// is what lets chaos sweeps assert bit-identical per-seed results.
+// An Injector is not safe for concurrent use; give each simulated
+// cell its own (Schedule.ForCell does).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"capscale/internal/rapl"
+)
+
+// Profile sets the per-class injection rates. The zero Profile
+// injects nothing; DefaultProfile is the chaos harness's mix.
+type Profile struct {
+	// MSRErrorRate is the per-read probability that an ENERGY_STATUS
+	// counter read fails transiently (ErrMSRRead).
+	MSRErrorRate float64
+	// StuckRate is the per-read probability that a plane's counter
+	// freezes at its current value for StuckReads consecutive reads.
+	// Because ENERGY_STATUS is cumulative, a stuck episode self-heals
+	// on the next live read — unless it hides a wrap.
+	StuckRate float64
+	// StuckReads is the length of a stuck episode (default 3).
+	StuckReads int
+	// ExtraWrapRate is the per-read probability that the observed
+	// counter jumps backwards by half the wrap period, making the
+	// consumer's wrap correction add a spurious 2³² counts (~65 kJ at
+	// the Haswell unit) — the inverse of the wrap loss PR 2 guards.
+	ExtraWrapRate float64
+	// DropSampleRate is the per-poll probability that the PAPI layer
+	// silently loses a timer-thread sample.
+	DropSampleRate float64
+	// JitterFrac scatters each poll tick uniformly within
+	// [0, JitterFrac·interval) of its nominal time — timestamp jitter
+	// as a fraction of the poll interval. Values ≥ 1 are clamped by
+	// the device so ticks stay monotone.
+	JitterFrac float64
+	// DriftFrac scales the monitor's poll interval once per run by a
+	// uniform factor in [1−DriftFrac, 1+DriftFrac] — a poll clock
+	// running systematically fast or slow.
+	DriftFrac float64
+	// PlaneDropoutRate is the per-plane probability that the plane
+	// dies at a seeded read inside DropoutWindow and never answers
+	// again — the quarantine path's trigger.
+	PlaneDropoutRate float64
+	// DropoutWindow bounds the read index at which a dropout fires
+	// (default 64).
+	DropoutWindow int
+	// CellAbortRate is the per-cell probability that one seeded read
+	// panics (CellAbort) inside AbortWindow — the hard failure the
+	// sweep driver's per-cell containment must recover.
+	CellAbortRate float64
+	// AbortWindow bounds the read index of an injected abort
+	// (default 64).
+	AbortWindow int
+}
+
+// DefaultProfile returns the chaos harness's fault mix: every class
+// armed at a rate that leaves most reads clean but makes a multi-cell
+// sweep certain to exercise retry, quarantine and containment.
+func DefaultProfile() Profile {
+	return Profile{
+		MSRErrorRate:     0.05,
+		StuckRate:        0.02,
+		StuckReads:       3,
+		ExtraWrapRate:    0.01,
+		DropSampleRate:   0.05,
+		JitterFrac:       0.5,
+		DriftFrac:        0.02,
+		PlaneDropoutRate: 0.15,
+		DropoutWindow:    64,
+		CellAbortRate:    0.05,
+		AbortWindow:      64,
+	}
+}
+
+// Validate reports a descriptive error for rates outside [0,1] or
+// negative windows.
+func (p *Profile) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MSRErrorRate", p.MSRErrorRate},
+		{"StuckRate", p.StuckRate},
+		{"ExtraWrapRate", p.ExtraWrapRate},
+		{"DropSampleRate", p.DropSampleRate},
+		{"PlaneDropoutRate", p.PlaneDropoutRate},
+		{"CellAbortRate", p.CellAbortRate},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if p.JitterFrac < 0 || p.DriftFrac < 0 || p.DriftFrac >= 1 {
+		return fmt.Errorf("faults: JitterFrac %v / DriftFrac %v out of range", p.JitterFrac, p.DriftFrac)
+	}
+	if p.StuckReads < 0 || p.DropoutWindow < 0 || p.AbortWindow < 0 {
+		return fmt.Errorf("faults: negative StuckReads/DropoutWindow/AbortWindow")
+	}
+	return nil
+}
+
+// ErrMSRRead is the transient injected MSR read failure; consumers
+// should retry.
+var ErrMSRRead = errors.New("faults: injected MSR read error")
+
+// ErrPlaneDropout marks a plane that has permanently stopped
+// answering; retries cannot help and the monitor quarantines it.
+var ErrPlaneDropout = errors.New("faults: injected plane dropout")
+
+// CellAbort is the panic value of an injected hard cell failure; the
+// sweep driver's containment recovers it and records the cell error.
+type CellAbort struct {
+	// Read is the counter-read index at which the abort fired.
+	Read int64
+}
+
+func (a CellAbort) Error() string {
+	return fmt.Sprintf("faults: injected cell abort at read %d", a.Read)
+}
+
+// Stats counts the faults an Injector actually delivered. A cell
+// whose injector reports zero stats executed on the clean path even
+// though it was armed.
+type Stats struct {
+	MSRErrors      int
+	StuckReads     int
+	ExtraWraps     int
+	DroppedSamples int
+	DroppedPlanes  int
+	JitteredTicks  int
+	Aborted        bool
+}
+
+// Any reports whether any fault was delivered.
+func (s Stats) Any() bool {
+	return s.MSRErrors > 0 || s.StuckReads > 0 || s.ExtraWraps > 0 ||
+		s.DroppedSamples > 0 || s.DroppedPlanes > 0 || s.JitteredTicks > 0 || s.Aborted
+}
+
+// Injector delivers one cell's faults. Construct with New (or
+// Schedule.ForCell); the zero Injector is not usable.
+type Injector struct {
+	prof Profile
+	rng  *rand.Rand
+
+	reads     int64
+	stuckLeft [3]int
+	stuckVal  [3]uint64
+	dropAt    [3]int64 // read index at which the plane dies; -1 = never
+	dead      [3]bool
+	abortAt   int64 // -1 = never
+
+	stats Stats
+}
+
+// New returns an injector drawing every decision from seed. The
+// plane-dropout and cell-abort lotteries are drawn up front so their
+// onset is a pure function of the seed.
+func New(prof Profile, seed int64) *Injector {
+	inj := &Injector{prof: prof, rng: rand.New(rand.NewSource(seed))}
+	window := func(w int) int64 {
+		if w <= 0 {
+			return 64
+		}
+		return int64(w)
+	}
+	for i := range inj.dropAt {
+		inj.dropAt[i] = -1
+		if prof.PlaneDropoutRate > 0 && inj.rng.Float64() < prof.PlaneDropoutRate {
+			inj.dropAt[i] = inj.rng.Int63n(window(prof.DropoutWindow))
+		}
+	}
+	inj.abortAt = -1
+	if prof.CellAbortRate > 0 && inj.rng.Float64() < prof.CellAbortRate {
+		inj.abortAt = inj.rng.Int63n(window(prof.AbortWindow))
+	}
+	return inj
+}
+
+// Stats returns a copy of the delivered-fault counts.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// CounterRead implements the rapl.CounterFault hook: it receives the
+// true wrapped ENERGY_STATUS value and returns what the consumer
+// observes (possibly stuck or extra-wrapped), an error (transient MSR
+// failure or permanent dropout), or panics with CellAbort when the
+// cell's hard failure fires.
+func (inj *Injector) CounterRead(p rapl.Plane, raw uint64) (uint64, error) {
+	i := int(p)
+	n := inj.reads
+	inj.reads++
+
+	if inj.abortAt >= 0 && n >= inj.abortAt && !inj.stats.Aborted {
+		inj.stats.Aborted = true
+		panic(CellAbort{Read: n})
+	}
+	if inj.dead[i] {
+		return 0, fmt.Errorf("%w: plane %v", ErrPlaneDropout, p)
+	}
+	if inj.dropAt[i] >= 0 && n >= inj.dropAt[i] {
+		inj.dead[i] = true
+		inj.stats.DroppedPlanes++
+		return 0, fmt.Errorf("%w: plane %v", ErrPlaneDropout, p)
+	}
+	if inj.stuckLeft[i] > 0 {
+		inj.stuckLeft[i]--
+		inj.stats.StuckReads++
+		return inj.stuckVal[i], nil
+	}
+
+	// One uniform draw per read, partitioned among the transient
+	// classes, keeps the rng stream — and therefore the whole fault
+	// sequence — a stable function of the read order.
+	r := inj.rng.Float64()
+	switch {
+	case r < inj.prof.MSRErrorRate:
+		inj.stats.MSRErrors++
+		return 0, ErrMSRRead
+	case r < inj.prof.MSRErrorRate+inj.prof.StuckRate:
+		stuck := inj.prof.StuckReads
+		if stuck <= 0 {
+			stuck = 3
+		}
+		inj.stuckLeft[i] = stuck - 1
+		inj.stuckVal[i] = raw
+		inj.stats.StuckReads++
+		return raw, nil
+	case r < inj.prof.MSRErrorRate+inj.prof.StuckRate+inj.prof.ExtraWrapRate:
+		// Jump the observed counter back by half the wrap period: the
+		// consumer's (cur−last) & 0xFFFFFFFF correction turns the
+		// negative delta into a spurious near-full wrap of energy.
+		inj.stats.ExtraWraps++
+		return (raw - 1<<31) & 0xFFFFFFFF, nil
+	default:
+		return raw, nil
+	}
+}
+
+// DropSample implements papi's FaultHook: whether this timer-thread
+// sample is silently lost.
+func (inj *Injector) DropSample() bool {
+	if inj.prof.DropSampleRate <= 0 {
+		return false
+	}
+	if inj.rng.Float64() < inj.prof.DropSampleRate {
+		inj.stats.DroppedSamples++
+		return true
+	}
+	return false
+}
+
+// PollJitter implements the rapl.PollJitterFn hook: the offset in
+// seconds added to poll tick number `tick` of nominal period
+// `interval`. The device clamps the offset below one interval so
+// ticks stay strictly monotone.
+func (inj *Injector) PollJitter(tick int64, interval float64) float64 {
+	if inj.prof.JitterFrac <= 0 {
+		return 0
+	}
+	off := inj.rng.Float64() * inj.prof.JitterFrac * interval
+	if off > 0 {
+		inj.stats.JitteredTicks++
+	}
+	return off
+}
+
+// DriftInterval returns the poll interval as the monitor's drifted
+// clock produces it: base scaled once by a seeded factor in
+// [1−DriftFrac, 1+DriftFrac].
+func (inj *Injector) DriftInterval(base float64) float64 {
+	if inj.prof.DriftFrac <= 0 {
+		return base
+	}
+	return base * (1 + inj.prof.DriftFrac*(2*inj.rng.Float64()-1))
+}

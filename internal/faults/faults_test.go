@@ -1,0 +1,217 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"capscale/internal/rapl"
+)
+
+// Two injectors with the same seed must deliver the identical fault
+// sequence — the property every chaos-sweep determinism assertion
+// rests on.
+func TestInjectorDeterministic(t *testing.T) {
+	prof := DefaultProfile()
+	a, b := New(prof, 12345), New(prof, 12345)
+	for i := 0; i < 500; i++ {
+		p := rapl.Planes()[i%3]
+		av, aerr := readRecover(a, p, uint64(i*1000))
+		bv, berr := readRecover(b, p, uint64(i*1000))
+		if av != bv || !errEqual(aerr, berr) {
+			t.Fatalf("read %d diverged: (%d,%v) vs (%d,%v)", i, av, aerr, bv, berr)
+		}
+		if a.DropSample() != b.DropSample() {
+			t.Fatalf("drop decision %d diverged", i)
+		}
+		if a.PollJitter(int64(i), 0.01) != b.PollJitter(int64(i), 0.01) {
+			t.Fatalf("jitter %d diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// readRecover converts an injected CellAbort panic into its error so
+// determinism checks can compare aborting injectors too.
+func readRecover(inj *Injector, p rapl.Plane, raw uint64) (v uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = r.(CellAbort)
+		}
+	}()
+	return inj.CounterRead(p, raw)
+}
+
+func errEqual(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+func TestInjectorZeroProfileIsClean(t *testing.T) {
+	inj := New(Profile{}, 99)
+	for i := 0; i < 200; i++ {
+		v, err := inj.CounterRead(rapl.PlanePKG, uint64(i))
+		if err != nil || v != uint64(i) {
+			t.Fatalf("zero profile perturbed read %d: %d, %v", i, v, err)
+		}
+		if inj.DropSample() {
+			t.Fatalf("zero profile dropped sample %d", i)
+		}
+		if off := inj.PollJitter(int64(i), 0.01); off != 0 {
+			t.Fatalf("zero profile jittered tick %d by %g", i, off)
+		}
+	}
+	if inj.Stats().Any() {
+		t.Fatalf("zero profile delivered faults: %+v", inj.Stats())
+	}
+	if got := inj.DriftInterval(0.01); got != 0.01 {
+		t.Fatalf("zero profile drifted interval to %g", got)
+	}
+}
+
+// A plane dropout is permanent: once ErrPlaneDropout appears, every
+// later read of that plane fails the same way.
+func TestPlaneDropoutIsPermanent(t *testing.T) {
+	prof := Profile{PlaneDropoutRate: 1, DropoutWindow: 1}
+	inj := New(prof, 7)
+	if _, err := inj.CounterRead(rapl.PlanePKG, 0); !errors.Is(err, ErrPlaneDropout) {
+		t.Fatalf("dropout did not fire: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := inj.CounterRead(rapl.PlanePKG, uint64(i)); !errors.Is(err, ErrPlaneDropout) {
+			t.Fatalf("dropped plane answered read %d: %v", i, err)
+		}
+	}
+	if inj.Stats().DroppedPlanes != 1 {
+		t.Fatalf("dropped planes %d want 1", inj.Stats().DroppedPlanes)
+	}
+}
+
+func TestCellAbortPanics(t *testing.T) {
+	prof := Profile{CellAbortRate: 1, AbortWindow: 1}
+	inj := New(prof, 3)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no abort panic")
+		}
+		ca, ok := p.(CellAbort)
+		if !ok {
+			t.Fatalf("panic value %T, want CellAbort", p)
+		}
+		if ca.Error() == "" {
+			t.Fatal("empty abort error")
+		}
+	}()
+	inj.CounterRead(rapl.PlanePKG, 0)
+}
+
+// An extra-wrap injection must make a wrap-correcting consumer gain
+// one full counter period: the returned value is the true one minus
+// 2³¹ (mod 2³²), so (cur−last)&0xFFFFFFFF over the pair adds ~2³².
+func TestExtraWrapArithmetic(t *testing.T) {
+	prof := Profile{ExtraWrapRate: 1}
+	inj := New(prof, 11)
+	last := uint64(5000)
+	cur, err := inj.CounterRead(rapl.PlanePKG, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := (cur - last) & 0xFFFFFFFF
+	if delta < 1<<30 {
+		t.Fatalf("injected wrap delta %d not a large backwards jump", delta)
+	}
+}
+
+func TestScheduleArmedFraction(t *testing.T) {
+	sch := DefaultSchedule(42)
+	sch.CellFraction = 0.5
+	armed := 0
+	const cells = 2000
+	for i := 0; i < cells; i++ {
+		if sch.Armed(string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i))) {
+			armed++
+		}
+	}
+	frac := float64(armed) / cells
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("armed fraction %.3f far from configured 0.5", frac)
+	}
+	// Edge fractions are exact.
+	sch.CellFraction = 0
+	if sch.Armed("x") {
+		t.Fatal("fraction 0 armed a cell")
+	}
+	sch.CellFraction = 1
+	if !sch.Armed("x") {
+		t.Fatal("fraction 1 left a cell clean")
+	}
+}
+
+// Arming is attempt-independent, but the per-attempt injectors differ
+// — a retried cell re-rolls its faults without being disarmed.
+func TestForCellAttemptRerolls(t *testing.T) {
+	sch := DefaultSchedule(1)
+	sch.CellFraction = 1
+	a0 := sch.ForCell("CAPS/1024/4", 0)
+	a1 := sch.ForCell("CAPS/1024/4", 1)
+	if a0 == nil || a1 == nil {
+		t.Fatal("armed cell got no injector")
+	}
+	same := true
+	for i := 0; i < 100 && same; i++ {
+		v0, e0 := readRecover(a0, rapl.PlanePKG, uint64(i))
+		v1, e1 := readRecover(a1, rapl.PlanePKG, uint64(i))
+		if v0 != v1 || !errEqual(e0, e1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("attempt 0 and 1 injectors delivered identical sequences")
+	}
+}
+
+func TestScheduleFingerprint(t *testing.T) {
+	a := DefaultSchedule(42)
+	b := DefaultSchedule(42)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical schedules fingerprint differently")
+	}
+	b.Seed = 43
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("seed change did not move the fingerprint")
+	}
+	c := DefaultSchedule(42)
+	c.Profile.MSRErrorRate += 0.001
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("profile change did not move the fingerprint")
+	}
+	var nilSch *Schedule
+	if nilSch.Fingerprint() != 0 {
+		t.Fatal("nil schedule fingerprint not 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultProfile()
+	bad.MSRErrorRate = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+	sch := DefaultSchedule(1)
+	sch.CellFraction = -0.1
+	if err := sch.Validate(); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	var nilSch *Schedule
+	if err := nilSch.Validate(); err != nil {
+		t.Fatalf("nil schedule rejected: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Schedule is a sweep-wide fault plan: which cells of an experiment
+// matrix are armed, and with what fault mix. Cell selection and
+// per-cell seeds are pure functions of (Seed, cell key), so a sweep
+// is reproducible regardless of execution order or parallelism — the
+// chaos harness's core invariant.
+type Schedule struct {
+	// Seed drives every derived injector. Two sweeps with the same
+	// seed, fraction and profile inject identical faults.
+	Seed int64
+	// CellFraction is the fraction of cells armed, in [0,1]. Selection
+	// is by per-cell hash, so roughly — not exactly — this fraction of
+	// cells receives an injector.
+	CellFraction float64
+	// Profile is the fault mix delivered to armed cells.
+	Profile Profile
+}
+
+// DefaultSchedule returns a schedule arming half the cells with the
+// default profile — the chaos harness's configuration.
+func DefaultSchedule(seed int64) *Schedule {
+	return &Schedule{Seed: seed, CellFraction: 0.5, Profile: DefaultProfile()}
+}
+
+// Validate reports a descriptive error for unusable schedules.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.CellFraction < 0 || s.CellFraction > 1 {
+		return fmt.Errorf("faults: cell fraction %v outside [0,1]", s.CellFraction)
+	}
+	return s.Profile.Validate()
+}
+
+// cellHash folds the schedule seed and a cell key (and salt) into a
+// 64-bit hash.
+func (s *Schedule) cellHash(key string, salt int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", s.Seed, key, salt)
+	return h.Sum64()
+}
+
+// Armed reports whether the schedule selects the cell for injection.
+// Selection is independent of the execution attempt: a retried cell
+// stays armed (with a different per-attempt seed), so retrying cannot
+// silently launder a faulted cell into a clean one by disarming it.
+func (s *Schedule) Armed(key string) bool {
+	if s == nil || s.CellFraction <= 0 {
+		return false
+	}
+	if s.CellFraction >= 1 {
+		return true
+	}
+	// Top 53 bits → uniform in [0,1).
+	u := float64(s.cellHash(key, -1)>>11) / (1 << 53)
+	return u < s.CellFraction
+}
+
+// ForCell returns the injector for one execution attempt of a cell,
+// or nil when the schedule leaves the cell clean. The injector seed
+// folds in the attempt number, so a contained retry of a failed cell
+// re-rolls its faults rather than deterministically re-dying — while
+// the overall attempt sequence stays a pure function of the schedule
+// seed.
+func (s *Schedule) ForCell(key string, attempt int) *Injector {
+	if !s.Armed(key) {
+		return nil
+	}
+	return New(s.Profile, int64(s.cellHash(key, attempt)))
+}
+
+// Fingerprint hashes the whole plan — seed, fraction and every
+// profile rate — for cache and checkpoint keys: results obtained
+// under different fault plans must never be mistaken for one another.
+func (s *Schedule) Fingerprint() uint64 {
+	if s == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	p := s.Profile
+	fmt.Fprintf(h, "%d|%g|%g|%g|%d|%g|%g|%g|%g|%g|%d|%g|%d",
+		s.Seed, s.CellFraction,
+		p.MSRErrorRate, p.StuckRate, p.StuckReads, p.ExtraWrapRate,
+		p.DropSampleRate, p.JitterFrac, p.DriftFrac,
+		p.PlaneDropoutRate, p.DropoutWindow, p.CellAbortRate, p.AbortWindow)
+	return h.Sum64()
+}

@@ -1,0 +1,199 @@
+package monitor
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"capscale/internal/faults"
+	"capscale/internal/hw"
+	"capscale/internal/rapl"
+	"capscale/internal/sim"
+)
+
+// steady returns a constant-power timeline of dur seconds split into
+// segs equal segments.
+func steady(dur float64, segs int, p hw.PlanePower) []sim.Segment {
+	out := make([]sim.Segment, segs)
+	step := dur / float64(segs)
+	for i := range out {
+		out[i] = sim.Segment{Start: float64(i) * step, End: float64(i+1) * step, Power: p}
+	}
+	return out
+}
+
+// A transiently failing stack: the monitor's immediate retries absorb
+// the failures and the report reconciles cleanly.
+func TestStreamRetriesTransientErrors(t *testing.T) {
+	inj := faults.New(faults.Profile{MSRErrorRate: 0.3}, 42)
+	rep, err := Replay(steady(10, 50, hw.PlanePower{PKG: 20, PP0: 10, DRAM: 5}), Config{
+		PollInterval: 0.1,
+		Faults:       inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("30% MSR error rate produced no retries")
+	}
+	if len(rep.Quarantined) > 0 {
+		t.Fatalf("transient errors quarantined planes: %v", rep.Quarantined)
+	}
+	// Retried reads land on the same virtual instant, so nothing is
+	// lost: reconciliation within the degradation threshold.
+	if e := rep.MaxAbsErr(); e > DegradedAbsErrJ {
+		t.Fatalf("max abs err %v J after retries", e)
+	}
+}
+
+// A dead plane is quarantined after repeated failures, its figure is
+// substituted from ground truth, and the report is flagged Degraded.
+func TestStreamQuarantinesDeadPlane(t *testing.T) {
+	inj := faults.New(faults.Profile{PlaneDropoutRate: 1, DropoutWindow: 1}, 7)
+	rep, err := Replay(steady(10, 50, hw.PlanePower{PKG: 20, PP0: 10, DRAM: 5}), Config{
+		PollInterval: 0.1,
+		Faults:       inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatal("whole-stack dropout not flagged Degraded")
+	}
+	if len(rep.Quarantined) == 0 {
+		t.Fatal("no plane quarantined after permanent dropout")
+	}
+	for _, pr := range rep.Planes {
+		if !pr.Quarantined {
+			continue
+		}
+		if pr.MeasuredJ != pr.TruthJ {
+			t.Fatalf("%v: quarantined figure %v not substituted from truth %v",
+				pr.Plane, pr.MeasuredJ, pr.TruthJ)
+		}
+		if pr.TruthJ <= 0 {
+			t.Fatalf("%v: substituted truth is %v", pr.Plane, pr.TruthJ)
+		}
+	}
+	if rep.ReadErrors == 0 {
+		t.Fatal("dropout produced no recorded read errors")
+	}
+}
+
+// The same seed must produce the identical degraded report: fault
+// injection is deterministic through the whole monitor stack.
+func TestFaultedStreamDeterministic(t *testing.T) {
+	run := func() *Report {
+		inj := faults.New(faults.DefaultProfile(), 1234)
+		rep, err := Replay(steady(20, 200, hw.PlanePower{PKG: 30, PP0: 20, DRAM: 8}), Config{
+			PollInterval: 0.05,
+			Faults:       inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed reports differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// Clock drift changes the effective interval; the report must echo
+// the drifted value, and sampling still reconciles.
+func TestStreamDriftedInterval(t *testing.T) {
+	inj := faults.New(faults.Profile{DriftFrac: 0.1}, 5)
+	rep, err := Replay(steady(10, 50, hw.PlanePower{PKG: 20}), Config{
+		PollInterval: 0.1,
+		Faults:       inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PollInterval == 0.1 {
+		t.Fatal("drifted stream reports the nominal interval")
+	}
+	if d := math.Abs(rep.PollInterval - 0.1); d > 0.01+1e-12 {
+		t.Fatalf("drift %v beyond the 10%% bound", d)
+	}
+	if rep.Degraded {
+		t.Fatal("pure drift flagged Degraded (nothing was lost)")
+	}
+}
+
+// Dropped timer samples are counted; on an unwrapped counter they
+// cost nothing because the next live sample covers the gap.
+func TestStreamCountsDroppedSamples(t *testing.T) {
+	inj := faults.New(faults.Profile{DropSampleRate: 0.5}, 21)
+	rep, err := Replay(steady(10, 50, hw.PlanePower{PKG: 20}), Config{
+		PollInterval: 0.1,
+		Faults:       inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedSamples == 0 {
+		t.Fatal("50% drop rate lost no samples")
+	}
+	if e := rep.MaxAbsErr(); e > DegradedAbsErrJ {
+		t.Fatalf("max abs err %v J from drops on an unwrapped counter", e)
+	}
+}
+
+// The clean path must be byte-identical with the degradation machinery
+// compiled in: a nil-faults stream produces the same report as before
+// the fault layer existed (pinned against the batch Replay, which the
+// determinism tests cover).
+func TestCleanStreamUnchangedByFaultMachinery(t *testing.T) {
+	segs := steady(5, 25, hw.PlanePower{PKG: 25, PP0: 15, DRAM: 6})
+	a, err := Replay(segs, Config{PollInterval: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(segs, Config{PollInterval: 0.1, MaxRetries: 5, QuarantineAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("degradation config changed a clean run:\n%+v\n%+v", a, b)
+	}
+	if a.Degraded || a.Retries != 0 || a.ReadErrors != 0 || a.DroppedSamples != 0 {
+		t.Fatalf("clean run reports degradation: %+v", a)
+	}
+}
+
+// An extra-wrap fault makes the consumer's wrap correction add a
+// spurious ~wrap of energy; the report must flag it as ExtraWraps and
+// Degraded rather than silently reporting 65 kJ too much.
+func TestStreamFlagsExtraWraps(t *testing.T) {
+	// Inject exactly one backwards jump mid-run, via a hand-installed
+	// device hook (NewStream only manages hooks when cfg.Faults is set,
+	// so the stream itself runs the clean path; wrap detection and the
+	// Degraded flag are unconditional).
+	pkgReads := 0
+	dev := rapl.NewDevice()
+	dev.SetCounterFault(func(p rapl.Plane, raw uint64) (uint64, error) {
+		if p == rapl.PlanePKG {
+			pkgReads++
+			if pkgReads == 100 {
+				return (raw - 1<<31) & 0xFFFFFFFF, nil
+			}
+		}
+		return raw, nil
+	})
+	rep, err := Replay(steady(30, 300, hw.PlanePower{PKG: 20, PP0: 10, DRAM: 5}), Config{
+		PollInterval: 0.1,
+		Device:       dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := rep.Plane(rapl.PlanePKG)
+	if pkg.ExtraWraps == 0 {
+		t.Fatalf("spurious wrap not detected: %+v", pkg)
+	}
+	if !rep.Degraded {
+		t.Fatal("extra wrap not flagged Degraded")
+	}
+}

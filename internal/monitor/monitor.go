@@ -25,12 +25,33 @@ import (
 	"math"
 	"strings"
 
+	"capscale/internal/faults"
 	"capscale/internal/hw"
 	"capscale/internal/obs"
 	"capscale/internal/papi"
 	"capscale/internal/rapl"
 	"capscale/internal/sim"
 	"capscale/internal/trace"
+)
+
+// Degradation policy defaults (Config overrides).
+const (
+	// DefaultMaxRetries is how many times a failed plane read is
+	// immediately re-attempted within one poll tick.
+	DefaultMaxRetries = 3
+	// DefaultQuarantineAfter is how many consecutive failed ticks a
+	// plane survives before it is quarantined for the rest of the run.
+	DefaultQuarantineAfter = 4
+	// backoffCapTicks caps the exponential inter-retry backoff, in
+	// poll ticks.
+	backoffCapTicks = 8
+	// DegradedAbsErrJ is the absolute measured-vs-truth discrepancy
+	// (per plane, in joules) beyond which a report is flagged
+	// Degraded. Clean sampling is short by at most a few counter
+	// quanta (~15 µJ each at the Haswell unit), while any real loss —
+	// a stuck tail, a dropped final sample, a hidden wrap — shows up
+	// orders of magnitude above this.
+	DegradedAbsErrJ = 0.01
 )
 
 // Config controls one monitored replay.
@@ -47,13 +68,33 @@ type Config struct {
 	// stream's "monitor.stream" span lands on. The zero Track targets
 	// "main".
 	ObsTrack obs.Track
+	// Faults, when non-nil, arms the deterministic fault injector on
+	// the whole measurement stack for this stream: counter faults and
+	// tick jitter on the device, sample drops on the event set, clock
+	// drift on the poll interval. The degradation machinery (retries,
+	// quarantine, ground-truth fallback) runs regardless — faults are
+	// just what makes it fire.
+	Faults *faults.Injector
+	// MaxRetries bounds immediate re-reads of a failed plane sample
+	// (per tick). Zero selects DefaultMaxRetries; negative disables
+	// retrying.
+	MaxRetries int
+	// QuarantineAfter is how many consecutive failed ticks a plane
+	// survives before being quarantined. Zero selects
+	// DefaultQuarantineAfter.
+	QuarantineAfter int
 }
 
 // Measurement metrics, folded into the registry at Finish.
 var (
-	monitorStreams   = obs.GetCounter("monitor.streams.finished")
-	monitorSamples   = obs.GetCounter("monitor.samples.observed")
-	monitorLostWraps = obs.GetCounter("monitor.wraps.lost")
+	monitorStreams     = obs.GetCounter("monitor.streams.finished")
+	monitorSamples     = obs.GetCounter("monitor.samples.observed")
+	monitorLostWraps   = obs.GetCounter("monitor.wraps.lost")
+	monitorRetries     = obs.GetCounter("monitor.reads.retried")
+	monitorReadErrors  = obs.GetCounter("monitor.reads.failed")
+	monitorQuarantined = obs.GetCounter("monitor.planes.quarantined")
+	monitorDropped     = obs.GetCounter("monitor.samples.dropped")
+	monitorDegraded    = obs.GetCounter("monitor.streams.degraded")
 )
 
 // PlaneReport is one plane's reconciliation verdict.
@@ -72,6 +113,15 @@ type PlaneReport struct {
 	// LostWraps estimates how many full 32-bit counter wraps the
 	// measurement missed: the deficit rounded to whole wrap periods.
 	LostWraps int
+	// ExtraWraps estimates spurious wraps the measurement gained — a
+	// counter observed jumping backwards makes the wrap correction
+	// add energy that was never dissipated.
+	ExtraWraps int
+	// Quarantined marks a plane that failed repeatedly and was taken
+	// out of sampling; its MeasuredJ is substituted from the
+	// simulator's ground truth and must be treated as modelled, not
+	// measured.
+	Quarantined bool
 }
 
 // Report is the outcome of one monitored replay.
@@ -91,6 +141,25 @@ type Report struct {
 	// relative to the wrap period at peak power, or too few samples to
 	// call the run monitored.
 	Warnings []string
+
+	// Degraded reports that at least one figure in this report is not
+	// a clean measurement: a plane was quarantined (and substituted
+	// from ground truth), a wrap was lost or spuriously gained, or the
+	// measured-vs-truth discrepancy exceeds DegradedAbsErrJ. Consumers
+	// must surface the flag next to every number derived from a
+	// degraded report.
+	Degraded bool
+	// Quarantined lists the planes taken out of sampling after
+	// repeated read failures.
+	Quarantined []rapl.Plane
+	// Retries counts immediate re-reads after transient failures.
+	Retries int
+	// ReadErrors counts plane-sample attempts that failed even after
+	// retrying.
+	ReadErrors int
+	// DroppedSamples counts timer-thread samples the fault layer
+	// swallowed.
+	DroppedSamples int
 }
 
 // Plane returns the report for one plane; it panics on an unknown
@@ -161,12 +230,25 @@ func (r *Report) Reconciled(relTol float64) bool {
 func (r *Report) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "monitor: %d samples @ %gs over %.4fs", r.Samples, r.PollInterval, r.Duration)
+	if r.Degraded {
+		sb.WriteString(" [DEGRADED]")
+	}
 	for _, pr := range r.Planes {
 		fmt.Fprintf(&sb, "; %s %.4f/%.4f J (rel.err %.2e", pr.Plane, pr.MeasuredJ, pr.TruthJ, pr.RelErr)
 		if pr.LostWraps > 0 {
 			fmt.Fprintf(&sb, ", %d wraps LOST", pr.LostWraps)
 		}
+		if pr.ExtraWraps > 0 {
+			fmt.Fprintf(&sb, ", %d wraps GAINED", pr.ExtraWraps)
+		}
+		if pr.Quarantined {
+			sb.WriteString(", QUARANTINED→truth")
+		}
 		sb.WriteString(")")
+	}
+	if r.Retries > 0 || r.ReadErrors > 0 || r.DroppedSamples > 0 {
+		fmt.Fprintf(&sb, "; retries %d, read errors %d, dropped samples %d",
+			r.Retries, r.ReadErrors, r.DroppedSamples)
 	}
 	for _, w := range r.Warnings {
 		fmt.Fprintf(&sb, "\nwarning: %s", w)
@@ -181,11 +263,13 @@ func (r *Report) String() string {
 // second O(segments) pass.
 //
 // Usage: NewStream, then Observe once per segment in time order, then
-// Finish exactly once to stop the event set and build the Report.
-// A Stream is not safe for concurrent use; each simulated run gets its
-// own Stream. Streams must be constructed with NewStream: methods on a
-// zero-value Stream return descriptive errors instead of sampling a
-// nonexistent event set.
+// Finish to stop the event set and build the Report. Finish is
+// idempotent: the first call settles the stream and subsequent calls
+// return the same report and error. A Stream is not safe for
+// concurrent use; each simulated run gets its own Stream. Streams
+// must be constructed with NewStream: methods on a zero-value Stream
+// return descriptive errors instead of sampling a nonexistent event
+// set.
 type Stream struct {
 	cfg     Config
 	dev     *rapl.Device
@@ -197,11 +281,34 @@ type Stream struct {
 	err     error
 	done    bool
 	sp      obs.Span
+
+	// Effective (possibly drift-perturbed) poll interval.
+	interval float64
+
+	// Degradation machinery: per-plane consecutive-failure counts,
+	// capped-exponential backoff (in ticks to skip), and quarantine.
+	maxRetries  int
+	quarAfter   int
+	consFails   [3]int
+	backoff     [3]int
+	quarantined [3]bool
+	retries     int
+	readErrs    int
+
+	// Settled Finish outcome (idempotency).
+	finRep *Report
+	finErr error
 }
+
+// planeEvents maps rapl.Planes() order to PAPI event names.
+var planeEvents = [3]string{papi.EventPackageEnergy, papi.EventPP0Energy, papi.EventDRAMEnergy}
 
 // NewStream prepares a monitored measurement: it arms the PAPI event
 // set on the RAPL device and schedules periodic polling every
-// cfg.PollInterval seconds of device time.
+// cfg.PollInterval seconds of device time. With cfg.Faults set it
+// also installs the fault injector's hooks across the stack (and a
+// drifted poll clock); the clean path is bit-identical to a faultless
+// stream.
 func NewStream(cfg Config) (*Stream, error) {
 	if cfg.PollInterval <= 0 {
 		return nil, fmt.Errorf("monitor: non-positive poll interval %v", cfg.PollInterval)
@@ -211,29 +318,94 @@ func NewStream(cfg Config) (*Stream, error) {
 		dev = rapl.NewDevice()
 	}
 
-	s := &Stream{cfg: cfg, dev: dev}
+	s := &Stream{cfg: cfg, dev: dev, interval: cfg.PollInterval}
+	switch {
+	case cfg.MaxRetries == 0:
+		s.maxRetries = DefaultMaxRetries
+	case cfg.MaxRetries < 0:
+		s.maxRetries = 0
+	default:
+		s.maxRetries = cfg.MaxRetries
+	}
+	s.quarAfter = cfg.QuarantineAfter
+	if s.quarAfter <= 0 {
+		s.quarAfter = DefaultQuarantineAfter
+	}
 	for i, p := range rapl.Planes() {
 		s.truth0[i] = dev.TotalJoules(p)
 	}
 
 	s.es = papi.NewEventSet(dev)
-	for _, e := range []string{papi.EventPackageEnergy, papi.EventPP0Energy, papi.EventDRAMEnergy} {
+	for _, e := range planeEvents {
 		if err := s.es.Add(e); err != nil {
 			return nil, err
 		}
 	}
+	if inj := cfg.Faults; inj != nil {
+		s.interval = inj.DriftInterval(s.interval)
+		if s.interval <= 0 { // defensive: drift must not disable polling
+			s.interval = cfg.PollInterval
+		}
+		dev.SetCounterFault(inj.CounterRead)
+		dev.SetPollJitter(inj.PollJitter)
+		s.es.SetFaultHook(inj)
+	}
 	if err := s.es.Start(); err != nil {
 		return nil, err
 	}
-	dev.SetPoll(cfg.PollInterval, func() {
-		s.es.Poll()
-		s.samples++
-	})
+	dev.SetPoll(s.interval, s.pollTick)
 	s.t0 = dev.Now()
 	if obs.Enabled() {
 		s.sp = obs.StartOn(cfg.ObsTrack, "monitor.stream")
 	}
 	return s, nil
+}
+
+// pollTick is the per-tick sampling body: each plane is sampled
+// independently so one failing plane neither poisons nor delays the
+// others. A failed read is retried immediately up to maxRetries
+// times; a plane that keeps failing backs off exponentially (in poll
+// ticks, capped at backoffCapTicks) and is quarantined for the rest
+// of the run after quarAfter consecutive failed ticks.
+func (s *Stream) pollTick() {
+	s.samples++
+	for i := range planeEvents {
+		s.samplePlane(i)
+	}
+}
+
+// samplePlane performs one tick's retried sample of plane index i,
+// honouring backoff and quarantine.
+func (s *Stream) samplePlane(i int) {
+	if s.quarantined[i] {
+		return
+	}
+	if s.backoff[i] > 0 {
+		s.backoff[i]--
+		return
+	}
+	err := s.es.PollEvent(planeEvents[i])
+	for attempt := 0; err != nil && attempt < s.maxRetries; attempt++ {
+		s.retries++
+		err = s.es.PollEvent(planeEvents[i])
+	}
+	if err == nil {
+		s.consFails[i] = 0
+		return
+	}
+	s.readErrs++
+	s.consFails[i]++
+	if s.consFails[i] >= s.quarAfter {
+		s.quarantined[i] = true
+		return
+	}
+	// Capped exponential backoff in device time: after f consecutive
+	// failed ticks, skip 2^f ticks before trying again.
+	b := 1 << s.consFails[i]
+	if b > backoffCapTicks {
+		b = backoffCapTicks
+	}
+	s.backoff[i] = b
 }
 
 // Observe advances the device through one power segment. Segments must
@@ -276,75 +448,132 @@ func (s *Stream) Observe(seg sim.Segment) error {
 func (s *Stream) OnSegment(seg sim.Segment) { _ = s.Observe(seg) }
 
 // Finish stops the event set, takes the final sample, and reconciles
-// the polled measurement against the device's exact energy totals. It
-// must be called exactly once; the Stream is unusable afterwards.
+// the polled measurement against the device's exact energy totals.
+// Finish is idempotent: the first call settles the stream's outcome
+// and every later call returns the same report and error, so shutdown
+// paths that double-Finish (a deferred cleanup racing an explicit
+// one) cannot corrupt or duplicate anything.
 func (s *Stream) Finish() (*Report, error) {
 	if s.es == nil {
 		return nil, fmt.Errorf("monitor: Finish on an unstarted Stream (construct with NewStream)")
 	}
 	if s.done {
-		return nil, fmt.Errorf("monitor: Finish called twice on the same Stream")
+		return s.finRep, s.finErr
 	}
 	s.done = true
+	s.finRep, s.finErr = s.finish()
+	return s.finRep, s.finErr
+}
+
+// finish is Finish's single-shot body.
+func (s *Stream) finish() (*Report, error) {
 	defer s.sp.End()
 	s.dev.SetPoll(0, nil)
+	if s.cfg.Faults != nil {
+		// A degraded final sample: retry each live plane the same way a
+		// tick does, so a transient fault at the very end does not cost
+		// the run's tail energy. Quarantine can still fire here.
+		for i := range planeEvents {
+			s.samplePlane(i)
+		}
+		defer s.dev.SetCounterFault(nil)
+		defer s.dev.SetPollJitter(nil)
+	}
 	if s.err != nil {
 		s.es.Stop()
 		return nil, s.err
 	}
-	vals, err := s.es.Stop()
-	if err != nil {
-		return nil, err
+	vals, stopErr := s.es.Stop()
+	if stopErr != nil && s.cfg.Faults == nil {
+		// Clean path: a failed final sample is a caller/stack bug, not
+		// a degradation to absorb.
+		return nil, stopErr
 	}
 	s.samples++ // Stop's final sample
 
 	rep := &Report{
-		PollInterval: s.cfg.PollInterval,
-		Samples:      s.samples,
-		Duration:     s.dev.Now() - s.t0,
-		WrapJoules:   math.Pow(2, 32) * s.dev.EnergyUnit(),
+		PollInterval:   s.interval,
+		Samples:        s.samples,
+		Duration:       s.dev.Now() - s.t0,
+		WrapJoules:     math.Pow(2, 32) * s.dev.EnergyUnit(),
+		Retries:        s.retries,
+		ReadErrors:     s.readErrs,
+		DroppedSamples: s.es.Drops(),
 	}
 	peaks := [3]float64{s.peak.PKG, s.peak.PP0, s.peak.DRAM}
+	var unsound []string
 	for i, p := range rapl.Planes() {
 		measured := float64(vals[i]) / 1e9
 		truth := s.dev.TotalJoules(p) - s.truth0[i]
 		pr := PlaneReport{
-			Plane:     p,
-			MeasuredJ: measured,
-			TruthJ:    truth,
-			AbsErr:    measured - truth,
+			Plane:       p,
+			MeasuredJ:   measured,
+			TruthJ:      truth,
+			Quarantined: s.quarantined[i],
 		}
+		if pr.Quarantined {
+			// Graceful degradation: the plane stopped answering, so its
+			// figure falls back to the simulator's ground truth — a
+			// modelled number, explicitly flagged, instead of a silently
+			// wrong measured one (or a dead sweep).
+			pr.MeasuredJ = truth
+			rep.Quarantined = append(rep.Quarantined, p)
+		}
+		pr.AbsErr = pr.MeasuredJ - truth
 		if truth != 0 {
 			pr.RelErr = math.Abs(pr.AbsErr) / truth
 		}
 		// A correctly sampled measurement is short by at most one
-		// counter quantum; any deficit near a multiple of the wrap
-		// period is lost wraps.
-		if deficit := truth - measured; deficit > rep.WrapJoules/2 {
+		// counter quantum; any discrepancy near a multiple of the wrap
+		// period is wraps lost (deficit) or spuriously gained (surplus).
+		if deficit := truth - pr.MeasuredJ; deficit > rep.WrapJoules/2 {
 			pr.LostWraps = int(math.Round(deficit / rep.WrapJoules))
+		} else if -deficit > rep.WrapJoules/2 {
+			pr.ExtraWraps = int(math.Round(-deficit / rep.WrapJoules))
 		}
 		rep.Planes = append(rep.Planes, pr)
 
-		if maxGain := peaks[i] * s.cfg.PollInterval; maxGain >= rep.WrapJoules {
-			rep.Warnings = append(rep.Warnings, fmt.Sprintf(
-				"%s: poll interval %gs can accumulate %.0f J between samples at peak %.1f W, exceeding the %.0f J wrap period — wrap correction is unsound",
-				p, s.cfg.PollInterval, maxGain, peaks[i], rep.WrapJoules))
+		if maxGain := peaks[i] * s.interval; maxGain >= rep.WrapJoules {
+			unsound = append(unsound, p.String())
 		}
+	}
+	// One undersampling warning per run, naming every affected plane —
+	// not one per plane (or, worse, per segment) repeating the same
+	// diagnosis.
+	if len(unsound) > 0 {
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+			"%s: poll interval %gs can accumulate more than the %.0f J wrap period between samples at peak power — wrap correction is unsound",
+			strings.Join(unsound, ", "), s.interval, rep.WrapJoules))
 	}
 	if rep.Duration > 0 && rep.Samples < 2 {
 		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
 			"only %d sample(s) over %.4fs: poll interval %gs undersamples the run",
-			rep.Samples, rep.Duration, s.cfg.PollInterval))
+			rep.Samples, rep.Duration, s.interval))
+	}
+	for _, pr := range rep.Planes {
+		if pr.Quarantined || pr.LostWraps > 0 || pr.ExtraWraps > 0 || math.Abs(pr.AbsErr) > DegradedAbsErrJ {
+			rep.Degraded = true
+		}
 	}
 
 	monitorStreams.Inc()
 	monitorSamples.Add(int64(rep.Samples))
+	monitorRetries.Add(int64(rep.Retries))
+	monitorReadErrors.Add(int64(rep.ReadErrors))
+	monitorQuarantined.Add(int64(len(rep.Quarantined)))
+	monitorDropped.Add(int64(rep.DroppedSamples))
+	if rep.Degraded {
+		monitorDegraded.Inc()
+	}
 	for _, pr := range rep.Planes {
 		monitorLostWraps.Add(int64(pr.LostWraps))
 	}
 	if s.sp.Live() {
 		s.sp.ArgInt("samples", rep.Samples)
 		s.sp.ArgFloat("device_s", rep.Duration)
+		if rep.Degraded {
+			s.sp.Arg("degraded", "true")
+		}
 	}
 	return rep, nil
 }

@@ -53,16 +53,47 @@ func TestStreamNonMonotoneSegmentErrors(t *testing.T) {
 	}
 }
 
-func TestStreamFinishTwiceErrors(t *testing.T) {
+func TestStreamFinishIdempotent(t *testing.T) {
 	s, err := NewStream(Config{PollInterval: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Finish(); err != nil {
+	if err := s.Observe(sim.Segment{Start: 0, End: 0.1, Power: hw.PlanePower{PKG: 10}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Finish(); err == nil {
-		t.Fatal("second Finish did not error")
+	first, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Finish()
+	if err != nil {
+		t.Fatalf("second Finish errored: %v", err)
+	}
+	if second != first {
+		t.Fatalf("second Finish returned a different report: %p vs %p", second, first)
+	}
+	// The settled outcome must also not re-sample: the sample count is
+	// frozen by the first call.
+	third, _ := s.Finish()
+	if third.Samples != first.Samples {
+		t.Fatalf("Finish re-sampled: %d != %d", third.Samples, first.Samples)
+	}
+}
+
+// A poisoned stream's error is settled too: every Finish returns it.
+func TestStreamFinishIdempotentOnError(t *testing.T) {
+	s, err := NewStream(Config{PollInterval: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(sim.Segment{Start: 1, End: 0})
+	_, err1 := s.Finish()
+	_, err2 := s.Finish()
+	if err1 == nil || err2 == nil {
+		t.Fatal("poisoned stream Finish did not error")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("settled errors differ: %v vs %v", err1, err2)
 	}
 }
 

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzValidateChromeTrace feeds arbitrary bytes to the trace validator.
+// The only contract fuzzing can check without an oracle is totality:
+// every input either validates or returns an error — never a panic —
+// and a returned *TraceStats is internally consistent.
+func FuzzValidateChromeTrace(f *testing.F) {
+	// Seed with a minimal valid trace, near-miss mutations, and junk.
+	valid := `{"traceEvents":[` +
+		`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"sim"}},` +
+		`{"ph":"X","pid":1,"tid":2,"ts":0,"dur":5,"name":"gemm"},` +
+		`{"ph":"X","pid":1,"tid":2,"ts":5,"dur":1,"name":"add"},` +
+		`{"ph":"C","pid":1,"tid":0,"ts":0,"name":"power","args":{"PKG":20}}]}`
+	f.Add([]byte(valid))
+	f.Add([]byte(strings.Replace(valid, `"ts":5`, `"ts":-5`, 1)))
+	f.Add([]byte(strings.Replace(valid, `"ph":"C"`, `"ph":"Z"`, 1)))
+	f.Add([]byte(`{"traceEvents":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Add([]byte(`{"traceEvents":[{"ph":"X","ts":1e308,"dur":1e308}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ValidateChromeTrace(bytes.NewReader(data))
+		if err != nil {
+			if st != nil {
+				t.Fatal("error with non-nil stats")
+			}
+			return
+		}
+		if st == nil {
+			t.Fatal("nil stats without error")
+		}
+		if st.Events <= 0 {
+			t.Fatalf("validated trace reports %d events", st.Events)
+		}
+		spans := 0
+		for _, n := range st.SpansPerThread {
+			if n <= 0 {
+				t.Fatalf("empty span track recorded: %+v", st.SpansPerThread)
+			}
+			spans += n
+		}
+		counters := 0
+		for _, n := range st.CounterSamples {
+			counters += n
+		}
+		meta := len(st.Processes) + len(st.ThreadNames)
+		if spans+counters+meta > st.Events {
+			t.Fatalf("stats exceed event count: %d spans + %d counters + %d meta > %d events",
+				spans, counters, meta, st.Events)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package papi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"capscale/internal/hw"
+	"capscale/internal/rapl"
+)
+
+// dropEvery drops every k-th sample.
+type dropEvery struct {
+	k, n int
+}
+
+func (h *dropEvery) DropSample() bool {
+	h.n++
+	return h.n%h.k == 0
+}
+
+// eventIndex returns the position of name in the set's value slices.
+func eventIndex(t *testing.T, es *EventSet, name string) int {
+	t.Helper()
+	for i, e := range es.Events() {
+		if e == name {
+			return i
+		}
+	}
+	t.Fatalf("event %q not in set", name)
+	return -1
+}
+
+func newRunningSet(t *testing.T, dev *rapl.Device) *EventSet {
+	t.Helper()
+	es := NewEventSet(dev)
+	for _, e := range AvailableEvents() {
+		if err := es.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+func TestPollDropsAreCountedAndSilent(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := newRunningSet(t, dev)
+	es.SetFaultHook(&dropEvery{k: 2})
+	for i := 0; i < 10; i++ {
+		dev.Advance(0.1, hw.PlanePower{PKG: 10})
+		if err := es.Poll(); err != nil {
+			t.Fatalf("dropped poll %d errored: %v", i, err)
+		}
+	}
+	if es.Drops() != 5 {
+		t.Fatalf("drops %d want 5", es.Drops())
+	}
+	// Dropped samples lose nothing on an unwrapped counter: Stop's
+	// final sample still accounts the full energy.
+	pkgIdx := eventIndex(t, es, EventPackageEnergy)
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := float64(vals[pkgIdx]) / 1e9; j < 9.9 || j > 10.1 {
+		t.Fatalf("measured %v J with drops, want ~10", j)
+	}
+}
+
+func TestPollEventSamplesOnePlane(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := newRunningSet(t, dev)
+	dev.Advance(1, hw.PlanePower{PKG: 10, PP0: 5, DRAM: 2})
+	if err := es.PollEvent(EventPackageEnergy); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.PollEvent("rapl:::NOPE"); err == nil || !strings.Contains(err.Error(), "unknown event") {
+		t.Fatalf("unknown event accepted: %v", err)
+	}
+	es.Stop()
+	if err := es.PollEvent(EventPackageEnergy); err == nil {
+		t.Fatal("PollEvent on a stopped set accepted")
+	}
+}
+
+// A failing plane must not poison the other planes' samples: PollEvent
+// isolates the failure, and Stop returns the surviving values next to
+// its error.
+func TestStopReturnsValuesAlongsideError(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := newRunningSet(t, dev)
+	dev.Advance(1, hw.PlanePower{PKG: 10, PP0: 5, DRAM: 2})
+	sentinel := errors.New("injected")
+	dev.SetCounterFault(func(p rapl.Plane, raw uint64) (uint64, error) {
+		if p == rapl.PlaneDRAM {
+			return 0, sentinel
+		}
+		return raw, nil
+	})
+	pkgIdx := eventIndex(t, es, EventPackageEnergy)
+	vals, err := es.Stop()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("stop error %v does not wrap the fault", err)
+	}
+	if vals == nil {
+		t.Fatal("Stop dropped the surviving values")
+	}
+	if j := float64(vals[pkgIdx]) / 1e9; j < 9.9 || j > 10.1 {
+		t.Fatalf("PKG measured %v J despite DRAM-only fault", j)
+	}
+	if es.Running() {
+		t.Fatal("set still running after failed Stop")
+	}
+}
+
+func TestReadReturnsValuesAlongsideError(t *testing.T) {
+	dev := rapl.NewDevice()
+	es := newRunningSet(t, dev)
+	dev.Advance(1, hw.PlanePower{PKG: 10})
+	dev.SetCounterFault(func(p rapl.Plane, raw uint64) (uint64, error) {
+		if p == rapl.PlaneDRAM {
+			return 0, errors.New("injected")
+		}
+		return raw, nil
+	})
+	vals, err := es.Read()
+	if err == nil {
+		t.Fatal("faulted Read did not error")
+	}
+	if vals == nil {
+		t.Fatal("Read dropped the surviving values")
+	}
+}

@@ -47,6 +47,14 @@ const (
 	stateRunning
 )
 
+// FaultHook lets a fault injector (internal/faults) perturb the
+// event-set sampling path. Nil hooks cost nothing.
+type FaultHook interface {
+	// DropSample reports whether this timer-thread sample should be
+	// silently lost — the PAPI sample-drop fault class.
+	DropSample() bool
+}
+
 // EventSet is a set of energy events measured together, like a PAPI
 // event set bound to the RAPL component.
 type EventSet struct {
@@ -54,7 +62,17 @@ type EventSet struct {
 	events []string
 	meter  *rapl.Meter
 	st     state
+	faults FaultHook
+	drops  int
 }
+
+// SetFaultHook installs (or, with nil, removes) the sampling fault
+// hook. Only the periodic Poll/PollEvent path consults it: Start,
+// Read and Stop model deliberate reads, not timer-thread samples.
+func (es *EventSet) SetFaultHook(h FaultHook) { es.faults = h }
+
+// Drops returns how many periodic samples the fault hook swallowed.
+func (es *EventSet) Drops() int { return es.drops }
 
 // NewEventSet returns an empty event set bound to dev.
 func NewEventSet(dev *rapl.Device) *EventSet {
@@ -129,33 +147,64 @@ func (es *EventSet) Start() error {
 // Poll samples the counters without stopping and without materializing
 // values — the allocation-free call a timer-thread poller makes between
 // Reads. Sampling at least once per counter wrap period is what keeps
-// the wrap correction sound.
+// the wrap correction sound. Under an installed fault hook the sample
+// may be silently dropped (nil error, counted by Drops) or fail with
+// the underlying read error; planes that read cleanly keep their
+// accumulation either way.
 func (es *EventSet) Poll() error {
 	if es.st != stateRunning {
 		return fmt.Errorf("papi: polling a stopped event set")
 	}
-	es.meter.Sample()
-	return nil
+	if es.faults != nil && es.faults.DropSample() {
+		es.drops++
+		return nil
+	}
+	return es.meter.Sample()
+}
+
+// PollEvent samples a single named event's plane — the per-plane form
+// the degradation-aware monitor uses so one failing plane neither
+// poisons nor delays the others' samples. Drops and read errors
+// behave as in Poll.
+func (es *EventSet) PollEvent(name string) error {
+	if es.st != stateRunning {
+		return fmt.Errorf("papi: polling a stopped event set")
+	}
+	p, ok := eventPlanes[name]
+	if !ok {
+		return fmt.Errorf("papi: unknown event %q", name)
+	}
+	if es.faults != nil && es.faults.DropSample() {
+		es.drops++
+		return nil
+	}
+	return es.meter.SamplePlane(p)
 }
 
 // Read samples the counters without stopping and returns the values in
-// nanojoules, ordered as the events were added.
+// nanojoules, ordered as the events were added. On a read error the
+// values accumulated so far are returned alongside the error.
 func (es *EventSet) Read() ([]int64, error) {
 	if es.st != stateRunning {
 		return nil, fmt.Errorf("papi: reading a stopped event set")
 	}
-	es.meter.Sample()
-	return es.values(), nil
+	err := es.meter.Sample()
+	return es.values(), err
 }
 
 // Stop samples a final time, stops counting, and returns the values in
-// nanojoules.
+// nanojoules. When the final sample fails on some plane, the set still
+// stops and the wrap-corrected values accumulated so far are returned
+// together with the error — a degraded monitor keeps what it measured.
 func (es *EventSet) Stop() ([]int64, error) {
 	if es.st != stateRunning {
 		return nil, fmt.Errorf("papi: stopping a stopped event set")
 	}
-	es.meter.Sample()
+	err := es.meter.Sample()
 	es.st = stateStopped
+	if err != nil {
+		return es.values(), fmt.Errorf("papi: final sample: %w", err)
+	}
 	return es.values(), nil
 }
 

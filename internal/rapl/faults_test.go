@@ -1,0 +1,170 @@
+package rapl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"capscale/internal/hw"
+)
+
+// SetPoll argument validation: mixed removal/registration arguments
+// are caller bugs and must panic descriptively instead of silently
+// never firing.
+
+func TestSetPollNilCallbackPanics(t *testing.T) {
+	d := NewDevice()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("SetPoll(0.01, nil) did not panic")
+		}
+		if msg := fmt.Sprint(p); !strings.Contains(msg, "nil callback") {
+			t.Fatalf("panic %q does not describe the nil callback", msg)
+		}
+	}()
+	d.SetPoll(0.01, nil)
+}
+
+func TestSetPollNonPositiveIntervalPanics(t *testing.T) {
+	for _, interval := range []float64{0, -1} {
+		func() {
+			d := NewDevice()
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("SetPoll(%v, fn) did not panic", interval)
+				}
+				if msg := fmt.Sprint(p); !strings.Contains(msg, "non-positive interval") {
+					t.Fatalf("panic %q does not describe the interval", msg)
+				}
+			}()
+			d.SetPoll(interval, func() {})
+		}()
+	}
+}
+
+func TestSetPollZeroNilRemoves(t *testing.T) {
+	d := NewDevice()
+	fired := 0
+	d.SetPoll(0.01, func() { fired++ })
+	d.SetPoll(0, nil) // must not panic
+	d.Advance(1, hw.PlanePower{PKG: 10})
+	if fired != 0 {
+		t.Fatalf("removed poller fired %d times", fired)
+	}
+}
+
+// Counter fault hook: consumers observe the hook's value, while the
+// device's ground-truth accumulation is untouched.
+func TestCounterFaultHookPerturbsReadsOnly(t *testing.T) {
+	d := NewDevice()
+	d.Advance(1, hw.PlanePower{PKG: 100})
+	truth := d.TotalJoules(PlanePKG)
+
+	d.SetCounterFault(func(p Plane, wrapped uint64) (uint64, error) {
+		if p == PlanePKG {
+			return wrapped + 1000, nil
+		}
+		return wrapped, nil
+	})
+	v, err := d.ReadMSR(MSRPkgEnergyStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(truth/d.EnergyUnit())&0xFFFFFFFF + 1000
+	if v != want {
+		t.Fatalf("faulted read %d want %d", v, want)
+	}
+	if d.TotalJoules(PlanePKG) != truth {
+		t.Fatal("fault hook changed ground truth")
+	}
+
+	d.SetCounterFault(nil)
+	v2, _ := d.ReadMSR(MSRPkgEnergyStatus)
+	if v2 != want-1000 {
+		t.Fatalf("removed hook still perturbs: %d", v2)
+	}
+}
+
+func TestCounterFaultErrorPropagates(t *testing.T) {
+	d := NewDevice()
+	sentinel := errors.New("injected")
+	d.SetCounterFault(func(Plane, uint64) (uint64, error) { return 0, sentinel })
+	if _, err := d.ReadMSR(MSRPkgEnergyStatus); !errors.Is(err, sentinel) {
+		t.Fatalf("fault error lost: %v", err)
+	}
+
+	m := NewMeter(d)
+	d.SetCounterFault(nil)
+	m.Start()
+	d.SetCounterFault(func(Plane, uint64) (uint64, error) { return 0, sentinel })
+	d.Advance(1, hw.PlanePower{PKG: 10})
+	if err := m.SamplePlane(PlanePKG); !errors.Is(err, sentinel) {
+		t.Fatalf("meter did not surface the fault: %v", err)
+	}
+	// The failed sample must not corrupt the accumulation: a later
+	// clean sample still measures the full interval.
+	d.SetCounterFault(nil)
+	if err := m.SamplePlane(PlanePKG); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Joules(PlanePKG); got < 9.9 || got > 10.1 {
+		t.Fatalf("accumulated %v J after transient failure, want ~10", got)
+	}
+}
+
+// Meter.Start bypasses the fault hook by design: arming the baseline
+// read must always succeed so a fault cannot corrupt the epoch.
+func TestMeterStartBypassesFaultHook(t *testing.T) {
+	d := NewDevice()
+	d.SetCounterFault(func(Plane, uint64) (uint64, error) { return 0, errors.New("boom") })
+	m := NewMeter(d)
+	m.Start() // must not panic or record a faulted baseline
+	d.SetCounterFault(nil)
+	d.Advance(1, hw.PlanePower{PKG: 10})
+	if err := m.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Joules(PlanePKG); got < 9.9 || got > 10.1 {
+		t.Fatalf("measured %v J, want ~10", got)
+	}
+}
+
+// Poll jitter shifts tick times but never the tick count or monotone
+// order, and offsets are clamped below one interval.
+func TestPollJitterShiftsTicksMonotonically(t *testing.T) {
+	d := NewDevice()
+	var times []float64
+	d.SetPoll(0.1, func() { times = append(times, d.Now()) })
+	d.SetPollJitter(func(tick int64, interval float64) float64 {
+		return 0.5 * interval // constant half-interval offset
+	})
+	d.Advance(1.05, hw.PlanePower{PKG: 10})
+	if len(times) != 10 {
+		t.Fatalf("fired %d ticks, want 10", len(times))
+	}
+	for i, tm := range times {
+		want := 0.1*float64(i+1) + 0.05
+		if diff := tm - want; diff < -1e-9 || diff > 1e-9 {
+			t.Fatalf("tick %d at %v want %v", i, tm, want)
+		}
+		if i > 0 && tm <= times[i-1] {
+			t.Fatalf("ticks not monotone: %v after %v", tm, times[i-1])
+		}
+	}
+}
+
+func TestPollJitterClamped(t *testing.T) {
+	d := NewDevice()
+	fired := 0
+	d.SetPoll(0.1, func() { fired++ })
+	d.SetPollJitter(func(int64, float64) float64 { return 10 }) // way past one interval
+	d.Advance(1, hw.PlanePower{PKG: 1})
+	// Clamped below one interval: every nominal tick still lands
+	// inside the advanced window (the last may slip past the end).
+	if fired < 9 {
+		t.Fatalf("fired %d ticks under clamped jitter, want >= 9", fired)
+	}
+}

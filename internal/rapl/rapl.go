@@ -59,6 +59,19 @@ func Planes() []Plane { return []Plane{PlanePKG, PlanePP0, PlaneDRAM} }
 // 1/2^esu joules. 16 is the client-Haswell value (≈15.3 µJ).
 const defaultESU = 16
 
+// CounterFault intercepts wrapped ENERGY_STATUS counter reads: it
+// receives the true 32-bit wrapped value and returns what the
+// consumer observes, or an error modelling a failed MSR read. A fault
+// injector (internal/faults) installs one; nil (the default) costs
+// the read path nothing.
+type CounterFault func(p Plane, wrapped uint64) (uint64, error)
+
+// PollJitterFn perturbs poll-tick timing: it returns an offset in
+// seconds added to tick number `tick` of nominal period `interval`.
+// The device clamps offsets into [0, interval) so jittered ticks stay
+// strictly monotone.
+type PollJitterFn func(tick int64, interval float64) float64
+
 // Device is one emulated processor package's RAPL interface.
 type Device struct {
 	esu    uint
@@ -77,6 +90,14 @@ type Device struct {
 	pollFn       func()
 	pollStart    float64
 	pollCount    int64
+
+	// Fault hooks (nil = clean silicon).
+	counterFault CounterFault
+	pollJitter   PollJitterFn
+	// jitterOff caches the current tick's jitter draw so re-evaluating
+	// the tick across Advance calls does not re-roll it.
+	jitterOff   float64
+	jitterValid bool
 }
 
 // NewDevice returns a device with the Haswell energy unit.
@@ -112,7 +133,7 @@ func (d *Device) Advance(dt float64, p hw.PlanePower) {
 	}
 	end := d.now + dt
 	for {
-		tick := d.pollStart + float64(d.pollCount+1)*d.pollInterval
+		tick := d.pollStart + float64(d.pollCount+1)*d.pollInterval + d.tickJitter()
 		if tick > end {
 			break
 		}
@@ -121,6 +142,7 @@ func (d *Device) Advance(dt float64, p hw.PlanePower) {
 		}
 		d.now = tick
 		d.pollCount++
+		d.jitterValid = false
 		d.pollFn()
 	}
 	if step := end - d.now; step > 0 {
@@ -138,16 +160,61 @@ func (d *Device) integrate(dt float64, p hw.PlanePower) {
 
 // SetPoll registers fn to be invoked every interval seconds of device
 // time, starting one interval after the current instant — the virtual
-// equivalent of the timer thread a PAPI-based monitor runs. A
-// non-positive interval (or nil fn) removes the poller.
+// equivalent of the timer thread a PAPI-based monitor runs.
+// SetPoll(0, nil) removes the poller. Mixed arguments are caller
+// bugs and panic with a descriptive message: a positive interval with
+// a nil callback would silently never fire, and a registered callback
+// with a non-positive interval would fire never (or, worse, be taken
+// for a removal).
 func (d *Device) SetPoll(interval float64, fn func()) {
-	if interval <= 0 || fn == nil {
+	if interval <= 0 && fn == nil {
 		d.pollInterval, d.pollFn = 0, nil
+		d.jitterValid = false
 		return
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("rapl: SetPoll(%v, nil): nil callback with a positive interval (use SetPoll(0, nil) to remove the poller)", interval))
+	}
+	if interval <= 0 {
+		panic(fmt.Sprintf("rapl: SetPoll: non-positive interval %v with a live callback (use SetPoll(0, nil) to remove the poller)", interval))
 	}
 	d.pollInterval, d.pollFn = interval, fn
 	d.pollStart = d.now
 	d.pollCount = 0
+	d.jitterValid = false
+}
+
+// SetCounterFault installs (or, with nil, removes) the counter-read
+// fault hook. Consumers see faulted values through ReadMSR and
+// Meter.SamplePlane; the device's own integration and TotalJoules
+// ground truth are never affected.
+func (d *Device) SetCounterFault(f CounterFault) { d.counterFault = f }
+
+// SetPollJitter installs (or, with nil, removes) the poll-tick jitter
+// hook. Offsets are clamped into [0, interval) so ticks stay strictly
+// monotone and never regress past device time.
+func (d *Device) SetPollJitter(f PollJitterFn) {
+	d.pollJitter = f
+	d.jitterValid = false
+}
+
+// tickJitter returns the (cached) jitter offset of the next poll
+// tick, clamped to strictly less than one interval.
+func (d *Device) tickJitter() float64 {
+	if d.pollJitter == nil {
+		return 0
+	}
+	if !d.jitterValid {
+		off := d.pollJitter(d.pollCount+1, d.pollInterval)
+		if off < 0 {
+			off = 0
+		}
+		if max := d.pollInterval * 0.999; off > max {
+			off = max
+		}
+		d.jitterOff, d.jitterValid = off, true
+	}
+	return d.jitterOff
 }
 
 // Now returns the device's elapsed time in seconds.
@@ -169,6 +236,16 @@ func (d *Device) counter(p Plane) uint64 {
 	return units & 0xFFFFFFFF
 }
 
+// readCounter returns the wrapped counter as a consumer observes it:
+// the true value routed through any installed fault hook.
+func (d *Device) readCounter(p Plane) (uint64, error) {
+	raw := d.counter(p)
+	if d.counterFault == nil {
+		return raw, nil
+	}
+	return d.counterFault(p, raw)
+}
+
 // ReadMSR emulates reading a model-specific register, the way the
 // msr(4) device or the perf events sysfs interface exposes RAPL.
 func (d *Device) ReadMSR(addr uint32) (uint64, error) {
@@ -180,11 +257,11 @@ func (d *Device) ReadMSR(addr uint32) (uint64, error) {
 		const timeUnits = 0xA  // 976 µs
 		return powerUnits | uint64(d.esu)<<8 | timeUnits<<16, nil
 	case MSRPkgEnergyStatus:
-		return d.counter(PlanePKG), nil
+		return d.readCounter(PlanePKG)
 	case MSRPP0EnergyStatus:
-		return d.counter(PlanePP0), nil
+		return d.readCounter(PlanePP0)
 	case MSRDramEnergyStatus:
-		return d.counter(PlaneDRAM), nil
+		return d.readCounter(PlaneDRAM)
 	case MSRPkgPowerLimit:
 		return d.readPowerLimitMSR(), nil
 	default:
@@ -216,7 +293,9 @@ type Meter struct {
 func NewMeter(dev *Device) *Meter { return &Meter{dev: dev} }
 
 // Start snapshots the counters; subsequent samples measure energy
-// relative to this point.
+// relative to this point. The snapshot bypasses any fault hook: the
+// measurement window opens on the true counter values, and every
+// fault thereafter is attributable to the read path.
 func (m *Meter) Start() {
 	for _, p := range Planes() {
 		m.last[p] = m.dev.counter(p)
@@ -225,19 +304,41 @@ func (m *Meter) Start() {
 	m.started = true
 }
 
-// Sample reads the counters, corrects 32-bit wraparound, and
-// accumulates the deltas. It panics if Start was never called.
-func (m *Meter) Sample() {
+// SamplePlane reads one plane's counter through any installed fault
+// hook and accumulates its wrap-corrected delta. On error the plane's
+// accumulation is untouched; because ENERGY_STATUS is cumulative, a
+// later successful sample recovers the energy — unless a wrap passes
+// in between, which is exactly the loss mode the monitor's retry and
+// quarantine machinery bounds. It panics if Start was never called.
+func (m *Meter) SamplePlane(p Plane) error {
 	if !m.started {
 		panic("rapl: Meter.Sample before Start")
 	}
-	unit := m.dev.EnergyUnit()
-	for _, p := range Planes() {
-		cur := m.dev.counter(p)
-		delta := (cur - m.last[p]) & 0xFFFFFFFF
-		m.accum[p] += float64(delta) * unit
-		m.last[p] = cur
+	if p < 0 || p >= numPlanes {
+		panic(fmt.Sprintf("rapl: bad plane %d", int(p)))
 	}
+	cur, err := m.dev.readCounter(p)
+	if err != nil {
+		return fmt.Errorf("rapl: sampling %v: %w", p, err)
+	}
+	delta := (cur - m.last[p]) & 0xFFFFFFFF
+	m.accum[p] += float64(delta) * m.dev.EnergyUnit()
+	m.last[p] = cur
+	return nil
+}
+
+// Sample reads every plane's counter, corrects 32-bit wraparound, and
+// accumulates the deltas. Planes whose read fails keep their previous
+// accumulation; the first error is returned after every plane has
+// been attempted. It panics if Start was never called.
+func (m *Meter) Sample() error {
+	var first error
+	for _, p := range Planes() {
+		if err := m.SamplePlane(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Joules returns the wrap-corrected energy accumulated since Start.

@@ -170,22 +170,47 @@ func Figure7(mx *workload.Matrix) *Table {
 func MeasurementTable(mx *workload.Matrix) *Table {
 	t := &Table{
 		Title:  "Measurement reconciliation — monitor vs. RAPL ground truth",
-		Header: []string{"algorithm", "N", "threads", "measured J", "truth J", "max rel.err", "samples"},
+		Header: []string{"algorithm", "N", "threads", "measured J", "truth J", "max rel.err", "samples", "flags"},
 	}
 	for i := range mx.Runs {
 		r := &mx.Runs[i]
 		meas := r.PKGJoules + r.DRAMJoules
 		truth := r.TruthPKGJoules + r.TruthDRAMJoules
+		if r.Failed() {
+			t.AddRow(r.Alg.String(), fmt.Sprint(r.N), fmt.Sprint(r.Threads),
+				"-", "-", "-", "-", "FAILED: "+r.Err)
+			continue
+		}
 		if truth == 0 && r.MeasSamples == 0 {
 			t.AddRow(r.Alg.String(), fmt.Sprint(r.N), fmt.Sprint(r.Threads),
-				f2(meas), "-", "-", "-")
+				f2(meas), "-", "-", "-", runFlags(r))
 			continue
 		}
 		t.AddRow(r.Alg.String(), fmt.Sprint(r.N), fmt.Sprint(r.Threads),
 			f2(meas), f2(truth), fmt.Sprintf("%.2e", r.MeasurementErr()),
-			fmt.Sprint(r.MeasSamples))
+			fmt.Sprint(r.MeasSamples), runFlags(r))
 	}
 	return t
+}
+
+// runFlags summarizes a completed run's degradation state for the
+// reconciliation table: "ok" for clean measurements, otherwise the
+// degradation facts a reader needs before trusting the row.
+func runFlags(r *workload.Run) string {
+	if !r.Degraded {
+		return "ok"
+	}
+	parts := []string{"DEGRADED"}
+	if len(r.QuarantinedPlanes) > 0 {
+		parts = append(parts, "quarantined "+strings.Join(r.QuarantinedPlanes, "+"))
+	}
+	if r.MeasReadErrors > 0 {
+		parts = append(parts, fmt.Sprintf("%d read errors", r.MeasReadErrors))
+	}
+	if r.MeasDrops > 0 {
+		parts = append(parts, fmt.Sprintf("%d drops", r.MeasDrops))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // BreakdownTable decomposes each algorithm's busy time by kernel class

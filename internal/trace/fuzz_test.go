@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzResample builds a valid monotone trace from fuzz-chosen steps and
+// resamples it at a fuzz-chosen interval. Invariants: no panic for any
+// positive finite dt, sample times stay monotone inside the extent,
+// sample values agree with At, and the resampled energy of the step
+// function never exceeds the true integral by more than one step of
+// peak power (the poller can only miss the tail of a step, not invent
+// energy).
+func FuzzResample(f *testing.F) {
+	f.Add([]byte{10, 50, 20, 30, 5, 80}, 0.01)
+	f.Add([]byte{1}, 1e-3)
+	f.Add([]byte{}, 0.5)
+	f.Add([]byte{255, 255, 255, 255}, 1e-6)
+
+	f.Fuzz(func(t *testing.T, data []byte, dt float64) {
+		if !(dt > 0) || math.IsInf(dt, 0) {
+			t.Skip() // Resample's documented panic domain, tested elsewhere
+		}
+		// Decode byte pairs as (step duration, PKG power); keep the
+		// trace small and strictly monotone.
+		tr := &Trace{}
+		now := 0.0
+		peak := 0.0
+		for i := 0; i+1 < len(data) && i < 64; i += 2 {
+			step := float64(data[i]%64+1) / 256.0
+			pow := float64(data[i+1])
+			tr.Samples = append(tr.Samples, Sample{T: now, PKG: pow, PP0: pow / 2, DRAM: pow / 4})
+			now += step
+			peak = math.Max(peak, pow)
+		}
+		tr.End = now
+		if now/dt > 1e5 {
+			t.Skip() // bound the resampled size; OOM is not the property under test
+		}
+
+		out := tr.Resample(dt)
+
+		if out.End != tr.End {
+			t.Fatalf("End changed: %v -> %v", tr.End, out.End)
+		}
+		if len(tr.Samples) == 0 {
+			if len(out.Samples) != 0 {
+				t.Fatalf("empty trace resampled to %d samples", len(out.Samples))
+			}
+			return
+		}
+		start := tr.Samples[0].T
+		for i, s := range out.Samples {
+			if s.T < start || s.T >= tr.End {
+				t.Fatalf("sample %d at %v outside [%v,%v)", i, s.T, start, tr.End)
+			}
+			if i > 0 && s.T <= out.Samples[i-1].T {
+				t.Fatalf("sample %d at %v not after %v", i, s.T, out.Samples[i-1].T)
+			}
+			want, ok := tr.At(s.T)
+			if !ok || want != s {
+				t.Fatalf("sample %d disagrees with At(%v): %+v vs %+v", i, s.T, s, want)
+			}
+		}
+		truePKG, _, _ := tr.Energy()
+		gotPKG, _, _ := out.Energy()
+		// The resampled step function differs from the true one only
+		// within dt after each original step boundary, so the integral
+		// error is bounded by peak power × dt per boundary. (A dt wider
+		// than the whole trace degenerates to that same bound.)
+		slack := peak*dt*float64(len(tr.Samples)) + 1e-9
+		if math.Abs(gotPKG-truePKG) > slack+truePKG*1e-9 {
+			t.Fatalf("resampled PKG energy %v vs true %v (slack %v, dt %v)",
+				gotPKG, truePKG, slack, dt)
+		}
+	})
+}
+
+// FuzzResampleRejectsBadInterval pins the panic contract: any
+// non-positive or NaN interval panics instead of looping or returning
+// garbage.
+func FuzzResampleRejectsBadInterval(f *testing.F) {
+	f.Add(0.0)
+	f.Add(-1.5)
+	f.Add(math.NaN())
+	f.Fuzz(func(t *testing.T, dt float64) {
+		if dt > 0 {
+			t.Skip()
+		}
+		tr := &Trace{Samples: []Sample{{T: 0, PKG: 1}}, End: 1}
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Resample(%v) did not panic", dt)
+			}
+		}()
+		tr.Resample(dt)
+	})
+}

@@ -110,13 +110,13 @@ func (tr *Trace) At(t float64) (Sample, bool) {
 
 // Resample returns the trace as seen by a poller reading every dt
 // seconds from the trace start — the view a PAPI-based monitor gets.
-// It panics on non-positive dt.
+// It panics on non-positive (or NaN) dt.
 //
 // Sample times are computed as start + i·dt rather than by repeated
 // addition: accumulating t += dt compounds float rounding over long
 // traces, skewing late sample timestamps and the total sample count.
 func (tr *Trace) Resample(dt float64) *Trace {
-	if dt <= 0 {
+	if !(dt > 0) { // also rejects NaN, which would loop forever
 		panic(fmt.Sprintf("trace: non-positive resample interval %v", dt))
 	}
 	out := &Trace{End: tr.End}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+
+	"capscale/internal/trace"
+)
+
+// Sweep checkpointing: with Config.CheckpointPath set, Execute
+// journals every completed cell to a JSONL file as it finishes, and a
+// later Execute with the same configuration restores those cells
+// instead of re-simulating them. The journal survives a killed or
+// crashed sweep because records are appended (and flushed) one cell
+// at a time — exactly the cells that completed are exactly the cells
+// restored.
+//
+// File format: one JSON object per line. The first line is a header
+// carrying a fingerprint of everything that determines cell results —
+// machine, matrix coordinates, measurement settings, ablations and
+// the fault schedule. A journal whose fingerprint does not match the
+// current configuration is discarded wholesale: resuming cells
+// produced under a different configuration would silently mix
+// incomparable results. Subsequent lines are cell records; duplicate
+// keys keep the last record (a cell journaled by an earlier partial
+// sweep and re-journaled by a later one agrees anyway — the simulator
+// is deterministic). Failed cells are never journaled, so a resumed
+// sweep retries them.
+//
+// Traces ride along in the record when Config.RecordTraces is set, so
+// a resumed traced sweep can still assemble its SessionTrace; a
+// record without a trace does not satisfy a traced sweep and is
+// re-run instead of restored.
+
+// ckVersion guards the journal layout.
+const ckVersion = 1
+
+type ckHeader struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type ckRecord struct {
+	Key   string       `json:"key"`
+	Run   runJSON      `json:"run"`
+	Trace *trace.Trace `json:"trace,omitempty"`
+}
+
+// checkpoint is an open sweep journal. record is safe for concurrent
+// use by the driver's workers.
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	keep bool // RecordTraces: records must carry traces
+}
+
+// checkpointFingerprint folds every result-determining configuration
+// field into the header fingerprint.
+func checkpointFingerprint(cfg Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%x|", machineFingerprint(cfg.Machine))
+	for _, a := range cfg.Algorithms {
+		fmt.Fprintf(h, "a%d|", int(a))
+	}
+	for _, n := range cfg.Sizes {
+		fmt.Fprintf(h, "n%d|", n)
+	}
+	for _, p := range cfg.Threads {
+		fmt.Fprintf(h, "p%d|", p)
+	}
+	interval := cfg.PollInterval
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	fmt.Fprintf(h, "%g|%t|%t|%g|%t|%t|%g|%d|%x",
+		cfg.QuiesceSeconds, cfg.RecordTraces, cfg.RecordSchedule, cfg.TraceSampleInterval,
+		cfg.DisableAffinity, cfg.DisableContention, interval, cfg.MaxRetries,
+		cfg.Faults.Fingerprint())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// openCheckpoint loads any resumable cells from cfg.CheckpointPath and
+// returns the open journal plus the restored runs by cell key. A
+// missing file, a stale fingerprint, or a corrupt tail (a record cut
+// mid-write by a crash) all degrade to "restore what is readable" —
+// never to a failed sweep. The journal is rewritten on open so stale
+// headers, duplicate records and torn tails do not accumulate.
+func openCheckpoint(cfg Config) (*checkpoint, map[string]Run, error) {
+	fp := checkpointFingerprint(cfg)
+	restored := loadCheckpoint(cfg, fp)
+
+	f, err := os.Create(cfg.CheckpointPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: checkpoint: %w", err)
+	}
+	ck := &checkpoint{f: f, path: cfg.CheckpointPath, keep: cfg.RecordTraces}
+	hdr, _ := json.Marshal(ckHeader{Version: ckVersion, Fingerprint: fp})
+	if _, err := fmt.Fprintf(f, "%s\n", hdr); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("workload: checkpoint: %w", err)
+	}
+	// Re-journal the restored cells so the rewritten file is complete
+	// on its own.
+	for key := range restored {
+		r := restored[key]
+		ck.record(key, &r)
+	}
+	return ck, restored, nil
+}
+
+// loadCheckpoint reads the resumable cells out of an existing journal,
+// or nil when there is none (or it belongs to a different
+// configuration).
+func loadCheckpoint(cfg Config, fingerprint string) map[string]Run {
+	f, err := os.Open(cfg.CheckpointPath)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024) // traced records are large
+	if !sc.Scan() {
+		return nil
+	}
+	var hdr ckHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil ||
+		hdr.Version != ckVersion || hdr.Fingerprint != fingerprint {
+		return nil
+	}
+	restored := make(map[string]Run)
+	for sc.Scan() {
+		var rec ckRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// A torn tail from a crashed sweep; everything before it is
+			// intact and restorable.
+			break
+		}
+		if rec.Run.Err != "" {
+			continue // defensive: failed cells are not resumable
+		}
+		if cfg.RecordTraces && rec.Trace == nil {
+			continue // a traced sweep cannot restore an untraced record
+		}
+		run := runFromJSON(&rec.Run)
+		if !cfg.RecordTraces {
+			rec.Trace = nil
+		}
+		run.Trace = rec.Trace
+		restored[rec.Key] = run
+	}
+	if len(restored) == 0 {
+		return nil
+	}
+	return restored
+}
+
+// record journals one completed cell and flushes it to the OS, so the
+// record survives the process dying right afterwards.
+func (ck *checkpoint) record(key string, r *Run) {
+	rec := ckRecord{Key: key, Run: runToJSON(r)}
+	if ck.keep {
+		rec.Trace = r.Trace
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // unserializable cells are simply not resumable
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.f == nil {
+		return
+	}
+	fmt.Fprintf(ck.f, "%s\n", line)
+	ck.f.Sync()
+}
+
+// close closes the journal file; records after close are dropped.
+func (ck *checkpoint) close() {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.f != nil {
+		ck.f.Close()
+		ck.f = nil
+	}
+}

@@ -45,6 +45,56 @@ type runJSON struct {
 	AllocHighWater  float64            `json:"alloc_high_water"`
 	Utilization     float64            `json:"utilization"`
 	BusyByKind      map[string]float64 `json:"busy_by_kind,omitempty"`
+	// Degradation record (absent on clean runs and on matrices saved
+	// before the fault layer existed).
+	Degraded          bool     `json:"degraded,omitempty"`
+	QuarantinedPlanes []string `json:"quarantined_planes,omitempty"`
+	MeasRetries       int      `json:"meas_retries,omitempty"`
+	MeasReadErrors    int      `json:"meas_read_errors,omitempty"`
+	MeasDrops         int      `json:"meas_drops,omitempty"`
+	Attempts          int      `json:"attempts,omitempty"`
+	Err               string   `json:"error,omitempty"`
+}
+
+// runToJSON converts a Run to its serialized form (traces and
+// schedules are handled separately by the callers that keep them).
+func runToJSON(r *Run) runJSON {
+	return runJSON{
+		Alg: r.Alg, N: r.N, Threads: r.Threads,
+		Seconds: r.Seconds, PKGJoules: r.PKGJoules, PP0Joules: r.PP0Joules, DRAMJoules: r.DRAMJoules,
+		TruthPKGJoules: r.TruthPKGJoules, TruthPP0Joules: r.TruthPP0Joules, TruthDRAMJoules: r.TruthDRAMJoules,
+		MeasSamples: r.MeasSamples,
+		Leaves:      r.Leaves, RemoteBytes: r.RemoteBytes, StolenLeaves: r.StolenLeaves,
+		AllocHighWater: r.AllocHighWater, Utilization: r.Utilization,
+		BusyByKind:        r.BusyByKind,
+		Degraded:          r.Degraded,
+		QuarantinedPlanes: r.QuarantinedPlanes,
+		MeasRetries:       r.MeasRetries,
+		MeasReadErrors:    r.MeasReadErrors,
+		MeasDrops:         r.MeasDrops,
+		Attempts:          r.Attempts,
+		Err:               r.Err,
+	}
+}
+
+// runFromJSON is runToJSON's inverse.
+func runFromJSON(rj *runJSON) Run {
+	return Run{
+		Alg: rj.Alg, N: rj.N, Threads: rj.Threads,
+		Seconds: rj.Seconds, PKGJoules: rj.PKGJoules, PP0Joules: rj.PP0Joules, DRAMJoules: rj.DRAMJoules,
+		TruthPKGJoules: rj.TruthPKGJoules, TruthPP0Joules: rj.TruthPP0Joules, TruthDRAMJoules: rj.TruthDRAMJoules,
+		MeasSamples: rj.MeasSamples,
+		Leaves:      rj.Leaves, RemoteBytes: rj.RemoteBytes, StolenLeaves: rj.StolenLeaves,
+		AllocHighWater: rj.AllocHighWater, Utilization: rj.Utilization,
+		BusyByKind:        rj.BusyByKind,
+		Degraded:          rj.Degraded,
+		QuarantinedPlanes: rj.QuarantinedPlanes,
+		MeasRetries:       rj.MeasRetries,
+		MeasReadErrors:    rj.MeasReadErrors,
+		MeasDrops:         rj.MeasDrops,
+		Attempts:          rj.Attempts,
+		Err:               rj.Err,
+	}
 }
 
 // SaveJSON writes the matrix (without traces) to w.
@@ -57,16 +107,7 @@ func (mx *Matrix) SaveJSON(w io.Writer) error {
 		Quiesce:    mx.Cfg.QuiesceSeconds,
 	}
 	for i := range mx.Runs {
-		r := &mx.Runs[i]
-		out.Runs = append(out.Runs, runJSON{
-			Alg: r.Alg, N: r.N, Threads: r.Threads,
-			Seconds: r.Seconds, PKGJoules: r.PKGJoules, PP0Joules: r.PP0Joules, DRAMJoules: r.DRAMJoules,
-			TruthPKGJoules: r.TruthPKGJoules, TruthPP0Joules: r.TruthPP0Joules, TruthDRAMJoules: r.TruthDRAMJoules,
-			MeasSamples: r.MeasSamples,
-			Leaves:      r.Leaves, RemoteBytes: r.RemoteBytes, StolenLeaves: r.StolenLeaves,
-			AllocHighWater: r.AllocHighWater, Utilization: r.Utilization,
-			BusyByKind: r.BusyByKind,
-		})
+		out.Runs = append(out.Runs, runToJSON(&mx.Runs[i]))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -97,16 +138,8 @@ func LoadJSON(r io.Reader) (*Matrix, error) {
 		Threads:        in.Threads,
 		QuiesceSeconds: in.Quiesce,
 	}}
-	for _, rj := range in.Runs {
-		mx.Runs = append(mx.Runs, Run{
-			Alg: rj.Alg, N: rj.N, Threads: rj.Threads,
-			Seconds: rj.Seconds, PKGJoules: rj.PKGJoules, PP0Joules: rj.PP0Joules, DRAMJoules: rj.DRAMJoules,
-			TruthPKGJoules: rj.TruthPKGJoules, TruthPP0Joules: rj.TruthPP0Joules, TruthDRAMJoules: rj.TruthDRAMJoules,
-			MeasSamples: rj.MeasSamples,
-			Leaves:      rj.Leaves, RemoteBytes: rj.RemoteBytes, StolenLeaves: rj.StolenLeaves,
-			AllocHighWater: rj.AllocHighWater, Utilization: rj.Utilization,
-			BusyByKind: rj.BusyByKind,
-		})
+	for i := range in.Runs {
+		mx.Runs = append(mx.Runs, runFromJSON(&in.Runs[i]))
 	}
 	return mx, nil
 }

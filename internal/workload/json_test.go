@@ -2,8 +2,11 @@ package workload
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+
+	"capscale/internal/hw"
 )
 
 func TestJSONRoundTrip(t *testing.T) {
@@ -58,5 +61,40 @@ func TestBusyByKindRecorded(t *testing.T) {
 	// The base multiplies dominate Strassen's busy time.
 	if r.BusyByKind["basemul"] <= r.BusyByKind["add"] {
 		t.Fatalf("basemul %v not above add %v", r.BusyByKind["basemul"], r.BusyByKind["add"])
+	}
+}
+
+// The degradation fields survive a save/load round trip — a chaos
+// sweep's partial results are faithfully archived.
+func TestJSONRoundTripDegradationFields(t *testing.T) {
+	mx := &Matrix{
+		Cfg: Config{Machine: hw.HaswellE31225()},
+		Runs: []Run{
+			{Alg: AlgOpenBLAS, N: 128, Threads: 1, Seconds: 1, Attempts: 1},
+			{
+				Alg: AlgStrassen, N: 256, Threads: 2, Seconds: 2,
+				Degraded:          true,
+				QuarantinedPlanes: []string{"PKG", "DRAM"},
+				MeasRetries:       3,
+				MeasReadErrors:    5,
+				MeasDrops:         2,
+				Attempts:          2,
+			},
+			{Alg: AlgCAPS, N: 512, Threads: 4, Attempts: 2, Err: "cell aborted"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := mx.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Runs, mx.Runs) {
+		t.Fatalf("degradation fields lost:\n%+v\n%+v", back.Runs, mx.Runs)
+	}
+	if !back.Runs[2].Failed() {
+		t.Fatal("failed cell not failed after round trip")
 	}
 }

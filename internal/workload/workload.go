@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"capscale/internal/blas"
 	"capscale/internal/caps"
 	"capscale/internal/energy"
+	"capscale/internal/faults"
 	"capscale/internal/hw"
 	"capscale/internal/matrix"
 	"capscale/internal/monitor"
@@ -33,6 +35,11 @@ import (
 // rate for a PAPI-based RAPL poller, and far inside the counter wrap
 // period at any power the machine zoo can draw.
 const DefaultPollInterval = 0.01
+
+// DefaultCellRetries is how many times a failed (aborted or panicked)
+// cell is re-attempted under an armed fault schedule before the sweep
+// records it as failed and moves on.
+const DefaultCellRetries = 1
 
 // Algorithm identifies one of the multipliers under test.
 type Algorithm int
@@ -101,6 +108,27 @@ type Config struct {
 	// is re-simulated even when an identical configuration has already
 	// been executed. Benchmarks and determinism tests use it.
 	NoCache bool
+
+	// Faults, when non-nil, arms the deterministic fault schedule: each
+	// cell the schedule selects executes under an injector that perturbs
+	// its measurement stack, the driver contains per-cell failures
+	// (recovering panics and retrying up to MaxRetries), and the
+	// memoization cache is bypassed entirely — faulted results must
+	// never be memoized as clean ones. Unarmed cells still run the
+	// bit-identical clean path.
+	Faults *faults.Schedule
+	// MaxRetries bounds re-attempts of a failed cell under an armed
+	// fault schedule. Zero selects DefaultCellRetries; negative disables
+	// retrying (one attempt only).
+	MaxRetries int
+	// CheckpointPath, when non-empty, journals every completed cell to
+	// a JSONL file as the sweep progresses, and on the next Execute
+	// with the same configuration restores those cells instead of
+	// re-simulating them — a killed or crashed sweep resumes where it
+	// stopped. Failed cells are not journaled and re-run on resume. The
+	// journal is invalidated (and the sweep starts fresh) when the
+	// configuration fingerprint changes.
+	CheckpointPath string
 }
 
 // PaperConfig returns the paper's full 48-run matrix on its platform.
@@ -156,6 +184,9 @@ func (cfg *Config) Validate() error {
 	if cfg.Parallelism < 0 {
 		return fmt.Errorf("workload: negative parallelism %d", cfg.Parallelism)
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -200,7 +231,39 @@ type Run struct {
 	// Config.RecordSchedule); it feeds the exported trace's per-worker
 	// tracks and is never serialized to JSON.
 	Schedule []sim.LeafSpan
+
+	// Degradation record. A Run with Err == "" completed (possibly
+	// degraded); a Run with Err != "" failed every contained attempt and
+	// carries only its coordinates and the error.
+
+	// Degraded reports that the joule figures are not all clean
+	// measurements: a plane was quarantined (and substituted from the
+	// simulator's ground truth), a counter wrap was lost or spuriously
+	// gained, or measured-vs-truth disagreed beyond
+	// monitor.DegradedAbsErrJ. Every consumer rendering this run's
+	// numbers must surface the flag.
+	Degraded bool
+	// QuarantinedPlanes names the planes whose figures fell back to
+	// ground truth after repeated read failures.
+	QuarantinedPlanes []string
+	// MeasRetries / MeasReadErrors / MeasDrops count the monitor's
+	// transient-failure handling over the run.
+	MeasRetries    int
+	MeasReadErrors int
+	MeasDrops      int
+	// Attempts counts contained execution attempts (0 on the clean
+	// path, which makes exactly one uncontained attempt).
+	Attempts int
+	// Err is the final attempt's failure, or "" for a completed run.
+	Err string
+	// Restored marks a run loaded from a sweep checkpoint rather than
+	// executed in this process. Session-local; never serialized.
+	Restored bool
 }
+
+// Failed reports whether the cell exhausted its contained attempts
+// without completing.
+func (r *Run) Failed() bool { return r.Err != "" }
 
 // MeasurementErr returns the largest per-plane relative error between
 // the monitor's measurement and the oracle energy — 0 for a perfectly
@@ -290,8 +353,72 @@ type Matrix struct {
 	Cfg  Config
 	Runs []Run
 
+	// restored counts cells served from the sweep checkpoint (atomic:
+	// driver workers record restores concurrently).
+	restored int64
+
 	indexOnce sync.Once
 	index     map[cell]int
+}
+
+// addRestored counts one checkpoint-restored cell.
+func (mx *Matrix) addRestored() { atomic.AddInt64(&mx.restored, 1) }
+
+// RestoredCells reports how many cells were restored from the sweep
+// checkpoint instead of executed.
+func (mx *Matrix) RestoredCells() int { return int(atomic.LoadInt64(&mx.restored)) }
+
+// FailedRuns returns the cells that exhausted their contained attempts
+// without completing. Empty on any sweep without an armed fault
+// schedule.
+func (mx *Matrix) FailedRuns() []*Run {
+	var out []*Run
+	for i := range mx.Runs {
+		if mx.Runs[i].Failed() {
+			out = append(out, &mx.Runs[i])
+		}
+	}
+	return out
+}
+
+// DegradedRuns returns the completed cells whose figures are flagged
+// degraded (quarantined planes, wrap anomalies, or reconciliation
+// beyond tolerance).
+func (mx *Matrix) DegradedRuns() []*Run {
+	var out []*Run
+	for i := range mx.Runs {
+		if r := &mx.Runs[i]; !r.Failed() && r.Degraded {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DegradationSummary renders the sweep's degradation report for CLI
+// stderr: one line per failed cell, one per degraded cell, and a
+// closing tally. It returns "" for a fully clean matrix, so callers
+// can print it unconditionally.
+func (mx *Matrix) DegradationSummary() string {
+	failed, degraded := mx.FailedRuns(), mx.DegradedRuns()
+	if len(failed) == 0 && len(degraded) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, r := range failed {
+		fmt.Fprintf(&sb, "warning: cell %s/%d/%d FAILED after %d attempt(s): %s\n",
+			r.Alg, r.N, r.Threads, r.Attempts, r.Err)
+	}
+	for _, r := range degraded {
+		fmt.Fprintf(&sb, "warning: cell %s/%d/%d degraded", r.Alg, r.N, r.Threads)
+		if len(r.QuarantinedPlanes) > 0 {
+			fmt.Fprintf(&sb, " (quarantined %s: measured joules substituted from simulator ground truth)",
+				strings.Join(r.QuarantinedPlanes, "+"))
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "warning: %d/%d cells degraded, %d failed — flagged figures are not clean measurements\n",
+		len(degraded), len(mx.Runs), len(failed))
+	return sb.String()
 }
 
 // BuildTree constructs the task tree for one configuration. Exposed so
@@ -325,6 +452,9 @@ var (
 	cellSeconds    = obs.GetHistogram("workload.cell.seconds")
 	driverBusy     = obs.GetGauge("workload.workers.busy")
 	sweepsExecuted = obs.GetCounter("workload.sweeps.executed")
+	cellsRetried   = obs.GetCounter("workload.cells.retried")
+	cellsFailed    = obs.GetCounter("workload.cells.failed")
+	cellsRestored  = obs.GetCounter("workload.checkpoint.restored")
 )
 
 // ExecuteOne runs a single configuration through the simulator and the
@@ -347,8 +477,15 @@ func executeOne(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
 		sp.ArgInt("threads", threads)
 		defer sp.End()
 	}
+	if cfg.Faults != nil {
+		// An armed fault schedule bypasses the memoization cache in both
+		// directions: a faulted (or merely fault-eligible) result must
+		// never be served as — or stored alongside — a clean one.
+		sp.Arg("faults", "armed")
+		return executeContained(cfg, alg, n, threads, tr)
+	}
 	if cfg.NoCache {
-		return executeCell(cfg, alg, n, threads, tr)
+		return executeCell(cfg, alg, n, threads, nil, tr)
 	}
 	key := cacheKey(cfg, alg, n, threads)
 	if hit, ok := cacheLoad(key); ok {
@@ -356,14 +493,70 @@ func executeOne(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
 		return hit
 	}
 	sp.Arg("cache", "miss")
-	run := executeCell(cfg, alg, n, threads, tr)
+	run := executeCell(cfg, alg, n, threads, nil, tr)
 	cacheStore(key, &run)
 	return run
 }
 
+// cellKey is the stable cell identifier fault schedules and sweep
+// checkpoints key on.
+func cellKey(alg Algorithm, n, threads int) string {
+	return fmt.Sprintf("%s/%d/%d", alg, n, threads)
+}
+
+// executeContained runs one cell under the fault schedule with
+// per-cell containment: an injected abort (or any other panic escaping
+// the cell) is recovered and the cell retried — with a re-rolled
+// injector — up to the configured attempt budget. A cell that fails
+// every attempt yields a Run carrying its coordinates and error, so
+// the sweep always completes.
+func executeContained(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
+	key := cellKey(alg, n, threads)
+	retries := cfg.MaxRetries
+	switch {
+	case retries == 0:
+		retries = DefaultCellRetries
+	case retries < 0:
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			cellsRetried.Inc()
+		}
+		inj := cfg.Faults.ForCell(key, attempt)
+		run, err := tryCell(cfg, alg, n, threads, inj, tr)
+		if err == nil {
+			run.Attempts = attempt + 1
+			return run
+		}
+		lastErr = err
+	}
+	cellsFailed.Inc()
+	return Run{Alg: alg, N: n, Threads: threads, Attempts: retries + 1, Err: lastErr.Error()}
+}
+
+// tryCell is one contained attempt: executeCell with panics converted
+// to errors. Injected aborts surface as their faults.CellAbort value;
+// anything else is wrapped with the cell coordinates.
+func tryCell(cfg Config, alg Algorithm, n, threads int, inj *faults.Injector, tr obs.Track) (run Run, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = e
+				return
+			}
+			err = fmt.Errorf("workload: cell %s/%d/%d panicked: %v", alg, n, threads, p)
+		}
+	}()
+	return executeCell(cfg, alg, n, threads, inj, tr), nil
+}
+
 // executeCell simulates and measures one matrix cell, bypassing the
-// memoization cache.
-func executeCell(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
+// memoization cache. A non-nil inj arms the fault injector on the
+// cell's measurement stack; the nil path is bit-identical to the
+// pre-fault-layer driver.
+func executeCell(cfg Config, alg Algorithm, n, threads int, inj *faults.Injector, tr obs.Track) Run {
 	t0 := time.Now()
 
 	var buildSp obs.Span
@@ -385,7 +578,7 @@ func executeCell(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
 	if interval <= 0 {
 		interval = DefaultPollInterval
 	}
-	stream, err := monitor.NewStream(monitor.Config{PollInterval: interval, ObsTrack: tr})
+	stream, err := monitor.NewStream(monitor.Config{PollInterval: interval, ObsTrack: tr, Faults: inj})
 	if err != nil {
 		panic(fmt.Sprintf("workload: measurement failed: %v", err))
 	}
@@ -434,6 +627,13 @@ func executeCell(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
 		AllocHighWater: res.AllocHighWater,
 		Utilization:    res.Utilization(),
 		BusyByKind:     byKind,
+		Degraded:       rep.Degraded,
+		MeasRetries:    rep.Retries,
+		MeasReadErrors: rep.ReadErrors,
+		MeasDrops:      rep.DroppedSamples,
+	}
+	for _, p := range rep.Quarantined {
+		run.QuarantinedPlanes = append(run.QuarantinedPlanes, p.String())
 	}
 	if cfg.RecordSchedule {
 		run.Schedule = res.Schedule
@@ -493,6 +693,34 @@ func Execute(cfg Config) *Matrix {
 		workers = len(cells)
 	}
 
+	var ck *checkpoint
+	var restored map[string]Run
+	if cfg.CheckpointPath != "" {
+		var err error
+		if ck, restored, err = openCheckpoint(cfg); err != nil {
+			panic(err.Error())
+		}
+		defer ck.close()
+	}
+	// runCell resolves one cell: restored from the checkpoint when the
+	// journal has it, executed otherwise, and journaled when it
+	// completes (failed cells are left out so a resumed sweep retries
+	// them).
+	runCell := func(c cell, tr obs.Track) Run {
+		key := cellKey(c.alg, c.n, c.threads)
+		if r, ok := restored[key]; ok {
+			r.Restored = true
+			cellsRestored.Inc()
+			mx.addRestored()
+			return r
+		}
+		run := executeOne(cfg, c.alg, c.n, c.threads, tr)
+		if ck != nil && !run.Failed() {
+			ck.record(key, &run)
+		}
+		return run
+	}
+
 	var sweepSp obs.Span
 	if obs.Enabled() {
 		sweepSp = obs.StartOn(obs.Track{}, "workload.sweep")
@@ -505,7 +733,7 @@ func Execute(cfg Config) *Matrix {
 	if workers <= 1 {
 		driverBusy.Add(1)
 		for i, c := range cells {
-			mx.Runs[i] = executeOne(cfg, c.alg, c.n, c.threads, obs.Track{})
+			mx.Runs[i] = runCell(c, obs.Track{})
 		}
 		driverBusy.Add(-1)
 		return mx
@@ -530,7 +758,7 @@ func Execute(cfg Config) *Matrix {
 				}
 				c := cells[i]
 				driverBusy.Add(1)
-				mx.Runs[i] = executeOne(cfg, c.alg, c.n, c.threads, tr)
+				mx.Runs[i] = runCell(c, tr)
 				driverBusy.Add(-1)
 			}
 		}(w)
@@ -634,18 +862,25 @@ func (mx *Matrix) PowerCurve(alg Algorithm, n int) []float64 {
 
 // SessionTrace concatenates every recorded run trace with the
 // configured quiesce gap — the full power log of the experiment
-// session. It panics when traces were not recorded.
+// session. It panics when traces were not recorded. Failed cells have
+// no trace and are skipped: a degraded sweep's session log covers the
+// cells that completed.
 func (mx *Matrix) SessionTrace() *trace.Trace {
 	full := &trace.Trace{}
 	idle := mx.Cfg.Machine.IdlePower()
+	first := true
 	for i := range mx.Runs {
 		r := &mx.Runs[i]
+		if r.Failed() {
+			continue
+		}
 		if r.Trace == nil {
 			panic("workload: SessionTrace requires Config.RecordTraces")
 		}
 		gap := mx.Cfg.QuiesceSeconds
-		if i == 0 {
+		if first {
 			gap = 0
+			first = false
 		}
 		full.AppendWithGap(r.Trace, gap, idle)
 	}

@@ -2,9 +2,11 @@
 # Repo verify gate: formatting, vet, build, full tests, a race pass
 # over the concurrent packages (the real executor and the parallel GEMM
 # kernel) and the measurement stack (device poll hooks, PAPI meters,
-# the polling monitor and trace resampling), and a named monitor
-# reconciliation smoke: measured energy must match device ground truth,
-# and deliberately undersampled runs must be flagged for wrap loss.
+# the polling monitor, fault injector and trace resampling), a named
+# monitor reconciliation smoke (measured energy must match device
+# ground truth, and deliberately undersampled runs must be flagged for
+# wrap loss), and two binary-boundary smokes: Perfetto trace export and
+# the seeded chaos sweep with checkpoint resume.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,16 +18,27 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+# A second, focused copylocks pass: the fault/monitor layer passes
+# hook closures and small structs across goroutines, where an
+# accidentally copied mutex is easy to introduce and hard to spot.
+# (The shadow analyzer would ride here too, but it ships as a separate
+# binary this container does not have.)
+go vet -copylocks ./...
 go build ./...
 go test ./...
 go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
-go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/...
+go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/... ./internal/faults/...
 # The parallel experiment driver: the concurrent sweep must be race-free
 # and bit-identical to the sequential one, including under cache churn
-# and live metric/span reads from the observability layer.
-go test -race -run 'TestExecuteParallelBitIdenticalToSequential|TestConcurrentExecuteResetAndMetricsRace' -count=1 ./internal/workload/
+# and live metric/span reads from the observability layer — and the
+# chaos sweep (fault injection + containment + checkpoint) must hold
+# its determinism invariants under the race detector too.
+go test -race -run 'TestExecuteParallelBitIdenticalToSequential|TestConcurrentExecuteResetAndMetricsRace|TestChaosSweepInvariants|TestCheckpointResume' -count=1 ./internal/workload/
 go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss|TestReplaySameRunReconciledWhenSampledFastEnough' -count=1 ./internal/monitor/
 # Trace export smoke: the real powertrace binary must emit a
 # structurally valid Perfetto trace.
 ./scripts/trace_smoke.sh
+# Chaos smoke: a seeded fault-injection sweep through the real binary
+# must degrade gracefully and resume from its checkpoint bit-identically.
+./scripts/chaos_smoke.sh
 echo "check.sh: all green"
