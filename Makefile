@@ -1,4 +1,4 @@
-.PHONY: check test race bench bench-kernels bench-driver trace-smoke chaos-smoke
+.PHONY: check test race bench bench-kernels bench-driver bench-sim trace-smoke chaos-smoke
 
 # Full verify gate: gofmt, vet, build, tests, race pass on the
 # concurrent packages.
@@ -37,3 +37,9 @@ bench-kernels:
 # BENCH_driver.json.
 bench-driver:
 	./scripts/bench_driver.sh
+
+# Simulator-core trajectory: the event-driven scheduler's worker-count
+# sweep (4 → 262144), recorded to BENCH_sim.json. ns/leaf should stay
+# near-flat across the sweep.
+bench-sim:
+	./scripts/bench_sim.sh

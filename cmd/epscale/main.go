@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chart      = fs.Bool("chart", false, "render figures as ASCII line charts (fig3..fig7)")
 		sizes      = fs.String("sizes", "", "comma-separated problem sizes (default: paper's 512,1024,2048,4096)")
 		threads    = fs.String("threads", "", "comma-separated thread counts (default: paper's 1,2,3,4)")
+		nodes      = fs.Int("nodes", 1, "replicate the machine across this many nodes (flat cluster; raises the thread ceiling)")
 		noAffinity = fs.Bool("ablate-affinity", false, "disable affinity/communication charging")
 		noContend  = fs.Bool("ablate-contention", false, "disable DRAM bandwidth contention")
 		save       = fs.String("save", "", "save the executed matrix as JSON to this file")
@@ -92,6 +93,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := workload.PaperConfig()
+	if *nodes < 1 {
+		fmt.Fprintf(stderr, "epscale: -nodes must be >= 1, got %d\n", *nodes)
+		return 2
+	}
+	if *nodes > 1 {
+		cfg.Machine = hw.Cluster(cfg.Machine, *nodes)
+	}
 	if *quick {
 		cfg.Sizes = []int{512, 1024}
 	}

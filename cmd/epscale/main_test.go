@@ -21,6 +21,8 @@ func TestFlagValidation(t *testing.T) {
 		{"negative threads", []string{"-threads", "-2"}, "-threads"},
 		{"threads beyond cores", []string{"-threads", "64"}, "exceeds"},
 		{"negative jobs", []string{"-j", "-1"}, "-j must be >= 0"},
+		{"zero nodes", []string{"-nodes", "0"}, "-nodes must be >= 1"},
+		{"threads beyond cluster", []string{"-nodes", "2", "-threads", "9"}, "exceeds"},
 		{"unknown artifact", []string{"-what", "table99", "-quick", "-sizes", "64", "-threads", "1"}, "unknown artifact"},
 		{"csv needs artifact", []string{"-csv", "-sizes", "64", "-threads", "1"}, "-csv requires"},
 		{"chart for table", []string{"-chart", "-what", "table2", "-sizes", "64", "-threads", "1"}, "no chart"},
@@ -44,6 +46,20 @@ func TestFlagValidation(t *testing.T) {
 func TestTinyMatrixRuns(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-what", "table3", "-sizes", "64", "-threads", "1,2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Table III") {
+		t.Fatalf("stdout lacks Table III:\n%s", stdout.String())
+	}
+}
+
+// TestNodesRaisesThreadCeiling: -nodes wraps the paper machine in a
+// flat cluster, so thread counts beyond one node's 4 cores become
+// legal and actually simulate.
+func TestNodesRaisesThreadCeiling(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-what", "table3", "-nodes", "4", "-sizes", "64", "-threads", "1,16"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
 	}

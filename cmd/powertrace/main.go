@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"capscale/internal/faults"
+	"capscale/internal/hw"
 	"capscale/internal/obs"
 	"capscale/internal/workload"
 )
@@ -30,7 +31,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		alg        = fs.String("alg", "openblas", "algorithm: openblas, strassen, winograd, caps")
 		n          = fs.Int("n", 1024, "square problem dimension")
-		threads    = fs.Int("threads", 4, "thread count (1..4 on the paper's machine)")
+		threads    = fs.Int("threads", 4, "thread count (1..4 on the paper's machine; -nodes raises the ceiling)")
+		nodes      = fs.Int("nodes", 1, "replicate the machine across this many nodes (flat cluster)")
 		interval   = fs.Float64("interval", 0.001, "sampling interval in seconds")
 		session    = fs.Bool("session", false, "emit the whole 48-run experiment session (quick sizes) with 60s quiesce gaps instead of one run")
 		jobs       = fs.Int("j", 0, "matrix cells to simulate concurrently in -session mode (0 = GOMAXPROCS)")
@@ -47,6 +49,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := workload.PaperConfig()
+	if *nodes < 1 {
+		fmt.Fprintf(stderr, "powertrace: -nodes must be >= 1, got %d\n", *nodes)
+		return 2
+	}
+	if *nodes > 1 {
+		cfg.Machine = hw.Cluster(cfg.Machine, *nodes)
+	}
 	switch {
 	case *n <= 0:
 		fmt.Fprintf(stderr, "powertrace: -n must be positive, got %d\n", *n)

@@ -26,6 +26,8 @@ func TestFlagValidation(t *testing.T) {
 		{"zero interval", []string{"-interval", "0"}, "-interval must be positive"},
 		{"negative jobs", []string{"-j", "-1"}, "-j must be >= 0"},
 		{"unknown algorithm", []string{"-alg", "cannon", "-n", "64", "-threads", "1"}, "unknown algorithm"},
+		{"zero nodes", []string{"-nodes", "0"}, "-nodes must be >= 1"},
+		{"threads beyond cluster", []string{"-nodes", "2", "-threads", "9"}, "-threads must be in 1.."},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -45,6 +47,19 @@ func TestFlagValidation(t *testing.T) {
 func TestSingleRunEmitsCSV(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-alg", "openblas", "-n", "64", "-threads", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "t_s,") {
+		t.Fatalf("stdout is not a power-trace CSV:\n%.120s", stdout.String())
+	}
+}
+
+// TestNodesRaisesThreadCeiling: -nodes clusters the machine, letting a
+// run use more threads than one node has cores.
+func TestNodesRaisesThreadCeiling(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-alg", "caps", "-n", "64", "-threads", "16", "-nodes", "4"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
 	}

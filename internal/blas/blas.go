@@ -180,7 +180,7 @@ func computeStage(m *hw.Machine, c, a, b *matrix.Dense, plan Plan, jc, kc, nc, k
 			chain = append(chain, task.Leaf(w))
 		}
 		if len(chain) > 0 {
-			chains = append(chains, task.Seq(chain...).WithAffinity(1<<uint(t)))
+			chains = append(chains, task.Seq(chain...).WithAffinityMask(task.SingleWorker(t)))
 		}
 	}
 	return task.Par(chains...)

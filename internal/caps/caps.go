@@ -23,7 +23,6 @@ package caps
 
 import (
 	"fmt"
-	"math/bits"
 
 	"capscale/internal/hw"
 	"capscale/internal/kernel"
@@ -181,9 +180,9 @@ func (bd *builder) paddedMul(c, a, b *matrix.Dense, n, padded int) *task.Node {
 // the block partition of the 7^bfsLevels cutoff units over the workers.
 // Nodes below the cutoff depth inherit their cutoff-level ancestor's
 // single unit.
-func (bd *builder) ownerMask(depth, idx int) uint64 {
+func (bd *builder) ownerMask(depth, idx int) task.Mask {
 	if bd.bfsLevels == 0 {
-		return 0 // pure DFS: unrestricted
+		return task.Mask{} // pure DFS: unrestricted
 	}
 	var lo, hi int
 	if depth >= bd.bfsLevels {
@@ -201,18 +200,14 @@ func (bd *builder) ownerMask(depth, idx int) uint64 {
 	}
 	wLo := lo * bd.workers / bd.leavesAtCutoff
 	wHi := hi * bd.workers / bd.leavesAtCutoff
-	mask := uint64(0)
-	for w := wLo; w <= wHi; w++ {
-		mask |= 1 << uint(w)
-	}
-	return mask
+	return task.MaskRange(wLo, wHi)
 }
 
-func ownersOf(mask uint64, workers int) int {
-	if mask == 0 {
+func ownersOf(mask task.Mask, workers int) int {
+	if mask.IsEmpty() {
 		return workers
 	}
-	return bits.OnesCount64(mask)
+	return mask.Count()
 }
 
 // mul builds the subtree for c = a·b at the given recursion position.
@@ -239,7 +234,7 @@ func (bd *builder) temp(n int) operand {
 // baseMul emits the dense solver. When the owning mask spans several
 // workers (pure-DFS configurations), the solver's row loop is
 // work-shared across them, as the paper's OpenMP work-sharing DFS does.
-func (bd *builder) baseMul(c, a, b operand, mask uint64) *task.Node {
+func (bd *builder) baseMul(c, a, b operand, mask task.Mask) *task.Node {
 	n := a.n
 	owners := ownersOf(mask, bd.workers)
 	if owners > n {
@@ -270,7 +265,7 @@ func (bd *builder) baseMul(c, a, b operand, mask uint64) *task.Node {
 		return task.Leaf(w)
 	}
 	if owners <= 1 {
-		return mk(0, n).WithAffinity(mask)
+		return mk(0, n).WithAffinityMask(mask)
 	}
 	chunks := make([]*task.Node, 0, owners)
 	for t := 0; t < owners; t++ {
@@ -280,12 +275,12 @@ func (bd *builder) baseMul(c, a, b operand, mask uint64) *task.Node {
 			chunks = append(chunks, mk(lo, hi))
 		}
 	}
-	return task.Par(chunks...).WithAffinity(mask)
+	return task.Par(chunks...).WithAffinityMask(mask)
 }
 
 // addLeaf emits dst = combination of srcs, pinned to mask, work-shared
 // into chunks when the mask spans several workers.
-func (bd *builder) addLeaf(label string, dst operand, addOps int, srcs []operand, mask uint64, run func()) *task.Node {
+func (bd *builder) addLeaf(label string, dst operand, addOps int, srcs []operand, mask task.Mask, run func()) *task.Node {
 	n := dst.n
 	owners := ownersOf(mask, bd.workers)
 	bytes := kernel.Bytes(n, n)
@@ -313,7 +308,7 @@ func (bd *builder) addLeaf(label string, dst operand, addOps int, srcs []operand
 		if bd.opt.WithMath {
 			w.Run = run
 		}
-		return task.Leaf(w).WithAffinity(mask)
+		return task.Leaf(w).WithAffinityMask(mask)
 	}
 	// Work-shared: owners chunks; the real math (when on) runs whole in
 	// the first chunk — numerically identical, and the accounting stays
@@ -326,13 +321,13 @@ func (bd *builder) addLeaf(label string, dst operand, addOps int, srcs []operand
 		}
 		chunks[t] = task.Leaf(w)
 	}
-	return task.Par(chunks...).WithAffinity(mask)
+	return task.Par(chunks...).WithAffinityMask(mask)
 }
 
 // copyLeaf stages src into a fresh local buffer owned by mask and
 // returns the staged operand. This is the BFS redistribution cost: one
 // read of src, one write of dst.
-func (bd *builder) copyLeaf(label string, src operand, mask uint64) (operand, *task.Node) {
+func (bd *builder) copyLeaf(label string, src operand, mask task.Mask) (operand, *task.Node) {
 	dst := bd.temp(src.n)
 	bytes := kernel.Bytes(src.n, src.n)
 	traffic := 2 * bytes
@@ -352,7 +347,7 @@ func (bd *builder) copyLeaf(label string, src operand, mask uint64) (operand, *t
 		d, s := dst.mat, src.mat
 		w.Run = func() { kernel.Pack(d, s) }
 	}
-	return dst, task.Leaf(w).WithAffinity(mask)
+	return dst, task.Leaf(w).WithAffinityMask(mask)
 }
 
 // subproblem describes one of the seven Strassen products at a node.
@@ -386,7 +381,7 @@ func buildSubproblems(a, b operand) [7]subproblem {
 // factor materializes one factor of a subproblem for a consumer owned
 // by mask: a sum/difference becomes an add into a local temp; a single
 // quadrant is staged by copy in BFS mode or used in place in DFS mode.
-func (bd *builder) factor(label string, lone bool, x, y operand, sub bool, mask uint64, stage bool) (operand, *task.Node) {
+func (bd *builder) factor(label string, lone bool, x, y operand, sub bool, mask task.Mask, stage bool) (operand, *task.Node) {
 	if lone {
 		if stage {
 			return bd.copyLeaf(label+" stage", x, mask)
@@ -481,7 +476,7 @@ func (bd *builder) dfsNode(c, a, b operand, depth, idx int) *task.Node {
 }
 
 // recombine emits the four C-quadrant recombination adds of Eq. 7.
-func (bd *builder) recombine(c operand, q []operand, mask uint64) *task.Node {
+func (bd *builder) recombine(c operand, q []operand, mask task.Mask) *task.Node {
 	half := c.n / 2
 	c11, c12, c21, c22 := c.quad(0, 0), c.quad(0, 1), c.quad(1, 0), c.quad(1, 1)
 	mk := func(label string, dst operand, addOps int, srcs []operand, coeffs []float64) *task.Node {

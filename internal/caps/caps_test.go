@@ -158,29 +158,26 @@ func TestLoadBalanceAtFourWorkers(t *testing.T) {
 func TestOwnerMaskPartition(t *testing.T) {
 	bd := &builder{workers: 4, bfsLevels: 2, leavesAtCutoff: 49}
 	// Root owns everyone.
-	if got := bd.ownerMask(0, 0); got != 0b1111 {
-		t.Fatalf("root mask %b", got)
+	if got := bd.ownerMask(0, 0); !got.Equal(task.MaskRange(0, 3)) {
+		t.Fatalf("root mask %v", got)
 	}
 	// Cutoff-level units: block partition, monotone, all workers used.
-	seen := uint64(0)
+	seen := make(map[int]bool)
 	prev := -1
 	for i := 0; i < 49; i++ {
 		mask := bd.ownerMask(2, i)
-		if mask == 0 || mask&(mask-1) != 0 {
-			t.Fatalf("unit %d mask %b not a single worker", i, mask)
-		}
-		w := 0
-		for mask>>uint(w)&1 == 0 {
-			w++
+		w := mask.Single()
+		if w < 0 {
+			t.Fatalf("unit %d mask %v not a single worker", i, mask)
 		}
 		if w < prev {
 			t.Fatalf("ownership not monotone at unit %d", i)
 		}
 		prev = w
-		seen |= mask
+		seen[w] = true
 	}
-	if seen != 0b1111 {
-		t.Fatalf("not all workers own units: %b", seen)
+	if len(seen) != 4 {
+		t.Fatalf("not all workers own units: %v", seen)
 	}
 }
 
@@ -204,7 +201,7 @@ func TestPropertyOwnerMaskDeepDepthsInheritAncestor(t *testing.T) {
 			deepIdx = deepIdx*7 + rng.Intn(7)
 			depth++
 		}
-		return bd.ownerMask(depth, deepIdx) == base
+		return bd.ownerMask(depth, deepIdx).Equal(base)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -213,8 +210,8 @@ func TestPropertyOwnerMaskDeepDepthsInheritAncestor(t *testing.T) {
 
 func TestPureDFSUnrestricted(t *testing.T) {
 	bd := &builder{workers: 4, bfsLevels: 0, leavesAtCutoff: 1}
-	if got := bd.ownerMask(3, 5); got != 0 {
-		t.Fatalf("pure DFS mask %b, want 0 (unrestricted)", got)
+	if got := bd.ownerMask(3, 5); !got.IsEmpty() {
+		t.Fatalf("pure DFS mask %v, want empty (unrestricted)", got)
 	}
 }
 

@@ -128,7 +128,7 @@ func BuildEnergyTree(m *hw.Machine, a *sparse.CSR, format sparse.Format, workers
 				Flops: 11 * share,
 				// Five vector sweeps read+write ~2 vectors each.
 				DRAMBytes: 11 * 2 * 8 * share,
-			}).WithAffinity(1<<uint(w)))
+			}).WithAffinityMask(task.SingleWorker(w)))
 		}
 		iters = append(iters, task.Seq(spmv.Root, task.Par(chunks...)))
 	}

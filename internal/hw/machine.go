@@ -87,13 +87,18 @@ type Machine struct {
 	Power PowerModel
 }
 
+// MaxCores bounds a machine's core count. It matches task.MaxWorkers:
+// the affinity mask type can name any core a valid machine has, so the
+// simulator is no longer hard-capped at 64 workers.
+const MaxCores = task.MaxWorkers
+
 // Validate reports a descriptive error for inconsistent machine
 // descriptions. All constructors in this package return validated
 // machines; Validate is exported for user-defined platforms.
 func (m *Machine) Validate() error {
 	switch {
-	case m.Cores <= 0 || m.Cores > 64:
-		return fmt.Errorf("hw: cores must be in [1,64], got %d", m.Cores)
+	case m.Cores <= 0 || m.Cores > MaxCores:
+		return fmt.Errorf("hw: cores must be in [1,%d], got %d", MaxCores, m.Cores)
 	case m.FreqHz <= 0:
 		return fmt.Errorf("hw: non-positive frequency %v", m.FreqHz)
 	case m.FlopsPerCycle <= 0:
@@ -194,9 +199,57 @@ func (m *Machine) SegmentPower(active []Activity) PlanePower {
 	}
 }
 
+// AggregatePower evaluates the power model from pre-aggregated sums
+// over the active cores: count active cores, the sum of their (already
+// clamped to [0,1]) utilizations, and the sums of their traffic rates.
+// It is the O(1) companion to SegmentPower for schedulers that maintain
+// the sums incrementally instead of iterating every active core per
+// timeline segment — the high-worker-count path of internal/sim.
+func (m *Machine) AggregatePower(count int, sumUtil, sumL3, sumDRAM float64) PlanePower {
+	pp0 := float64(count)*m.Power.CoreIdle + m.Power.CoreDyn*sumUtil
+	return PlanePower{
+		PP0:  pp0,
+		PKG:  m.Power.PkgIdle + pp0 + m.Power.L3PerGBs*sumL3/1e9,
+		DRAM: m.Power.DRAMIdle + m.Power.DRAMPerGBs*sumDRAM/1e9,
+	}
+}
+
 // IdlePower returns the draw with no active cores (the quiesced state
 // between experiment runs).
 func (m *Machine) IdlePower() PlanePower { return m.SegmentPower(nil) }
+
+// Cluster models `nodes` copies of a node machine as one flat Machine,
+// for shape-only scalability sweeps at cluster scale. Aggregate
+// resources (core count, shared-cache size and bandwidth, memory
+// bandwidth, idle powers) scale with the node count, while strictly
+// per-core and per-stream quantities (clock, flops/cycle, single-stream
+// bandwidth, per-core power, task overheads) are unchanged. The
+// cache-to-cache RemoteBandwidth deliberately does NOT scale: remote
+// reads in a cluster cross the interconnect, and keeping the per-
+// transfer rate at the single-node coherence rate is the conservative
+// stand-in until a real network model lands.
+func Cluster(node *Machine, nodes int) *Machine {
+	if nodes < 1 {
+		panic(fmt.Sprintf("hw: cluster needs at least 1 node, got %d", nodes))
+	}
+	c := *node
+	f := float64(nodes)
+	c.Name = fmt.Sprintf("%s × %d nodes", node.Name, nodes)
+	c.Cores = node.Cores * nodes
+	c.L3 = Cache{SizeBytes: node.L3.SizeBytes * nodes, LineBytes: node.L3.LineBytes}
+	c.L3Bandwidth = node.L3Bandwidth * f
+	c.DRAMBandwidth = node.DRAMBandwidth * f
+	c.KernelEff = make(map[task.Kind]float64, len(node.KernelEff))
+	for k, v := range node.KernelEff {
+		c.KernelEff[k] = v
+	}
+	c.Power.PkgIdle = node.Power.PkgIdle * f
+	c.Power.DRAMIdle = node.Power.DRAMIdle * f
+	if err := c.Validate(); err != nil {
+		panic("hw: cluster machine invalid: " + err.Error())
+	}
+	return &c
+}
 
 // HaswellE31225 returns the paper's test platform: Intel E3-1225 v3,
 // 4 cores @ 3.2 GHz, 32 KB/256 KB/8 MB caches, one DDR3-1600 DIMM.

@@ -30,7 +30,7 @@ func TestValidateRejectsBadMachines(t *testing.T) {
 	base := func() *Machine { return HaswellE31225() }
 	mutations := map[string]func(*Machine){
 		"zero cores":        func(m *Machine) { m.Cores = 0 },
-		"too many cores":    func(m *Machine) { m.Cores = 100 },
+		"too many cores":    func(m *Machine) { m.Cores = MaxCores + 1 },
 		"zero freq":         func(m *Machine) { m.FreqHz = 0 },
 		"zero flops":        func(m *Machine) { m.FlopsPerCycle = 0 },
 		"zero dram bw":      func(m *Machine) { m.DRAMBandwidth = 0 },
@@ -178,6 +178,85 @@ func TestCalibrationOpenBLASLikePower(t *testing.T) {
 	if one.Total() < 17 || one.Total() > 24 {
 		t.Fatalf("1-core compute-bound total %v W, expected within [17,24]", one.Total())
 	}
+}
+
+func TestAggregatePowerMatchesSegmentPower(t *testing.T) {
+	m := HaswellE31225()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(9)
+		act := make([]Activity, n)
+		sumU, sumL3, sumDRAM := 0.0, 0.0, 0.0
+		for i := range act {
+			act[i] = Activity{
+				Utilization: rng.Float64()*1.4 - 0.2, // exercise clamping
+				L3Rate:      rng.Float64() * 50e9,
+				DRAMRate:    rng.Float64() * 10e9,
+			}
+			sumU += math.Max(0, math.Min(1, act[i].Utilization))
+			sumL3 += act[i].L3Rate
+			sumDRAM += act[i].DRAMRate
+		}
+		seg := m.SegmentPower(act)
+		agg := m.AggregatePower(n, sumU, sumL3, sumDRAM)
+		if math.Abs(seg.PKG-agg.PKG) > 1e-9 || math.Abs(seg.PP0-agg.PP0) > 1e-9 ||
+			math.Abs(seg.DRAM-agg.DRAM) > 1e-9 {
+			t.Fatalf("trial %d: segment %+v aggregate %+v", trial, seg, agg)
+		}
+	}
+}
+
+func TestClusterScalesAggregates(t *testing.T) {
+	node := HaswellE31225()
+	c := Cluster(node, 1024)
+	if c.Cores != 4096 {
+		t.Fatalf("cluster cores %d", c.Cores)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate resources scale with node count.
+	if c.DRAMBandwidth != node.DRAMBandwidth*1024 || c.L3Bandwidth != node.L3Bandwidth*1024 {
+		t.Fatal("aggregate bandwidths should scale")
+	}
+	if c.L3.SizeBytes != node.L3.SizeBytes*1024 {
+		t.Fatal("L3 size should scale")
+	}
+	if c.Power.PkgIdle != node.Power.PkgIdle*1024 || c.Power.DRAMIdle != node.Power.DRAMIdle*1024 {
+		t.Fatal("idle powers should scale")
+	}
+	// Per-core / per-stream quantities do not.
+	if c.FreqHz != node.FreqHz || c.DRAMStreamBandwidth != node.DRAMStreamBandwidth ||
+		c.Power.CoreDyn != node.Power.CoreDyn || c.TaskOverhead != node.TaskOverhead ||
+		c.RemoteBandwidth != node.RemoteBandwidth {
+		t.Fatal("per-core quantities should not scale")
+	}
+	// The node machine is untouched, including its efficiency map.
+	c.KernelEff[task.KindGEMM] = 0.1
+	if node.KernelEff[task.KindGEMM] != 0.92 {
+		t.Fatal("cluster shares the node's KernelEff map")
+	}
+	if node.Cores != 4 {
+		t.Fatal("node mutated")
+	}
+}
+
+func TestClusterSingleNodeIsIdentity(t *testing.T) {
+	node := HaswellE31225()
+	c := Cluster(node, 1)
+	if c.Cores != node.Cores || c.DRAMBandwidth != node.DRAMBandwidth ||
+		c.Power.PkgIdle != node.Power.PkgIdle {
+		t.Fatal("1-node cluster should match the node")
+	}
+}
+
+func TestClusterRejectsNonPositiveNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 nodes")
+		}
+	}()
+	Cluster(HaswellE31225(), 0)
 }
 
 func TestLevelFor(t *testing.T) {

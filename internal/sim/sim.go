@@ -9,6 +9,17 @@
 // per-plane energy totals and, optionally, the full power trace that the
 // RAPL emulation replays.
 //
+// The engine is event-driven and sized for cluster-scale worker counts
+// (10⁴–10⁶ simulated workers): leaf completions sit in an indexed
+// min-heap, idle workers in a hierarchical bitmap with O(log₆₄ n)
+// masked lookups, and per-worker pinned queues pop in O(1), so no per-
+// event operation scans all workers. With ≤ 64 workers the scheduler is
+// bit-identical to the original list scheduler (pinned by
+// TestEventSchedulerBitIdenticalToSeed); above 64 it switches power
+// integration to O(1) compensated aggregate sums, since per-segment
+// iteration over running leaves would make the event loop O(workers)
+// again.
+//
 // Virtual time makes the paper's 48-run experiment matrix deterministic
 // and independent of the host executing the reproduction.
 package sim
@@ -57,6 +68,22 @@ type Config struct {
 	// simulation's "sim.run" span lands on (typically the driver
 	// worker executing this cell). The zero Track targets "main".
 	ObsTrack obs.Track
+}
+
+// Validate reports a descriptive error when the configuration cannot
+// run on machine m: the worker count must be positive and must not
+// exceed the machine's cores. Run panics with the same message; callers
+// that take worker counts from user input (CLIs, sweep drivers) should
+// call Validate at the boundary instead of relying on that panic.
+func (cfg Config) Validate(m *hw.Machine) error {
+	switch {
+	case cfg.Workers <= 0:
+		return fmt.Errorf("sim: worker count must be positive, got %d", cfg.Workers)
+	case cfg.Workers > m.Cores:
+		return fmt.Errorf("sim: %d workers exceed machine %q's %d cores",
+			cfg.Workers, m.Name, m.Cores)
+	}
+	return nil
 }
 
 // LeafSpan is one scheduled leaf occurrence for Gantt rendering.
@@ -143,9 +170,10 @@ func safeDiv(a, b float64) float64 {
 type nodeState struct {
 	n         *task.Node
 	parent    *nodeState
-	pending   int    // outstanding children (Par) — Seq uses nextChild
-	nextChild int    // next child index to start (Seq)
-	mask      uint64 // effective affinity inherited from ancestors
+	pending   int       // outstanding children (Par) — Seq uses nextChild
+	nextChild int       // next child index to start (Seq)
+	failGen   int       // idle generation at last failed placement (ready leaves)
+	mask      task.Mask // effective affinity inherited from ancestors
 }
 
 // runningLeaf is one dispatched leaf awaiting its virtual finish time.
@@ -170,6 +198,34 @@ func (h leafHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *leafHeap) Push(x any)   { *h = append(*h, x.(*runningLeaf)) }
 func (h *leafHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
+// workerState shards the scheduler's per-worker bookkeeping into one
+// cache-friendly record: accumulated busy time plus the FIFO of leaves
+// pinned to exactly one worker (the common case under CAPS ownership),
+// consumed from pinnedHead so pops are O(1) with lazy compaction.
+type workerState struct {
+	busyTotal  float64
+	pinned     []*nodeState
+	pinnedHead int
+}
+
+// ksum is a Neumaier-compensated float accumulator. The aggregate
+// power mode adds and subtracts per-leaf terms on every launch and
+// retire; naive running sums would drift after millions of events,
+// compensation keeps the error at one rounding of the current value.
+type ksum struct{ s, c float64 }
+
+func (k *ksum) add(x float64) {
+	t := k.s + x
+	if math.Abs(k.s) >= math.Abs(x) {
+		k.c += (k.s - t) + x
+	} else {
+		k.c += (x - t) + k.s
+	}
+	k.s = t
+}
+
+func (k *ksum) value() float64 { return k.s + k.c }
+
 // executor holds the state of one simulation run.
 type executor struct {
 	m   *hw.Machine
@@ -182,31 +238,51 @@ type executor struct {
 	ready     []*nodeState
 	readyHead int
 	readyLive int
-	// readyPinned holds per-worker FIFOs of leaves pinned to exactly
-	// one worker (the common case under CAPS ownership), so dispatch
-	// never scans past them while their worker is busy.
-	readyPinned [][]*nodeState
-	pinnedHead  []int
+
+	workers []workerState
+	// idle marks workers with no running leaf; dispatchable marks the
+	// subset of idle workers whose pinned FIFO is non-empty, so the
+	// pinned dispatch pass visits exactly the workers it will serve
+	// instead of scanning all of them.
+	idle         *hbitmap
+	dispatchable *hbitmap
+	idleCount    int
+	// idleGen counts batches of workers turning idle (one bump per
+	// advance). Between bumps the idle set only shrinks, so a ready
+	// leaf whose placement failed at the current generation cannot
+	// succeed until the next one — dispatch skips it in O(1) instead
+	// of re-running the mask/idle intersection. newIdle records the
+	// latest batch: a leaf that failed in generation g-1 can only be
+	// unblocked in g by a worker from that batch, so a few Mask.Has
+	// probes replace the full intersection for the common case of
+	// long-blocked leaves. Starts at 2 so the zero-valued failGen of a
+	// fresh nodeState never matches idleGen or idleGen-1.
+	idleGen int
+	newIdle []int
 
 	running leafHeap
 	now     float64
 	seq     int
-
-	workerBusyUntil []float64
-	workerBusyTotal []float64
-	workerIdle      []bool
-	idleCount       int
 
 	// lastWriter maps RegionID → last-writing worker (-1 unknown).
 	// Regions allocators issue dense IDs from 1, so a flat slice beats
 	// a map on the scheduler hot path; it grows by doubling on demand.
 	lastWriter []int32
 
+	// Power integration mode. With ≤ 64 workers (exact=true) each
+	// segment iterates the running heap in array order — bounded work,
+	// and the float-sum order is bit-identical to the seed scheduler.
+	// Above 64 workers the per-activity sums are maintained
+	// incrementally (aggUtil/aggL3/aggDRAM, utilization pre-clamped),
+	// making each segment O(1) regardless of how many leaves run.
+	exact                   bool
+	actsBuf                 []hw.Activity
+	aggCount                int
+	aggUtil, aggL3, aggDRAM ksum
+
 	// Hot-loop scratch, reused across events so the steady-state
-	// scheduling loop performs no allocation: actsBuf for the power
-	// integration in advance, leafFree recycles runningLeaf records,
-	// and stateArena block-allocates nodeStates.
-	actsBuf    []hw.Activity
+	// scheduling loop performs no allocation: leafFree recycles
+	// runningLeaf records, and stateArena block-allocates nodeStates.
 	leafFree   []*runningLeaf
 	stateArena []nodeState
 
@@ -225,7 +301,7 @@ var (
 
 // newState carves a nodeState out of the arena, amortizing one
 // allocation over a block of nodes.
-func (e *executor) newState(n *task.Node, parent *nodeState, mask uint64) *nodeState {
+func (e *executor) newState(n *task.Node, parent *nodeState, mask task.Mask) *nodeState {
 	if len(e.stateArena) == 0 {
 		e.stateArena = make([]nodeState, 512)
 	}
@@ -260,34 +336,34 @@ func (e *executor) setWriter(r task.RegionID, worker int) {
 }
 
 // Run simulates root on machine m under cfg and returns the result.
-// It panics on invalid configuration; algorithmic errors in tree
-// construction (e.g. impossible affinity) degrade to unrestricted
-// placement rather than deadlock.
+// It panics on invalid configuration (see Config.Validate for the
+// checkable form); algorithmic errors in tree construction (e.g.
+// impossible affinity) degrade to unrestricted placement rather than
+// deadlock.
 func Run(m *hw.Machine, root *task.Node, cfg Config) *Result {
-	if cfg.Workers <= 0 {
-		panic(fmt.Sprintf("sim: non-positive worker count %d", cfg.Workers))
-	}
-	if cfg.Workers > m.Cores {
-		panic(fmt.Sprintf("sim: %d workers exceed machine's %d cores", cfg.Workers, m.Cores))
+	if err := cfg.Validate(m); err != nil {
+		panic(err.Error())
 	}
 	e := &executor{
-		m:               m,
-		cfg:             cfg,
-		workerBusyUntil: make([]float64, cfg.Workers),
-		workerBusyTotal: make([]float64, cfg.Workers),
-		workerIdle:      make([]bool, cfg.Workers),
-		readyPinned:     make([][]*nodeState, cfg.Workers),
-		pinnedHead:      make([]int, cfg.Workers),
-		lastWriter:      make([]int32, 1024),
-		running:         make(leafHeap, 0, cfg.Workers),
-		actsBuf:         make([]hw.Activity, 0, cfg.Workers),
+		m:            m,
+		cfg:          cfg,
+		workers:      make([]workerState, cfg.Workers),
+		idle:         newHbitmap(cfg.Workers),
+		dispatchable: newHbitmap(cfg.Workers),
+		lastWriter:   make([]int32, 1024),
+		running:      make(leafHeap, 0, min(cfg.Workers, 4096)),
+		exact:        cfg.Workers <= 64,
+		idleGen:      2, // see the idleGen field comment
 	}
 	for i := range e.lastWriter {
 		e.lastWriter[i] = -1
 	}
+	if e.exact {
+		e.actsBuf = make([]hw.Activity, 0, cfg.Workers)
+	}
 	e.res.BusyByKind = make(map[task.Kind]float64)
-	for i := range e.workerIdle {
-		e.workerIdle[i] = true
+	for i := 0; i < cfg.Workers; i++ {
+		e.idle.set(i)
 	}
 	e.idleCount = cfg.Workers
 
@@ -304,7 +380,11 @@ func Run(m *hw.Machine, root *task.Node, cfg Config) *Result {
 		e.dispatch()
 	}
 	e.res.Makespan = e.now
-	e.res.WorkerBusy = e.workerBusyTotal
+	busy := make([]float64, cfg.Workers)
+	for i := range e.workers {
+		busy[i] = e.workers[i].busyTotal
+	}
+	e.res.WorkerBusy = busy
 
 	simRuns.Inc()
 	simLeaves.Add(int64(e.res.Leaves))
@@ -318,22 +398,27 @@ func Run(m *hw.Machine, root *task.Node, cfg Config) *Result {
 	return &e.res
 }
 
-func (e *executor) allMask() uint64 {
+// allMask is the root's inherited affinity: every configured worker.
+func (e *executor) allMask() task.Mask {
 	if e.cfg.Workers >= 64 {
-		return ^uint64(0)
+		return task.MaskRange(0, e.cfg.Workers-1)
 	}
-	return (uint64(1) << uint(e.cfg.Workers)) - 1
+	return task.MaskOfBits(uint64(1)<<uint(e.cfg.Workers) - 1)
 }
 
 // effectiveMask intersects a node's own affinity with the inherited
 // mask, falling back to the inherited mask when the intersection is
 // empty (e.g. a tree built for more workers than are configured).
-func (e *executor) effectiveMask(n *task.Node, inherited uint64) uint64 {
-	if e.cfg.DisableAffinity || n.Affinity() == 0 {
+// Intersect is called on the inherited mask so its containment fast
+// path inspects the node's (small) affinity rather than the
+// potentially huge inherited range.
+func (e *executor) effectiveMask(n *task.Node, inherited task.Mask) task.Mask {
+	a := n.Affinity()
+	if e.cfg.DisableAffinity || a.IsEmpty() {
 		return inherited
 	}
-	m := n.Affinity() & inherited
-	if m == 0 {
+	m := inherited.Intersect(a)
+	if m.IsEmpty() {
 		return inherited
 	}
 	return m
@@ -349,8 +434,12 @@ func (e *executor) startNode(s *nodeState) {
 	}
 	switch {
 	case s.n.IsLeaf():
-		if w := singleWorker(s.mask); w >= 0 && w < e.cfg.Workers {
-			e.readyPinned[w] = append(e.readyPinned[w], s)
+		if w := s.mask.Single(); w >= 0 && w < e.cfg.Workers {
+			ws := &e.workers[w]
+			ws.pinned = append(ws.pinned, s)
+			if e.idle.has(w) {
+				e.dispatchable.set(w)
+			}
 		} else {
 			e.ready = append(e.ready, s)
 			e.readyLive++
@@ -415,69 +504,64 @@ func (e *executor) preferredWorker(w *task.Work) int {
 	return -1
 }
 
-// singleWorker returns the worker index when mask names exactly one
-// worker, else -1.
-func singleWorker(mask uint64) int {
-	if mask != 0 && mask&(mask-1) == 0 {
-		w := 0
-		for mask>>uint(w)&1 == 0 {
-			w++
-		}
-		return w
-	}
-	return -1
-}
-
 // dispatch greedily assigns ready leaves to idle workers at e.now.
-// Each idle worker drains its pinned FIFO first; remaining idle
+// Each idle worker with pinned work takes one leaf from its FIFO
+// (visited via the dispatchable bitmap in ascending worker order, the
+// same order the seed scheduler's full scan produced); remaining idle
 // workers take from the shared FIFO in order, skipping leaves whose
 // affinity mask has no idle worker without losing their position.
+// Launching a leaf never idles a worker or readies another leaf, so
+// one pass of each phase reaches the fixpoint.
 func (e *executor) dispatch() {
-	for e.idleCount > 0 {
-		dispatched := false
-		for w := 0; w < e.cfg.Workers && e.idleCount > 0; w++ {
-			if !e.workerIdle[w] {
+	for w := e.dispatchable.firstFrom(0); w >= 0; w = e.dispatchable.firstFrom(w + 1) {
+		ws := &e.workers[w]
+		s := ws.pinned[ws.pinnedHead]
+		ws.pinnedHead++
+		if ws.pinnedHead > 64 && ws.pinnedHead > len(ws.pinned)/2 {
+			n := copy(ws.pinned, ws.pinned[ws.pinnedHead:])
+			ws.pinned = ws.pinned[:n]
+			ws.pinnedHead = 0
+		}
+		e.launch(s, w)
+	}
+	// Shared-FIFO pass. Launching only shrinks the idle set and never
+	// adds ready leaves, so a leaf that fails placement here stays
+	// unplaceable for the rest of the pass — one forward sweep visits
+	// each candidate at most once and produces the same launch sequence
+	// the seed scheduler's rescan-from-head loop did. The failGen memo
+	// extends the same monotonicity argument across dispatch calls
+	// within one idle generation.
+	if e.idleCount > 0 && e.readyLive > 0 {
+		for qi := e.readyHead; qi < len(e.ready) && e.idleCount > 0; qi++ {
+			s := e.ready[qi]
+			if s == nil || s.failGen == e.idleGen {
 				continue
 			}
-			q := e.readyPinned[w]
-			if e.pinnedHead[w] < len(q) {
-				s := q[e.pinnedHead[w]]
-				e.pinnedHead[w]++
-				if e.pinnedHead[w] > 64 && e.pinnedHead[w] > len(q)/2 {
-					n := copy(q, q[e.pinnedHead[w]:])
-					e.readyPinned[w] = q[:n]
-					e.pinnedHead[w] = 0
+			if s.failGen == e.idleGen-1 && len(e.newIdle) <= 8 {
+				// Failed against last generation's idle set; only this
+				// batch's workers could have unblocked it since.
+				hit := false
+				for _, w := range e.newIdle {
+					if s.mask.Has(w) {
+						hit = true
+						break
+					}
 				}
-				e.launch(s, w)
-				dispatched = true
-			}
-		}
-		for e.idleCount > 0 && e.readyLive > 0 {
-			found := false
-			for qi := e.readyHead; qi < len(e.ready); qi++ {
-				s := e.ready[qi]
-				if s == nil {
+				if !hit {
+					s.failGen = e.idleGen
 					continue
 				}
-				worker := e.pickWorker(s)
-				if worker < 0 {
-					continue
-				}
-				e.ready[qi] = nil
-				e.readyLive--
-				e.launch(s, worker)
-				found = true
-				dispatched = true
-				break
 			}
-			if !found {
-				break
+			worker := e.pickWorker(s)
+			if worker < 0 {
+				s.failGen = e.idleGen
+				continue
 			}
-			e.compactReady()
+			e.ready[qi] = nil
+			e.readyLive--
+			e.launch(s, worker)
 		}
-		if !dispatched {
-			return
-		}
+		e.compactReady()
 	}
 }
 
@@ -498,17 +582,31 @@ func (e *executor) compactReady() {
 // preferring the producer of its inputs; -1 when none is available.
 func (e *executor) pickWorker(s *nodeState) int {
 	w := s.n.Work()
-	pref := -1
 	if !e.cfg.DisableAffinity {
-		pref = e.preferredWorker(w)
+		if pref := e.preferredWorker(w); pref >= 0 && pref < e.cfg.Workers &&
+			e.idle.has(pref) && s.mask.Has(pref) {
+			return pref
+		}
 	}
-	if pref >= 0 && pref < e.cfg.Workers && e.workerIdle[pref] && s.mask&(1<<uint(pref)) != 0 {
-		return pref
-	}
-	for i := 0; i < e.cfg.Workers; i++ {
-		if e.workerIdle[i] && s.mask&(1<<uint(i)) != 0 {
+	return e.firstIdleIn(s.mask)
+}
+
+// firstIdleIn returns the lowest-indexed idle worker in mask, or -1.
+// It gallops through both structures — next idle worker from the
+// bitmap, next permitted worker from the mask — so contiguous CAPS
+// ownership ranges and singletons resolve in O(log workers) instead of
+// a linear scan.
+func (e *executor) firstIdleIn(mask task.Mask) int {
+	w := mask.Min()
+	for w >= 0 && w < e.cfg.Workers {
+		i := e.idle.firstFrom(w)
+		if i < 0 {
+			return -1
+		}
+		if mask.Has(i) {
 			return i
 		}
+		w = mask.Next(i + 1)
 	}
 	return -1
 }
@@ -546,10 +644,10 @@ func (e *executor) launch(s *nodeState, worker int) {
 		e.setWriter(wr, worker)
 	}
 
-	e.workerIdle[worker] = false
+	e.idle.clear(worker)
+	e.dispatchable.clear(worker)
 	e.idleCount--
-	e.workerBusyUntil[worker] = e.now + cost.Duration
-	e.workerBusyTotal[worker] += cost.Duration
+	e.workers[worker].busyTotal += cost.Duration
 	e.res.BusyByKind[w.Kind] += cost.Duration
 	e.res.Leaves++
 	if e.cfg.RecordSchedule {
@@ -577,8 +675,16 @@ func (e *executor) launch(s *nodeState, worker int) {
 		DRAMRate:    cost.DRAMRate,
 		L3Rate:      cost.L3Rate,
 	}
+	if !e.exact {
+		e.aggCount++
+		e.aggUtil.add(clamp01(cost.Utilization))
+		e.aggL3.add(cost.L3Rate)
+		e.aggDRAM.add(cost.DRAMRate)
+	}
 	heap.Push(&e.running, rl)
 }
+
+func clamp01(x float64) float64 { return math.Max(0, math.Min(1, x)) }
 
 // getLeaf recycles runningLeaf records so the event loop stops
 // allocating once the heap has reached its steady size.
@@ -597,12 +703,17 @@ func (e *executor) advance() {
 	next := e.running[0].finish
 	if dt := next - e.now; dt > 0 {
 		e.segCount++
-		acts := e.actsBuf[:0]
-		for _, rl := range e.running {
-			acts = append(acts, rl.activity)
+		var p hw.PlanePower
+		if e.exact {
+			acts := e.actsBuf[:0]
+			for _, rl := range e.running {
+				acts = append(acts, rl.activity)
+			}
+			e.actsBuf = acts
+			p = e.m.SegmentPower(acts)
+		} else {
+			p = e.m.AggregatePower(e.aggCount, e.aggUtil.value(), e.aggL3.value(), e.aggDRAM.value())
 		}
-		e.actsBuf = acts
-		p := e.m.SegmentPower(acts)
 		e.res.EnergyPKG += p.PKG * dt
 		e.res.EnergyPP0 += p.PP0 * dt
 		e.res.EnergyDRAM += p.DRAM * dt
@@ -614,14 +725,32 @@ func (e *executor) advance() {
 		}
 	}
 	e.now = next
+	e.idleGen++ // at least one worker turns idle below
+	e.newIdle = e.newIdle[:0]
 	for len(e.running) > 0 && sameTime(e.running[0].finish, e.now) {
 		rl := heap.Pop(&e.running).(*runningLeaf)
-		e.workerIdle[rl.worker] = true
+		worker := rl.worker
+		e.idle.set(worker)
 		e.idleCount++
+		e.newIdle = append(e.newIdle, worker)
+		if ws := &e.workers[worker]; ws.pinnedHead < len(ws.pinned) {
+			e.dispatchable.set(worker)
+		}
+		if !e.exact {
+			e.aggCount--
+			e.aggUtil.add(-clamp01(rl.activity.Utilization))
+			e.aggL3.add(-rl.activity.L3Rate)
+			e.aggDRAM.add(-rl.activity.DRAMRate)
+		}
 		s := rl.state
 		rl.state = nil
 		e.leafFree = append(e.leafFree, rl)
 		e.complete(s)
+	}
+	// A fully drained machine resets the aggregate sums, discarding any
+	// residual compensation error between algorithm phases.
+	if !e.exact && e.aggCount == 0 {
+		e.aggUtil, e.aggL3, e.aggDRAM = ksum{}, ksum{}, ksum{}
 	}
 }
 

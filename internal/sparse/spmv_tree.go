@@ -113,7 +113,7 @@ func BuildSpMV(m *hw.Machine, a *CSR, format Format, opt Options) *SpMV {
 			if opt.WithMath {
 				leafWork.Run = chunkRun(a, coo, ell, format, out, lo, hi)
 			}
-			chains = append(chains, task.Leaf(leafWork).WithAffinity(1<<uint(w)))
+			chains = append(chains, task.Leaf(leafWork).WithAffinityMask(task.SingleWorker(w)))
 		}
 		iterNodes = append(iterNodes, task.Par(chains...))
 	}

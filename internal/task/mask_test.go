@@ -1,0 +1,236 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSet materializes a Mask as a map for oracle comparisons.
+func refSet(m Mask) map[int]bool {
+	out := make(map[int]bool)
+	for w := m.Min(); w >= 0; w = m.Next(w + 1) {
+		out[w] = true
+	}
+	return out
+}
+
+func TestSingleWorkerLowAndHigh(t *testing.T) {
+	for _, w := range []int{0, 1, 63, 64, 65, 127, 128, 4095, MaxWorkers - 1} {
+		m := SingleWorker(w)
+		if !m.Has(w) || m.Count() != 1 || m.Single() != w || m.Min() != w || m.Max() != w {
+			t.Fatalf("SingleWorker(%d): %v count=%d single=%d min=%d max=%d",
+				w, m, m.Count(), m.Single(), m.Min(), m.Max())
+		}
+		if m.Has(w+1) || m.Has(w-1) {
+			t.Fatalf("SingleWorker(%d) has neighbors", w)
+		}
+	}
+}
+
+// The satellite fix: indices ≥ 64 that used to wrap silently into
+// wrong (or zero) uint64 masks must now fail loudly at construction.
+func TestMaskConstructionRejectsOutOfRange(t *testing.T) {
+	cases := []func(){
+		func() { SingleWorker(-1) },
+		func() { SingleWorker(MaxWorkers) },
+		func() { MaskRange(-1, 5) },
+		func() { MaskRange(0, MaxWorkers) },
+		func() { MaskRange(5, 4) },
+		func() { MaskOf(0, -3) },
+		func() { MaskOf(MaxWorkers + 7) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaskRangeSpansBoundary(t *testing.T) {
+	cases := []struct{ lo, hi int }{
+		{0, 0}, {0, 63}, {0, 64}, {5, 70}, {60, 200}, {64, 64},
+		{64, 127}, {100, 100}, {130, 700}, {4090, 4100},
+	}
+	for _, c := range cases {
+		m := MaskRange(c.lo, c.hi)
+		if m.Count() != c.hi-c.lo+1 {
+			t.Fatalf("MaskRange(%d,%d) count %d", c.lo, c.hi, m.Count())
+		}
+		if m.Min() != c.lo || m.Max() != c.hi {
+			t.Fatalf("MaskRange(%d,%d) min=%d max=%d", c.lo, c.hi, m.Min(), m.Max())
+		}
+		for _, probe := range []int{c.lo - 1, c.lo, c.lo + 1, c.hi - 1, c.hi, c.hi + 1} {
+			want := probe >= c.lo && probe <= c.hi
+			if m.Has(probe) != want {
+				t.Fatalf("MaskRange(%d,%d).Has(%d) = %v", c.lo, c.hi, probe, m.Has(probe))
+			}
+		}
+	}
+}
+
+func TestZeroMaskIsUnrestricted(t *testing.T) {
+	var m Mask
+	if !m.IsEmpty() || m.Count() != 0 || m.Min() != -1 || m.Max() != -1 || m.Single() != -1 {
+		t.Fatalf("zero mask not empty: %v", m)
+	}
+	if m.Has(0) || m.Has(64) || m.Has(-1) {
+		t.Fatal("zero mask has members")
+	}
+	if m.String() != "{}" {
+		t.Fatalf("zero mask string %q", m.String())
+	}
+}
+
+func TestMaskOfBitsRoundTrips(t *testing.T) {
+	for _, bits := range []uint64{0, 1, 0b1010, 1 << 63, ^uint64(0)} {
+		m := MaskOfBits(bits)
+		if m.LowBits() != bits {
+			t.Fatalf("LowBits %x != %x", m.LowBits(), bits)
+		}
+	}
+}
+
+func TestSingleOnMultiMemberMasks(t *testing.T) {
+	if MaskOf(3, 70).Single() != -1 || MaskOf(3, 5).Single() != -1 ||
+		MaskOf(70, 300).Single() != -1 {
+		t.Fatal("Single() on multi-member mask should be -1")
+	}
+}
+
+func TestIntersectContainmentSharesOperand(t *testing.T) {
+	big := MaskRange(0, 500)
+	small := MaskOf(3, 200, 499)
+	got := big.Intersect(small)
+	if !got.Equal(small) {
+		t.Fatalf("containment intersect: %v", got)
+	}
+	// The contained operand comes back as-is — windows shared, no copy.
+	if len(got.words) != len(small.words) || (len(got.words) > 0 && &got.words[0] != &small.words[0]) {
+		t.Fatal("containment fast path did not share the window")
+	}
+	if !small.Intersect(big).Equal(small) {
+		t.Fatal("symmetric containment")
+	}
+}
+
+func TestIntersectDisjointWindows(t *testing.T) {
+	a := MaskRange(100, 160)
+	b := MaskRange(300, 360)
+	if got := a.Intersect(b); !got.IsEmpty() {
+		t.Fatalf("disjoint intersect %v", got)
+	}
+	// lo-part only overlap with disjoint windows.
+	c := MaskOf(5, 100)
+	d := MaskOf(5, 300)
+	if got := c.Intersect(d); !got.Equal(MaskOf(5)) {
+		t.Fatalf("lo-only intersect %v", got)
+	}
+}
+
+func TestIntersectAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randMask := func() Mask {
+		n := rng.Intn(8)
+		ws := make([]int, n)
+		for i := range ws {
+			// Cluster around the 64 boundary and a high window.
+			switch rng.Intn(3) {
+			case 0:
+				ws[i] = rng.Intn(64)
+			case 1:
+				ws[i] = 64 + rng.Intn(200)
+			default:
+				ws[i] = 1000 + rng.Intn(300)
+			}
+		}
+		return MaskOf(ws...)
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randMask(), randMask()
+		got := refSet(a.Intersect(b))
+		sa, sb := refSet(a), refSet(b)
+		for w := range sa {
+			if sb[w] != got[w] {
+				t.Fatalf("trial %d: worker %d in a∩b=%v, want %v (a=%v b=%v)",
+					trial, w, got[w], sb[w], a, b)
+			}
+		}
+		for w := range got {
+			if !sa[w] || !sb[w] {
+				t.Fatalf("trial %d: spurious worker %d in %v ∩ %v", trial, w, a, b)
+			}
+		}
+		// Trimmed invariant: Min/Max of the result agree with the set view.
+		r := a.Intersect(b)
+		if len(got) == 0 {
+			if r.Min() != -1 || r.Max() != -1 {
+				t.Fatalf("trial %d: empty result with min=%d max=%d", trial, r.Min(), r.Max())
+			}
+			continue
+		}
+		lo, hi := MaxWorkers, -1
+		for w := range got {
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		if r.Min() != lo || r.Max() != hi {
+			t.Fatalf("trial %d: min=%d max=%d want %d,%d", trial, r.Min(), r.Max(), lo, hi)
+		}
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	cases := []struct {
+		m    Mask
+		want string
+	}{
+		{MaskOf(3), "{3}"},
+		{MaskRange(0, 3), "{0-3}"},
+		{MaskOf(1, 2, 3, 7, 100), "{1-3,7,100}"},
+		{MaskRange(62, 66), "{62-66}"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Fatalf("String() = %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestMaskNextIteration(t *testing.T) {
+	m := MaskOf(0, 63, 64, 65, 129, 5000)
+	want := []int{0, 63, 64, 65, 129, 5000}
+	var got []int
+	for w := m.Min(); w >= 0; w = m.Next(w + 1) {
+		got = append(got, w)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v want %v", got, want)
+		}
+	}
+}
+
+func TestMaskEqualIgnoresRepresentation(t *testing.T) {
+	// Same set reached via different constructors must compare equal.
+	if !MaskRange(70, 72).Equal(MaskOf(72, 70, 71)) {
+		t.Fatal("range vs of inequality")
+	}
+	if MaskOf(70).Equal(MaskOf(71)) {
+		t.Fatal("distinct singletons equal")
+	}
+	if !MaskOfBits(0b110).Equal(MaskOf(1, 2)) {
+		t.Fatal("bits vs of inequality")
+	}
+}

@@ -122,9 +122,9 @@ type Node struct {
 	kind     nodeKind
 	work     Work
 	children []*Node
-	// affinity, if nonzero, is a bitmask of workers permitted to run
+	// affinity, if non-empty, is the set of workers permitted to run
 	// this subtree. Masks intersect down the tree.
-	affinity uint64
+	affinity Mask
 	// allocBytes is temporary-buffer memory that is live while this
 	// subtree executes; the simulator tracks the high-water mark, which
 	// reproduces the paper's "Strassen needs intermediate buffers,
@@ -144,9 +144,17 @@ func Par(children ...*Node) *Node { return &Node{kind: parNode, children: childr
 
 // WithAffinity restricts the subtree to the workers in mask (bit i set
 // means worker i may execute leaves of this subtree). A zero mask means
-// unrestricted. It returns n for chaining.
+// unrestricted. The uint64 form only reaches workers 0..63; use
+// WithAffinityMask for larger machines.
 func (n *Node) WithAffinity(mask uint64) *Node {
-	n.affinity = mask
+	n.affinity = MaskOfBits(mask)
+	return n
+}
+
+// WithAffinityMask restricts the subtree to the workers in m. An empty
+// mask means unrestricted. It returns n for chaining.
+func (n *Node) WithAffinityMask(m Mask) *Node {
+	n.affinity = m
 	return n
 }
 
@@ -177,8 +185,8 @@ func (n *Node) Work() *Work {
 // Children returns the node's children (nil for leaves).
 func (n *Node) Children() []*Node { return n.children }
 
-// Affinity returns the node's worker mask (0 = unrestricted).
-func (n *Node) Affinity() uint64 { return n.affinity }
+// Affinity returns the node's worker mask (empty = unrestricted).
+func (n *Node) Affinity() Mask { return n.affinity }
 
 // AllocBytes returns the temporary-buffer annotation.
 func (n *Node) AllocBytes() float64 { return n.allocBytes }

@@ -61,11 +61,15 @@ func TestWorkOnNonLeafPanics(t *testing.T) {
 
 func TestAffinityAndAlloc(t *testing.T) {
 	n := Seq().WithAffinity(0b1010).WithAlloc(512)
-	if n.Affinity() != 0b1010 {
-		t.Fatalf("affinity %b", n.Affinity())
+	if n.Affinity().LowBits() != 0b1010 || !n.Affinity().Equal(MaskOf(1, 3)) {
+		t.Fatalf("affinity %v", n.Affinity())
 	}
 	if n.AllocBytes() != 512 {
 		t.Fatalf("alloc %v", n.AllocBytes())
+	}
+	big := Seq().WithAffinityMask(SingleWorker(4096))
+	if got := big.Affinity().Single(); got != 4096 {
+		t.Fatalf("high-worker affinity single = %d", got)
 	}
 }
 

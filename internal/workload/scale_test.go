@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"capscale/internal/hw"
+	"capscale/internal/sim"
+)
+
+// TestSimScalabilitySmoke1024Nodes is the scalability gate wired into
+// scripts/check.sh: a 1024-node cluster of the paper's machine (4096
+// cores) must build and simulate shape-only trees for every algorithm
+// well inside a single-digit-second wall-clock budget. Regressions in
+// the event queue, idle bitmaps or mask intersection show up here as a
+// timeout long before they show up in profiles.
+func TestSimScalabilitySmoke1024Nodes(t *testing.T) {
+	node := hw.HaswellE31225()
+	m := hw.Cluster(node, 1024)
+	if m.Cores != 4096 {
+		t.Fatalf("cluster has %d cores, want 4096", m.Cores)
+	}
+	const budget = 10 * time.Second
+	start := time.Now()
+	for _, alg := range []Algorithm{AlgOpenBLAS, AlgStrassen, AlgCAPS} {
+		root := BuildTree(m, alg, 1024, m.Cores)
+		res := sim.Run(m, root, sim.Config{Workers: m.Cores})
+		if res.Makespan <= 0 || res.Leaves == 0 {
+			t.Fatalf("%v: degenerate result %+v", alg, res)
+		}
+		if res.EnergyPKG <= 0 {
+			t.Fatalf("%v: no package energy accumulated", alg)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Fatalf("4096-core sweep took %v, budget %v", elapsed, budget)
+	}
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the event-driven simulator core benchmark (BenchmarkSimRun's
+# worker-count sweep, 4 → 262144) and records ns/op, ns/leaf, B/op and
+# allocs/op in BENCH_sim.json so the scheduler's perf trajectory is
+# comparable across PRs. ns/leaf is the per-event dispatch figure: it
+# should stay near-flat across the sweep (O(log workers) scheduling).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_sim.json
+raw=$(go test ./internal/sim/ -run 'XXX' -bench 'BenchmarkSimRun' -benchmem "$@")
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^BenchmarkSimRun\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s, \"ns_per_leaf\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        name, $2, $3, $5, $7, $9
+}
+END { print "\n}" }
+' > "$out"
+echo "bench_sim.sh: wrote $out"

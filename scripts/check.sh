@@ -28,6 +28,13 @@ go build ./...
 go test ./...
 go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
 go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/... ./internal/faults/...
+# The event-driven simulator core: concurrent Runs must be race-free
+# (-short skips the 48-cell bit-identicality pin, which the plain
+# `go test ./...` line above already ran in full).
+go test -race -short ./internal/sim/...
+# Scalability smoke: a 1024-node (4096-core) shape-only sweep across
+# the paper's algorithms must finish inside its wall-clock budget.
+go test -run 'TestSimScalabilitySmoke1024Nodes' -count=1 ./internal/workload/
 # The parallel experiment driver: the concurrent sweep must be race-free
 # and bit-identical to the sequential one, including under cache churn
 # and live metric/span reads from the observability layer — and the
