@@ -1,4 +1,4 @@
-.PHONY: check test race bench bench-kernels bench-driver bench-sim trace-smoke chaos-smoke
+.PHONY: check test race bench bench-kernels bench-driver bench-sim trace-smoke chaos-smoke dist-smoke
 
 # Full verify gate: gofmt, vet, build, tests, race pass on the
 # concurrent packages.
@@ -11,6 +11,7 @@ test:
 race:
 	go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
 	go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/... ./internal/faults/...
+	go test -race ./internal/mpi/... ./internal/dmm/... ./internal/cluster/...
 
 # Run a small sweep through the powertrace CLI with -trace-out and
 # validate the emitted Perfetto trace structurally.
@@ -22,6 +23,12 @@ trace-smoke:
 # deterministic per seed, checkpoint resume bit-identical).
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# 4-node GigE sweep through the epscale CLI: comm table rendered,
+# every distributed cell reconciled against ground truth, checkpoint
+# resume bit-identical.
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 bench:
 	go test -bench=. -benchmem

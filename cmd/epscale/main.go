@@ -43,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("epscale", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		what       = fs.String("what", "all", "artifact: all, table2, table3, table4, fig1, fig3..fig7, headlines, breakdown, measurement, future-dmm, future-sparse, platforms")
+		what       = fs.String("what", "all", "artifact: all, table2, table3, table4, fig1, fig3..fig7, headlines, breakdown, measurement, comm, future-dmm, future-sparse, platforms")
 		quick      = fs.Bool("quick", false, "use a reduced matrix (sizes 512,1024; threads 1..4)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		chart      = fs.Bool("chart", false, "render figures as ASCII line charts (fig3..fig7)")
@@ -63,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultRate  = fs.Float64("fault-rate", 0.5, "fraction of matrix cells armed for injection (with -faults)")
 		checkpoint = fs.String("checkpoint", "", "journal completed cells to this file and resume from it")
 		cellRetry  = fs.Int("cell-retries", 0, "re-attempts per failed cell under -faults (0 = default, negative = none)")
+		clusters   = fs.String("cluster", "", "comma-separated cluster specs (NODESxFABRIC[@MEMGiB], e.g. 16x1GbE,49xFDR); arms the distributed algorithms")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,6 +121,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	if *what == "comm" && *clusters == "" && *load == "" {
+		*clusters = "16x1GbE" // the comm artifact needs a cluster axis
+	}
+	if *clusters != "" {
+		specs, err := parseClusters(*clusters)
+		if err != nil {
+			fmt.Fprintf(stderr, "epscale: -cluster: %v\n", err)
+			return 2
+		}
+		cfg.Clusters = specs
+		cfg.Algorithms = append(cfg.Algorithms, workload.DistributedAlgorithms()...)
+	}
 	cfg.DisableAffinity = *noAffinity
 	cfg.DisableContention = *noContend
 	cfg.Parallelism = *jobs
@@ -156,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg = mx.Cfg
 	} else {
 		fmt.Fprintf(stderr, "epscale: running %d configurations on %q...\n",
-			len(cfg.Algorithms)*len(cfg.Sizes)*len(cfg.Threads), cfg.Machine.Name)
+			cfg.CellCount(), cfg.Machine.Name)
 		mx = workload.Execute(cfg)
 		if n := mx.RestoredCells(); n > 0 {
 			fmt.Fprintf(stderr, "epscale: restored %d cell(s) from checkpoint %s\n", n, *checkpoint)
@@ -204,6 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return report.BreakdownTable(mx, cfg.Sizes[len(cfg.Sizes)-1], maxOf(cfg.Threads))
 		},
 		"measurement": func() *report.Table { return report.MeasurementTable(mx) },
+		"comm":        func() *report.Table { return report.CommTable(mx) },
 	}
 
 	if *chart {
@@ -303,6 +317,20 @@ func studyArtifact(what string, stderr io.Writer) *report.Table {
 	default:
 		return nil
 	}
+}
+
+// parseClusters parses a comma-separated list of cluster specs
+// ("16x1GbE,49xFDR@16") through cluster.ParseSpec.
+func parseClusters(s string) ([]cluster.Spec, error) {
+	var out []cluster.Spec
+	for _, part := range strings.Split(s, ",") {
+		spec, err := cluster.ParseSpec(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
 }
 
 // parseInts parses a comma-separated list of positive integers,

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"capscale/internal/cluster"
 	"capscale/internal/faults"
 	"capscale/internal/hw"
 	"capscale/internal/obs"
@@ -29,7 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("powertrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		alg        = fs.String("alg", "openblas", "algorithm: openblas, strassen, winograd, caps")
+		alg        = fs.String("alg", "openblas", "algorithm: openblas, strassen, winograd, caps; with -cluster: summa, 2.5d, dstrassen, dcaps")
 		n          = fs.Int("n", 1024, "square problem dimension")
 		threads    = fs.Int("threads", 4, "thread count (1..4 on the paper's machine; -nodes raises the ceiling)")
 		nodes      = fs.Int("nodes", 1, "replicate the machine across this many nodes (flat cluster)")
@@ -43,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultRate  = fs.Float64("fault-rate", 0.5, "fraction of session cells armed for injection (single runs are always armed)")
 		checkpoint = fs.String("checkpoint", "", "journal completed session cells to this file and resume from it (requires -session)")
 		cellRetry  = fs.Int("cell-retries", 0, "re-attempts per failed cell under -faults (0 = default, negative = none)")
+		clusterStr = fs.String("cluster", "", "run the algorithm distributed on this cluster (NODESxFABRIC[@MEMGiB], e.g. 16x1GbE); requires a distributed -alg")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +74,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	case *checkpoint != "" && !*session:
 		fmt.Fprintln(stderr, "powertrace: -checkpoint requires -session (single runs are not resumable)")
+		return 2
+	case *clusterStr != "" && *session:
+		fmt.Fprintln(stderr, "powertrace: -cluster emits a single distributed run; drop -session")
 		return 2
 	}
 	cfg.MaxRetries = *cellRetry
@@ -136,28 +141,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	algs := map[string]workload.Algorithm{
-		"openblas": workload.AlgOpenBLAS,
-		"strassen": workload.AlgStrassen,
-		"winograd": workload.AlgWinograd,
-		"caps":     workload.AlgCAPS,
+		"openblas":  workload.AlgOpenBLAS,
+		"strassen":  workload.AlgStrassen,
+		"winograd":  workload.AlgWinograd,
+		"caps":      workload.AlgCAPS,
+		"summa":     workload.AlgSUMMA,
+		"2.5d":      workload.Alg25D,
+		"dstrassen": workload.AlgDStrassen,
+		"dcaps":     workload.AlgDistCAPS,
 	}
 	a, ok := algs[strings.ToLower(*alg)]
 	if !ok {
 		fmt.Fprintf(stderr, "powertrace: unknown algorithm %q\n", *alg)
 		return 2
 	}
+	if a.Distributed() != (*clusterStr != "") {
+		if a.Distributed() {
+			fmt.Fprintf(stderr, "powertrace: %v needs -cluster (e.g. -cluster 16x1GbE)\n", a)
+		} else {
+			fmt.Fprintf(stderr, "powertrace: -cluster needs a distributed -alg (summa, 2.5d, dstrassen, dcaps)\n")
+		}
+		return 2
+	}
 
 	cfg.RecordTraces = true
-	cfg.RecordSchedule = *traceOut != "" // the trace's worker tracks need leaf placement
+	cfg.RecordSchedule = *traceOut != "" && !a.Distributed() // the trace's worker tracks need leaf placement
 	cfg.TraceSampleInterval = *interval
-	run := workload.ExecuteOne(cfg, a, *n, *threads)
+	var run workload.Run
+	if a.Distributed() {
+		spec, err := cluster.ParseSpec(*clusterStr)
+		if err != nil {
+			fmt.Fprintf(stderr, "powertrace: -cluster: %v\n", err)
+			return 2
+		}
+		run = workload.ExecuteOneCluster(cfg, a, *n, spec)
+	} else {
+		run = workload.ExecuteOne(cfg, a, *n, *threads)
+	}
 	if run.Failed() {
 		fmt.Fprintf(stderr, "powertrace: run FAILED after %d attempt(s): %s\n", run.Attempts, run.Err)
 		return 1
 	}
 
-	fmt.Fprintf(stderr, "powertrace: %v n=%d threads=%d: %.4fs, %.2f W avg (PKG %.2f + DRAM %.2f)\n",
-		a, *n, *threads, run.Seconds, run.WattsTotal(), run.WattsPKG(), run.WattsDRAM())
+	if a.Distributed() {
+		fmt.Fprintf(stderr, "powertrace: %v n=%d on %s (%d ranks): %.4fs, %.2f MB on the wire in %d messages, NIC %.2f J + switch %.2f J\n",
+			a, *n, run.Cluster, run.Ranks, run.Seconds, run.WireBytes/1e6, run.Messages,
+			run.NICJoules, run.SwitchJoules)
+	} else {
+		fmt.Fprintf(stderr, "powertrace: %v n=%d threads=%d: %.4fs, %.2f W avg (PKG %.2f + DRAM %.2f)\n",
+			a, *n, *threads, run.Seconds, run.WattsTotal(), run.WattsPKG(), run.WattsDRAM())
+	}
 	fmt.Fprintf(stderr, "powertrace: monitor reconciled %d samples, max rel.err vs ground truth %.2e\n",
 		run.MeasSamples, run.MeasurementErr())
 	if run.Degraded {

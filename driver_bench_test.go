@@ -3,6 +3,7 @@ package capscale
 import (
 	"testing"
 
+	"capscale/internal/cluster"
 	"capscale/internal/hw"
 	"capscale/internal/matrix"
 	"capscale/internal/obs"
@@ -63,6 +64,31 @@ func BenchmarkExecuteMatrix(b *testing.B) {
 			_ = workload.Execute(cfg)
 		}
 	})
+}
+
+// BenchmarkExecuteDistributed measures one distributed cell end to
+// end — rank-program simulation through the MPI layer, cluster power
+// timeline merge, and the polled five-plane monitor — for the two
+// comm-gate algorithms on a 16-node GigE cluster. Joins
+// BenchmarkExecuteMatrix in BENCH_driver.json via `make bench-driver`.
+func BenchmarkExecuteDistributed(b *testing.B) {
+	spec, err := cluster.ParseSpec("16x1GbE")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range []workload.Algorithm{workload.AlgSUMMA, workload.AlgDistCAPS} {
+		b.Run(alg.String(), func(b *testing.B) {
+			cfg := workload.SmokeConfig()
+			cfg.NoCache = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run := workload.ExecuteOneCluster(cfg, alg, 256, spec)
+				if run.Failed() {
+					b.Fatal(run.Err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkBuildTree isolates the shape-only build win: the dense

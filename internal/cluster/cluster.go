@@ -13,15 +13,19 @@ import (
 	"capscale/internal/hw"
 )
 
-// Interconnect describes the network fabric.
+// Interconnect is the effective network fabric the MPI layer charges
+// against. It is compiled from a Comms model (see comms.go) — use
+// Comms.Fabric() or the presets below rather than filling it by hand.
 type Interconnect struct {
 	Name string
 	// LatencySec is the end-to-end small-message latency (α).
 	LatencySec float64
-	// Bandwidth is the per-link bandwidth in B/s (1/β).
+	// Bandwidth is the per-link achievable bandwidth in B/s (1/β).
 	Bandwidth float64
 	// PerMessageOverheadSec is the sender/receiver CPU overhead (o).
 	PerMessageOverheadSec float64
+	// Allreduce selects the collective family used by mpi.Allreduce.
+	Allreduce AllreduceAlgo
 
 	// NICIdleWatts and NICPerGBs model each node's adapter power;
 	// SwitchIdleWatts is the shared fabric's standing draw.
@@ -74,31 +78,24 @@ func New(node *hw.Machine, n int, fabric Interconnect) (*Cluster, error) {
 	return &Cluster{Node: node, Nodes: n, Fabric: fabric}, nil
 }
 
-// GigE returns a commodity gigabit-Ethernet fabric, the kind the
-// paper's Lenovo node would have joined.
+// GigE returns the commodity gigabit-Ethernet fabric compiled from
+// GigEComms — the kind the paper's Lenovo node would have joined.
 func GigE() Interconnect {
-	return Interconnect{
-		Name:                  "1GbE",
-		LatencySec:            50e-6,
-		Bandwidth:             118e6, // ~0.94 Gb/s effective
-		PerMessageOverheadSec: 5e-6,
-		NICIdleWatts:          1.5,
-		NICPerGBs:             4.0,
-		SwitchIdleWatts:       8.0,
+	f, err := GigEComms().Fabric()
+	if err != nil {
+		panic("cluster: built-in GigE comms invalid: " + err.Error())
 	}
+	return f
 }
 
-// InfiniBandFDR returns an HPC-class fabric for contrast experiments.
+// InfiniBandFDR returns an HPC-class fabric for contrast experiments,
+// compiled from FDRComms.
 func InfiniBandFDR() Interconnect {
-	return Interconnect{
-		Name:                  "FDR InfiniBand",
-		LatencySec:            1.5e-6,
-		Bandwidth:             6.8e9,
-		PerMessageOverheadSec: 0.7e-6,
-		NICIdleWatts:          6.0,
-		NICPerGBs:             1.2,
-		SwitchIdleWatts:       30.0,
+	f, err := FDRComms().Fabric()
+	if err != nil {
+		panic("cluster: built-in FDR comms invalid: " + err.Error())
 	}
+	return f
 }
 
 // TS140Cluster returns n of the paper's Haswell nodes on gigabit

@@ -140,15 +140,18 @@ func CAPS(n, cutover int) func(*mpi.Rank) {
 			})
 
 			// BFS down-exchange: redistribute operand shares so each
-			// subgroup holds its subproblem's inputs. Each rank trades
-			// 1/7 of its local share with each counterpart.
-			share := 2 * kernel.Bytes(half, half) / float64(groupSize) // A and B pieces
+			// subgroup holds its subproblem's inputs. A rank's local
+			// piece of one subproblem's (S_j, T_j) combination is
+			// 2·(curN/2)²/groupSize words; it keeps its own group's
+			// piece and ships each of the other six to that group's
+			// counterpart — the 7/4 memory blowup per level.
+			share := 2 * kernel.Bytes(half, half) / float64(groupSize) // one subproblem's A and B pieces
 			for j := 0; j < 7; j++ {
 				if j == myGroup {
 					continue
 				}
 				peer := groupStart + j*sub + posInSub
-				r.Send(peer, tagCAPSDn+depth, share/7)
+				r.Send(peer, tagCAPSDn+depth, share)
 			}
 			for j := 0; j < 7; j++ {
 				if j == myGroup {
@@ -160,15 +163,18 @@ func CAPS(n, cutover int) func(*mpi.Rank) {
 
 			rec(groupStart+myGroup*sub, sub, half, depth+1)
 
-			// BFS up-exchange: gather the seven products back for the
-			// recombination, then the 8 recombination additions.
+			// BFS up-exchange: scatter the subgroup's product back so
+			// every rank holds its 1/groupSize share of all seven
+			// products for the recombination, then the 8 recombination
+			// additions. The per-counterpart piece mirrors the
+			// down-exchange: (curN/2)²/groupSize words each.
 			shareC := kernel.Bytes(half, half) / float64(groupSize)
 			for j := 0; j < 7; j++ {
 				if j == myGroup {
 					continue
 				}
 				peer := groupStart + j*sub + posInSub
-				r.Send(peer, tagCAPSUp+depth, shareC/7)
+				r.Send(peer, tagCAPSUp+depth, shareC)
 			}
 			for j := 0; j < 7; j++ {
 				if j == myGroup {

@@ -168,10 +168,10 @@ type Injector struct {
 	rng  *rand.Rand
 
 	reads     int64
-	stuckLeft [3]int
-	stuckVal  [3]uint64
-	dropAt    [3]int64 // read index at which the plane dies; -1 = never
-	dead      [3]bool
+	stuckLeft [rapl.NumPlanes]int
+	stuckVal  [rapl.NumPlanes]uint64
+	dropAt    [rapl.NumPlanes]int64 // read index at which the plane dies; -1 = never
+	dead      [rapl.NumPlanes]bool
 	abortAt   int64 // -1 = never
 
 	stats Stats

@@ -168,15 +168,39 @@ type Activity struct {
 
 // PlanePower is instantaneous power per RAPL plane, in watts. PKG
 // includes PP0, mirroring real RAPL semantics where the package counter
-// covers the cores.
+// covers the cores. For distributed runs the NIC and Switch planes
+// carry the interconnect's draw (adapters and fabric switches); they
+// are zero on single-node timelines.
 type PlanePower struct {
 	PKG  float64
 	PP0  float64
 	DRAM float64
+	// NIC is the summed network-adapter draw of the participating
+	// nodes; Switch the fabric's switching tiers. Both are RAPL-like
+	// planes sampled by the monitor on cluster runs.
+	NIC    float64
+	Switch float64
 }
 
-// Total returns the full-system draw (package + DRAM DIMMs).
-func (p PlanePower) Total() float64 { return p.PKG + p.DRAM }
+// Total returns the full-system draw: package + DRAM DIMMs, plus the
+// interconnect planes on distributed timelines (PP0 is inside PKG).
+func (p PlanePower) Total() float64 { return p.PKG + p.DRAM + p.NIC + p.Switch }
+
+// Add returns the component-wise sum of two plane powers.
+func (p PlanePower) Add(q PlanePower) PlanePower {
+	return PlanePower{
+		PKG: p.PKG + q.PKG, PP0: p.PP0 + q.PP0, DRAM: p.DRAM + q.DRAM,
+		NIC: p.NIC + q.NIC, Switch: p.Switch + q.Switch,
+	}
+}
+
+// Sub returns the component-wise difference of two plane powers.
+func (p PlanePower) Sub(q PlanePower) PlanePower {
+	return PlanePower{
+		PKG: p.PKG - q.PKG, PP0: p.PP0 - q.PP0, DRAM: p.DRAM - q.DRAM,
+		NIC: p.NIC - q.NIC, Switch: p.Switch - q.Switch,
+	}
+}
 
 // SegmentPower evaluates the power model for a set of concurrently
 // active cores. Idle cores contribute nothing beyond PkgIdle, matching

@@ -83,6 +83,11 @@ type Config struct {
 	// survives before being quarantined. Zero selects
 	// DefaultQuarantineAfter.
 	QuarantineAfter int
+	// Planes is the plane set this stream samples and reconciles. Nil
+	// selects the node-local RAPL planes (rapl.Planes()); distributed
+	// runs pass rapl.ClusterPlanes() so the NIC and switch planes are
+	// polled, degraded, and reconciled exactly like the node planes.
+	Planes []rapl.Plane
 }
 
 // Measurement metrics, folded into the registry at Finish.
@@ -135,7 +140,9 @@ type Report struct {
 	// WrapJoules is the energy of one full counter wrap at the
 	// device's unit (2³² · unit ≈ 65.5 kJ at the Haswell default).
 	WrapJoules float64
-	// Planes holds one report per RAPL plane, in rapl.Planes() order.
+	// Planes holds one report per sampled plane, in the stream's
+	// configured plane order (rapl.Planes() by default,
+	// rapl.ClusterPlanes() on distributed runs).
 	Planes []PlaneReport
 	// Warnings lists sampling-adequacy diagnostics: undersampling
 	// relative to the wrap period at peak power, or too few samples to
@@ -274,7 +281,9 @@ type Stream struct {
 	cfg     Config
 	dev     *rapl.Device
 	es      *papi.EventSet
-	truth0  [3]float64
+	planes  []rapl.Plane
+	events  []string // PAPI event name per plane, in planes order
+	truth0  []float64
 	t0      float64
 	peak    hw.PlanePower
 	samples int
@@ -289,9 +298,9 @@ type Stream struct {
 	// capped-exponential backoff (in ticks to skip), and quarantine.
 	maxRetries  int
 	quarAfter   int
-	consFails   [3]int
-	backoff     [3]int
-	quarantined [3]bool
+	consFails   []int
+	backoff     []int
+	quarantined []bool
 	retries     int
 	readErrs    int
 
@@ -300,8 +309,22 @@ type Stream struct {
 	finErr error
 }
 
-// planeEvents maps rapl.Planes() order to PAPI event names.
-var planeEvents = [3]string{papi.EventPackageEnergy, papi.EventPP0Energy, papi.EventDRAMEnergy}
+// planeWatts projects one plane's component out of a PlanePower.
+func planeWatts(pw hw.PlanePower, p rapl.Plane) float64 {
+	switch p {
+	case rapl.PlanePKG:
+		return pw.PKG
+	case rapl.PlanePP0:
+		return pw.PP0
+	case rapl.PlaneDRAM:
+		return pw.DRAM
+	case rapl.PlaneNIC:
+		return pw.NIC
+	case rapl.PlaneSwitch:
+		return pw.Switch
+	}
+	panic(fmt.Sprintf("monitor: unknown plane %v", p))
+}
 
 // NewStream prepares a monitored measurement: it arms the PAPI event
 // set on the RAPL device and schedules periodic polling every
@@ -331,12 +354,27 @@ func NewStream(cfg Config) (*Stream, error) {
 	if s.quarAfter <= 0 {
 		s.quarAfter = DefaultQuarantineAfter
 	}
-	for i, p := range rapl.Planes() {
+	s.planes = cfg.Planes
+	if len(s.planes) == 0 {
+		s.planes = rapl.Planes()
+	}
+	n := len(s.planes)
+	s.events = make([]string, n)
+	s.truth0 = make([]float64, n)
+	s.consFails = make([]int, n)
+	s.backoff = make([]int, n)
+	s.quarantined = make([]bool, n)
+	for i, p := range s.planes {
+		ev, err := papi.EventForPlane(p)
+		if err != nil {
+			return nil, err
+		}
+		s.events[i] = ev
 		s.truth0[i] = dev.TotalJoules(p)
 	}
 
 	s.es = papi.NewEventSet(dev)
-	for _, e := range planeEvents {
+	for _, e := range s.events {
 		if err := s.es.Add(e); err != nil {
 			return nil, err
 		}
@@ -369,7 +407,7 @@ func NewStream(cfg Config) (*Stream, error) {
 // of the run after quarAfter consecutive failed ticks.
 func (s *Stream) pollTick() {
 	s.samples++
-	for i := range planeEvents {
+	for i := range s.planes {
 		s.samplePlane(i)
 	}
 }
@@ -384,10 +422,10 @@ func (s *Stream) samplePlane(i int) {
 		s.backoff[i]--
 		return
 	}
-	err := s.es.PollEvent(planeEvents[i])
+	err := s.es.PollEvent(s.events[i])
 	for attempt := 0; err != nil && attempt < s.maxRetries; attempt++ {
 		s.retries++
-		err = s.es.PollEvent(planeEvents[i])
+		err = s.es.PollEvent(s.events[i])
 	}
 	if err == nil {
 		s.consFails[i] = 0
@@ -438,6 +476,12 @@ func (s *Stream) Observe(seg sim.Segment) error {
 	if seg.Power.DRAM > s.peak.DRAM {
 		s.peak.DRAM = seg.Power.DRAM
 	}
+	if seg.Power.NIC > s.peak.NIC {
+		s.peak.NIC = seg.Power.NIC
+	}
+	if seg.Power.Switch > s.peak.Switch {
+		s.peak.Switch = seg.Power.Switch
+	}
 	s.dev.Advance(dt, seg.Power)
 	return nil
 }
@@ -473,7 +517,7 @@ func (s *Stream) finish() (*Report, error) {
 		// A degraded final sample: retry each live plane the same way a
 		// tick does, so a transient fault at the very end does not cost
 		// the run's tail energy. Quarantine can still fire here.
-		for i := range planeEvents {
+		for i := range s.planes {
 			s.samplePlane(i)
 		}
 		defer s.dev.SetCounterFault(nil)
@@ -500,9 +544,8 @@ func (s *Stream) finish() (*Report, error) {
 		ReadErrors:     s.readErrs,
 		DroppedSamples: s.es.Drops(),
 	}
-	peaks := [3]float64{s.peak.PKG, s.peak.PP0, s.peak.DRAM}
 	var unsound []string
-	for i, p := range rapl.Planes() {
+	for i, p := range s.planes {
 		measured := float64(vals[i]) / 1e9
 		truth := s.dev.TotalJoules(p) - s.truth0[i]
 		pr := PlaneReport{
@@ -533,7 +576,7 @@ func (s *Stream) finish() (*Report, error) {
 		}
 		rep.Planes = append(rep.Planes, pr)
 
-		if maxGain := peaks[i] * s.interval; maxGain >= rep.WrapJoules {
+		if maxGain := planeWatts(s.peak, p) * s.interval; maxGain >= rep.WrapJoules {
 			unsound = append(unsound, p.String())
 		}
 	}

@@ -1,12 +1,37 @@
 package mpi
 
-import "capscale/internal/task"
+import (
+	"fmt"
+
+	"capscale/internal/cluster"
+	"capscale/internal/task"
+)
 
 // Collective operations built on Send/Recv with the standard
 // binomial-tree and ring algorithms. All ranks of the communicator
 // must call the collective with the same root, tag and byte count;
 // tags share the point-to-point namespace, so programs should reserve
 // distinct tags for overlapping collectives.
+//
+// Reserved tag namespace: composite collectives (Allreduce, Barrier)
+// run each internal phase on a tag derived from the caller's tag —
+// tag+phaseReduceOff for the Reduce phase and tag+phaseBcastOff for
+// the Bcast phase. Without distinct phase tags, a fast rank's
+// Bcast-phase send could be matched by a slow rank still blocked in
+// its Reduce phase (both phases address the same (dst, src, tag) FIFO
+// queue), silently corrupting the matching order. User programs must
+// therefore keep their own tags below phaseTagBase; tags at or above
+// phaseTagBase belong to the composite-phase namespace.
+
+const (
+	// phaseTagBase is the floor of the reserved composite-phase tag
+	// namespace. User tags must stay below it.
+	phaseTagBase = 1 << 20
+	// phaseReduceOff and phaseBcastOff shift a user tag into the
+	// per-phase namespaces used by Allreduce (and Barrier through it).
+	phaseReduceOff = 1 * phaseTagBase
+	phaseBcastOff  = 2 * phaseTagBase
+)
 
 // Bcast distributes `bytes` from root to every rank along a binomial
 // tree (ceil(log2 P) rounds on the critical path).
@@ -58,16 +83,35 @@ func (r *Rank) Reduce(root, tag int, bytes float64) {
 			src := (r.id + mask) % size
 			got := r.Recv(src, tag)
 			// Combine the received payload with the local buffer.
-			r.Compute(ComputeWork{Kind: task.KindAdd, Flops: got / 8, DRAMBytes: 3 * got, Cores: 1})
+			// Zero-byte reductions (Barrier) carry nothing to combine,
+			// so they must not pay the per-task compute overhead.
+			if got > 0 {
+				r.Compute(ComputeWork{Kind: task.KindAdd, Flops: got / 8, DRAMBytes: 3 * got, Cores: 1})
+			}
 		}
 		mask <<= 1
 	}
 }
 
-// Allreduce is Reduce onto rank 0 followed by Bcast from it.
+// Allreduce reduces `bytes` across all ranks and leaves every rank
+// the result, using the fabric's configured collective family:
+// binomial (Reduce onto rank 0, Bcast from it — latency-optimal) or
+// ring (ReduceScatter then Allgather of bytes/P shares —
+// bandwidth-optimal). Each phase runs on its own derived tag (see the
+// reserved-namespace note above) so the two phases can never
+// cross-match when ranks drift.
 func (r *Rank) Allreduce(tag int, bytes float64) {
-	r.Reduce(0, tag, bytes)
-	r.Bcast(0, tag, bytes)
+	if tag >= phaseTagBase || tag < 0 {
+		panic(fmt.Sprintf("mpi: Allreduce tag %d outside the user namespace [0, %d)", tag, phaseTagBase))
+	}
+	if r.w.c.Fabric.Allreduce == cluster.AllreduceRing && r.size > 1 {
+		share := bytes / float64(r.size)
+		r.ReduceScatter(tag+phaseReduceOff, share)
+		r.Allgather(tag+phaseBcastOff, share)
+		return
+	}
+	r.Reduce(0, tag+phaseReduceOff, bytes)
+	r.Bcast(0, tag+phaseBcastOff, bytes)
 }
 
 // Barrier synchronizes all ranks (a zero-byte Allreduce).
@@ -167,7 +211,9 @@ func (r *Rank) ReduceScatter(tag int, bytes float64) {
 	for k := 0; k < size-1; k++ {
 		r.Send(next, tag, bytes)
 		got := r.Recv(prev, tag)
-		r.Compute(ComputeWork{Kind: task.KindAdd, Flops: got / 8, DRAMBytes: 3 * got, Cores: 1})
+		if got > 0 {
+			r.Compute(ComputeWork{Kind: task.KindAdd, Flops: got / 8, DRAMBytes: 3 * got, Cores: 1})
+		}
 	}
 }
 

@@ -1,0 +1,135 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAllreducePhaseTagsIsolatedFromUserTraffic is the regression test
+// for the composite-collective tag collision: Allreduce used to run
+// its Reduce and Bcast phases on the caller's tag verbatim, so any
+// point-to-point message in flight on that tag could be matched by a
+// phase recv (FIFO queues are keyed only by dst/src/tag). Here rank 0
+// posts a 5-byte user message on tag 7 before entering Allreduce(7);
+// with shared tags, rank 1's Bcast-phase recv consumed that user
+// message and the explicit Recv afterwards saw the 1000-byte Bcast
+// payload instead. With the reserved per-phase namespace the user
+// message survives the collective untouched.
+func TestAllreducePhaseTagsIsolatedFromUserTraffic(t *testing.T) {
+	c := testCluster(2)
+	Run(c, 2, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, 5)
+			r.Allreduce(7, 1000)
+		} else {
+			r.Allreduce(7, 1000)
+			if got := r.Recv(0, 7); got != 5 {
+				panic("Allreduce phase consumed the user's tag-7 message")
+			}
+		}
+	})
+}
+
+// TestAllreduceAdversarialPhaseInterleaving drives ranks into the two
+// phases at wildly skewed virtual times (each rank sleeps a different
+// amount, twice, between back-to-back same-tag Allreduces) so that
+// fast ranks are deep in a later phase while slow ranks still sit in
+// an earlier one. Every phase message must still match its own phase:
+// the run is deterministic and the traffic is exactly 2·(P−1)
+// messages per Allreduce.
+func TestAllreduceAdversarialPhaseInterleaving(t *testing.T) {
+	const size = 6
+	const rounds = 3
+	c := testCluster(size)
+	prog := func(r *Rank) {
+		for k := 0; k < rounds; k++ {
+			// Adversarial skew: a different rank is the straggler in
+			// each round.
+			r.Sleep(float64((r.ID()+k)%size) * 0.01)
+			r.Allreduce(3, 1e4)
+		}
+	}
+	a := Run(c, size, prog)
+	b := Run(c, size, prog)
+	wantMsgs := rounds * 2 * (size - 1)
+	if a.Messages != wantMsgs {
+		t.Fatalf("message count %d want %d (phase cross-match?)", a.Messages, wantMsgs)
+	}
+	if a.Makespan != b.Makespan || a.TotalJoules() != b.TotalJoules() || a.BytesSent != b.BytesSent {
+		t.Fatal("skewed same-tag Allreduces are not deterministic")
+	}
+}
+
+func TestAllreduceRejectsReservedTags(t *testing.T) {
+	c := testCluster(2)
+	for _, tag := range []int{phaseTagBase, phaseTagBase + 1, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("tag %d accepted", tag)
+				}
+			}()
+			Run(c, 2, func(r *Rank) { r.Allreduce(tag, 1) })
+		}()
+	}
+}
+
+// Oracle tests: pin each binomial collective's modeled volume,
+// message count, and zero-byte critical path against closed forms at
+// the non-power-of-two sizes P = 6 and 12. With bytes = 0 every
+// transfer costs exactly α and the combine work vanishes, so the
+// makespan isolates the o/α latency structure of the clamped binomial
+// tree: the α coefficient is the tree depth and the o coefficient
+// counts the serialized send/recv overheads on the deepest chain.
+func TestBinomialCollectiveOracles(t *testing.T) {
+	cases := []struct {
+		size int
+		// volume multipliers (× per-rank bytes) for data-bearing runs
+		bcastVol, gatherVol float64
+		// zero-byte critical path: oCoeff·o + aCoeff·α
+		oCoeff, aCoeff float64
+	}{
+		// P=6 tree (root 0): edges 1→0, 2→0, 3→2, 4→0, 5→4; depth 2.
+		// Gather/Scatter edge loads: 1+2+1+2+1 = 7 blocks.
+		{size: 6, bcastVol: 5, gatherVol: 7, oCoeff: 5, aCoeff: 2},
+		// P=12 tree: depth 3; subtree loads 1+2+1+4+1+2+1+4+1+2+1 = 20.
+		{size: 12, bcastVol: 11, gatherVol: 20, oCoeff: 7, aCoeff: 3},
+	}
+	const per = 1e4
+	for _, tc := range cases {
+		c := testCluster(tc.size)
+		o := c.Fabric.PerMessageOverheadSec
+		alpha := c.Fabric.LatencySec
+		wantPath := tc.oCoeff*o + tc.aCoeff*alpha
+
+		colls := []struct {
+			name    string
+			run     func(r *Rank, bytes float64)
+			volume  float64 // × per
+			hasPath bool
+		}{
+			{"Bcast", func(r *Rank, b float64) { r.Bcast(0, 0, b) }, tc.bcastVol, true},
+			{"Reduce", func(r *Rank, b float64) { r.Reduce(0, 0, b) }, tc.bcastVol, true},
+			{"Gather", func(r *Rank, b float64) { r.Gather(0, 0, b) }, tc.gatherVol, true},
+			{"Scatter", func(r *Rank, b float64) { r.Scatter(0, 0, b) }, tc.gatherVol, true},
+		}
+		for _, cl := range colls {
+			// Volume and message count with a data-bearing payload.
+			res := Run(c, tc.size, func(r *Rank) { cl.run(r, per) })
+			if wantV := cl.volume * per; math.Abs(res.BytesSent-wantV) > 1e-9 {
+				t.Errorf("P=%d %s volume %v want %v", tc.size, cl.name, res.BytesSent, wantV)
+			}
+			if res.Messages != tc.size-1 {
+				t.Errorf("P=%d %s messages %d want %d", tc.size, cl.name, res.Messages, tc.size-1)
+			}
+			// Critical path with a zero-byte payload.
+			if cl.hasPath {
+				z := Run(c, tc.size, func(r *Rank) { cl.run(r, 0) })
+				if math.Abs(z.Makespan-wantPath)/wantPath > 1e-9 {
+					t.Errorf("P=%d %s critical path %v want %v (= %g·o + %g·α)",
+						tc.size, cl.name, z.Makespan, wantPath, tc.oCoeff, tc.aCoeff)
+				}
+			}
+		}
+	}
+}

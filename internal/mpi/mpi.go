@@ -14,10 +14,12 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"capscale/internal/cluster"
 	"capscale/internal/hw"
+	"capscale/internal/sim"
 	"capscale/internal/task"
 )
 
@@ -41,10 +43,20 @@ type Result struct {
 	ComputeJoules float64
 	NICJoules     float64
 	IdleJoules    float64
-	// BytesSent is total traffic offered to the fabric; Messages the
-	// message count.
+	// BytesSent is total traffic offered to the fabric (bytes on the
+	// wire); Messages the message count.
 	BytesSent float64
 	Messages  int
+	// CritAlphaTerms counts exposed message latencies on the critical
+	// rank: the maximum over ranks of receives that actually stalled
+	// the rank's clock (arrival later than its local time). For a
+	// binomial collective this is the α·⌈log P⌉ term of the critical
+	// path, measured rather than modeled.
+	CritAlphaTerms int
+	// CritCommSeconds is the maximum over ranks of time spent
+	// communicating: per-message CPU overheads plus exposed wire
+	// stalls.
+	CritCommSeconds float64
 	// RankFinish and RankBusy are per-rank clocks and busy seconds.
 	RankFinish []float64
 	RankBusy   []float64
@@ -83,6 +95,18 @@ type world struct {
 	// deliverable message anywhere is a deadlock.
 	waiting map[int]msgKey
 	alive   int
+	// record arms per-rank power-event collection so the run can be
+	// rendered as a cluster power timeline (RunTraced).
+	record bool
+}
+
+// powerEvent is a signed plane-power delta at one instant of virtual
+// time: +power at a contribution's start, −power at its end. Sweeping
+// the sorted deltas reconstructs the piecewise-constant cluster
+// timeline.
+type powerEvent struct {
+	t  float64
+	pw hw.PlanePower
 }
 
 // anyDeliverable reports whether any blocked rank's awaited queue has
@@ -109,6 +133,22 @@ type Rank struct {
 	nicJ    float64
 	sent    float64
 	msgs    int
+
+	// Communication critical-path accounting.
+	alphaStalls int     // receives that stalled this rank's clock
+	commSec     float64 // overheads + exposed wire stalls
+
+	// Power-event log (RunTraced only).
+	events []powerEvent
+}
+
+// emit records one constant-power contribution over [start, end).
+func (r *Rank) emit(start, end float64, pw hw.PlanePower) {
+	if !r.w.record || end <= start {
+		return
+	}
+	r.events = append(r.events, powerEvent{t: start, pw: pw})
+	r.events = append(r.events, powerEvent{t: end, pw: hw.PlanePower{}.Sub(pw)})
 }
 
 // ID returns the rank's index in [0, Size).
@@ -138,10 +178,11 @@ func (r *Rank) Compute(w ComputeWork) {
 	for i := range acts {
 		acts[i] = hw.Activity{Utilization: cost.Utilization, DRAMRate: cost.DRAMRate}
 	}
-	premium := m.SegmentPower(acts).Total() - m.IdlePower().Total()
+	planePremium := m.SegmentPower(acts).Sub(m.IdlePower())
+	r.emit(r.now, r.now+cost.Duration, planePremium)
 	r.now += cost.Duration
 	r.busy += cost.Duration
-	r.energyJ += premium * cost.Duration
+	r.energyJ += planePremium.Total() * cost.Duration
 }
 
 // Sleep advances the rank's clock without activity.
@@ -171,6 +212,11 @@ func (r *Rank) Send(to, tag int, bytes float64) {
 	r.sent += bytes
 	r.msgs++
 	r.nicJ += fab.NICPerGBs * bytes / 1e9
+	// The message's full NIC transfer energy — this end's charge plus
+	// the receiver's matching one — drawn evenly over the wire window.
+	if wire := 2 * fab.NICPerGBs * bytes / 1e9; wire > 0 && arrive > r.now {
+		r.emit(r.now, arrive, hw.PlanePower{NIC: wire / (arrive - r.now)})
+	}
 
 	w := r.w
 	w.mu.Lock()
@@ -209,6 +255,10 @@ func (r *Rank) Recv(from, tag int) float64 {
 	w.mu.Unlock()
 
 	if msg.arrive > r.now {
+		// The wire is on the rank's critical path: an exposed α (plus
+		// serialization) stall rather than overlap with local work.
+		r.alphaStalls++
+		r.commSec += msg.arrive - r.now
 		r.now = msg.arrive
 	}
 	r.chargeOverhead()
@@ -225,7 +275,8 @@ func (r *Rank) SendRecv(peer, tag int, bytes float64) float64 {
 }
 
 // chargeOverhead advances the clock by the per-message CPU overhead
-// and charges its energy as a lightly active core.
+// and charges its energy as a lightly active core (on the PKG/PP0
+// planes: message processing is core work).
 func (r *Rank) chargeOverhead() {
 	o := r.w.c.Fabric.PerMessageOverheadSec
 	if o == 0 {
@@ -233,8 +284,10 @@ func (r *Rank) chargeOverhead() {
 	}
 	m := r.w.c.Node
 	premium := m.Power.CoreIdle + 0.3*m.Power.CoreDyn
+	r.emit(r.now, r.now+o, hw.PlanePower{PKG: premium, PP0: premium})
 	r.now += o
 	r.busy += o
+	r.commSec += o
 	r.energyJ += premium * o
 }
 
@@ -242,10 +295,25 @@ func (r *Rank) chargeOverhead() {
 // and integrates cluster energy over the run. It panics on invalid
 // rank counts and propagates the first rank panic.
 func Run(c *cluster.Cluster, ranks int, prog func(*Rank)) *Result {
+	res, _ := run(c, ranks, prog, false)
+	return res
+}
+
+// RunTraced is Run plus a cluster power timeline: the piecewise-
+// constant per-plane draw (node PKG/PP0/DRAM summed over ranks, NIC,
+// switch) over the run's virtual time. The timeline integrates
+// exactly to Result.TotalJoules(), so it can drive the monitor stack
+// (rapl.Device.Advance per segment) and reconcile against the run.
+func RunTraced(c *cluster.Cluster, ranks int, prog func(*Rank)) (*Result, []sim.Segment) {
+	res, rs := run(c, ranks, prog, true)
+	return res, mergeTimeline(c, rs, res.Makespan)
+}
+
+func run(c *cluster.Cluster, ranks int, prog func(*Rank), record bool) (*Result, []*Rank) {
 	if ranks <= 0 || ranks > c.Nodes {
 		panic(fmt.Sprintf("mpi: %d ranks on %d nodes", ranks, c.Nodes))
 	}
-	w := &world{c: c, queues: make(map[msgKey][]message), waiting: make(map[int]msgKey), alive: ranks}
+	w := &world{c: c, queues: make(map[msgKey][]message), waiting: make(map[int]msgKey), alive: ranks, record: record}
 	w.cv = sync.NewCond(&w.mu)
 
 	rs := make([]*Rank, ranks)
@@ -296,7 +364,57 @@ func Run(c *cluster.Cluster, ranks int, prog func(*Rank)) *Result {
 		if r.now > res.Makespan {
 			res.Makespan = r.now
 		}
+		if r.alphaStalls > res.CritAlphaTerms {
+			res.CritAlphaTerms = r.alphaStalls
+		}
+		if r.commSec > res.CritCommSeconds {
+			res.CritCommSeconds = r.commSec
+		}
 	}
 	res.IdleJoules = c.IdlePowerFor(ranks) * res.Makespan
-	return res
+	return res, rs
+}
+
+// mergeTimeline folds every rank's signed power deltas, plus the
+// cluster idle baseline over [0, makespan), into a piecewise-constant
+// per-plane timeline. Events are concatenated in rank order and
+// stable-sorted by time, so equal-time deltas apply in a fixed order
+// and the timeline is deterministic.
+func mergeTimeline(c *cluster.Cluster, rs []*Rank, makespan float64) []sim.Segment {
+	if makespan <= 0 {
+		return nil
+	}
+	idle := c.Node.IdlePower()
+	n := float64(len(rs))
+	base := hw.PlanePower{
+		PKG:    idle.PKG * n,
+		PP0:    idle.PP0 * n,
+		DRAM:   idle.DRAM * n,
+		NIC:    c.Fabric.NICIdleWatts * n,
+		Switch: c.Fabric.SwitchIdleWatts,
+	}
+	var events []powerEvent
+	for _, r := range rs {
+		events = append(events, r.events...)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t < events[j].t })
+
+	var segs []sim.Segment
+	cur := base
+	prev := 0.0
+	for i := 0; i < len(events); {
+		t := events[i].t
+		if t > prev {
+			segs = append(segs, sim.Segment{Start: prev, End: t, Power: cur})
+			prev = t
+		}
+		for i < len(events) && events[i].t == t {
+			cur = cur.Add(events[i].pw)
+			i++
+		}
+	}
+	if makespan > prev {
+		segs = append(segs, sim.Segment{Start: prev, End: makespan, Power: cur})
+	}
+	return segs
 }

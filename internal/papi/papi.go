@@ -15,17 +15,34 @@ import (
 	"capscale/internal/rapl"
 )
 
-// Event names exposed by the emulated RAPL component.
+// Event names exposed by the emulated RAPL component. The NIC and
+// SWITCH events map to the emulation's interconnect planes (see
+// rapl.ClusterPlanes): PSYS-style counters a distributed monitor
+// samples alongside the node planes.
 const (
 	EventPackageEnergy = "rapl:::PACKAGE_ENERGY:PACKAGE0"
 	EventPP0Energy     = "rapl:::PP0_ENERGY:PACKAGE0"
 	EventDRAMEnergy    = "rapl:::DRAM_ENERGY:PACKAGE0"
+	EventNICEnergy     = "rapl:::NIC_ENERGY:CLUSTER0"
+	EventSwitchEnergy  = "rapl:::SWITCH_ENERGY:CLUSTER0"
 )
 
 var eventPlanes = map[string]rapl.Plane{
 	EventPackageEnergy: rapl.PlanePKG,
 	EventPP0Energy:     rapl.PlanePP0,
 	EventDRAMEnergy:    rapl.PlaneDRAM,
+	EventNICEnergy:     rapl.PlaneNIC,
+	EventSwitchEnergy:  rapl.PlaneSwitch,
+}
+
+// EventForPlane returns the component's event name for a plane.
+func EventForPlane(p rapl.Plane) (string, error) {
+	for name, pl := range eventPlanes {
+		if pl == p {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("papi: no event for plane %v", p)
 }
 
 // AvailableEvents lists the component's event names, sorted, the way
@@ -159,7 +176,21 @@ func (es *EventSet) Poll() error {
 		es.drops++
 		return nil
 	}
-	return es.meter.Sample()
+	return es.sampleSet()
+}
+
+// sampleSet samples the plane of every registered event, in
+// registration order, so sets that include the interconnect planes
+// sample exactly what they armed. Every plane is attempted; the first
+// error is returned.
+func (es *EventSet) sampleSet() error {
+	var first error
+	for _, name := range es.events {
+		if err := es.meter.SamplePlane(eventPlanes[name]); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // PollEvent samples a single named event's plane — the per-plane form
@@ -188,7 +219,7 @@ func (es *EventSet) Read() ([]int64, error) {
 	if es.st != stateRunning {
 		return nil, fmt.Errorf("papi: reading a stopped event set")
 	}
-	err := es.meter.Sample()
+	err := es.sampleSet()
 	return es.values(), err
 }
 
@@ -200,7 +231,7 @@ func (es *EventSet) Stop() ([]int64, error) {
 	if es.st != stateRunning {
 		return nil, fmt.Errorf("papi: stopping a stopped event set")
 	}
-	err := es.meter.Sample()
+	err := es.sampleSet()
 	es.st = stateStopped
 	if err != nil {
 		return es.values(), fmt.Errorf("papi: final sample: %w", err)

@@ -10,7 +10,7 @@ import (
 
 func TestAvailableEvents(t *testing.T) {
 	ev := AvailableEvents()
-	if len(ev) != 3 {
+	if len(ev) != 5 {
 		t.Fatalf("events %v", ev)
 	}
 	for i := 1; i < len(ev); i++ {

@@ -28,6 +28,13 @@ const (
 	MSRPkgEnergyStatus  = 0x611
 	MSRDramEnergyStatus = 0x619
 	MSRPP0EnergyStatus  = 0x639
+	// The NIC and switch ENERGY_STATUS registers are this emulation's
+	// extension for distributed runs: RAPL-like 32-bit wrapping
+	// counters for the interconnect planes, modeled on the PSYS
+	// (platform) counter at 0x64D that covers energy outside the
+	// package on real Skylake+ parts.
+	MSRNicEnergyStatus    = 0x64C
+	MSRSwitchEnergyStatus = 0x64D
 )
 
 // Plane identifies one RAPL power plane.
@@ -40,10 +47,20 @@ const (
 	PlanePP0
 	// PlaneDRAM is the memory DIMMs.
 	PlaneDRAM
+	// PlaneNIC is the nodes' network adapters — a RAPL-like plane the
+	// distributed monitor samples; always zero on single-node runs.
+	PlaneNIC
+	// PlaneSwitch is the fabric's switching tiers, the PSYS-style
+	// "everything else" plane of a cluster.
+	PlaneSwitch
 	numPlanes
 )
 
-var planeNames = [...]string{"PKG", "PP0", "DRAM"}
+// NumPlanes is the total emulated plane count (node + interconnect),
+// for consumers that size per-plane state arrays.
+const NumPlanes = int(numPlanes)
+
+var planeNames = [...]string{"PKG", "PP0", "DRAM", "NIC", "SWITCH"}
 
 func (p Plane) String() string {
 	if p < 0 || p >= numPlanes {
@@ -52,8 +69,15 @@ func (p Plane) String() string {
 	return planeNames[p]
 }
 
-// Planes lists every emulated plane.
+// Planes lists the node-local planes real RAPL exposes — the set a
+// single-node measurement samples.
 func Planes() []Plane { return []Plane{PlanePKG, PlanePP0, PlaneDRAM} }
+
+// ClusterPlanes lists every emulated plane including the interconnect
+// extensions — the set a distributed measurement samples.
+func ClusterPlanes() []Plane {
+	return []Plane{PlanePKG, PlanePP0, PlaneDRAM, PlaneNIC, PlaneSwitch}
+}
 
 // defaultESU is the ENERGY_STATUS_UNITS exponent: energy unit =
 // 1/2^esu joules. 16 is the client-Haswell value (≈15.3 µJ).
@@ -156,6 +180,8 @@ func (d *Device) integrate(dt float64, p hw.PlanePower) {
 	d.totalJ[PlanePKG] += p.PKG * dt
 	d.totalJ[PlanePP0] += p.PP0 * dt
 	d.totalJ[PlaneDRAM] += p.DRAM * dt
+	d.totalJ[PlaneNIC] += p.NIC * dt
+	d.totalJ[PlaneSwitch] += p.Switch * dt
 }
 
 // SetPoll registers fn to be invoked every interval seconds of device
@@ -262,6 +288,10 @@ func (d *Device) ReadMSR(addr uint32) (uint64, error) {
 		return d.readCounter(PlanePP0)
 	case MSRDramEnergyStatus:
 		return d.readCounter(PlaneDRAM)
+	case MSRNicEnergyStatus:
+		return d.readCounter(PlaneNIC)
+	case MSRSwitchEnergyStatus:
+		return d.readCounter(PlaneSwitch)
 	case MSRPkgPowerLimit:
 		return d.readPowerLimitMSR(), nil
 	default:
@@ -297,7 +327,7 @@ func NewMeter(dev *Device) *Meter { return &Meter{dev: dev} }
 // measurement window opens on the true counter values, and every
 // fault thereafter is attributable to the read path.
 func (m *Meter) Start() {
-	for _, p := range Planes() {
+	for _, p := range ClusterPlanes() {
 		m.last[p] = m.dev.counter(p)
 		m.accum[p] = 0
 	}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"capscale/internal/cluster"
+	"capscale/internal/hw"
+	"capscale/internal/workload"
+)
+
+func commMatrix(t *testing.T) *workload.Matrix {
+	t.Helper()
+	spec, err := cluster.ParseSpec("16x1GbE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Execute(workload.Config{
+		Machine:    hw.HaswellE31225(),
+		Algorithms: []workload.Algorithm{workload.AlgSUMMA, workload.AlgDistCAPS},
+		Sizes:      []int{256},
+		Threads:    []int{1},
+		Clusters:   []cluster.Spec{spec},
+	})
+}
+
+func TestCommTableRows(t *testing.T) {
+	tbl := CommTable(commMatrix(t))
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows: %v", len(tbl.Rows), tbl.Rows)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		// Both cells fit more than one rank at n=256 on 16 nodes, so
+		// every row's ratio must parse and sit at or above the bound.
+		ratio, err := strconv.ParseFloat(row[9], 64)
+		if err != nil {
+			t.Fatalf("ratio %q does not parse: %v", row[9], err)
+		}
+		if ratio < 1 {
+			t.Fatalf("measured volume below the lower bound: row %v", row)
+		}
+	}
+	if !strings.Contains(tbl.String(), "SUMMA") {
+		t.Fatalf("table missing SUMMA row:\n%s", tbl.String())
+	}
+}
+
+func TestCommTableSkipsSingleNodeRuns(t *testing.T) {
+	mx := workload.Execute(workload.Config{
+		Machine:    hw.HaswellE31225(),
+		Algorithms: []workload.Algorithm{workload.AlgOpenBLAS},
+		Sizes:      []int{256},
+		Threads:    []int{1},
+	})
+	if tbl := CommTable(mx); len(tbl.Rows) != 0 {
+		t.Fatalf("single-node runs produced comm rows: %v", tbl.Rows)
+	}
+}
+
+func TestCommLowerBoundFamilies(t *testing.T) {
+	mem := 1 << 27 // words
+	classic := CommLowerBound(workload.AlgSUMMA, 1024, 16, float64(mem))
+	strassen := CommLowerBound(workload.AlgDistCAPS, 1024, 16, float64(mem))
+	if classic <= 0 || strassen <= 0 {
+		t.Fatalf("non-positive bound: classic %v strassen %v", classic, strassen)
+	}
+	// ω₀ < 3 admits less communication: Eq. 8 must sit below the
+	// classic bound at the same coordinates.
+	if strassen >= classic {
+		t.Fatalf("Eq. 8 bound %v not below classic %v", strassen, classic)
+	}
+}

@@ -337,6 +337,9 @@ func All(mx *workload.Matrix) string {
 		MeasurementTable(mx).String(),
 		Headlines(mx).String(),
 	}
+	if len(mx.Cfg.Clusters) > 0 {
+		parts = append(parts, CommTable(mx).String())
+	}
 	return strings.Join(parts, "\n")
 }
 

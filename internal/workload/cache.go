@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"capscale/internal/cluster"
 	"capscale/internal/hw"
 	"capscale/internal/obs"
 	"capscale/internal/sim"
@@ -56,6 +57,7 @@ type runKey struct {
 	alg               Algorithm
 	n                 int
 	threads           int
+	cluster           uint64 // cluster-spec fingerprint; 0 = single-node
 	disableAffinity   bool
 	disableContention bool
 	pollInterval      float64
@@ -67,16 +69,16 @@ type runKey struct {
 // cacheKey derives the memoization key for one cell under cfg. The
 // poll interval is normalized (unset selects DefaultPollInterval) so
 // explicit and defaulted configurations share entries.
-func cacheKey(cfg Config, alg Algorithm, n, threads int) runKey {
+func cacheKey(cfg Config, c cell) runKey {
 	interval := cfg.PollInterval
 	if interval <= 0 {
 		interval = DefaultPollInterval
 	}
-	return runKey{
+	key := runKey{
 		machine:           machineFingerprint(cfg.Machine),
-		alg:               alg,
-		n:                 n,
-		threads:           threads,
+		alg:               c.alg,
+		n:                 c.n,
+		threads:           c.threads,
 		disableAffinity:   cfg.DisableAffinity,
 		disableContention: cfg.DisableContention,
 		pollInterval:      interval,
@@ -84,6 +86,23 @@ func cacheKey(cfg Config, alg Algorithm, n, threads int) runKey {
 		traceInterval:     cfg.TraceSampleInterval,
 		recordSchedule:    cfg.RecordSchedule,
 	}
+	if cs := cfg.clusterOf(c); cs != nil {
+		key.cluster = clusterFingerprint(cs)
+	}
+	return key
+}
+
+// clusterFingerprint hashes every field of a cluster spec that feeds
+// the distributed cost or power model.
+func clusterFingerprint(cs *cluster.Spec) uint64 {
+	h := fnv.New64a()
+	cc := cs.Comms
+	fmt.Fprintf(h, "%d|%g|%s|%g|%g|%g|%g|%g|%d|%d|%g|%g|%g",
+		cs.Nodes, cs.MemPerNode, cc.Name,
+		cc.LinkLatencySec, cc.LinkBandwidth, cc.LinkEfficiency,
+		cc.PerMessageOverheadSec, cc.SwitchLatencySec, cc.SwitchTiers,
+		int(cc.Allreduce), cc.NICIdleWatts, cc.NICPerGBs, cc.SwitchIdleWattsTier)
+	return h.Sum64()
 }
 
 // cacheLoad returns a private copy of the memoized run for key, and

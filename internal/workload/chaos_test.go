@@ -39,7 +39,7 @@ func TestChaosSweepInvariants(t *testing.T) {
 
 	armed := 0
 	for _, c := range cells {
-		if cfg.Faults.Armed(cellKey(c.alg, c.n, c.threads)) {
+		if cfg.Faults.Armed(cfg.cellKey(c)) {
 			armed++
 		}
 	}
@@ -70,7 +70,7 @@ func TestChaosSweepInvariants(t *testing.T) {
 	sawDegraded, sawFailed := 0, 0
 	for i := range mx.Runs {
 		r := &mx.Runs[i]
-		key := cellKey(r.Alg, r.N, r.Threads)
+		key := cfg.cellKey(cell{alg: r.Alg, n: r.N, threads: r.Threads, spec: -1})
 		switch {
 		case r.Failed():
 			sawFailed++

@@ -73,6 +73,9 @@ func checkpointFingerprint(cfg Config) string {
 	for _, p := range cfg.Threads {
 		fmt.Fprintf(h, "p%d|", p)
 	}
+	for i := range cfg.Clusters {
+		fmt.Fprintf(h, "c%x|", clusterFingerprint(&cfg.Clusters[i]))
+	}
 	interval := cfg.PollInterval
 	if interval <= 0 {
 		interval = DefaultPollInterval

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"capscale/internal/cluster"
 	"capscale/internal/hw"
 )
 
@@ -20,8 +21,11 @@ type matrixJSON struct {
 	Algorithms []Algorithm `json:"algorithms"`
 	Sizes      []int       `json:"sizes"`
 	Threads    []int       `json:"threads"`
-	Quiesce    float64     `json:"quiesce_seconds"`
-	Runs       []runJSON   `json:"runs"`
+	// Clusters holds the distributed axis in its parseable spec form
+	// ("16x1GbE"); resolved through cluster.ParseSpec on load.
+	Clusters []string  `json:"clusters,omitempty"`
+	Quiesce  float64   `json:"quiesce_seconds"`
+	Runs     []runJSON `json:"runs"`
 }
 
 type runJSON struct {
@@ -32,6 +36,19 @@ type runJSON struct {
 	PKGJoules  float64   `json:"pkg_j"`
 	PP0Joules  float64   `json:"pp0_j"`
 	DRAMJoules float64   `json:"dram_j"`
+	// Distributed coordinates and communication record (absent on
+	// single-node cells).
+	Cluster           string  `json:"cluster,omitempty"`
+	Ranks             int     `json:"ranks,omitempty"`
+	Replication       int     `json:"replication,omitempty"`
+	WireBytes         float64 `json:"wire_bytes,omitempty"`
+	Messages          int     `json:"messages,omitempty"`
+	CritAlphaTerms    int     `json:"crit_alpha_terms,omitempty"`
+	CritCommSeconds   float64 `json:"crit_comm_seconds,omitempty"`
+	NICJoules         float64 `json:"nic_j,omitempty"`
+	SwitchJoules      float64 `json:"switch_j,omitempty"`
+	TruthNICJoules    float64 `json:"truth_nic_j,omitempty"`
+	TruthSwitchJoules float64 `json:"truth_switch_j,omitempty"`
 	// Oracle energy and sample count (absent in matrices saved before
 	// the measurement loop was closed; MeasurementErr treats zero
 	// truth as "no oracle recorded").
@@ -61,6 +78,11 @@ type runJSON struct {
 func runToJSON(r *Run) runJSON {
 	return runJSON{
 		Alg: r.Alg, N: r.N, Threads: r.Threads,
+		Cluster: r.Cluster, Ranks: r.Ranks, Replication: r.Replication,
+		WireBytes: r.WireBytes, Messages: r.Messages,
+		CritAlphaTerms: r.CritAlphaTerms, CritCommSeconds: r.CritCommSeconds,
+		NICJoules: r.NICJoules, SwitchJoules: r.SwitchJoules,
+		TruthNICJoules: r.TruthNICJoules, TruthSwitchJoules: r.TruthSwitchJoules,
 		Seconds: r.Seconds, PKGJoules: r.PKGJoules, PP0Joules: r.PP0Joules, DRAMJoules: r.DRAMJoules,
 		TruthPKGJoules: r.TruthPKGJoules, TruthPP0Joules: r.TruthPP0Joules, TruthDRAMJoules: r.TruthDRAMJoules,
 		MeasSamples: r.MeasSamples,
@@ -81,6 +103,11 @@ func runToJSON(r *Run) runJSON {
 func runFromJSON(rj *runJSON) Run {
 	return Run{
 		Alg: rj.Alg, N: rj.N, Threads: rj.Threads,
+		Cluster: rj.Cluster, Ranks: rj.Ranks, Replication: rj.Replication,
+		WireBytes: rj.WireBytes, Messages: rj.Messages,
+		CritAlphaTerms: rj.CritAlphaTerms, CritCommSeconds: rj.CritCommSeconds,
+		NICJoules: rj.NICJoules, SwitchJoules: rj.SwitchJoules,
+		TruthNICJoules: rj.TruthNICJoules, TruthSwitchJoules: rj.TruthSwitchJoules,
 		Seconds: rj.Seconds, PKGJoules: rj.PKGJoules, PP0Joules: rj.PP0Joules, DRAMJoules: rj.DRAMJoules,
 		TruthPKGJoules: rj.TruthPKGJoules, TruthPP0Joules: rj.TruthPP0Joules, TruthDRAMJoules: rj.TruthDRAMJoules,
 		MeasSamples: rj.MeasSamples,
@@ -105,6 +132,9 @@ func (mx *Matrix) SaveJSON(w io.Writer) error {
 		Sizes:      mx.Cfg.Sizes,
 		Threads:    mx.Cfg.Threads,
 		Quiesce:    mx.Cfg.QuiesceSeconds,
+	}
+	for _, spec := range mx.Cfg.Clusters {
+		out.Clusters = append(out.Clusters, spec.String())
 	}
 	for i := range mx.Runs {
 		out.Runs = append(out.Runs, runToJSON(&mx.Runs[i]))
@@ -138,6 +168,13 @@ func LoadJSON(r io.Reader) (*Matrix, error) {
 		Threads:        in.Threads,
 		QuiesceSeconds: in.Quiesce,
 	}}
+	for _, s := range in.Clusters {
+		spec, err := cluster.ParseSpec(s)
+		if err != nil {
+			return nil, fmt.Errorf("workload: saved matrix: %w", err)
+		}
+		mx.Cfg.Clusters = append(mx.Cfg.Clusters, spec)
+	}
 	for i := range in.Runs {
 		mx.Runs = append(mx.Runs, runFromJSON(&in.Runs[i]))
 	}

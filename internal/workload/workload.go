@@ -17,6 +17,7 @@ import (
 
 	"capscale/internal/blas"
 	"capscale/internal/caps"
+	"capscale/internal/cluster"
 	"capscale/internal/energy"
 	"capscale/internal/faults"
 	"capscale/internal/hw"
@@ -54,9 +55,26 @@ const (
 	// AlgWinograd is the Strassen-Winograd variant (an extension beyond
 	// the paper's three test fixtures).
 	AlgWinograd
+
+	// The distributed family runs on the cluster axis (Config.Clusters)
+	// through the simulated MPI layer instead of the shared-memory
+	// simulator — the paper's Section VIII scaling-out direction.
+
+	// AlgSUMMA is the classic 2-D SUMMA baseline on a √P×√P grid.
+	AlgSUMMA
+	// Alg25D is Solomonik–Demmel 2.5D multiplication; the replication
+	// factor is fitted to the cluster's per-node memory.
+	Alg25D
+	// AlgDStrassen is distributed classic (depth-first) Strassen, the
+	// non-communication-avoiding baseline.
+	AlgDStrassen
+	// AlgDistCAPS is distributed CAPS on 7^k ranks (Ballard et al.'s
+	// BFS recursion), the Eq. 8 communication-optimal fixture.
+	AlgDistCAPS
 )
 
-var algNames = [...]string{"OpenBLAS", "Strassen", "CAPS", "Winograd"}
+var algNames = [...]string{"OpenBLAS", "Strassen", "CAPS", "Winograd",
+	"SUMMA", "2.5D", "DStrassen", "dCAPS"}
 
 func (a Algorithm) String() string {
 	if a < 0 || int(a) >= len(algNames) {
@@ -65,9 +83,18 @@ func (a Algorithm) String() string {
 	return algNames[a]
 }
 
+// Distributed reports whether the algorithm runs on the cluster axis.
+func (a Algorithm) Distributed() bool { return a >= AlgSUMMA && a <= AlgDistCAPS }
+
 // PaperAlgorithms returns the paper's three test fixtures in its order.
 func PaperAlgorithms() []Algorithm {
 	return []Algorithm{AlgOpenBLAS, AlgStrassen, AlgCAPS}
+}
+
+// DistributedAlgorithms returns the cluster-axis family: the classic
+// baselines and the communication-avoiding fixtures.
+func DistributedAlgorithms() []Algorithm {
+	return []Algorithm{AlgSUMMA, Alg25D, AlgDStrassen, AlgDistCAPS}
 }
 
 // Config describes an experiment matrix.
@@ -76,6 +103,16 @@ type Config struct {
 	Algorithms []Algorithm
 	Sizes      []int
 	Threads    []int
+	// Clusters is the distributed axis: every spec (nodes × fabric ×
+	// memory per node) is crossed with Sizes for each distributed
+	// algorithm in Algorithms. Each distributed cell runs on the
+	// largest rank count the algorithm's structure admits on the spec
+	// (one rank per node, all cores), through the simulated MPI layer
+	// and the same monitored measurement path as the single-node cells
+	// — with the NIC and switch power planes sampled alongside the node
+	// planes. Single-node algorithms ignore this axis. Required
+	// (Validate) whenever Algorithms contains a distributed algorithm.
+	Clusters []cluster.Spec
 	// QuiesceSeconds is the idle gap inserted between runs in the
 	// concatenated power trace (the paper used 60 s).
 	QuiesceSeconds float64
@@ -165,6 +202,26 @@ func (cfg *Config) Validate() error {
 	if len(cfg.Algorithms) == 0 || len(cfg.Sizes) == 0 || len(cfg.Threads) == 0 {
 		return fmt.Errorf("workload: empty algorithms/sizes/threads")
 	}
+	distributed := false
+	for _, a := range cfg.Algorithms {
+		if a.Distributed() {
+			distributed = true
+		}
+	}
+	if distributed && len(cfg.Clusters) == 0 {
+		return fmt.Errorf("workload: distributed algorithms need at least one cluster spec")
+	}
+	for _, spec := range cfg.Clusters {
+		if spec.Nodes <= 0 {
+			return fmt.Errorf("workload: cluster spec %q: non-positive node count", spec)
+		}
+		if spec.MemPerNode <= 0 {
+			return fmt.Errorf("workload: cluster spec %q: non-positive memory", spec)
+		}
+		if err := spec.Comms.Validate(); err != nil {
+			return err
+		}
+	}
 	for _, n := range cfg.Sizes {
 		if n <= 0 {
 			return fmt.Errorf("workload: non-positive size %d", n)
@@ -195,6 +252,30 @@ type Run struct {
 	Alg     Algorithm
 	N       int
 	Threads int
+
+	// Distributed coordinates: Cluster is the spec string ("16x1GbE",
+	// "" for single-node cells), Ranks the communicator size actually
+	// fitted to it, Replication the 2.5D c factor (1 otherwise).
+	Cluster     string
+	Ranks       int
+	Replication int
+
+	// Measured communication record (distributed cells only): bytes
+	// offered to the wire, message count, and the critical rank's
+	// exposed α·log P terms and total communication seconds — the
+	// quantities report.CommTable gates against the Eq. 8 /
+	// Ballard–Demmel lower bounds.
+	WireBytes       float64
+	Messages        int
+	CritAlphaTerms  int
+	CritCommSeconds float64
+
+	// NIC and switch plane joules (distributed cells): measured through
+	// the monitor like the node planes, with the device truth alongside.
+	NICJoules         float64
+	SwitchJoules      float64
+	TruthNICJoules    float64
+	TruthSwitchJoules float64
 
 	// Seconds is the virtual runtime; the joule figures are what the
 	// polling monitor measured through the emulated RAPL/PAPI stack —
@@ -358,7 +439,16 @@ type Matrix struct {
 	restored int64
 
 	indexOnce sync.Once
-	index     map[cell]int
+	index     map[getKey]int
+}
+
+// getKey indexes Runs for Get/GetCluster: single-node cells by
+// (alg, n, threads), distributed cells by (alg, n, cluster spec).
+type getKey struct {
+	alg     Algorithm
+	n       int
+	threads int
+	cluster string
 }
 
 // addRestored counts one checkpoint-restored cell.
@@ -463,18 +553,32 @@ var (
 // poll interval (see cache.go); set Config.NoCache to force
 // re-simulation. Cached calls return an independent deep copy.
 func ExecuteOne(cfg Config, alg Algorithm, n, threads int) Run {
-	return executeOne(cfg, alg, n, threads, obs.Track{})
+	return executeOne(cfg, cell{alg: alg, n: n, threads: threads, spec: -1}, obs.Track{})
 }
 
-// executeOne is ExecuteOne on an explicit span track (the driver pool
-// gives each of its workers one).
-func executeOne(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
+// ExecuteOneCluster runs a single distributed configuration on one
+// cluster spec through the MPI layer and the cluster-plane measurement
+// stack. It panics (like ExecuteOne) on non-distributed algorithms.
+func ExecuteOneCluster(cfg Config, alg Algorithm, n int, spec cluster.Spec) Run {
+	if !alg.Distributed() {
+		panic(fmt.Sprintf("workload: %v is not a distributed algorithm", alg))
+	}
+	cfg.Clusters = []cluster.Spec{spec}
+	return executeOne(cfg, cell{alg: alg, n: n, spec: 0}, obs.Track{})
+}
+
+// executeOne is the cell dispatcher on an explicit span track (the
+// driver pool gives each of its workers one).
+func executeOne(cfg Config, c cell, tr obs.Track) Run {
 	var sp obs.Span
 	if obs.Enabled() {
 		sp = obs.StartOn(tr, "cell")
-		sp.Arg("alg", alg.String())
-		sp.ArgInt("n", n)
-		sp.ArgInt("threads", threads)
+		sp.Arg("alg", c.alg.String())
+		sp.ArgInt("n", c.n)
+		sp.ArgInt("threads", c.threads)
+		if cs := cfg.clusterOf(c); cs != nil {
+			sp.Arg("cluster", cs.String())
+		}
 		defer sp.End()
 	}
 	if cfg.Faults != nil {
@@ -482,26 +586,30 @@ func executeOne(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
 		// directions: a faulted (or merely fault-eligible) result must
 		// never be served as — or stored alongside — a clean one.
 		sp.Arg("faults", "armed")
-		return executeContained(cfg, alg, n, threads, tr)
+		return executeContained(cfg, c, tr)
 	}
 	if cfg.NoCache {
-		return executeCell(cfg, alg, n, threads, nil, tr)
+		return executeCell(cfg, c, nil, tr)
 	}
-	key := cacheKey(cfg, alg, n, threads)
+	key := cacheKey(cfg, c)
 	if hit, ok := cacheLoad(key); ok {
 		sp.Arg("cache", "hit")
 		return hit
 	}
 	sp.Arg("cache", "miss")
-	run := executeCell(cfg, alg, n, threads, nil, tr)
+	run := executeCell(cfg, c, nil, tr)
 	cacheStore(key, &run)
 	return run
 }
 
 // cellKey is the stable cell identifier fault schedules and sweep
-// checkpoints key on.
-func cellKey(alg Algorithm, n, threads int) string {
-	return fmt.Sprintf("%s/%d/%d", alg, n, threads)
+// checkpoints key on. Distributed cells append their cluster spec.
+func (cfg *Config) cellKey(c cell) string {
+	key := fmt.Sprintf("%s/%d/%d", c.alg, c.n, c.threads)
+	if cs := cfg.clusterOf(c); cs != nil {
+		key += "@" + cs.String()
+	}
+	return key
 }
 
 // executeContained runs one cell under the fault schedule with
@@ -510,8 +618,8 @@ func cellKey(alg Algorithm, n, threads int) string {
 // injector — up to the configured attempt budget. A cell that fails
 // every attempt yields a Run carrying its coordinates and error, so
 // the sweep always completes.
-func executeContained(cfg Config, alg Algorithm, n, threads int, tr obs.Track) Run {
-	key := cellKey(alg, n, threads)
+func executeContained(cfg Config, c cell, tr obs.Track) Run {
+	key := cfg.cellKey(c)
 	retries := cfg.MaxRetries
 	switch {
 	case retries == 0:
@@ -525,7 +633,7 @@ func executeContained(cfg Config, alg Algorithm, n, threads int, tr obs.Track) R
 			cellsRetried.Inc()
 		}
 		inj := cfg.Faults.ForCell(key, attempt)
-		run, err := tryCell(cfg, alg, n, threads, inj, tr)
+		run, err := tryCell(cfg, c, inj, tr)
 		if err == nil {
 			run.Attempts = attempt + 1
 			return run
@@ -533,30 +641,40 @@ func executeContained(cfg Config, alg Algorithm, n, threads int, tr obs.Track) R
 		lastErr = err
 	}
 	cellsFailed.Inc()
-	return Run{Alg: alg, N: n, Threads: threads, Attempts: retries + 1, Err: lastErr.Error()}
+	fail := Run{Alg: c.alg, N: c.n, Threads: c.threads, Attempts: retries + 1, Err: lastErr.Error()}
+	if cs := cfg.clusterOf(c); cs != nil {
+		fail.Cluster = cs.String()
+	}
+	return fail
 }
 
 // tryCell is one contained attempt: executeCell with panics converted
 // to errors. Injected aborts surface as their faults.CellAbort value;
 // anything else is wrapped with the cell coordinates.
-func tryCell(cfg Config, alg Algorithm, n, threads int, inj *faults.Injector, tr obs.Track) (run Run, err error) {
+func tryCell(cfg Config, c cell, inj *faults.Injector, tr obs.Track) (run Run, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			if e, ok := p.(error); ok {
 				err = e
 				return
 			}
-			err = fmt.Errorf("workload: cell %s/%d/%d panicked: %v", alg, n, threads, p)
+			err = fmt.Errorf("workload: cell %s panicked: %v", cfg.cellKey(c), p)
 		}
 	}()
-	return executeCell(cfg, alg, n, threads, inj, tr), nil
+	return executeCell(cfg, c, inj, tr), nil
 }
 
 // executeCell simulates and measures one matrix cell, bypassing the
 // memoization cache. A non-nil inj arms the fault injector on the
 // cell's measurement stack; the nil path is bit-identical to the
-// pre-fault-layer driver.
-func executeCell(cfg Config, alg Algorithm, n, threads int, inj *faults.Injector, tr obs.Track) Run {
+// pre-fault-layer driver. Distributed cells route through the MPI
+// layer (executeDistributedCell); both paths share the monitored
+// measurement stack.
+func executeCell(cfg Config, c cell, inj *faults.Injector, tr obs.Track) Run {
+	if c.spec >= 0 {
+		return executeDistributedCell(cfg, c, inj, tr)
+	}
+	alg, n, threads := c.alg, c.n, c.threads
 	t0 := time.Now()
 
 	var buildSp obs.Span
@@ -651,25 +769,53 @@ func executeCell(cfg Config, alg Algorithm, n, threads int, inj *faults.Injector
 	return run
 }
 
-// cell is one (algorithm, size, threads) coordinate of the matrix.
+// cell is one coordinate of the matrix: (algorithm, size, threads)
+// for single-node algorithms, (algorithm, size, cluster spec) for
+// distributed ones.
 type cell struct {
 	alg     Algorithm
 	n       int
 	threads int
+	// spec indexes Config.Clusters for distributed cells; -1 marks a
+	// single-node cell.
+	spec int
+}
+
+// clusterOf returns the cell's cluster spec, or nil for single-node
+// cells.
+func (cfg *Config) clusterOf(c cell) *cluster.Spec {
+	if c.spec < 0 {
+		return nil
+	}
+	return &cfg.Clusters[c.spec]
 }
 
 // cells enumerates the matrix coordinates in the paper's nesting order
-// (algorithm, then size, then thread count).
+// (algorithm, then size, then thread count — or cluster spec on the
+// distributed axis).
 func (cfg *Config) cells() []cell {
 	out := make([]cell, 0, len(cfg.Algorithms)*len(cfg.Sizes)*len(cfg.Threads))
 	for _, alg := range cfg.Algorithms {
 		for _, n := range cfg.Sizes {
+			if alg.Distributed() {
+				for s := range cfg.Clusters {
+					out = append(out, cell{alg: alg, n: n, spec: s})
+				}
+				continue
+			}
 			for _, p := range cfg.Threads {
-				out = append(out, cell{alg, n, p})
+				out = append(out, cell{alg: alg, n: n, threads: p, spec: -1})
 			}
 		}
 	}
 	return out
+}
+
+// CellCount returns how many cells the configuration sweeps — the
+// single-node algorithm×size×thread cross plus the distributed
+// algorithm×size×cluster cross. CLIs use it for their progress line.
+func (cfg *Config) CellCount() int {
+	return len(cfg.cells())
 }
 
 // Execute runs the whole matrix, fanning independent cells across a
@@ -707,14 +853,14 @@ func Execute(cfg Config) *Matrix {
 	// completes (failed cells are left out so a resumed sweep retries
 	// them).
 	runCell := func(c cell, tr obs.Track) Run {
-		key := cellKey(c.alg, c.n, c.threads)
+		key := cfg.cellKey(c)
 		if r, ok := restored[key]; ok {
 			r.Restored = true
 			cellsRestored.Inc()
 			mx.addRestored()
 			return r
 		}
-		run := executeOne(cfg, c.alg, c.n, c.threads, tr)
+		run := executeOne(cfg, c, tr)
 		if ck != nil && !run.Failed() {
 			ck.record(key, &run)
 		}
@@ -772,16 +918,30 @@ func Execute(cfg Config) *Matrix {
 	return mx
 }
 
-// Get returns the run for a configuration, or nil when absent. The
-// first call builds an index over Runs, so lookups from the table and
-// figure aggregations are O(1); Runs must not be appended to or
-// reordered after the first Get.
+// Get returns the single-node run for a configuration, or nil when
+// absent. The first call builds an index over Runs, so lookups from
+// the table and figure aggregations are O(1); Runs must not be
+// appended to or reordered after the first Get. Distributed cells are
+// indexed by their cluster spec — use GetCluster.
 func (mx *Matrix) Get(alg Algorithm, n, threads int) *Run {
+	return mx.get(getKey{alg: alg, n: n, threads: threads})
+}
+
+// GetCluster returns the distributed run of one (algorithm, size,
+// cluster spec) cell, or nil when absent.
+func (mx *Matrix) GetCluster(alg Algorithm, n int, spec string) *Run {
+	return mx.get(getKey{alg: alg, n: n, cluster: spec})
+}
+
+func (mx *Matrix) get(k getKey) *Run {
 	mx.indexOnce.Do(func() {
-		mx.index = make(map[cell]int, len(mx.Runs))
+		mx.index = make(map[getKey]int, len(mx.Runs))
 		for i := range mx.Runs {
 			r := &mx.Runs[i]
-			k := cell{r.Alg, r.N, r.Threads}
+			k := getKey{alg: r.Alg, n: r.N, cluster: r.Cluster}
+			if r.Cluster == "" {
+				k.threads = r.Threads
+			}
 			// First match wins, preserving the linear scan's semantics
 			// on (malformed) matrices with duplicate cells.
 			if _, dup := mx.index[k]; !dup {
@@ -789,7 +949,7 @@ func (mx *Matrix) Get(alg Algorithm, n, threads int) *Run {
 			}
 		}
 	})
-	if i, ok := mx.index[cell{alg, n, threads}]; ok {
+	if i, ok := mx.index[k]; ok {
 		return &mx.Runs[i]
 	}
 	return nil

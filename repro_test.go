@@ -4,7 +4,9 @@ import (
 	"sync"
 	"testing"
 
+	"capscale/internal/cluster"
 	"capscale/internal/energy"
+	"capscale/internal/report"
 	"capscale/internal/stats"
 	"capscale/internal/workload"
 )
@@ -255,6 +257,65 @@ func TestReproMeasurementReconciles(t *testing.T) {
 			t.Errorf("%v n=%d p=%d: %.4f s run but only %d monitor samples — poller not firing",
 				r.Alg, r.N, r.Threads, r.Seconds, r.MeasSamples)
 		}
+	}
+}
+
+func TestReproCommVolumeWithinBound(t *testing.T) {
+	// The communication gate: every distributed run that puts traffic
+	// on the wire must move at least the family-matching lower bound —
+	// Ballard–Demmel for the classic algorithms, the paper's Eq. 8 for
+	// the Strassen-like ones — and stay within a fixed constant factor
+	// of it at the tested coordinates. The constants are analytic, not
+	// tuned: SUMMA moves ~2n²/√P words per rank (2·P^(1/6) over the
+	// memory-independent classic term, ≈3.2 at P=16); CAPS sums
+	// (18/4)·(7/4)^(l-1)·n²/P per BFS level, ≤6× the Eq. 8 term at any
+	// P = 7^k (≈4.0 at P=49). A ratio under 1 means the rank program
+	// under-charges communication (the bug this gate was built to
+	// catch); one above the ceiling means it stopped being
+	// communication-avoiding.
+	const maxRatio = 6.0
+	var specs []cluster.Spec
+	for _, s := range []string{"16x1GbE", "49xFDR"} {
+		spec, err := cluster.ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	cfg := workload.PaperConfig()
+	cfg.Algorithms = []workload.Algorithm{workload.AlgSUMMA, workload.AlgDistCAPS}
+	cfg.Sizes = []int{512, 1024}
+	cfg.Clusters = specs
+	mx := workload.Execute(cfg)
+
+	bounded := 0
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		if r.Failed() {
+			t.Fatalf("%v n=%d on %s failed: %s", r.Alg, r.N, r.Cluster, r.Err)
+		}
+		if r.Ranks <= 1 || r.WireBytes <= 0 {
+			continue // node-local: the distributed-data bounds do not apply
+		}
+		spec, err := cluster.ParseSpec(r.Cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := report.CommWordsPerRank(r)
+		bound := report.CommLowerBound(r.Alg, r.N, r.Ranks, spec.MemPerNode/8)
+		ratio := words / bound
+		if ratio < 1 {
+			t.Errorf("%v n=%d P=%d on %s: measured %.0f words/rank BELOW the lower bound %.0f (ratio %.2f)",
+				r.Alg, r.N, r.Ranks, r.Cluster, words, bound, ratio)
+		}
+		if ratio > maxRatio {
+			t.Errorf("%v n=%d P=%d on %s: measured %.0f words/rank is %.2f× the bound %.0f (ceiling %g)",
+				r.Alg, r.N, r.Ranks, r.Cluster, words, ratio, bound, maxRatio)
+		}
+		bounded++
+	}
+	if bounded < 4 {
+		t.Fatalf("only %d distributed runs put traffic on the wire — the gate is vacuous", bounded)
 	}
 }
 

@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Runs the experiment-driver benchmarks (BenchmarkExecuteMatrix's
-# sequential/parallel/memoized variants plus BenchmarkBuildTree's
-# dense/shape variants) and records ns/op, B/op and allocs/op in
-# BENCH_driver.json so the perf trajectory is comparable across PRs.
+# sequential/parallel/memoized variants, BenchmarkBuildTree's
+# dense/shape variants, plus BenchmarkExecuteDistributed's cluster
+# sweep) and records ns/op, B/op and allocs/op in BENCH_driver.json so
+# the perf trajectory is comparable across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_driver.json
-raw=$(go test . -run 'XXX' -bench 'BenchmarkExecuteMatrix|BenchmarkBuildTree' -benchmem "$@")
+# -run '^$' matches no tests ('XXX' was a substring match that still
+# ran any test whose name contains it).
+raw=$(go test . -run '^$' -bench 'BenchmarkExecuteMatrix|BenchmarkBuildTree|BenchmarkExecuteDistributed' -benchmem "$@")
 echo "$raw"
 
 echo "$raw" | awk '
 BEGIN { print "{"; first = 1 }
-/^Benchmark(ExecuteMatrix|BuildTree)\// {
+/^Benchmark(ExecuteMatrix|BuildTree|ExecuteDistributed)\// {
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)

@@ -8,7 +8,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_sim.json
-raw=$(go test ./internal/sim/ -run 'XXX' -bench 'BenchmarkSimRun' -benchmem "$@")
+# -run '^$' matches no tests ('XXX' was a substring match that still
+# ran any test whose name contains it).
+raw=$(go test ./internal/sim/ -run '^$' -bench 'BenchmarkSimRun' -benchmem "$@")
 echo "$raw"
 
 echo "$raw" | awk '

@@ -28,6 +28,10 @@ go build ./...
 go test ./...
 go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
 go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/... ./internal/faults/...
+# The distributed stack: the simulated MPI layer, the rank programs
+# and the comms/cluster model feed the same concurrent driver, so they
+# get the same race pass.
+go test -race ./internal/mpi/... ./internal/dmm/... ./internal/cluster/...
 # The event-driven simulator core: concurrent Runs must be race-free
 # (-short skips the 48-cell bit-identicality pin, which the plain
 # `go test ./...` line above already ran in full).
@@ -48,4 +52,8 @@ go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss
 # Chaos smoke: a seeded fault-injection sweep through the real binary
 # must degrade gracefully and resume from its checkpoint bit-identically.
 ./scripts/chaos_smoke.sh
+# Distributed smoke: a 4-node GigE sweep through the real epscale
+# binary must render the comm-bound table, reconcile every cell, and
+# resume from its checkpoint bit-identically.
+./scripts/dist_smoke.sh
 echo "check.sh: all green"
