@@ -1,4 +1,4 @@
-.PHONY: check test race bench bench-kernels bench-driver bench-sim trace-smoke chaos-smoke dist-smoke
+.PHONY: check test race bench bench-kernels bench-driver bench-sim bench-model trace-smoke chaos-smoke dist-smoke model-smoke
 
 # Full verify gate: gofmt, vet, build, tests, race pass on the
 # concurrent packages.
@@ -30,6 +30,11 @@ chaos-smoke:
 dist-smoke:
 	./scripts/dist_smoke.sh
 
+# Model-guided sweep through the epscale CLI: the planner must stay
+# inside its 1/3 measurement budget, fit tightly, and be deterministic.
+model-smoke:
+	./scripts/model_smoke.sh
+
 bench:
 	go test -bench=. -benchmem
 
@@ -50,3 +55,8 @@ bench-driver:
 # near-flat across the sweep.
 bench-sim:
 	./scripts/bench_sim.sh
+
+# Measurement-avoidance trajectory: guided vs exhaustive executed
+# cells and wall time on the same matrix, recorded to BENCH_model.json.
+bench-model:
+	./scripts/bench_model.sh

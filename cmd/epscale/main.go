@@ -10,6 +10,8 @@
 //	epscale -sizes 512,1024 -threads 1,2,3,4
 //	epscale -ablate-affinity   # communication charging off
 //	epscale -trace-out sweep.json -metrics   # Perfetto trace + metrics
+//	epscale -plan guided -what model         # model-guided sweep + fit report
+//	epscale -algs SpMV,CG -what measurement  # sparse workloads only
 package main
 
 import (
@@ -36,6 +38,25 @@ import (
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
+// artifactNames is the single ordered registry of -what modes. The
+// flag help and the unknown-artifact error both derive from it, so
+// the advertised list cannot drift from what run() accepts.
+var artifactNames = []string{
+	"all", "table2", "table3", "table4",
+	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+	"headlines", "breakdown", "measurement", "comm", "model",
+	"future-dmm", "future-sparse", "platforms",
+}
+
+func knownArtifact(name string) bool {
+	for _, a := range artifactNames {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
 // run is main with its environment abducted: flag parsing, validation
 // and the whole pipeline run against explicit writers so the CLI
 // boundary is testable. It returns the process exit code.
@@ -43,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("epscale", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		what       = fs.String("what", "all", "artifact: all, table2, table3, table4, fig1, fig3..fig7, headlines, breakdown, measurement, comm, future-dmm, future-sparse, platforms")
+		what       = fs.String("what", "all", "artifact: "+strings.Join(artifactNames, ", "))
 		quick      = fs.Bool("quick", false, "use a reduced matrix (sizes 512,1024; threads 1..4)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		chart      = fs.Bool("chart", false, "render figures as ASCII line charts (fig3..fig7)")
@@ -64,12 +85,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkpoint = fs.String("checkpoint", "", "journal completed cells to this file and resume from it")
 		cellRetry  = fs.Int("cell-retries", 0, "re-attempts per failed cell under -faults (0 = default, negative = none)")
 		clusters   = fs.String("cluster", "", "comma-separated cluster specs (NODESxFABRIC[@MEMGiB], e.g. 16x1GbE,49xFDR); arms the distributed algorithms")
+		algs       = fs.String("algs", "", "comma-separated algorithms (default: paper's dense set; valid: "+strings.Join(workload.AlgorithmNames(), ", ")+")")
+		plan       = fs.String("plan", "exhaustive", "sweep plan: "+strings.Join(workload.PlanNames(), ", ")+" (guided fits the energy model and predicts confident cells)")
+		seedFrac   = fs.Float64("seed-frac", 0, "guided plan: target fraction of cells in the initial seed (0 = default)")
+		confid     = fs.Float64("confidence", 0, "guided plan: widest acceptable relative CI before a cell must be measured (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *jobs < 0 {
 		fmt.Fprintf(stderr, "epscale: -j must be >= 0, got %d\n", *jobs)
+		return 2
+	}
+	if !knownArtifact(*what) {
+		fmt.Fprintf(stderr, "epscale: unknown artifact %q (valid: %s)\n", *what, strings.Join(artifactNames, ", "))
 		return 2
 	}
 
@@ -124,6 +153,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *what == "comm" && *clusters == "" && *load == "" {
 		*clusters = "16x1GbE" // the comm artifact needs a cluster axis
 	}
+	if *algs != "" {
+		if cfg.Algorithms, err = parseAlgorithms(*algs); err != nil {
+			fmt.Fprintf(stderr, "epscale: -algs: %v\n", err)
+			return 2
+		}
+	}
 	if *clusters != "" {
 		specs, err := parseClusters(*clusters)
 		if err != nil {
@@ -131,7 +166,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		cfg.Clusters = specs
-		cfg.Algorithms = append(cfg.Algorithms, workload.DistributedAlgorithms()...)
+		// An explicit -algs selection is taken as-is; otherwise a
+		// cluster axis arms the distributed algorithms alongside the
+		// paper's dense set.
+		if *algs == "" {
+			cfg.Algorithms = append(cfg.Algorithms, workload.DistributedAlgorithms()...)
+		}
+	}
+	if cfg.Plan, err = workload.ParsePlan(*plan); err != nil {
+		fmt.Fprintf(stderr, "epscale: -plan: %v\n", err)
+		return 2
+	}
+	if *seedFrac < 0 || *seedFrac > 1 {
+		fmt.Fprintf(stderr, "epscale: -seed-frac %g outside [0,1]\n", *seedFrac)
+		return 2
+	}
+	if *confid < 0 {
+		fmt.Fprintf(stderr, "epscale: -confidence must be >= 0, got %g\n", *confid)
+		return 2
+	}
+	cfg.SeedFraction = *seedFrac
+	cfg.Confidence = *confid
+	if cfg.Plan == workload.PlanGuided {
+		// Predicted cells carry no power trace and no fault exposure.
+		switch {
+		case *traceOut != "":
+			fmt.Fprintln(stderr, "epscale: -plan guided cannot record traces (predicted cells have none); drop -trace-out")
+			return 2
+		case *faultSeed != 0:
+			fmt.Fprintln(stderr, "epscale: -plan guided cannot run under fault injection; drop -faults")
+			return 2
+		}
 	}
 	cfg.DisableAffinity = *noAffinity
 	cfg.DisableContention = *noContend
@@ -173,6 +238,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mx = workload.Execute(cfg)
 		if n := mx.RestoredCells(); n > 0 {
 			fmt.Fprintf(stderr, "epscale: restored %d cell(s) from checkpoint %s\n", n, *checkpoint)
+		}
+		if cfg.Plan == workload.PlanGuided {
+			fmt.Fprintf(stderr, "epscale: guided plan measured %d/%d cells (%d predicted, %d refit rounds)\n",
+				mx.Planner.MeasuredCells, len(mx.Runs), mx.Planner.PredictedCells, mx.Planner.Rounds)
 		}
 	}
 	if s := mx.DegradationSummary(); s != "" {
@@ -247,12 +316,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, report.All(mx))
 		return 0
 	}
+	if *what == "model" {
+		return emitModel(mx, *csv, stdout, stderr)
+	}
 	mk, ok := tables[*what]
 	if !ok {
-		fmt.Fprintf(stderr, "epscale: unknown artifact %q\n", *what)
+		fmt.Fprintf(stderr, "epscale: unknown artifact %q (valid: %s)\n", *what, strings.Join(artifactNames, ", "))
 		return 2
 	}
 	return emit(mk(), *csv, stdout, stderr)
+}
+
+// emitModel renders the fitted energy-complexity model: per-family fit
+// quality, the platform coefficients, and the worst training rows. In
+// CSV mode only the family-stats table is emitted.
+func emitModel(mx *workload.Matrix, csv bool, stdout, stderr io.Writer) int {
+	stats, err := report.ModelTable(mx)
+	if err != nil {
+		fmt.Fprintf(stderr, "epscale: model: %v\n", err)
+		return 1
+	}
+	if csv {
+		return emit(stats, true, stdout, stderr)
+	}
+	coefs, err := report.ModelCoefficientTable(mx)
+	if err != nil {
+		fmt.Fprintf(stderr, "epscale: model: %v\n", err)
+		return 1
+	}
+	worst, err := report.ModelWorstTable(mx, 8)
+	if err != nil {
+		fmt.Fprintf(stderr, "epscale: model: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, stats.String(), "\n", coefs.String(), "\n", worst.String())
+	return 0
 }
 
 func writeMatrixTrace(path string, mx *workload.Matrix, spans *obs.Collector) error {
@@ -329,6 +427,21 @@ func parseClusters(s string) ([]cluster.Spec, error) {
 			return nil, err
 		}
 		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// parseAlgorithms parses a comma-separated list of algorithm names
+// ("SpMV,CG") through workload.ParseAlgorithm, so the error lists
+// every valid spelling.
+func parseAlgorithms(s string) ([]workload.Algorithm, error) {
+	var out []workload.Algorithm
+	for _, part := range strings.Split(s, ",") {
+		a, err := workload.ParseAlgorithm(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
 	}
 	return out, nil
 }

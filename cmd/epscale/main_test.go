@@ -24,8 +24,16 @@ func TestFlagValidation(t *testing.T) {
 		{"zero nodes", []string{"-nodes", "0"}, "-nodes must be >= 1"},
 		{"threads beyond cluster", []string{"-nodes", "2", "-threads", "9"}, "exceeds"},
 		{"unknown artifact", []string{"-what", "table99", "-quick", "-sizes", "64", "-threads", "1"}, "unknown artifact"},
+		{"artifact error lists modes", []string{"-what", "table99"}, "valid: all, table2"},
 		{"csv needs artifact", []string{"-csv", "-sizes", "64", "-threads", "1"}, "-csv requires"},
 		{"chart for table", []string{"-chart", "-what", "table2", "-sizes", "64", "-threads", "1"}, "no chart"},
+		{"unknown plan", []string{"-plan", "psychic"}, "valid: exhaustive, guided"},
+		{"seed fraction range", []string{"-plan", "guided", "-seed-frac", "1.5"}, "-seed-frac"},
+		{"negative confidence", []string{"-plan", "guided", "-confidence", "-0.1"}, "-confidence"},
+		{"guided rejects traces", []string{"-plan", "guided", "-trace-out", "x.json"}, "drop -trace-out"},
+		{"guided rejects faults", []string{"-plan", "guided", "-faults", "7"}, "drop -faults"},
+		{"unknown algorithm", []string{"-algs", "openblas,nope"}, "unknown algorithm"},
+		{"algorithm error lists names", []string{"-algs", "nope"}, "SpMV"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -65,6 +73,39 @@ func TestNodesRaisesThreadCeiling(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "Table III") {
 		t.Fatalf("stdout lacks Table III:\n%s", stdout.String())
+	}
+}
+
+// TestGuidedModelArtifact drives a guided sweep through the CLI: the
+// planner note lands on stderr and the model report on stdout.
+func TestGuidedModelArtifact(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-plan", "guided", "-what", "model",
+		"-sizes", "128,192,256,384", "-threads", "1,2,3,4"}
+	code := run(args, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "guided plan measured") {
+		t.Fatalf("stderr lacks planner note:\n%s", stderr.String())
+	}
+	for _, want := range []string{"Energy-complexity model", "pkg.eps_op", "Worst measured-vs-predicted"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("stdout lacks %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestSparseAlgsFlag: -algs swaps the matrix to the sparse workloads.
+func TestSparseAlgsFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-algs", "SpMV,CG", "-what", "measurement",
+		"-sizes", "256", "-threads", "1,2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "SpMV") || !strings.Contains(stdout.String(), "CG") {
+		t.Fatalf("stdout lacks sparse rows:\n%s", stdout.String())
 	}
 }
 

@@ -30,7 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("powertrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		alg        = fs.String("alg", "openblas", "algorithm: openblas, strassen, winograd, caps; with -cluster: summa, 2.5d, dstrassen, dcaps")
+		alg        = fs.String("alg", "openblas", "algorithm: "+strings.Join(workload.AlgorithmNames(), ", ")+" (distributed ones need -cluster)")
 		n          = fs.Int("n", 1024, "square problem dimension")
 		threads    = fs.Int("threads", 4, "thread count (1..4 on the paper's machine; -nodes raises the ceiling)")
 		nodes      = fs.Int("nodes", 1, "replicate the machine across this many nodes (flat cluster)")
@@ -140,19 +140,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	algs := map[string]workload.Algorithm{
-		"openblas":  workload.AlgOpenBLAS,
-		"strassen":  workload.AlgStrassen,
-		"winograd":  workload.AlgWinograd,
-		"caps":      workload.AlgCAPS,
-		"summa":     workload.AlgSUMMA,
-		"2.5d":      workload.Alg25D,
-		"dstrassen": workload.AlgDStrassen,
-		"dcaps":     workload.AlgDistCAPS,
-	}
-	a, ok := algs[strings.ToLower(*alg)]
-	if !ok {
-		fmt.Fprintf(stderr, "powertrace: unknown algorithm %q\n", *alg)
+	a, err := workload.ParseAlgorithm(*alg)
+	if err != nil {
+		fmt.Fprintf(stderr, "powertrace: %v\n", err)
 		return 2
 	}
 	if a.Distributed() != (*clusterStr != "") {

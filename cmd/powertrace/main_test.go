@@ -26,6 +26,7 @@ func TestFlagValidation(t *testing.T) {
 		{"zero interval", []string{"-interval", "0"}, "-interval must be positive"},
 		{"negative jobs", []string{"-j", "-1"}, "-j must be >= 0"},
 		{"unknown algorithm", []string{"-alg", "cannon", "-n", "64", "-threads", "1"}, "unknown algorithm"},
+		{"algorithm error lists names", []string{"-alg", "cannon", "-n", "64", "-threads", "1"}, "SpMV"},
 		{"zero nodes", []string{"-nodes", "0"}, "-nodes must be >= 1"},
 		{"threads beyond cluster", []string{"-nodes", "2", "-threads", "9"}, "-threads must be in 1.."},
 	}
@@ -52,6 +53,22 @@ func TestSingleRunEmitsCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(stdout.String(), "t_s,") {
 		t.Fatalf("stdout is not a power-trace CSV:\n%.120s", stdout.String())
+	}
+}
+
+// TestSparseRunEmitsCSV: the sparse algorithms run through the same
+// single-run path as the dense ones.
+func TestSparseRunEmitsCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-alg", "spmv", "-n", "256", "-threads", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "t_s,") {
+		t.Fatalf("stdout is not a power-trace CSV:\n%.120s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "SpMV") {
+		t.Fatalf("stderr summary lacks the algorithm name:\n%s", stderr.String())
 	}
 }
 

@@ -1,0 +1,216 @@
+// Distributed-family accountants: closed-form work and wire-volume
+// terms mirroring the internal/dmm rank programs (SUMMA, 2.5D,
+// distributed classic Strassen, distributed CAPS). Totals are pinned
+// against real mpi runs in the package tests; like the node
+// accountants they exist so predicting a cell never has to run one.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"capscale/internal/cluster"
+	"capscale/internal/hw"
+	"capscale/internal/kernel"
+	"capscale/internal/strassen"
+	"capscale/internal/task"
+)
+
+// DistKind names one distributed algorithm within FamilyDistributed.
+type DistKind int
+
+const (
+	DistSUMMA DistKind = iota
+	Dist25D
+	DistDStrassen
+	DistCAPS
+)
+
+// dStrassenLocalCutoff mirrors dmm's localCutoff: the dimension below
+// which the distributed-Strassen DFS stops communicating.
+const dStrassenLocalCutoff = 512
+
+// distAcc accumulates per-rank compute phases plus cluster-wide wire
+// traffic.
+type distAcc struct {
+	m *hw.Machine
+	t Terms
+}
+
+// compute charges one mpi.ComputeWork-equivalent phase on every rank:
+// per-rank flops/DRAM at the given kernel class, using all node cores
+// (Cores=0 in the rank programs).
+func (d *distAcc) compute(kind task.Kind, flopsPerRank, dramPerRank float64) {
+	cores := d.m.Cores
+	perCore := &task.Work{Kind: kind, Flops: flopsPerRank / float64(cores), DRAMBytes: dramPerRank / float64(cores)}
+	lc := d.m.CostLeaf(perCore, d.m.Shared(cores), 0, false)
+	// CompSeconds stays the single-core compute integral so the energy
+	// features see the exact dynamic-power driver.
+	d.t.CompSeconds += float64(cores) * lc.Utilization * lc.Duration
+	d.t.Flops += flopsPerRank
+	d.t.DRAMBytes += dramPerRank
+	d.t.BusySeconds += float64(d.t.Workers) * lc.Duration
+	d.t.SpanSeconds += lc.Duration
+	d.t.Leaves++
+}
+
+// wire charges fabric traffic: totals for the cluster, per-rank counts
+// for the critical-path estimate.
+func (d *distAcc) wire(fab cluster.Interconnect, totalBytes, totalMsgs float64) {
+	d.t.WireBytes += totalBytes
+	d.t.Messages += totalMsgs
+	p := float64(d.t.Workers)
+	perRankMsgs := totalMsgs / p
+	perRankBytes := totalBytes / p
+	d.t.CommSeconds += perRankMsgs*(2*fab.PerMessageOverheadSec+fab.LatencySec) + perRankBytes/fab.Bandwidth
+}
+
+// Distributed returns the analytic terms for one distributed cell:
+// algorithm kind, problem size, rank count and (for 2.5D) the
+// replication factor, on the given node machine and fabric.
+func Distributed(m *hw.Machine, fab cluster.Interconnect, kind DistKind, n, ranks, repl int) (Terms, error) {
+	d := &distAcc{m: m, t: Terms{Family: FamilyDistributed, Workers: ranks, Cores: m.Cores}}
+	switch kind {
+	case DistSUMMA:
+		if err := d.summa(fab, n, ranks); err != nil {
+			return Terms{}, err
+		}
+	case Dist25D:
+		if err := d.twoPointFive(fab, n, ranks, repl); err != nil {
+			return Terms{}, err
+		}
+	case DistDStrassen:
+		d.dStrassen(fab, n, ranks)
+	case DistCAPS:
+		if err := d.dCAPS(fab, n, ranks); err != nil {
+			return Terms{}, err
+		}
+	default:
+		return Terms{}, fmt.Errorf("model: unknown distributed kind %d", kind)
+	}
+	return d.t, nil
+}
+
+func (d *distAcc) summa(fab cluster.Interconnect, n, ranks int) error {
+	q := int(math.Round(math.Sqrt(float64(ranks))))
+	if q*q != ranks || n%q != 0 {
+		return fmt.Errorf("model: SUMMA needs a square rank count dividing n, got p=%d n=%d", ranks, n)
+	}
+	bn := n / q
+	blockBytes := kernel.Bytes(bn, bn)
+	for k := 0; k < q; k++ {
+		d.compute(task.KindGEMM, kernel.MulFlops(bn, bn, bn), 3*blockBytes)
+	}
+	// Per round, the A owner in each row and the B owner in each column
+	// broadcast to q−1 peers: 2·q·(q−1) messages per round, q rounds.
+	msgs := 2 * float64(q) * float64(q) * float64(q-1)
+	d.wire(fab, msgs*blockBytes, msgs)
+	return nil
+}
+
+func (d *distAcc) twoPointFive(fab cluster.Interconnect, n, ranks, c int) error {
+	if c < 1 || ranks%c != 0 {
+		return fmt.Errorf("model: 2.5D replication %d does not divide %d ranks", c, ranks)
+	}
+	q := int(math.Round(math.Sqrt(float64(ranks / c))))
+	if q*q*c != ranks || q%c != 0 || n%q != 0 {
+		return fmt.Errorf("model: 2.5D needs c·q² ranks with c|q and q|n, got p=%d c=%d n=%d", ranks, c, n)
+	}
+	bn := n / q
+	blockBytes := kernel.Bytes(bn, bn)
+	rounds := q / c
+	for k := 0; k < rounds; k++ {
+		d.compute(task.KindGEMM, kernel.MulFlops(bn, bn, bn), 3*blockBytes)
+	}
+	// SUMMA-phase traffic within each layer.
+	msgs := 2 * float64(rounds) * float64(q) * float64(q-1) * float64(c)
+	bytes := msgs * blockBytes
+	if c > 1 {
+		// Replication fan-out (A and B blocks per replica pair) and the
+		// reduction of partial C blocks back onto layer 0.
+		repl := float64(c-1) * float64(q) * float64(q)
+		msgs += 2 * repl
+		bytes += repl * 3 * blockBytes
+		// Layer-0 ranks add the c−1 received partial C blocks; charge
+		// the cluster-average share per rank (CompSeconds is invariant
+		// to how many cores run it, see compute()).
+		d.compute(task.KindAdd, repl*float64(bn)*float64(bn)/float64(ranks), repl*3*blockBytes/float64(ranks))
+	}
+	d.wire(fab, bytes, msgs)
+	return nil
+}
+
+func (d *distAcc) dStrassen(fab cluster.Interconnect, n, ranks int) {
+	p := float64(ranks)
+	cutover := strassen.DefaultCutover
+	// Communicating DFS levels: nodes of size curN while curN exceeds
+	// both the cutover and the node-local cutoff and still halves.
+	visits := 1.0
+	curN := n
+	var totalBytes, totalMsgs, addFlops float64
+	for curN > cutover && curN > dStrassenLocalCutoff && curN%2 == 0 {
+		half := float64(curN / 2)
+		addFlops += visits * 18 * half * half / p
+		if ranks > 1 {
+			// Alltoall of 7·2·Bytes(half)²/p per rank split across p
+			// peers: p·(p−1) messages per visited node.
+			level := 14 * kernel.Bytes(curN/2, curN/2) / p
+			totalBytes += visits * (p - 1) * level
+			totalMsgs += visits * p * (p - 1)
+		}
+		visits *= 7
+		curN /= 2
+	}
+	if addFlops > 0 {
+		d.compute(task.KindAdd, addFlops, 3*8*addFlops)
+	}
+	// Node-local remainder: `visits` subproblems of dimension curN,
+	// each work-shared across all ranks.
+	mulFlops := visits * strassen.MulFlopsTotal(curN, cutover) / p
+	localAdd := visits * strassen.AddFlopsTotal(curN, cutover, false) / p
+	d.compute(task.KindBaseMul, mulFlops, visits*3*kernel.Bytes(curN, curN)/p)
+	if localAdd > 0 {
+		d.compute(task.KindAdd, localAdd, 3*8*localAdd)
+	}
+	if totalMsgs > 0 {
+		d.wire(fab, totalBytes, totalMsgs)
+	}
+}
+
+func (d *distAcc) dCAPS(fab cluster.Interconnect, n, ranks int) error {
+	levels := 0
+	for v := ranks; v > 1; v /= 7 {
+		if v%7 != 0 {
+			return fmt.Errorf("model: dCAPS needs 7^k ranks, got %d", ranks)
+		}
+		levels++
+	}
+	p := float64(ranks)
+	cutover := strassen.DefaultCutover
+	curN := n
+	var totalBytes, totalMsgs float64
+	group := p
+	for l := 0; l < levels; l++ {
+		half := float64(curN / 2)
+		// 10 operand additions and 8 recombination additions,
+		// work-shared over the level's group.
+		d.compute(task.KindAdd, 10*half*half/group, 3*8*10*half*half/group)
+		d.compute(task.KindAdd, 8*half*half/group, 3*8*8*half*half/group)
+		// 6 down-exchanges of 2·Bytes(half)²/group and 6 up-exchanges
+		// of half that, per rank.
+		share := kernel.Bytes(curN/2, curN/2) / group
+		totalBytes += p * 6 * 3 * share
+		totalMsgs += p * 12
+		group /= 7
+		curN /= 2
+	}
+	// Local sequential Strassen on the owned subproblem.
+	d.compute(task.KindBaseMul, strassen.MulFlopsTotal(curN, cutover), 3*kernel.Bytes(curN, curN))
+	if add := strassen.AddFlopsTotal(curN, cutover, false); add > 0 {
+		d.compute(task.KindAdd, add, 3*8*add)
+	}
+	if totalMsgs > 0 {
+		d.wire(fab, totalBytes, totalMsgs)
+	}
+	return nil
+}

@@ -1,0 +1,578 @@
+// Package model fits an ICE-style energy-complexity model (Tran & Ha's
+// work/span/memory-access decomposition, the D2.3-style platform
+// coefficients) from measured workload cells and predicts the rest of
+// the sweep with per-prediction uncertainty.
+//
+// The split of responsibilities follows the paper's measurement stack:
+// per-algorithm-family accountants (families.go, dist.go) produce the
+// analytic complexity terms — work by kernel class, span, DRAM/L3
+// traffic and, for the distributed families, wire volume and message
+// counts from the internal/dmm rank programs — while this file owns
+// the least-squares fit of the platform coefficients (ε_op, ε_mem,
+// π_static, per-byte wire energy) and the residual-variance prediction
+// intervals the sweep planner steers by.
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"capscale/internal/hw"
+	"capscale/internal/stats"
+)
+
+// Version is the model-family version folded into Tag(): bump it when
+// the feature vectors or accountants change shape, so checkpointed
+// predictions from older models are invalidated on resume.
+const Version = 1
+
+// Family groups algorithms that share one set of fitted time
+// coefficients — their leaves have the same cost structure, so one
+// (work, memory, span) weighting transfers across sizes and threads.
+type Family int
+
+const (
+	// FamilyClassic is blocked classic matrix multiplication (OpenBLAS).
+	FamilyClassic Family = iota
+	// FamilyStrassen covers the Strassen and Strassen-Winograd trees.
+	FamilyStrassen
+	// FamilyCAPS is communication-avoiding parallel Strassen.
+	FamilyCAPS
+	// FamilyDistributed pools the SUMMA/2.5D/DStrassen/dCAPS rank
+	// programs: per-cell terms differ, the platform weighting is shared.
+	FamilyDistributed
+	// FamilySparse covers the bandwidth-bound SpMV and CG workloads.
+	FamilySparse
+
+	// NumFamilies bounds the enum for array indexing.
+	NumFamilies
+)
+
+var familyNames = [NumFamilies]string{"classic", "strassen", "caps", "distributed", "sparse"}
+
+func (f Family) String() string {
+	if f < 0 || f >= NumFamilies {
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+	return familyNames[f]
+}
+
+// Terms are the analytic complexity terms of one sweep cell, produced
+// by the family accountants without building (or running) the cell.
+type Terms struct {
+	Family Family
+	// Workers is the concurrency the cell runs at: threads for node
+	// families, ranks for the distributed one.
+	Workers int
+	// CompSeconds is the exact single-core compute time Σ_kind
+	// flops_kind/(eff_kind · per-core peak) — the simulator's
+	// utilization integral, so it is also the exact dynamic-energy
+	// driver.
+	CompSeconds float64
+	// Flops is raw operation count (reporting only; CompSeconds is the
+	// fitted feature because kernel efficiency differs per class).
+	Flops float64
+	// DRAMBytes and L3Bytes are total traffic by level. For distributed
+	// cells they are per-rank totals.
+	DRAMBytes float64
+	L3Bytes   float64
+	// Leaves counts scheduled leaves (each pays the dispatch overhead).
+	Leaves float64
+	// SpanSeconds is the uncontended critical path.
+	SpanSeconds float64
+	// BusySeconds is the uncontended aggregate busy time Σ leaf
+	// durations — the idle/active split driver for core static power.
+	BusySeconds float64
+
+	// Distributed extras; zero for node families.
+	Cores       int     // cores per node
+	WireBytes   float64 // total bytes offered to the fabric
+	Messages    float64 // total message count
+	CommSeconds float64 // per-rank wire + per-message overhead estimate
+}
+
+// Obs is one measured training observation: the cell's analytic terms
+// plus what the simulator/monitor stack actually reported.
+type Obs struct {
+	Key     string // cell key, for hashing and worst-row reporting
+	Terms   Terms
+	Seconds float64
+	PKGJ    float64
+	PP0J    float64
+	DRAMJ   float64
+	NICJ    float64
+	SwitchJ float64
+}
+
+// Prediction is a model answer for one unmeasured cell.
+type Prediction struct {
+	Seconds float64
+	PKGJ    float64
+	PP0J    float64
+	DRAMJ   float64
+	NICJ    float64
+	SwitchJ float64
+	// RelCI is the ±2σ prediction interval on the cell's total energy,
+	// relative to the prediction — the planner measures cells whose
+	// RelCI exceeds its confidence knob.
+	RelCI float64
+}
+
+// EnergyJ returns the total energy the sweep reports for the cell
+// (PP0 is nested inside PKG and not added again).
+func (p Prediction) EnergyJ() float64 { return p.PKGJ + p.DRAMJ + p.NICJ + p.SwitchJ }
+
+// timeFeatureCount is the per-family time model width: perfectly
+// parallel work, aggregate-bandwidth memory time, span.
+const timeFeatureCount = 3
+
+// timeFeatures maps terms to the family time model
+// T ≈ θ_w·(work/p) + θ_m·(bytes/aggregate bandwidth) + θ_s·span.
+func timeFeatures(m *hw.Machine, t Terms) []float64 {
+	if t.Family == FamilyDistributed {
+		cores := t.Cores
+		if cores < 1 {
+			cores = 1
+		}
+		agg := float64(cores) * m.StreamBandwidth(cores)
+		return []float64{
+			t.CompSeconds / float64(cores),
+			t.DRAMBytes / agg,
+			t.CommSeconds,
+		}
+	}
+	p := t.Workers
+	if p < 1 {
+		p = 1
+	}
+	agg := float64(p) * m.StreamBandwidth(p)
+	return []float64{
+		(t.CompSeconds + t.Leaves*m.TaskOverhead) / float64(p),
+		t.DRAMBytes/agg + t.L3Bytes/m.L3Bandwidth,
+		t.SpanSeconds,
+	}
+}
+
+// Node-plane energy features, given the cell's (predicted or measured)
+// duration. The coefficients recover the platform power parameters:
+// PKG ≈ π_static·T + π_core·(p·T) + ε_op·CompSeconds + ε_busy·Busy
+// + ε_l3·L3GB; DRAM ≈ π_dram·T + ε_mem·DRAMGB.
+func nodePKGFeatures(t Terms, T float64) []float64 {
+	return []float64{T, float64(t.Workers) * T, t.CompSeconds, t.BusySeconds, t.L3Bytes / 1e9}
+}
+
+func nodePP0Features(t Terms, T float64) []float64 {
+	return []float64{float64(t.Workers) * T, t.CompSeconds, t.BusySeconds}
+}
+
+func nodeDRAMFeatures(t Terms, T float64) []float64 {
+	return []float64{T, t.DRAMBytes / 1e9}
+}
+
+// Distributed-plane features: node planes sum over ranks, the NIC pays
+// idle plus per-byte wire energy, the switch is pure standing draw.
+func distPKGFeatures(t Terms, T float64) []float64 {
+	p := float64(t.Workers)
+	return []float64{p * T, p * t.CompSeconds, t.Messages}
+}
+
+func distPP0Features(t Terms, T float64) []float64 { return distPKGFeatures(t, T) }
+
+func distDRAMFeatures(t Terms, T float64) []float64 {
+	p := float64(t.Workers)
+	return []float64{p * T, p * t.DRAMBytes / 1e9}
+}
+
+func distNICFeatures(t Terms, T float64) []float64 {
+	return []float64{float64(t.Workers) * T, t.WireBytes / 1e9}
+}
+
+func distSwitchFeatures(t Terms, T float64) []float64 { return []float64{T} }
+
+// Model is a fitted energy-complexity model for one machine.
+type Model struct {
+	machine *hw.Machine
+
+	time [NumFamilies]*stats.LSFit // per-family; nil when unfittable
+
+	// Node energy planes are pooled across the node families (the
+	// platform coefficients are properties of the machine, not the
+	// algorithm); distributed planes are fitted separately since their
+	// observations sum different hardware (ranks × node + fabric).
+	nodePKG, nodePP0, nodeDRAM        *stats.LSFit
+	distPKG, distPP0, distDRAM        *stats.LSFit
+	distNIC, distSwitch               *stats.LSFit
+	trainHash                         uint64
+	trainN                            int
+	obs                               []Obs
+	famN                              [NumFamilies]int
+	famEnergyMaxRel, famEnergyMeanRel [NumFamilies]float64
+	famTimeMaxRel                     [NumFamilies]float64
+	worst                             []WorstRow
+	relResidual                       float64 // pooled relative energy residual (uncertainty floor)
+}
+
+// Fit fits the model from measured observations. Families with too few
+// observations for their time fit are left unfittable — Predict
+// returns an error for them and the planner falls back to measuring.
+// Fit itself errors only when nothing at all can be fitted.
+func Fit(m *hw.Machine, obs []Obs) (*Model, error) {
+	if m == nil {
+		return nil, fmt.Errorf("model: nil machine")
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("model: no observations")
+	}
+	mo := &Model{machine: m, trainN: len(obs), obs: append([]Obs(nil), obs...)}
+	mo.trainHash = hashObs(m.Name, mo.obs)
+
+	byFam := make(map[Family][]Obs)
+	for _, o := range obs {
+		if o.Terms.Family < 0 || o.Terms.Family >= NumFamilies {
+			return nil, fmt.Errorf("model: observation %q has invalid family %d", o.Key, o.Terms.Family)
+		}
+		byFam[o.Terms.Family] = append(byFam[o.Terms.Family], o)
+		mo.famN[o.Terms.Family]++
+	}
+
+	fitted := false
+	for fam, fobs := range byFam {
+		if len(fobs) < timeFeatureCount {
+			continue
+		}
+		// Scaled by each cell's span (a per-cell size proxy known
+		// before measuring), so the residual variance is relative:
+		// a 5% miss on a tiny cell and a 5% miss on a huge one carry
+		// the same weight, and small-cell prediction intervals are not
+		// inflated by the big cells' absolute scatter.
+		X := make([][]float64, len(fobs))
+		y := make([]float64, len(fobs))
+		for i, o := range fobs {
+			X[i] = scaleRow(timeFeatures(m, o.Terms), timeScale(o.Terms))
+			y[i] = o.Seconds / timeScale(o.Terms)
+		}
+		fit, err := stats.LeastSquares(X, y)
+		if err != nil {
+			continue
+		}
+		mo.time[fam] = fit
+		fitted = true
+	}
+	if !fitted {
+		return nil, fmt.Errorf("model: no family has enough observations for a time fit (need ≥ %d)", timeFeatureCount)
+	}
+
+	var node, dist []Obs
+	for _, o := range obs {
+		if o.Terms.Family == FamilyDistributed {
+			dist = append(dist, o)
+		} else {
+			node = append(node, o)
+		}
+	}
+	// Plane fits are weighted by 1/seconds — i.e. fitted in power
+	// space. Energy residuals are heteroscedastic (big cells miss by
+	// millijoules, small cells by microjoules); fitting watts keeps the
+	// residual variance relative, so small cells get honest prediction
+	// intervals instead of inheriting the big cells' absolute scatter.
+	fitPlane := func(obs []Obs, feats func(Terms, float64) []float64, y func(Obs) float64) *stats.LSFit {
+		if len(obs) == 0 {
+			return nil
+		}
+		var X [][]float64
+		var Y []float64
+		for _, o := range obs {
+			if o.Seconds <= 0 {
+				continue
+			}
+			X = append(X, scaleRow(feats(o.Terms, o.Seconds), o.Seconds))
+			Y = append(Y, y(o)/o.Seconds)
+		}
+		fit, err := stats.LeastSquares(X, Y)
+		if err != nil {
+			return nil
+		}
+		return fit
+	}
+	mo.nodePKG = fitPlane(node, nodePKGFeatures, func(o Obs) float64 { return o.PKGJ })
+	mo.nodePP0 = fitPlane(node, nodePP0Features, func(o Obs) float64 { return o.PP0J })
+	mo.nodeDRAM = fitPlane(node, nodeDRAMFeatures, func(o Obs) float64 { return o.DRAMJ })
+	mo.distPKG = fitPlane(dist, distPKGFeatures, func(o Obs) float64 { return o.PKGJ })
+	mo.distPP0 = fitPlane(dist, distPP0Features, func(o Obs) float64 { return o.PP0J })
+	mo.distDRAM = fitPlane(dist, distDRAMFeatures, func(o Obs) float64 { return o.DRAMJ })
+	mo.distNIC = fitPlane(dist, distNICFeatures, func(o Obs) float64 { return o.NICJ })
+	mo.distSwitch = fitPlane(dist, distSwitchFeatures, func(o Obs) float64 { return o.SwitchJ })
+
+	mo.summarize()
+	return mo, nil
+}
+
+// summarize computes the in-sample diagnostics the report table shows
+// and the pooled relative residual used as an uncertainty floor.
+func (mo *Model) summarize() {
+	var relSq, relN float64
+	for _, o := range mo.obs {
+		pred, err := mo.Predict(o.Terms)
+		if err != nil {
+			continue
+		}
+		measured := o.PKGJ + o.DRAMJ + o.NICJ + o.SwitchJ
+		rel := stats.RelErr(pred.EnergyJ(), measured)
+		fam := o.Terms.Family
+		mo.famEnergyMeanRel[fam] += rel
+		if rel > mo.famEnergyMaxRel[fam] {
+			mo.famEnergyMaxRel[fam] = rel
+		}
+		if tr := stats.RelErr(pred.Seconds, o.Seconds); tr > mo.famTimeMaxRel[fam] {
+			mo.famTimeMaxRel[fam] = tr
+		}
+		mo.worst = append(mo.worst, WorstRow{Key: o.Key, MeasuredJ: measured, PredictedJ: pred.EnergyJ(), RelErr: rel})
+		if !math.IsInf(rel, 0) && !math.IsNaN(rel) {
+			relSq += rel * rel
+			relN++
+		}
+	}
+	for f := Family(0); f < NumFamilies; f++ {
+		if mo.famN[f] > 0 {
+			mo.famEnergyMeanRel[f] /= float64(mo.famN[f])
+		}
+	}
+	sort.Slice(mo.worst, func(i, j int) bool { return mo.worst[i].RelErr > mo.worst[j].RelErr })
+	if relN > 0 {
+		mo.relResidual = math.Sqrt(relSq / relN)
+	}
+}
+
+// CanPredict reports whether the family's time model was fittable.
+func (mo *Model) CanPredict(f Family) bool {
+	return f >= 0 && f < NumFamilies && mo.time[f] != nil
+}
+
+// Predict evaluates the model for one cell. It errors when the cell's
+// family (or its energy segment) had too few training observations.
+func (mo *Model) Predict(t Terms) (Prediction, error) {
+	if !mo.CanPredict(t.Family) {
+		return Prediction{}, fmt.Errorf("model: family %v has no time fit", t.Family)
+	}
+	tf := mo.time[t.Family]
+	tx := timeFeatures(mo.machine, t)
+	T := tf.Predict(tx)
+	// A linear fit can undershoot outside its hull; time can physically
+	// never beat the span.
+	if T < t.SpanSeconds {
+		T = t.SpanSeconds
+	}
+	if T <= 0 {
+		return Prediction{}, fmt.Errorf("model: non-positive time prediction for family %v", t.Family)
+	}
+	// The time fit lives in span-relative space (see Fit); convert the
+	// variance at the scaled point back to seconds².
+	ts := timeScale(t)
+	varT := tf.PredVar(scaleRow(tx, ts)) * ts * ts
+
+	var pred Prediction
+	pred.Seconds = T
+	var varE, dEdT float64
+	eval := func(fit *stats.LSFit, x []float64, name string) (float64, error) {
+		if fit == nil {
+			return 0, fmt.Errorf("model: no %s energy fit for family %v", name, t.Family)
+		}
+		v := fit.Predict(x)
+		if v < 0 {
+			v = 0
+		}
+		// The plane fits live in power space (rows scaled by seconds,
+		// see Fit); the watt-variance at the scaled point converts back
+		// to energy variance by T².
+		varE += fit.PredVar(scaleRow(x, T)) * T * T
+		return v, nil
+	}
+	var err error
+	if t.Family == FamilyDistributed {
+		p := float64(t.Workers)
+		if pred.PKGJ, err = eval(mo.distPKG, distPKGFeatures(t, T), "pkg"); err != nil {
+			return Prediction{}, err
+		}
+		if pred.PP0J, err = eval(mo.distPP0, distPP0Features(t, T), "pp0"); err != nil {
+			return Prediction{}, err
+		}
+		if pred.DRAMJ, err = eval(mo.distDRAM, distDRAMFeatures(t, T), "dram"); err != nil {
+			return Prediction{}, err
+		}
+		if pred.NICJ, err = eval(mo.distNIC, distNICFeatures(t, T), "nic"); err != nil {
+			return Prediction{}, err
+		}
+		if pred.SwitchJ, err = eval(mo.distSwitch, distSwitchFeatures(t, T), "switch"); err != nil {
+			return Prediction{}, err
+		}
+		dEdT = p*mo.distPKG.Coef[0] + p*mo.distDRAM.Coef[0] + p*mo.distNIC.Coef[0] + mo.distSwitch.Coef[0]
+	} else {
+		if pred.PKGJ, err = eval(mo.nodePKG, nodePKGFeatures(t, T), "pkg"); err != nil {
+			return Prediction{}, err
+		}
+		if pred.PP0J, err = eval(mo.nodePP0, nodePP0Features(t, T), "pp0"); err != nil {
+			return Prediction{}, err
+		}
+		if pred.DRAMJ, err = eval(mo.nodeDRAM, nodeDRAMFeatures(t, T), "dram"); err != nil {
+			return Prediction{}, err
+		}
+		dEdT = mo.nodePKG.Coef[0] + float64(t.Workers)*mo.nodePKG.Coef[1] + mo.nodeDRAM.Coef[0]
+	}
+	// PP0 is the core subset of PKG; predictions must respect the
+	// nesting the RAPL planes guarantee.
+	if pred.PP0J > pred.PKGJ {
+		pred.PP0J = pred.PKGJ
+	}
+
+	total := pred.EnergyJ()
+	if total > 0 {
+		variance := varE + dEdT*dEdT*varT
+		rel := 2 * math.Sqrt(variance) / total
+		// Exactly-determined fits report zero residual variance; the
+		// pooled in-sample relative residual keeps the planner honest.
+		if rel < mo.relResidual {
+			rel = mo.relResidual
+		}
+		pred.RelCI = rel
+	}
+	return pred, nil
+}
+
+// Tag identifies this fitted model instance: the package version plus
+// the training-set hash. Checkpointed predictions carry the tag of the
+// model that produced them and are dropped when a refit changes it.
+func (mo *Model) Tag() string { return fmt.Sprintf("v%d:%016x", Version, mo.trainHash) }
+
+// TrainingSize returns the number of observations the fit used.
+func (mo *Model) TrainingSize() int { return mo.trainN }
+
+// Machine returns the machine the model was fitted for.
+func (mo *Model) Machine() *hw.Machine { return mo.machine }
+
+// Coefficient is one named, fitted platform parameter.
+type Coefficient struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// Coefficients lists the fitted platform parameters in a stable order.
+func (mo *Model) Coefficients() []Coefficient {
+	var out []Coefficient
+	add := func(fit *stats.LSFit, names, units []string) {
+		if fit == nil {
+			return
+		}
+		for i, n := range names {
+			out = append(out, Coefficient{Name: n, Value: fit.Coef[i], Unit: units[i]})
+		}
+	}
+	add(mo.nodePKG, []string{"pkg.pi_static", "pkg.pi_core", "pkg.eps_op", "pkg.eps_busy", "pkg.eps_l3"},
+		[]string{"W", "W/core", "J/comp-s", "J/busy-s", "J/GB"})
+	add(mo.nodeDRAM, []string{"dram.pi_static", "dram.eps_mem"}, []string{"W", "J/GB"})
+	add(mo.nodePP0, []string{"pp0.pi_core", "pp0.eps_op", "pp0.eps_busy"}, []string{"W/core", "J/comp-s", "J/busy-s"})
+	add(mo.distNIC, []string{"nic.pi_static", "nic.eps_wire"}, []string{"W/node", "J/GB"})
+	add(mo.distSwitch, []string{"switch.pi_static"}, []string{"W"})
+	for f := Family(0); f < NumFamilies; f++ {
+		if fit := mo.time[f]; fit != nil {
+			out = append(out,
+				Coefficient{Name: f.String() + ".theta_work", Value: fit.Coef[0], Unit: "s/s"},
+				Coefficient{Name: f.String() + ".theta_mem", Value: fit.Coef[1], Unit: "s/s"},
+				Coefficient{Name: f.String() + ".theta_span", Value: fit.Coef[2], Unit: "s/s"})
+		}
+	}
+	return out
+}
+
+// FamilyStat is the per-family fit quality summary for the report.
+type FamilyStat struct {
+	Family        Family
+	N             int
+	Fitted        bool
+	TimeR2        float64
+	TimeMaxRel    float64
+	EnergyMaxRel  float64
+	EnergyMeanRel float64
+}
+
+// FamilyStats summarizes in-sample fit quality per family, skipping
+// families with no observations.
+func (mo *Model) FamilyStats() []FamilyStat {
+	var out []FamilyStat
+	for f := Family(0); f < NumFamilies; f++ {
+		if mo.famN[f] == 0 {
+			continue
+		}
+		st := FamilyStat{Family: f, N: mo.famN[f], Fitted: mo.time[f] != nil,
+			TimeMaxRel: mo.famTimeMaxRel[f], EnergyMaxRel: mo.famEnergyMaxRel[f], EnergyMeanRel: mo.famEnergyMeanRel[f]}
+		if st.Fitted {
+			st.TimeR2 = mo.time[f].R2
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// WorstRow is one measured-vs-predicted training row.
+type WorstRow struct {
+	Key        string
+	MeasuredJ  float64
+	PredictedJ float64
+	RelErr     float64
+}
+
+// WorstRows returns the k training observations the model explains
+// worst, most-wrong first.
+func (mo *Model) WorstRows(k int) []WorstRow {
+	if k > len(mo.worst) {
+		k = len(mo.worst)
+	}
+	return append([]WorstRow(nil), mo.worst[:k]...)
+}
+
+// hashObs folds the training set — keys and measured values — into the
+// fingerprint that invalidates checkpointed predictions on refit.
+func hashObs(machine string, obs []Obs) uint64 {
+	sorted := append([]Obs(nil), obs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	fmt.Fprintf(h, "v%d|%s|", Version, machine)
+	for _, o := range sorted {
+		h.Write([]byte(o.Key))
+		h.Write([]byte{0})
+		w(o.Seconds)
+		w(o.PKGJ)
+		w(o.PP0J)
+		w(o.DRAMJ)
+		w(o.NICJ)
+		w(o.SwitchJ)
+	}
+	return h.Sum64()
+}
+
+// timeScale is the weighted-least-squares row scale for the time fits:
+// the cell's uncontended span, a size proxy known without measuring.
+func timeScale(t Terms) float64 {
+	if t.SpanSeconds > 0 {
+		return t.SpanSeconds
+	}
+	return 1
+}
+
+// scaleRow divides a feature row by s (the weighted-least-squares row
+// scaling the plane fits use).
+func scaleRow(x []float64, s float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v / s
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package model_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"capscale/internal/blas"
+	"capscale/internal/caps"
+	"capscale/internal/cluster"
+	"capscale/internal/dmm"
+	"capscale/internal/hw"
+	"capscale/internal/matrix"
+	"capscale/internal/model"
+	"capscale/internal/mpi"
+	"capscale/internal/strassen"
+	"capscale/internal/task"
+)
+
+// buildTree mirrors workload.BuildTree's default options for the dense
+// families (the accountants assume exactly these).
+func buildTree(m *hw.Machine, fam model.Family, n, threads int, winograd bool) *task.Node {
+	a, b, c := matrix.Shape(n, n), matrix.Shape(n, n), matrix.Shape(n, n)
+	switch fam {
+	case model.FamilyClassic:
+		return blas.Build(m, c, a, b, blas.Options{Workers: threads})
+	case model.FamilyStrassen:
+		return strassen.Build(m, c, a, b, threads, strassen.Options{Winograd: winograd})
+	case model.FamilyCAPS:
+		return caps.Build(m, c, a, b, threads, caps.Options{})
+	}
+	panic("unreachable")
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func checkTerms(t *testing.T, got, want model.Terms) {
+	t.Helper()
+	cmp := []struct {
+		name      string
+		got, want float64
+	}{
+		{"CompSeconds", got.CompSeconds, want.CompSeconds},
+		{"Flops", got.Flops, want.Flops},
+		{"DRAMBytes", got.DRAMBytes, want.DRAMBytes},
+		{"L3Bytes", got.L3Bytes, want.L3Bytes},
+		{"Leaves", got.Leaves, want.Leaves},
+		{"BusySeconds", got.BusySeconds, want.BusySeconds},
+		{"SpanSeconds", got.SpanSeconds, want.SpanSeconds},
+	}
+	for _, c := range cmp {
+		if relDiff(c.got, c.want) > 1e-9 {
+			t.Errorf("%s: accountant %v vs tree %v (rel %.2e)", c.name, c.got, c.want, relDiff(c.got, c.want))
+		}
+	}
+}
+
+// The phantom accountants must reproduce the real builders' totals and
+// critical path exactly — they are the model's feature source, and any
+// drift silently becomes prediction bias.
+func TestAccountantsMatchTrees(t *testing.T) {
+	m := hw.HaswellE31225()
+	sizes := []int{48, 64, 96, 128, 200, 256, 384}
+	threads := []int{1, 2, 3, 4}
+	if testing.Short() {
+		sizes = []int{64, 128, 200}
+		threads = []int{1, 4}
+	}
+	for _, n := range sizes {
+		for _, p := range threads {
+			n, p := n, p
+			t.Run(fmt.Sprintf("classic/%d/%d", n, p), func(t *testing.T) {
+				root := buildTree(m, model.FamilyClassic, n, p, false)
+				checkTerms(t, model.Classic(m, n, p), model.FromTree(m, model.FamilyClassic, root, p))
+			})
+			t.Run(fmt.Sprintf("strassen/%d/%d", n, p), func(t *testing.T) {
+				root := buildTree(m, model.FamilyStrassen, n, p, false)
+				checkTerms(t, model.Strassen(m, n, p, false), model.FromTree(m, model.FamilyStrassen, root, p))
+			})
+			t.Run(fmt.Sprintf("winograd/%d/%d", n, p), func(t *testing.T) {
+				a, b, c := matrix.Shape(n, n), matrix.Shape(n, n), matrix.Shape(n, n)
+				root := strassen.Build(m, c, a, b, p, strassen.Options{Winograd: true})
+				checkTerms(t, model.Strassen(m, n, p, true), model.FromTree(m, model.FamilyStrassen, root, p))
+			})
+			t.Run(fmt.Sprintf("caps/%d/%d", n, p), func(t *testing.T) {
+				root := buildTree(m, model.FamilyCAPS, n, p, false)
+				checkTerms(t, model.CAPS(m, n, p), model.FromTree(m, model.FamilyCAPS, root, p))
+			})
+		}
+	}
+}
+
+// distCase runs one rank program for real and returns the mpi result.
+func distCase(t *testing.T, m *hw.Machine, spec string, ranks int, prog func(*mpi.Rank)) *mpi.Result {
+	t.Helper()
+	sp, err := cluster.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("spec %q: %v", spec, err)
+	}
+	fab, err := sp.Comms.Fabric()
+	if err != nil {
+		t.Fatalf("fabric: %v", err)
+	}
+	cl, err := cluster.New(m, sp.Nodes, fab)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return mpi.Run(cl, ranks, prog)
+}
+
+func fabricOf(t *testing.T, spec string) cluster.Interconnect {
+	t.Helper()
+	sp, err := cluster.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("spec %q: %v", spec, err)
+	}
+	fab, err := sp.Comms.Fabric()
+	if err != nil {
+		t.Fatalf("fabric: %v", err)
+	}
+	return fab
+}
+
+// The distributed accountants' closed-form wire terms must match what
+// the rank programs actually offer to the simulated fabric.
+func TestDistributedTermsMatchMPI(t *testing.T) {
+	m := hw.HaswellE31225()
+	cases := []struct {
+		name  string
+		kind  model.DistKind
+		spec  string
+		n     int
+		ranks int
+		repl  int
+		prog  func(*mpi.Rank)
+	}{
+		{"summa/512/16", model.DistSUMMA, "16x1GbE", 512, 16, 1, dmm.SUMMA(512)},
+		{"summa/768/9", model.DistSUMMA, "9x1GbE", 768, 9, 1, dmm.SUMMA(768)},
+		{"25d/512/8c2", model.Dist25D, "8x1GbE", 512, 8, 2, dmm.TwoPointFiveD(512, 2)},
+		{"25d/768/9c1", model.Dist25D, "9x1GbE", 768, 9, 1, dmm.TwoPointFiveD(768, 1)},
+		{"dstrassen/1024/4", model.DistDStrassen, "4x1GbE", 1024, 4, 1, dmm.Strassen(1024, 0)},
+		{"dstrassen/2048/8", model.DistDStrassen, "8x1GbE", 2048, 8, 1, dmm.Strassen(2048, 0)},
+		{"dcaps/512/7", model.DistCAPS, "7x1GbE", 512, 7, 1, dmm.CAPS(512, 0)},
+		{"dcaps/1024/49", model.DistCAPS, "49x1GbE", 1024, 49, 1, dmm.CAPS(1024, 0)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			terms, err := model.Distributed(m, fabricOf(t, tc.spec), tc.kind, tc.n, tc.ranks, tc.repl)
+			if err != nil {
+				t.Fatalf("Distributed: %v", err)
+			}
+			res := distCase(t, m, tc.spec, tc.ranks, tc.prog)
+			if relDiff(terms.WireBytes, res.BytesSent) > 1e-9 {
+				t.Errorf("WireBytes: accountant %v vs mpi %v", terms.WireBytes, res.BytesSent)
+			}
+			if int(terms.Messages+0.5) != res.Messages {
+				t.Errorf("Messages: accountant %v vs mpi %d", terms.Messages, res.Messages)
+			}
+			if terms.Workers != tc.ranks || terms.Family != model.FamilyDistributed {
+				t.Errorf("terms coordinates wrong: %+v", terms)
+			}
+			// CommSeconds is an estimate, not pinned — but it must be
+			// positive whenever traffic flowed, and the compute integral
+			// must be positive always.
+			if res.BytesSent > 0 && terms.CommSeconds <= 0 {
+				t.Errorf("CommSeconds %v with %v wire bytes", terms.CommSeconds, res.BytesSent)
+			}
+			if terms.CompSeconds <= 0 {
+				t.Errorf("CompSeconds %v", terms.CompSeconds)
+			}
+		})
+	}
+}
+
+// mkObs synthesizes a measured observation from known ground-truth
+// platform coefficients, so the fit must recover them (and predictions
+// on held-out cells must land on the synthetic truth).
+func synthObs(m *hw.Machine, terms model.Terms, key string) model.Obs {
+	p := float64(terms.Workers)
+	cores := float64(terms.Cores)
+	var T float64
+	if terms.Family == model.FamilyDistributed {
+		T = terms.CompSeconds/cores + terms.CommSeconds
+	} else {
+		T = (terms.CompSeconds+terms.Leaves*m.TaskOverhead)/p + 0.8*terms.SpanSeconds
+	}
+	o := model.Obs{Key: key, Terms: terms, Seconds: T}
+	if terms.Family == model.FamilyDistributed {
+		o.PKGJ = p*T*20 + p*terms.CompSeconds*9 + terms.Messages*1e-7
+		o.PP0J = p*T*12 + p*terms.CompSeconds*8
+		o.DRAMJ = p*T*3 + p*terms.DRAMBytes/1e9*0.6
+		o.NICJ = p*T*2.5 + terms.WireBytes/1e9*0.8
+		o.SwitchJ = T * 30
+	} else {
+		o.PKGJ = 15*T + 4*p*T + 9*terms.CompSeconds + 1.5*terms.BusySeconds + 0.02*terms.L3Bytes/1e9
+		o.PP0J = 4*p*T + 9*terms.CompSeconds + 1.5*terms.BusySeconds
+		o.DRAMJ = 3*T + 0.6*terms.DRAMBytes/1e9
+	}
+	return o
+}
+
+// Fitting on synthetic observations generated from an exact linear
+// model must predict held-out cells essentially exactly, with a tight
+// confidence interval; refitting on a different training set must
+// change the model tag.
+func TestFitPredictRoundTrip(t *testing.T) {
+	m := hw.HaswellE31225()
+	fab := fabricOf(t, "16x1GbE")
+
+	var train, held []model.Obs
+	for _, n := range []int{64, 128, 256, 384} {
+		for _, p := range []int{1, 2, 4} {
+			for fam, terms := range map[string]model.Terms{
+				"classic":  model.Classic(m, n, p),
+				"strassen": model.Strassen(m, n, p, false),
+				"caps":     model.CAPS(m, n, p),
+			} {
+				o := synthObs(m, terms, fmt.Sprintf("%s/%d/%d", fam, n, p))
+				if n == 256 && p == 2 {
+					held = append(held, o)
+				} else {
+					train = append(train, o)
+				}
+			}
+		}
+	}
+	for i, n := range []int{512, 1024, 1536, 2048} {
+		terms, err := model.Distributed(m, fab, model.DistSUMMA, n, 16, 1)
+		if err != nil {
+			t.Fatalf("summa terms: %v", err)
+		}
+		o := synthObs(m, terms, fmt.Sprintf("summa/%d", n))
+		if i == 2 {
+			held = append(held, o)
+		} else {
+			train = append(train, o)
+		}
+	}
+
+	mo, err := model.Fit(m, train)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for _, o := range held {
+		pred, err := mo.Predict(o.Terms)
+		if err != nil {
+			t.Fatalf("Predict(%s): %v", o.Key, err)
+		}
+		wantE := o.PKGJ + o.DRAMJ + o.NICJ + o.SwitchJ
+		if re := relDiff(pred.Seconds, o.Seconds); re > 1e-6 {
+			t.Errorf("%s: time rel err %.2e (pred %v want %v)", o.Key, re, pred.Seconds, o.Seconds)
+		}
+		if re := relDiff(pred.EnergyJ(), wantE); re > 1e-6 {
+			t.Errorf("%s: energy rel err %.2e (pred %v want %v)", o.Key, re, pred.EnergyJ(), wantE)
+		}
+		if pred.RelCI > 0.01 {
+			t.Errorf("%s: RelCI %v on an exact synthetic fit", o.Key, pred.RelCI)
+		}
+	}
+
+	if mo.CanPredict(model.FamilySparse) {
+		t.Error("sparse family predictable with zero sparse observations")
+	}
+	if _, err := mo.Predict(model.Terms{Family: model.FamilySparse, Workers: 2}); err == nil {
+		t.Error("Predict on an unfitted family should error")
+	}
+
+	// Diagnostics present and sane.
+	if len(mo.Coefficients()) == 0 {
+		t.Error("no coefficients reported")
+	}
+	stats := mo.FamilyStats()
+	if len(stats) != 4 {
+		t.Errorf("FamilyStats: got %d families, want 4", len(stats))
+	}
+	for _, st := range stats {
+		if !st.Fitted {
+			t.Errorf("family %v not fitted", st.Family)
+		}
+		if st.EnergyMaxRel > 1e-6 {
+			t.Errorf("family %v in-sample max rel %v on exact synthetic data", st.Family, st.EnergyMaxRel)
+		}
+	}
+	if rows := mo.WorstRows(3); len(rows) != 3 {
+		t.Errorf("WorstRows(3): got %d", len(rows))
+	}
+
+	// Tag must change when the training set does.
+	mo2, err := model.Fit(m, train[:len(train)-1])
+	if err != nil {
+		t.Fatalf("refit: %v", err)
+	}
+	if mo.Tag() == mo2.Tag() {
+		t.Errorf("tag unchanged across different training sets: %s", mo.Tag())
+	}
+	if mo.TrainingSize() != len(train) {
+		t.Errorf("TrainingSize %d want %d", mo.TrainingSize(), len(train))
+	}
+}
+
+// Too few observations in every family must fail loudly, not fit junk.
+func TestFitNeedsObservations(t *testing.T) {
+	m := hw.HaswellE31225()
+	if _, err := model.Fit(m, nil); err == nil {
+		t.Error("Fit on empty observations should error")
+	}
+	one := []model.Obs{synthObs(m, model.Classic(m, 64, 1), "classic/64/1")}
+	if _, err := model.Fit(m, one); err == nil {
+		t.Error("Fit on one observation should error")
+	}
+}

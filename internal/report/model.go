@@ -1,0 +1,69 @@
+package report
+
+import (
+	"fmt"
+
+	"capscale/internal/workload"
+)
+
+// ModelTable summarizes the fitted energy-complexity model for a
+// matrix: per-family fit quality (time R², in-sample max relative
+// errors) plus what the guided planner measured vs predicted. The
+// matrix's model is used when present (guided sweeps carry one);
+// otherwise the model is fitted on demand from the measured cells.
+func ModelTable(mx *workload.Matrix) (*Table, error) {
+	mo, err := mx.FitModel()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Energy-complexity model %s (fitted on %d measured cells; planner: %d seeded, %d measured, %d predicted, %d refit rounds)",
+			mo.Tag(), mo.TrainingSize(),
+			mx.Planner.SeededCells, mx.Planner.MeasuredCells, mx.Planner.PredictedCells, mx.Planner.Rounds),
+		Header: []string{"Family", "Obs", "Fitted", "Time R2", "Time max rel", "Energy max rel", "Energy mean rel"},
+	}
+	for _, st := range mo.FamilyStats() {
+		fitted := "yes"
+		if !st.Fitted {
+			fitted = "no"
+		}
+		t.AddRow(st.Family.String(), fmt.Sprintf("%d", st.N), fitted,
+			fmt.Sprintf("%.5f", st.TimeR2), pct(st.TimeMaxRel), pct(st.EnergyMaxRel), pct(st.EnergyMeanRel))
+	}
+	return t, nil
+}
+
+// ModelCoefficientTable lists the fitted platform coefficients — the
+// ICE-style ε/π parameters and the per-family time weights.
+func ModelCoefficientTable(mx *workload.Matrix) (*Table, error) {
+	mo, err := mx.FitModel()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fitted platform coefficients",
+		Header: []string{"Coefficient", "Value", "Unit"},
+	}
+	for _, c := range mo.Coefficients() {
+		t.AddRow(c.Name, fmt.Sprintf("%.6g", c.Value), c.Unit)
+	}
+	return t, nil
+}
+
+// ModelWorstTable lists the k training cells the model explains worst —
+// the measured-vs-predicted rows a reader checks before trusting the
+// predicted cells.
+func ModelWorstTable(mx *workload.Matrix, k int) (*Table, error) {
+	mo, err := mx.FitModel()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Worst measured-vs-predicted training rows (top %d)", k),
+		Header: []string{"Cell", "Measured J", "Predicted J", "Rel err"},
+	}
+	for _, w := range mo.WorstRows(k) {
+		t.AddRow(w.Key, fmt.Sprintf("%.6g", w.MeasuredJ), fmt.Sprintf("%.6g", w.PredictedJ), pct(w.RelErr))
+	}
+	return t, nil
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"capscale/internal/hw"
+	"capscale/internal/workload"
+)
+
+func guidedMatrix(t *testing.T) *workload.Matrix {
+	t.Helper()
+	return workload.Execute(workload.Config{
+		Machine:    hw.HaswellE31225(),
+		Algorithms: []workload.Algorithm{workload.AlgOpenBLAS, workload.AlgStrassen},
+		Sizes:      []int{128, 192, 256, 384},
+		Threads:    []int{1, 2, 3, 4},
+		Plan:       workload.PlanGuided,
+	})
+}
+
+func TestModelTable(t *testing.T) {
+	mx := guidedMatrix(t)
+	tbl, err := ModelTable(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("model table has no family rows")
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+	s := tbl.String()
+	for _, want := range []string{"classic", "strassen", "measured", "predicted"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("model table missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, mx.Model.Tag()) {
+		t.Fatalf("model table does not name the fitted model tag:\n%s", s)
+	}
+}
+
+func TestModelCoefficientTable(t *testing.T) {
+	tbl, err := ModelCoefficientTable(guidedMatrix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"pkg.eps_op", "dram.", "theta_work"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("coefficient table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestModelWorstTable(t *testing.T) {
+	tbl, err := ModelWorstTable(guidedMatrix(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 || len(tbl.Rows) > 5 {
+		t.Fatalf("worst table has %d rows", len(tbl.Rows))
+	}
+}
+
+// A plain exhaustive matrix (no planner) still reports: the model is
+// fitted on demand from the measured cells.
+func TestModelTableFitsOnDemand(t *testing.T) {
+	mx := workload.Execute(workload.Config{
+		Machine:    hw.HaswellE31225(),
+		Algorithms: []workload.Algorithm{workload.AlgOpenBLAS},
+		Sizes:      []int{128, 256, 384},
+		Threads:    []int{1, 2, 4},
+	})
+	tbl, err := ModelTable(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("on-demand fit produced no rows")
+	}
+}

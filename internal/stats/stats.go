@@ -90,3 +90,191 @@ func LinearFit(x, y []float64) (slope, intercept float64) {
 	intercept = (sy - slope*sx) / n
 	return slope, intercept
 }
+
+// LSFit is a multi-variable ordinary-least-squares fit y ≈ X·coef,
+// solved through the normal equations. It keeps (XᵀX)⁻¹ and the
+// residual variance so callers can attach a prediction interval to
+// every prediction (the classic s²·(1 + xᵀ(XᵀX)⁻¹x) form).
+type LSFit struct {
+	Coef   []float64   // fitted coefficients, one per column of X
+	XtXInv [][]float64 // inverse of the (possibly ridge-damped) normal matrix
+	S2     float64     // residual variance SSR/dof; 0 when dof == 0
+	Dof    int         // n − k, clamped at 0
+	R2     float64     // coefficient of determination on the training set
+	N      int         // observations
+}
+
+// LeastSquares fits y ≈ X·coef with X given row-major (one row per
+// observation). When the normal matrix is singular — collinear
+// features or too few observations — it retries with a tiny ridge
+// term proportional to the matrix trace, which keeps corner-seeded
+// planner fits usable instead of erroring out; a genuinely empty or
+// zero design still returns an error.
+func LeastSquares(X [][]float64, y []float64) (*LSFit, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: least squares needs matching non-empty X (%d rows) and y (%d)", n, len(y))
+	}
+	k := len(X[0])
+	if k == 0 {
+		return nil, fmt.Errorf("stats: least squares with zero features")
+	}
+	for i, row := range X {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: ragged design matrix (row %d has %d features, want %d)", i, len(row), k)
+		}
+	}
+
+	// Normal equations: A = XᵀX, b = Xᵀy.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	trace := 0.0
+	for i := 0; i < k; i++ {
+		a[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			s := 0.0
+			for r := 0; r < n; r++ {
+				s += X[r][i] * X[r][j]
+			}
+			a[i][j] = s
+		}
+		trace += a[i][i]
+		s := 0.0
+		for r := 0; r < n; r++ {
+			s += X[r][i] * y[r]
+		}
+		b[i] = s
+	}
+	if trace == 0 {
+		return nil, fmt.Errorf("stats: least squares on an all-zero design")
+	}
+
+	inv, err := invert(a)
+	if err != nil {
+		// Ridge fallback: damp the diagonal just enough to make the
+		// system solvable without visibly moving well-determined
+		// coefficients.
+		lambda := 1e-9 * trace / float64(k)
+		for i := 0; i < k; i++ {
+			a[i][i] += lambda
+		}
+		if inv, err = invert(a); err != nil {
+			return nil, fmt.Errorf("stats: singular normal matrix: %v", err)
+		}
+	}
+
+	coef := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			coef[i] += inv[i][j] * b[j]
+		}
+	}
+
+	// Residuals, R² and the pooled residual variance.
+	var ssr, sst, ybar float64
+	for _, v := range y {
+		ybar += v
+	}
+	ybar /= float64(n)
+	for r := 0; r < n; r++ {
+		pred := 0.0
+		for j := 0; j < k; j++ {
+			pred += X[r][j] * coef[j]
+		}
+		d := y[r] - pred
+		ssr += d * d
+		dm := y[r] - ybar
+		sst += dm * dm
+	}
+	fit := &LSFit{Coef: coef, XtXInv: inv, N: n}
+	fit.Dof = n - k
+	if fit.Dof < 0 {
+		fit.Dof = 0
+	}
+	if fit.Dof > 0 {
+		fit.S2 = ssr / float64(fit.Dof)
+	}
+	switch {
+	case sst > 0:
+		fit.R2 = 1 - ssr/sst
+	case ssr == 0:
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted model at feature vector x.
+func (f *LSFit) Predict(x []float64) float64 {
+	if len(x) != len(f.Coef) {
+		panic(fmt.Sprintf("stats: predict with %d features on a %d-feature fit", len(x), len(f.Coef)))
+	}
+	p := 0.0
+	for j, c := range f.Coef {
+		p += c * x[j]
+	}
+	return p
+}
+
+// PredVar returns the prediction variance s²·(1 + xᵀ(XᵀX)⁻¹x) at x.
+// With zero residual degrees of freedom it returns 0 — the caller
+// decides whether an exactly-determined fit deserves trust.
+func (f *LSFit) PredVar(x []float64) float64 {
+	if f.S2 == 0 {
+		return 0
+	}
+	lev := 0.0
+	for i := range x {
+		row := 0.0
+		for j := range x {
+			row += f.XtXInv[i][j] * x[j]
+		}
+		lev += x[i] * row
+	}
+	if lev < 0 {
+		lev = 0
+	}
+	return f.S2 * (1 + lev)
+}
+
+// invert returns the inverse of square matrix a by Gauss-Jordan
+// elimination with partial pivoting, without modifying a.
+func invert(a [][]float64) ([][]float64, error) {
+	k := len(a)
+	// Augmented working copy [a | I].
+	w := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		w[i] = make([]float64, 2*k)
+		copy(w[i], a[i])
+		w[i][k+i] = 1
+	}
+	for col := 0; col < k; col++ {
+		pivot, best := -1, 0.0
+		for r := col; r < k; r++ {
+			if v := math.Abs(w[r][col]); v > best {
+				pivot, best = r, v
+			}
+		}
+		if pivot < 0 || best < 1e-300 {
+			return nil, fmt.Errorf("pivot %d is numerically zero", col)
+		}
+		w[col], w[pivot] = w[pivot], w[col]
+		pv := w[col][col]
+		for j := 0; j < 2*k; j++ {
+			w[col][j] /= pv
+		}
+		for r := 0; r < k; r++ {
+			if r == col || w[r][col] == 0 {
+				continue
+			}
+			f := w[r][col]
+			for j := 0; j < 2*k; j++ {
+				w[r][j] -= f * w[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		inv[i] = w[i][k : 2*k : 2*k]
+	}
+	return inv, nil
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 
+	"capscale/internal/model"
 	"capscale/internal/trace"
 )
 
@@ -84,6 +85,10 @@ func checkpointFingerprint(cfg Config) string {
 		cfg.QuiesceSeconds, cfg.RecordTraces, cfg.RecordSchedule, cfg.TraceSampleInterval,
 		cfg.DisableAffinity, cfg.DisableContention, interval, cfg.MaxRetries,
 		cfg.Faults.Fingerprint())
+	// Planner coordinates: a guided journal (whose predicted records
+	// depend on the seed, confidence and model version) must not be
+	// resumed by an exhaustive sweep or a different planner setup.
+	fmt.Fprintf(h, "|plan%d|%g|%g|mv%d", int(cfg.Plan), cfg.SeedFraction, cfg.Confidence, model.Version)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -71,6 +71,11 @@ type runJSON struct {
 	MeasDrops         int      `json:"meas_drops,omitempty"`
 	Attempts          int      `json:"attempts,omitempty"`
 	Err               string   `json:"error,omitempty"`
+	// Model-predicted cells (guided sweeps): provenance survives the
+	// round trip so loaded matrices keep predictions distinguishable.
+	Predicted bool    `json:"predicted,omitempty"`
+	PredRelCI float64 `json:"pred_rel_ci,omitempty"`
+	ModelTag  string  `json:"model_tag,omitempty"`
 }
 
 // runToJSON converts a Run to its serialized form (traces and
@@ -96,6 +101,9 @@ func runToJSON(r *Run) runJSON {
 		MeasDrops:         r.MeasDrops,
 		Attempts:          r.Attempts,
 		Err:               r.Err,
+		Predicted:         r.Predicted,
+		PredRelCI:         r.PredRelCI,
+		ModelTag:          r.ModelTag,
 	}
 }
 
@@ -121,6 +129,9 @@ func runFromJSON(rj *runJSON) Run {
 		MeasDrops:         rj.MeasDrops,
 		Attempts:          rj.Attempts,
 		Err:               rj.Err,
+		Predicted:         rj.Predicted,
+		PredRelCI:         rj.PredRelCI,
+		ModelTag:          rj.ModelTag,
 	}
 }
 

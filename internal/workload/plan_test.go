@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// guidedConfig is a matrix big enough that the corner seed is a real
+// minority of cells (4 sizes × 4 threads per algorithm).
+func guidedConfig() Config {
+	cfg := SmokeConfig()
+	cfg.Sizes = []int{128, 192, 256, 384}
+	cfg.Threads = []int{1, 2, 3, 4}
+	cfg.Plan = PlanGuided
+	return cfg
+}
+
+func TestParsePlan(t *testing.T) {
+	if p, err := ParsePlan("guided"); err != nil || p != PlanGuided {
+		t.Fatalf("guided: %v %v", p, err)
+	}
+	if p, err := ParsePlan("EXHAUSTIVE"); err != nil || p != PlanExhaustive {
+		t.Fatalf("exhaustive: %v %v", p, err)
+	}
+	if _, err := ParsePlan("nope"); err == nil || !strings.Contains(err.Error(), "guided") {
+		t.Fatalf("bad plan error should list valid modes, got %v", err)
+	}
+	if PlanGuided.String() != "guided" {
+		t.Fatal("plan name")
+	}
+}
+
+func TestSeedIndicesCornersAndFraction(t *testing.T) {
+	cfg := guidedConfig()
+	cells := cfg.cells()
+	seed := seedIndices(&cfg, cells, 0.25)
+	if len(seed) < len(cfg.Algorithms)*4 {
+		t.Fatalf("seed %d smaller than the per-algorithm corner set", len(seed))
+	}
+	if len(seed) > (len(cells)+3)/3 {
+		t.Fatalf("seed %d of %d cells is not a small subset", len(seed), len(cells))
+	}
+	// Every algorithm's four grid corners must be in the seed.
+	inSeed := make(map[int]bool)
+	for _, i := range seed {
+		inSeed[i] = true
+	}
+	for i, c := range cells {
+		cornerN := c.n == 128 || c.n == 384
+		cornerP := c.threads == 1 || c.threads == 4
+		if cornerN && cornerP && !inSeed[i] {
+			t.Fatalf("corner cell %s missing from seed", cfg.cellKey(c))
+		}
+	}
+}
+
+// The guided plan must measure a strict subset of the matrix and
+// predict the rest within the model's stated confidence.
+func TestGuidedSweepMeasuresFewerCells(t *testing.T) {
+	cfg := guidedConfig()
+	guided := Execute(cfg)
+
+	exhaustive := cfg
+	exhaustive.Plan = PlanExhaustive
+	truth := Execute(exhaustive)
+
+	total := len(guided.Runs)
+	if guided.Planner.MeasuredCells+guided.Planner.PredictedCells != total {
+		t.Fatalf("planner stats %+v do not cover %d cells", guided.Planner, total)
+	}
+	if guided.Planner.PredictedCells == 0 {
+		t.Fatal("guided sweep predicted nothing")
+	}
+	if 3*guided.Planner.MeasuredCells > total {
+		t.Fatalf("guided measured %d of %d cells — above the 1/3 budget", guided.Planner.MeasuredCells, total)
+	}
+	if guided.Model == nil {
+		t.Fatal("guided matrix carries no fitted model")
+	}
+
+	worst := 0.0
+	for i := range guided.Runs {
+		g, tr := &guided.Runs[i], &truth.Runs[i]
+		if g.Alg != tr.Alg || g.N != tr.N {
+			t.Fatalf("run order diverged at %d", i)
+		}
+		if !g.Predicted {
+			continue
+		}
+		if g.ModelTag != guided.Model.Tag() {
+			t.Fatalf("predicted cell %s/%d tagged %q, model is %q", g.Alg, g.N, g.ModelTag, guided.Model.Tag())
+		}
+		gotE := g.PKGJoules + g.DRAMJoules
+		wantE := tr.PKGJoules + tr.DRAMJoules
+		rel := math.Abs(gotE-wantE) / wantE
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("worst predicted-cell energy error %.1f%% above 15%%", 100*worst)
+	}
+}
+
+// Two identical guided sweeps must be bit-identical, including which
+// cells were predicted and the predictions themselves.
+func TestGuidedSweepDeterminism(t *testing.T) {
+	cfg := guidedConfig()
+	cfg.Parallelism = 4
+	a := Execute(cfg)
+	b := Execute(cfg)
+	if a.Planner != b.Planner {
+		t.Fatalf("planner stats diverged: %+v vs %+v", a.Planner, b.Planner)
+	}
+	for i := range a.Runs {
+		ra, rb := &a.Runs[i], &b.Runs[i]
+		if ra.Predicted != rb.Predicted || ra.Seconds != rb.Seconds ||
+			ra.PKGJoules != rb.PKGJoules || ra.DRAMJoules != rb.DRAMJoules ||
+			ra.PredRelCI != rb.PredRelCI || ra.ModelTag != rb.ModelTag {
+			t.Fatalf("run %d diverged between identical guided sweeps", i)
+		}
+	}
+}
+
+// Predictions are never memoized: an exhaustive sweep after a guided
+// one over the same cells must serve only measured runs.
+func TestRunCacheNeverServesPredictions(t *testing.T) {
+	cfg := guidedConfig()
+	Execute(cfg)
+	cfg.Plan = PlanExhaustive
+	mx := Execute(cfg)
+	for i := range mx.Runs {
+		if mx.Runs[i].Predicted {
+			t.Fatalf("exhaustive sweep got a predicted run for %s/%d from the cache", mx.Runs[i].Alg, mx.Runs[i].N)
+		}
+	}
+}
+
+// A resumed guided sweep restores journaled predictions only while the
+// refitted model carries the same tag; a stale tag forces re-prediction.
+func TestGuidedCheckpointPredictions(t *testing.T) {
+	cfg := guidedConfig()
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "ck.jsonl")
+	first := Execute(cfg)
+	if first.Planner.PredictedCells == 0 {
+		t.Fatal("nothing predicted")
+	}
+
+	// Clean resume: every cell — measured and predicted — restores.
+	second := Execute(cfg)
+	if got, want := second.RestoredCells(), len(second.Runs); got != want {
+		t.Fatalf("clean resume restored %d of %d cells", got, want)
+	}
+	for i := range second.Runs {
+		if second.Runs[i].Predicted != first.Runs[i].Predicted {
+			t.Fatalf("resume changed prediction status at %d", i)
+		}
+	}
+
+	// Corrupt the journal's model tags: stale predictions must be
+	// dropped and re-predicted under the current model's tag.
+	raw, err := os.ReadFile(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.ReplaceAll(string(raw), first.Model.Tag(), "v0:stale")
+	if stale == string(raw) {
+		t.Fatal("journal holds no model tags to corrupt")
+	}
+	if err := os.WriteFile(cfg.CheckpointPath, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third := Execute(cfg)
+	if third.RestoredCells() >= len(third.Runs) {
+		t.Fatal("stale predictions were restored verbatim")
+	}
+	for i := range third.Runs {
+		r := &third.Runs[i]
+		if r.Predicted && r.ModelTag != third.Model.Tag() {
+			t.Fatalf("cell %s/%d kept stale model tag %q", r.Alg, r.N, r.ModelTag)
+		}
+		if r.Predicted && r.Restored {
+			t.Fatalf("cell %s/%d restored a stale prediction", r.Alg, r.N)
+		}
+	}
+}
+
+// Guided sweeps journal predictions with provenance that must survive
+// the JSON round trip.
+func TestPredictedRunsRoundTripJSON(t *testing.T) {
+	cfg := guidedConfig()
+	mx := Execute(cfg)
+	var buf strings.Builder
+	if err := mx.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mx.Runs {
+		a, b := &mx.Runs[i], &back.Runs[i]
+		if a.Predicted != b.Predicted || a.PredRelCI != b.PredRelCI || a.ModelTag != b.ModelTag {
+			t.Fatalf("prediction provenance lost at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// Guided planning extends to the distributed axis: cluster cells fit
+// and predict through the closed-form wire terms.
+func TestGuidedDistributedSweep(t *testing.T) {
+	cfg := distConfig(t, "4x1GbE", "16xFDR")
+	cfg.Sizes = []int{256, 512, 1024}
+	cfg.Plan = PlanGuided
+	mx := Execute(cfg)
+	if mx.Planner.MeasuredCells+mx.Planner.PredictedCells != len(mx.Runs) {
+		t.Fatalf("planner stats %+v", mx.Planner)
+	}
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		if r.Seconds <= 0 || r.PKGJoules <= 0 {
+			t.Fatalf("cell %s/%d empty: %+v", r.Alg, r.N, r)
+		}
+		if r.Predicted && r.Cluster != "" && r.Ranks <= 0 {
+			t.Fatalf("predicted distributed cell %s/%d lost its rank fit", r.Alg, r.N)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Sparse workloads in the sweep matrix: AlgSpMV and AlgCG run over a
+// canonical SPD banded system so every cell at a given size shares the
+// same nonzero structure and the nnz-driven work terms are
+// reproducible across sessions.
+package workload
+
+import (
+	"math/rand"
+	"sync"
+
+	"capscale/internal/cg"
+	"capscale/internal/hw"
+	"capscale/internal/sparse"
+	"capscale/internal/task"
+)
+
+const (
+	// sparseHalfBand is the half bandwidth of the canonical SPD system:
+	// ~2·sparseHalfBand+1 nonzeros per row, enough to be
+	// bandwidth-bound without drowning the vector traffic.
+	sparseHalfBand = 8
+	// sparseSeed pins the canonical system's structure and values.
+	sparseSeed = 42
+	// spmvIterations repeats y = A·x per cell, as a solver inner loop
+	// does, so power averages over a realistic duration.
+	spmvIterations = 50
+	// cgIterations bounds the CG energy tree's iteration count.
+	cgIterations = 20
+)
+
+// sparseSystems caches the canonical CSR per dimension; the matrices
+// are shape-only trees' backing structure and are shared read-only
+// across cells and driver workers.
+var sparseSystems sync.Map // int -> *sparse.CSR
+
+// sparseSystem returns the canonical n×n SPD banded system.
+func sparseSystem(n int) *sparse.CSR {
+	if v, ok := sparseSystems.Load(n); ok {
+		return v.(*sparse.CSR)
+	}
+	a := sparse.SPDBanded(rand.New(rand.NewSource(sparseSeed)), n, sparseHalfBand).ToCSR()
+	actual, _ := sparseSystems.LoadOrStore(n, a)
+	return actual.(*sparse.CSR)
+}
+
+// buildSparseTree builds the task tree for one sparse cell. SpMV is
+// the row-partitioned iterated y = A·x; CG is the full
+// conjugate-gradient iteration loop (SpMV plus vector updates).
+func buildSparseTree(m *hw.Machine, alg Algorithm, n, threads int) *task.Node {
+	a := sparseSystem(n)
+	switch alg {
+	case AlgSpMV:
+		return sparse.BuildSpMV(m, a, sparse.FormatCSR, sparse.Options{
+			Workers:    threads,
+			Iterations: spmvIterations,
+		}).Root
+	case AlgCG:
+		return cg.BuildEnergyTree(m, a, sparse.FormatCSR, threads, cgIterations)
+	default:
+		panic("workload: buildSparseTree on dense algorithm " + alg.String())
+	}
+}

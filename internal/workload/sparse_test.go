@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSparseAlgorithmsInSweep(t *testing.T) {
+	cfg := SmokeConfig()
+	cfg.Algorithms = []Algorithm{AlgSpMV, AlgCG}
+	cfg.Sizes = []int{256, 512}
+	cfg.Threads = []int{1, 2}
+	mx := Execute(cfg)
+	if len(mx.Runs) != 8 {
+		t.Fatalf("%d runs", len(mx.Runs))
+	}
+	for i := range mx.Runs {
+		r := &mx.Runs[i]
+		if r.Seconds <= 0 || r.PKGJoules <= 0 || r.DRAMJoules <= 0 {
+			t.Fatalf("sparse cell %s/%d/%d empty: %+v", r.Alg, r.N, r.Threads, r)
+		}
+		if r.Leaves == 0 {
+			t.Fatalf("sparse cell %s/%d/%d scheduled no leaves", r.Alg, r.N, r.Threads)
+		}
+	}
+	// The sparse workloads are bandwidth-bound: DRAM traffic per flop
+	// must dwarf the dense cells'. Compare SpMV with a classic GEMM
+	// cell at the same size.
+	spmv := mx.Get(AlgSpMV, 256, 1)
+	dense := ExecuteOne(SmokeConfig(), AlgOpenBLAS, 256, 1)
+	if spmv == nil {
+		t.Fatal("missing SpMV run")
+	}
+	spmvRatio := spmv.DRAMJoules / spmv.PKGJoules
+	denseRatio := dense.DRAMJoules / dense.PKGJoules
+	if spmvRatio <= denseRatio {
+		t.Fatalf("SpMV DRAM/PKG ratio %.3f not above dense %.3f — memory term looks wrong", spmvRatio, denseRatio)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]Algorithm{
+		"openblas": AlgOpenBLAS,
+		"SpMV":     AlgSpMV,
+		"spmv":     AlgSpMV,
+		"cg":       AlgCG,
+		"2.5D":     Alg25D,
+		"dcaps":    AlgDistCAPS,
+	}
+	for name, want := range cases {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Fatal("bad algorithm accepted")
+	} else if want := "SpMV"; !containsStr(err.Error(), want) {
+		t.Fatalf("error %q does not list valid names", err)
+	}
+	if !AlgSpMV.Sparse() || !AlgCG.Sparse() || AlgOpenBLAS.Sparse() || AlgSUMMA.Sparse() {
+		t.Fatal("Sparse() classification")
+	}
+	if AlgSpMV.Distributed() || AlgCG.Distributed() {
+		t.Fatal("sparse algorithms classified distributed")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -22,6 +22,7 @@ import (
 	"capscale/internal/faults"
 	"capscale/internal/hw"
 	"capscale/internal/matrix"
+	"capscale/internal/model"
 	"capscale/internal/monitor"
 	"capscale/internal/obs"
 	"capscale/internal/rapl"
@@ -71,10 +72,20 @@ const (
 	// AlgDistCAPS is distributed CAPS on 7^k ranks (Ballard et al.'s
 	// BFS recursion), the Eq. 8 communication-optimal fixture.
 	AlgDistCAPS
+
+	// The sparse family runs on the node axis like the dense
+	// algorithms, over the canonical banded SPD system (sparse.go) —
+	// nnz-driven work with a bandwidth-bound memory term.
+
+	// AlgSpMV is repeated sparse matrix-vector multiplication in CSR.
+	AlgSpMV
+	// AlgCG is the conjugate-gradient iteration loop (SpMV plus
+	// level-1 vector work) on the same system.
+	AlgCG
 )
 
 var algNames = [...]string{"OpenBLAS", "Strassen", "CAPS", "Winograd",
-	"SUMMA", "2.5D", "DStrassen", "dCAPS"}
+	"SUMMA", "2.5D", "DStrassen", "dCAPS", "SpMV", "CG"}
 
 func (a Algorithm) String() string {
 	if a < 0 || int(a) >= len(algNames) {
@@ -85,6 +96,28 @@ func (a Algorithm) String() string {
 
 // Distributed reports whether the algorithm runs on the cluster axis.
 func (a Algorithm) Distributed() bool { return a >= AlgSUMMA && a <= AlgDistCAPS }
+
+// Sparse reports whether the algorithm is a sparse workload (banded
+// SPD system instead of dense n×n operands).
+func (a Algorithm) Sparse() bool { return a == AlgSpMV || a == AlgCG }
+
+// AlgorithmNames lists every algorithm's canonical name in enum order —
+// the single registry the CLIs validate -alg/-algs flags against.
+func AlgorithmNames() []string {
+	return append([]string(nil), algNames[:]...)
+}
+
+// ParseAlgorithm resolves a (case-insensitive) algorithm name. The
+// error lists the valid names, so every CLI using it reports the same
+// actionable message.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for i, n := range algNames {
+		if strings.EqualFold(n, name) {
+			return Algorithm(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (valid: %s)", name, strings.Join(algNames[:], ", "))
+}
 
 // PaperAlgorithms returns the paper's three test fixtures in its order.
 func PaperAlgorithms() []Algorithm {
@@ -166,6 +199,22 @@ type Config struct {
 	// journal is invalidated (and the sweep starts fresh) when the
 	// configuration fingerprint changes.
 	CheckpointPath string
+
+	// Plan selects the sweep strategy: PlanExhaustive measures every
+	// cell; PlanGuided measures a stratified seed, fits the
+	// energy-complexity model (internal/model) and measures only cells
+	// whose prediction is too uncertain or that straddle an algorithm
+	// crossover, emitting model predictions (Run.Predicted) for the
+	// rest. See plan.go.
+	Plan PlanMode
+	// SeedFraction is the guided plan's target fraction of each
+	// algorithm's cells to measure up front (the per-algorithm grid
+	// corners are always included). Zero selects DefaultSeedFraction.
+	SeedFraction float64
+	// Confidence is the guided plan's acceptance threshold on a
+	// prediction's ±2σ relative confidence interval: cells above it are
+	// measured instead of predicted. Zero selects DefaultConfidence.
+	Confidence float64
 }
 
 // PaperConfig returns the paper's full 48-run matrix on its platform.
@@ -243,6 +292,28 @@ func (cfg *Config) Validate() error {
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return err
+	}
+	if cfg.Plan != PlanExhaustive && cfg.Plan != PlanGuided {
+		return fmt.Errorf("workload: unknown plan mode %d", int(cfg.Plan))
+	}
+	if cfg.SeedFraction < 0 || cfg.SeedFraction > 1 {
+		return fmt.Errorf("workload: seed fraction %g outside [0,1]", cfg.SeedFraction)
+	}
+	if cfg.Confidence < 0 {
+		return fmt.Errorf("workload: negative confidence threshold %g", cfg.Confidence)
+	}
+	if cfg.Plan == PlanGuided {
+		// Predicted cells have no power trace, no schedule and no
+		// measurement stack to perturb — these features need every cell
+		// actually executed.
+		switch {
+		case cfg.RecordTraces:
+			return fmt.Errorf("workload: guided plan cannot record traces (predicted cells have none)")
+		case cfg.RecordSchedule:
+			return fmt.Errorf("workload: guided plan cannot record schedules (predicted cells have none)")
+		case cfg.Faults != nil:
+			return fmt.Errorf("workload: guided plan cannot run under fault injection")
+		}
 	}
 	return nil
 }
@@ -340,6 +411,20 @@ type Run struct {
 	// Restored marks a run loaded from a sweep checkpoint rather than
 	// executed in this process. Session-local; never serialized.
 	Restored bool
+
+	// Predicted marks a cell whose figures come from the fitted
+	// energy-complexity model (guided sweeps) instead of a simulation.
+	// Predicted runs carry no traces, no truth planes and no
+	// measurement record; every consumer rendering their numbers must
+	// surface the flag.
+	Predicted bool
+	// PredRelCI is the model's ±2σ relative confidence interval on the
+	// predicted total energy (Predicted cells only).
+	PredRelCI float64
+	// ModelTag identifies the fitted model instance (version +
+	// training-set hash) that produced a predicted run. A checkpointed
+	// prediction is only restored when a refit reproduces its tag.
+	ModelTag string
 }
 
 // Failed reports whether the cell exhausted its contained attempts
@@ -433,6 +518,13 @@ func (r *Run) Planes() []energy.PlaneReading {
 type Matrix struct {
 	Cfg  Config
 	Runs []Run
+
+	// Model is the fitted energy-complexity model when the sweep ran
+	// under PlanGuided (nil otherwise; FitModel fits on demand).
+	Model *model.Model
+	// Planner records what the guided planner measured vs predicted
+	// (zero value for exhaustive sweeps).
+	Planner PlannerStats
 
 	// restored counts cells served from the sweep checkpoint (atomic:
 	// driver workers record restores concurrently).
@@ -530,6 +622,8 @@ func BuildTree(m *hw.Machine, alg Algorithm, n, threads int) *task.Node {
 		return strassen.Build(m, c, a, b, threads, strassen.Options{Winograd: true})
 	case AlgCAPS:
 		return caps.Build(m, c, a, b, threads, caps.Options{})
+	case AlgSpMV, AlgCG:
+		return buildSparseTree(m, alg, n, threads)
 	default:
 		panic(fmt.Sprintf("workload: unknown algorithm %v", alg))
 	}
@@ -829,15 +923,11 @@ func Execute(cfg Config) *Matrix {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
+	if cfg.Plan == PlanGuided {
+		return executeGuided(cfg)
+	}
 	cells := cfg.cells()
 	mx := &Matrix{Cfg: cfg, Runs: make([]Run, len(cells))}
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
 
 	var ck *checkpoint
 	var restored map[string]Run
@@ -871,20 +961,44 @@ func Execute(cfg Config) *Matrix {
 	if obs.Enabled() {
 		sweepSp = obs.StartOn(obs.Track{}, "workload.sweep")
 		sweepSp.ArgInt("cells", len(cells))
-		sweepSp.ArgInt("workers", workers)
+		sweepSp.ArgInt("workers", cfg.poolWorkers(len(cells)))
 		defer sweepSp.End()
 	}
 	sweepsExecuted.Inc()
 
-	if workers <= 1 {
-		driverBusy.Add(1)
-		for i, c := range cells {
-			mx.Runs[i] = runCell(c, obs.Track{})
-		}
-		driverBusy.Add(-1)
-		return mx
-	}
+	runPool(cfg.poolWorkers(len(cells)), len(cells), func(i int, tr obs.Track) {
+		mx.Runs[i] = runCell(cells[i], tr)
+	})
+	return mx
+}
 
+// poolWorkers resolves the driver pool width for n cells.
+func (cfg *Config) poolWorkers(n int) int {
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runPool fans body over indices 0..n-1 across a bounded worker pool.
+// Bodies are independent simulations, so results are bit-identical to
+// a sequential loop; worker panics are re-raised on the caller.
+func runPool(workers, n int, body func(i int, tr obs.Track)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			driverBusy.Add(1)
+			body(i, obs.Track{})
+			driverBusy.Add(-1)
+		}
+		return
+	}
 	var next int64 = -1
 	panics := make([]any, workers)
 	var wg sync.WaitGroup
@@ -899,12 +1013,11 @@ func Execute(cfg Config) *Matrix {
 			}
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(cells) {
+				if i >= n {
 					return
 				}
-				c := cells[i]
 				driverBusy.Add(1)
-				mx.Runs[i] = runCell(c, tr)
+				body(i, tr)
 				driverBusy.Add(-1)
 			}
 		}(w)
@@ -915,7 +1028,6 @@ func Execute(cfg Config) *Matrix {
 			panic(p)
 		}
 	}
-	return mx
 }
 
 // Get returns the single-node run for a configuration, or nil when

@@ -1,11 +1,14 @@
 package capscale
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"testing"
 
 	"capscale/internal/cluster"
 	"capscale/internal/energy"
+	"capscale/internal/model"
 	"capscale/internal/report"
 	"capscale/internal/stats"
 	"capscale/internal/workload"
@@ -316,6 +319,113 @@ func TestReproCommVolumeWithinBound(t *testing.T) {
 	}
 	if bounded < 4 {
 		t.Fatalf("only %d distributed runs put traffic on the wire — the gate is vacuous", bounded)
+	}
+}
+
+// TestReproModelPredictsSweep: the energy-complexity model fitted on
+// the paper matrix's grid corners — at most a quarter of the full
+// 48-cell matrix — predicts every held-out cell's energy within 15%
+// and reproduces the paper's EP crossover ordering (Table IV:
+// OpenBLAS > CAPS > Strassen) from predictions alone.
+func TestReproModelPredictsSweep(t *testing.T) {
+	mx := testMatrix(t)
+	obs := mx.ModelObservations()
+	sizes := mx.Cfg.Sizes
+	minN, maxN := sizes[0], sizes[len(sizes)-1]
+	threads := mx.Cfg.Threads
+	minP, maxP := threads[0], threads[len(threads)-1]
+
+	cornerKeys := map[string]bool{}
+	for _, a := range mx.Cfg.Algorithms {
+		for _, n := range []int{minN, maxN} {
+			for _, p := range []int{minP, maxP} {
+				cornerKeys[fmt.Sprintf("%v/%d/%d", a, n, p)] = true
+			}
+		}
+	}
+	corner := func(o model.Obs) bool { return cornerKeys[o.Key] }
+	var train []model.Obs
+	for _, o := range obs {
+		if corner(o) {
+			train = append(train, o)
+		}
+	}
+	// The budget is a quarter of the FULL paper matrix (48 cells), even
+	// when -short trims a size column from the measured one.
+	paper := workload.PaperConfig()
+	if full := len(paper.Algorithms) * len(paper.Sizes) * len(paper.Threads); 4*len(train) > full {
+		t.Fatalf("training set %d exceeds 25%% of the %d-cell paper matrix", len(train), full)
+	}
+	mo, err := model.Fit(mx.Cfg.Machine, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every held-out cell's energy within 15% of the measurement.
+	predEP := map[string]float64{}
+	measEP := map[string]float64{}
+	for _, o := range obs {
+		p, err := mo.Predict(o.Terms)
+		if err != nil {
+			t.Fatalf("%s: %v", o.Key, err)
+		}
+		predEP[o.Key] = (p.PKGJ + p.DRAMJ) / (p.Seconds * p.Seconds)
+		measEP[o.Key] = (o.PKGJ + o.DRAMJ) / (o.Seconds * o.Seconds)
+		if corner(o) {
+			continue
+		}
+		gotE, wantE := p.PKGJ+p.DRAMJ, o.PKGJ+o.DRAMJ
+		if rel := math.Abs(gotE-wantE) / wantE; rel > 0.15 {
+			t.Errorf("%s: predicted %.3f J vs measured %.3f J (%.1f%% off)", o.Key, gotE, wantE, 100*rel)
+		}
+	}
+
+	// Table IV's EP ordering must fall out of the predictions wherever
+	// the measurement is decisive. EP = E/T² compounds the energy and
+	// time errors, so a measured gap inside that band proves nothing
+	// either way — each pairwise order is enforced only where the
+	// measured ratio clears a 20% margin.
+	key := func(a workload.Algorithm, n, p int) string { return fmt.Sprintf("%v/%d/%d", a, n, p) }
+	pairs := [][2]workload.Algorithm{
+		{workload.AlgOpenBLAS, workload.AlgCAPS},
+		{workload.AlgOpenBLAS, workload.AlgStrassen},
+		{workload.AlgCAPS, workload.AlgStrassen},
+	}
+	enforced := 0
+	for _, n := range sizes {
+		for _, p := range threads {
+			for _, pr := range pairs {
+				hi, lo := key(pr[0], n, p), key(pr[1], n, p)
+				if measEP[hi] <= 1.20*measEP[lo] {
+					continue
+				}
+				enforced++
+				if predEP[hi] <= predEP[lo] {
+					t.Errorf("n=%d p=%d: predicted EP puts %v (%.2f) at or below %v (%.2f) against the measured order",
+						n, p, pr[0], predEP[hi], pr[1], predEP[lo])
+				}
+			}
+		}
+	}
+	if enforced < len(sizes)*len(threads) {
+		t.Fatalf("only %d decisive EP orderings — the crossover gate is vacuous", enforced)
+	}
+
+	// The CAPS/Strassen crossover itself: measured, Strassen wins EP at
+	// one thread and CAPS wins from two threads up. The predictions
+	// must move the EP ratio in the same direction at every size even
+	// where the endpoints are too close to call individually.
+	for _, n := range sizes {
+		measTrend := measEP[key(workload.AlgCAPS, n, maxP)]/measEP[key(workload.AlgStrassen, n, maxP)] -
+			measEP[key(workload.AlgCAPS, n, minP)]/measEP[key(workload.AlgStrassen, n, minP)]
+		predTrend := predEP[key(workload.AlgCAPS, n, maxP)]/predEP[key(workload.AlgStrassen, n, maxP)] -
+			predEP[key(workload.AlgCAPS, n, minP)]/predEP[key(workload.AlgStrassen, n, minP)]
+		if measTrend <= 0 {
+			t.Errorf("n=%d: measured CAPS/Strassen EP ratio does not rise with threads (%.3f)", n, measTrend)
+		}
+		if predTrend <= 0 {
+			t.Errorf("n=%d: predicted CAPS/Strassen EP ratio trend %.3f contradicts the measured crossover", n, predTrend)
+		}
 	}
 }
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Benchmarks the model-guided planner against the exhaustive sweep on
+# the same 72-cell dense matrix and records executed-cell counts and
+# wall time to BENCH_model.json, so the measurement-avoidance
+# trajectory is comparable across PRs. Fails if the guided plan does
+# not cut executed cells by at least 3x.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_model.json
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/epscale" ./cmd/epscale
+
+args=(-what headlines -sizes 128,192,256,320,384,448 -threads 1,2,3,4)
+
+t0=$(date +%s%N)
+"$tmp/epscale" "${args[@]}" > /dev/null 2> "$tmp/exh.txt"
+t1=$(date +%s%N)
+exh_ns=$((t1 - t0))
+total=$(sed -En 's|.*running ([0-9]+) configurations.*|\1|p' "$tmp/exh.txt" | head -1)
+
+t0=$(date +%s%N)
+"$tmp/epscale" -plan guided -seed-frac 0.17 "${args[@]}" > /dev/null 2> "$tmp/gui.txt"
+t1=$(date +%s%N)
+gui_ns=$((t1 - t0))
+measured=$(sed -En 's|.*measured ([0-9]+)/[0-9]+ cells.*|\1|p' "$tmp/gui.txt" | head -1)
+
+if [ -z "$total" ] || [ -z "$measured" ]; then
+    echo "bench_model.sh: could not parse cell counts" >&2
+    cat "$tmp/exh.txt" "$tmp/gui.txt" >&2
+    exit 1
+fi
+if [ "$((3 * measured))" -gt "$total" ]; then
+    echo "bench_model.sh: guided executed $measured of $total cells — under 3x reduction" >&2
+    exit 1
+fi
+
+awk -v total="$total" -v measured="$measured" -v exh="$exh_ns" -v gui="$gui_ns" '
+BEGIN {
+    printf "{\n"
+    printf "  \"matrix_cells\": %d,\n", total
+    printf "  \"exhaustive\": {\"executed_cells\": %d, \"seconds\": %.3f},\n", total, exh / 1e9
+    printf "  \"guided\": {\"executed_cells\": %d, \"seconds\": %.3f},\n", measured, gui / 1e9
+    printf "  \"cell_reduction\": %.2f\n", total / measured
+    printf "}\n"
+}' > "$out"
+
+cat "$out"
+echo "bench_model.sh: wrote $out"

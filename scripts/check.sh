@@ -5,8 +5,9 @@
 # the polling monitor, fault injector and trace resampling), a named
 # monitor reconciliation smoke (measured energy must match device
 # ground truth, and deliberately undersampled runs must be flagged for
-# wrap loss), and two binary-boundary smokes: Perfetto trace export and
-# the seeded chaos sweep with checkpoint resume.
+# wrap loss), and binary-boundary smokes: Perfetto trace export, the
+# seeded chaos sweep with checkpoint resume, the distributed comm
+# sweep, and the model-guided planner.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,7 +45,10 @@ go test -run 'TestSimScalabilitySmoke1024Nodes' -count=1 ./internal/workload/
 # and live metric/span reads from the observability layer — and the
 # chaos sweep (fault injection + containment + checkpoint) must hold
 # its determinism invariants under the race detector too.
-go test -race -run 'TestExecuteParallelBitIdenticalToSequential|TestConcurrentExecuteResetAndMetricsRace|TestChaosSweepInvariants|TestCheckpointResume' -count=1 ./internal/workload/
+go test -race -run 'TestExecuteParallelBitIdenticalToSequential|TestConcurrentExecuteResetAndMetricsRace|TestChaosSweepInvariants|TestCheckpointResume|TestGuidedSweepDeterminism' -count=1 ./internal/workload/
+# The energy-complexity model the guided planner fits is pure math,
+# but it rides the concurrent driver: keep its own tests in the gate.
+go test -race ./internal/model/
 go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss|TestReplaySameRunReconciledWhenSampledFastEnough' -count=1 ./internal/monitor/
 # Trace export smoke: the real powertrace binary must emit a
 # structurally valid Perfetto trace.
@@ -56,4 +60,8 @@ go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss
 # binary must render the comm-bound table, reconcile every cell, and
 # resume from its checkpoint bit-identically.
 ./scripts/dist_smoke.sh
+# Model smoke: a guided sweep through the real epscale binary must
+# stay inside its 1/3 measurement budget, fit tightly, and render
+# deterministically.
+./scripts/model_smoke.sh
 echo "check.sh: all green"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Model-guided sweep smoke at the real binary boundary. Runs a
+# 72-cell dense matrix (3 algorithms x 6 sizes x 4 threads) through
+# epscale with -plan guided and asserts the planner's contract:
+#   - the sweep exits 0 and reports "guided plan measured X/Y cells"
+#     on stderr with X at or under a third of Y (the hard budget),
+#   - the fit it ships is tight: every family's in-sample energy
+#     max-rel-error stays under 10% in the model table,
+#   - a second identical guided run renders byte-identical output
+#     (the planner is deterministic, not a sampling heuristic).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/epscale" ./cmd/epscale
+
+run() {
+    "$tmp/epscale" -plan guided -seed-frac 0.17 -what model \
+        -sizes 128,192,256,320,384,448 -threads 1,2,3,4 "$@"
+}
+
+run > "$tmp/out1.txt" 2> "$tmp/err1.txt" \
+    || { echo "model_smoke.sh: guided sweep exited non-zero" >&2; cat "$tmp/err1.txt" >&2; exit 1; }
+
+line=$(grep "guided plan measured" "$tmp/err1.txt") \
+    || { echo "model_smoke.sh: no planner note on stderr" >&2; cat "$tmp/err1.txt" >&2; exit 1; }
+measured=$(echo "$line" | sed -E 's|.*measured ([0-9]+)/([0-9]+) cells.*|\1|')
+total=$(echo "$line" | sed -E 's|.*measured ([0-9]+)/([0-9]+) cells.*|\2|')
+if [ "$((3 * measured))" -gt "$total" ]; then
+    echo "model_smoke.sh: guided plan measured $measured of $total cells — above the 1/3 budget" >&2
+    exit 1
+fi
+
+# Family rows look like:  classic  20  yes  0.99997  +0.47%  +0.33%  +0.13%
+# Column 6 is the in-sample energy max-rel-error.
+awk '
+/^(classic|strassen|caps|sparse|distributed) / {
+    err = $6; sub(/[+%]/, "", err); sub(/%/, "", err)
+    if (err + 0 > 10) { printf "model_smoke.sh: %s energy max rel %s%% above 10%%\n", $1, err; bad = 1 }
+    rows++
+}
+END {
+    if (rows == 0) { print "model_smoke.sh: no family rows in the model table"; bad = 1 }
+    exit bad
+}' "$tmp/out1.txt" || { cat "$tmp/out1.txt" >&2; exit 1; }
+
+run > "$tmp/out2.txt" 2> "$tmp/err2.txt" \
+    || { echo "model_smoke.sh: second guided sweep exited non-zero" >&2; cat "$tmp/err2.txt" >&2; exit 1; }
+cmp -s "$tmp/out1.txt" "$tmp/out2.txt" \
+    || { echo "model_smoke.sh: two identical guided sweeps rendered different reports" >&2; exit 1; }
+
+echo "model_smoke.sh: guided planner green ($measured/$total cells measured)"
