@@ -1,4 +1,4 @@
-.PHONY: check test race bench bench-kernels bench-driver bench-sim bench-model trace-smoke chaos-smoke dist-smoke model-smoke
+.PHONY: check test race bench bench-kernels bench-driver bench-sim bench-model trace-smoke chaos-smoke dist-smoke model-smoke serve-smoke
 
 # Full verify gate: gofmt, vet, build, tests, race pass on the
 # concurrent packages.
@@ -12,6 +12,7 @@ race:
 	go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
 	go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./internal/monitor/... ./internal/faults/...
 	go test -race ./internal/mpi/... ./internal/dmm/... ./internal/cluster/...
+	go test -race ./internal/serve/...
 
 # Run a small sweep through the powertrace CLI with -trace-out and
 # validate the emitted Perfetto trace structurally.
@@ -34,6 +35,12 @@ dist-smoke:
 # inside its 1/3 measurement budget, fit tightly, and be deterministic.
 model-smoke:
 	./scripts/model_smoke.sh
+
+# Sweep-service smoke through the epscaled daemon: two overlapping
+# identical sweeps execute each shared cell once, results replay
+# byte-identically by fingerprint, SIGTERM drains cleanly.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 bench:
 	go test -bench=. -benchmem

@@ -1,0 +1,10 @@
+package main
+
+import "net"
+
+// newListener binds the address up front so run can report (and, in
+// tests, hand out) the resolved port before serving — ":0" gets a
+// real address instead of a blind race against the first request.
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFlagValidation pins the CLI boundary: bad input produces a
+// one-line usage error on stderr and a non-zero exit.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"negative parallel", []string{"-parallel", "-1"}, "-parallel must be >= 0"},
+		{"zero max-sweeps", []string{"-max-sweeps", "0"}, "-max-sweeps must be positive"},
+		{"stray argument", []string{"stray"}, "unexpected arguments"},
+		{"empty store", []string{"-store", ""}, "empty store directory"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr, nil)
+			if code == 0 {
+				t.Fatalf("args %v exited 0; stderr:\n%s", tc.args, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("args %v: stderr %q lacks %q", tc.args, stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestServeSweepAndDrain boots the daemon on an ephemeral port, runs
+// one sweep over HTTP, then delivers SIGTERM and expects a clean
+// drain.
+func TestServeSweepAndDrain(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store")
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-store", store, "-drain-timeout", "10s"},
+			&stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never came up; stderr:\n%s", stderr.String())
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/sweep", "application/json",
+		strings.NewReader(`{"algorithms":["OpenBLAS"],"sizes":[64],"threads":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, sawTrailer := 0, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var probe struct {
+			Done     bool `json:"done"`
+			Complete bool `json:"complete"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if probe.Done {
+			sawTrailer = true
+			if !probe.Complete {
+				t.Fatalf("incomplete trailer: %s", sc.Text())
+			}
+		} else {
+			records++
+		}
+	}
+	resp.Body.Close()
+	if records != 1 || !sawTrailer {
+		t.Fatalf("streamed %d records (want 1), trailer=%v", records, sawTrailer)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM; stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "drained cleanly") {
+		t.Fatalf("stdout lacks drain confirmation:\n%s", stdout.String())
+	}
+}

@@ -77,13 +77,41 @@ const (
 )
 
 // Histogram is a lock-free power-of-two histogram of float64
-// observations (typically durations in seconds).
+// observations. Values are stored as raw float64 (atomic bit images),
+// so observations of any unit and magnitude — seconds, bytes, cell
+// counts — survive unscaled: the old implementation kept the sum and
+// max as nanosecond-scaled integers, which silently overflowed (and
+// mangled MaxValue/Mean) for any observation that was not a short
+// duration. The unit string, when set, is purely presentational:
+// Metrics() renders it as a suffix.
 type Histogram struct {
 	name    string
+	unit    string // rendering suffix ("s", "B", ...); "" = unitless
 	buckets [histBuckets]atomic.Int64
 	count   atomic.Int64
-	sumNano atomic.Int64 // sum scaled by 1e9 to keep atomics integral
-	maxNano atomic.Int64
+	sumBits atomic.Uint64 // float64 bit image of the running sum
+	maxBits atomic.Uint64 // float64 bit image of the max
+}
+
+// addFloat atomically adds v to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// maxFloat atomically raises the float64 stored in bits to at least v.
+func maxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) || bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 // Observe records one value. Non-positive values land in the lowest
@@ -100,9 +128,8 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.buckets[idx].Add(1)
 	h.count.Add(1)
-	n := int64(v * 1e9)
-	h.sumNano.Add(n)
-	updateMax(&h.maxNano, n)
+	addFloat(&h.sumBits, v)
+	maxFloat(&h.maxBits, v)
 }
 
 // Count returns the number of observations.
@@ -114,11 +141,16 @@ func (h *Histogram) Mean() float64 {
 	if n == 0 {
 		return 0
 	}
-	return float64(h.sumNano.Load()) / 1e9 / float64(n)
+	return math.Float64frombits(h.sumBits.Load()) / float64(n)
 }
 
-// MaxValue returns the largest observed value.
-func (h *Histogram) MaxValue() float64 { return float64(h.maxNano.Load()) / 1e9 }
+// MaxValue returns the largest observed value, in the unit the caller
+// observed in.
+func (h *Histogram) MaxValue() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Unit returns the histogram's presentational unit suffix ("" when the
+// histogram is unitless).
+func (h *Histogram) Unit() string { return h.unit }
 
 // Buckets returns the non-zero buckets as (lower bound, count) pairs
 // in increasing order.
@@ -182,8 +214,16 @@ func GetGauge(name string) *Gauge {
 	return g
 }
 
-// GetHistogram returns the named histogram, creating it on first use.
-func GetHistogram(name string) *Histogram {
+// GetHistogram returns the named unitless histogram, creating it on
+// first use. Observations are kept in whatever unit the caller uses;
+// use GetHistogramUnit to have that unit rendered in Metrics().
+func GetHistogram(name string) *Histogram { return GetHistogramUnit(name, "") }
+
+// GetHistogramUnit returns the named histogram, creating it with the
+// given presentational unit suffix on first use. The unit set at
+// creation wins; later calls with a different unit get the existing
+// histogram unchanged.
+func GetHistogramUnit(name, unit string) *Histogram {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
 	if registry.hists == nil {
@@ -192,7 +232,7 @@ func GetHistogram(name string) *Histogram {
 	if h, ok := registry.hists[name]; ok {
 		return h
 	}
-	h := &Histogram{name: name}
+	h := &Histogram{name: name, unit: unit}
 	registry.hists[name] = h
 	publish(name, func() any {
 		return map[string]any{"count": h.Count(), "mean": h.Mean(), "max": h.MaxValue()}
@@ -237,7 +277,8 @@ func Metrics() []MetricValue {
 	for n, h := range registry.hists {
 		out = append(out, MetricValue{
 			Name: n, Kind: "histogram",
-			Value: fmt.Sprintf("n=%d mean=%.3gs max=%.3gs", h.Count(), h.Mean(), h.MaxValue()),
+			Value: fmt.Sprintf("n=%d mean=%.3g%s max=%.3g%s",
+				h.Count(), h.Mean(), h.unit, h.MaxValue(), h.unit),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -262,7 +303,7 @@ func ResetMetrics() {
 			h.buckets[i].Store(0)
 		}
 		h.count.Store(0)
-		h.sumNano.Store(0)
-		h.maxNano.Store(0)
+		h.sumBits.Store(0)
+		h.maxBits.Store(0)
 	}
 }

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"context"
+	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -166,5 +168,61 @@ func TestHistogramExtremes(t *testing.T) {
 	h.Observe(1e30) // clamps to top bucket
 	if h.Count() != 3 {
 		t.Fatalf("count %d, want 3", h.Count())
+	}
+	if h.MaxValue() != 1e30 {
+		t.Fatalf("max %v, want 1e30", h.MaxValue())
+	}
+}
+
+// TestHistogramNonDurationValues pins the unit fix: the old
+// implementation kept sum/max as nanosecond-scaled int64s, so a
+// byte-count observation like 3.5e12 overflowed the scaling and
+// MaxValue returned garbage. Values of any unit must round-trip
+// exactly now.
+func TestHistogramNonDurationValues(t *testing.T) {
+	ResetMetrics()
+	h := GetHistogramUnit("test.bytes", "B")
+	for _, v := range []float64{1024, 3.5e12, 2e15} {
+		h.Observe(v)
+	}
+	if got := h.MaxValue(); got != 2e15 {
+		t.Fatalf("max %v, want 2e15", got)
+	}
+	if got, want := h.Mean(), (1024+3.5e12+2e15)/3; math.Abs(got-want) > 1e-3*want {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+	if h.Unit() != "B" {
+		t.Fatalf("unit %q, want B", h.Unit())
+	}
+	// The unit renders as a suffix in the metrics table.
+	for _, m := range Metrics() {
+		if m.Name == "test.bytes" && !strings.Contains(m.Value, "B") {
+			t.Fatalf("metrics row %q lacks the B unit suffix", m.Value)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve: the float-bits CAS loops must be
+// race-free and lose no observations.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	ResetMetrics()
+	h := GetHistogram("test.concurrent")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	if got := math.Float64frombits(h.sumBits.Load()); got != workers*per {
+		t.Fatalf("sum %v, want %d (CAS add lost updates)", got, workers*per)
 	}
 }

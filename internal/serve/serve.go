@@ -1,0 +1,569 @@
+// Package serve puts a long-running HTTP/JSON front end on the
+// experiment pipeline: sweep-as-a-service. The paper's capability
+// question — "which algorithm wins under this power budget on this
+// machine?" — is a query, and everything a query service needs
+// already exists in the pipeline: configurations fingerprint to
+// content-addressed results (workload.Config.Fingerprint), completed
+// cells journal crash-safely to JSONL (the checkpoint layer, reused
+// here as the persistent result store), the run cache single-flights
+// concurrent computes of one cell, and the obs metrics/span registry
+// publishes through expvar as service telemetry for free.
+//
+// Endpoints:
+//
+//	POST /v1/sweep        a workload.Config subset (see SweepRequest)
+//	                      → NDJSON stream of cell records as they
+//	                      finish, then one trailer object. Requests
+//	                      with equal fingerprints attach to one
+//	                      in-flight execution (single-flight): each
+//	                      cell is executed at most once no matter how
+//	                      many clients ask for it. When a request
+//	                      attaches to a sweep already under way, the
+//	                      already-known cells are flushed immediately,
+//	                      Predicted cells first (they are the cheap,
+//	                      model-answered majority of a guided sweep).
+//	GET  /v1/result/{fp}  replay a completed sweep's records from the
+//	                      persistent store, byte-identical to the
+//	                      lines streamed while it ran.
+//	GET  /v1/status       service snapshot (uptime, in-flight sweeps,
+//	                      stored results, dedup counters).
+//	GET  /debug/vars      the expvar registry, including every obs.*
+//	                      pipeline metric.
+//
+// Load shedding: at most MaxActiveSweeps distinct sweeps execute
+// concurrently and each client (X-Client-ID header, else remote host)
+// may hold ClientQuota open requests; beyond either, the server
+// answers 429 so callers back off instead of queueing unboundedly.
+// Attaching to an in-flight sweep does not count against
+// MaxActiveSweeps — it costs a subscriber, not an executor.
+//
+// Draining: Drain stops admission (503 with Retry-After) and waits
+// for in-flight sweeps. Every completed cell is already journaled and
+// fsynced in the store, so a drain deadline (or a kill) loses no
+// finished work; clients cut off mid-stream receive a trailer with
+// "complete":false and the sweep fingerprint, and resume by POSTing
+// the same request (restored cells replay from the store) or fetching
+// GET /v1/result/{fingerprint} after the server returns.
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"capscale/internal/obs"
+	"capscale/internal/workload"
+)
+
+// Config configures a sweep server.
+type Config struct {
+	// StoreDir is the persistent result store: one JSONL journal per
+	// configuration fingerprint. Required.
+	StoreDir string
+	// Parallelism bounds each sweep's cell workers (0 = GOMAXPROCS,
+	// matching workload.Config).
+	Parallelism int
+	// MaxActiveSweeps bounds concurrently executing sweeps; further
+	// new-fingerprint requests get 429. 0 selects DefaultMaxActiveSweeps.
+	MaxActiveSweeps int
+	// ClientQuota bounds open requests per client (X-Client-ID header,
+	// else remote host); 0 selects DefaultClientQuota. Negative
+	// disables the quota.
+	ClientQuota int
+	// CacheCap bounds the server's run cache instance; 0 selects
+	// workload.DefaultRunCacheCap.
+	CacheCap int
+}
+
+// Defaults for the load-shedding knobs: small enough that an abusive
+// client cannot monopolize the simulator, large enough for a busy
+// interactive fleet.
+const (
+	DefaultMaxActiveSweeps = 4
+	DefaultClientQuota     = 8
+)
+
+// Server is a sweep-as-a-service instance. Create with New, mount
+// Handler, call Drain before exit.
+type Server struct {
+	cfg   Config
+	store *Store
+	cache *workload.RunCache
+	start time.Time
+
+	mu       sync.Mutex
+	sweeps   map[string]*sweepState // in-flight, by fingerprint
+	active   int                    // executing sweeps
+	clients  map[string]int         // open requests per client
+	draining bool
+	wg       sync.WaitGroup // one per executing sweep
+}
+
+// Service metrics, published through expvar like every obs metric.
+var (
+	mReqs       = obs.GetCounter("serve.requests")
+	mStarted    = obs.GetCounter("serve.sweeps.started")
+	mAttached   = obs.GetCounter("serve.sweeps.attached")
+	mCompleted  = obs.GetCounter("serve.sweeps.completed")
+	mFailed     = obs.GetCounter("serve.sweeps.failed")
+	mReplayed   = obs.GetCounter("serve.results.replayed")
+	mShedQuota  = obs.GetCounter("serve.shed.quota")
+	mShedBusy   = obs.GetCounter("serve.shed.backpressure")
+	mCellsSent  = obs.GetCounter("serve.cells.streamed")
+	mActive     = obs.GetGauge("serve.sweeps.active")
+	mOpenReqs   = obs.GetGauge("serve.requests.open")
+	mReqSeconds = obs.GetHistogramUnit("serve.request.seconds", "s")
+)
+
+// New opens (creating if needed) the result store and returns a
+// server.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxActiveSweeps == 0 {
+		cfg.MaxActiveSweeps = DefaultMaxActiveSweeps
+	}
+	if cfg.ClientQuota == 0 {
+		cfg.ClientQuota = DefaultClientQuota
+	}
+	if cfg.CacheCap == 0 {
+		cfg.CacheCap = workload.DefaultRunCacheCap
+	}
+	store, err := OpenStore(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		store:   store,
+		cache:   workload.NewRunCache(cfg.CacheCap),
+		start:   time.Now(),
+		sweeps:  make(map[string]*sweepState),
+		clients: make(map[string]int),
+	}, nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/result/{fp}", s.handleResult)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// Drain stops admitting requests and waits up to timeout for in-flight
+// sweeps to finish, returning true when everything drained. Cells
+// completed by sweeps still running at the deadline are already
+// journaled in the store; their clients' trailers carry
+// "complete":false plus the fingerprint to resume by.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	s.draining = true
+	states := make([]*sweepState, 0, len(s.sweeps))
+	for _, st := range s.sweeps {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		// Cut the streams loose with a resumable trailer; the Execute
+		// goroutines finish (and journal) on their own time.
+		for _, st := range states {
+			st.finish("server draining; completed cells are stored — resume by fingerprint")
+		}
+		return false
+	}
+}
+
+// clientID identifies a request's client for quota accounting.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	return r.RemoteAddr
+}
+
+// admit performs the shared admission checks (drain state, client
+// quota), returning the client key and false when the request was
+// already answered.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (string, bool) {
+	mReqs.Inc()
+	client := clientID(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return "", false
+	}
+	if q := s.cfg.ClientQuota; q > 0 && s.clients[client] >= q {
+		mShedQuota.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("client %q has %d requests open (quota %d)", client, s.clients[client], q),
+			http.StatusTooManyRequests)
+		return "", false
+	}
+	s.clients[client]++
+	mOpenReqs.Add(1)
+	return client, true
+}
+
+// release undoes admit's accounting.
+func (s *Server) release(client string) {
+	s.mu.Lock()
+	s.clients[client]--
+	if s.clients[client] <= 0 {
+		delete(s.clients, client)
+	}
+	s.mu.Unlock()
+	mOpenReqs.Add(-1)
+}
+
+// handleSweep executes (or attaches to) a sweep and streams its cell
+// records as NDJSON.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { mReqSeconds.Observe(time.Since(t0).Seconds()) }()
+
+	client, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer s.release(client)
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req SweepRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fp := cfg.Fingerprint()
+
+	st, attached, err := s.startOrAttach(fp, cfg)
+	if err != nil {
+		mShedBusy.Inc()
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	if attached {
+		mAttached.Inc()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Fingerprint", fp)
+	w.WriteHeader(http.StatusOK)
+	st.stream(r.Context(), w)
+}
+
+// startOrAttach returns the in-flight sweep state for fp, launching
+// the execution when this request is the first to ask for it. The
+// error (backpressure) is only possible for a launch.
+func (s *Server) startOrAttach(fp string, cfg workload.Config) (*sweepState, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.sweeps[fp]; ok {
+		return st, true, nil
+	}
+	if s.active >= s.cfg.MaxActiveSweeps {
+		return nil, false, fmt.Errorf("%d sweeps executing (limit %d); retry shortly",
+			s.active, s.cfg.MaxActiveSweeps)
+	}
+	st := newSweepState(fp, cfg.CellCount())
+	s.sweeps[fp] = st
+	s.active++
+	mActive.Add(1)
+	mStarted.Inc()
+	s.wg.Add(1)
+	go s.runSweep(st, cfg)
+	return st, false, nil
+}
+
+// runSweep executes one sweep, feeding completed cells into the state
+// (and, via the checkpoint journal, the persistent store) as they
+// finish.
+func (s *Server) runSweep(st *sweepState, cfg workload.Config) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sweeps, st.fp)
+		s.active--
+		s.mu.Unlock()
+		mActive.Add(-1)
+	}()
+
+	cfg.CheckpointPath = s.store.Path(st.fp)
+	cfg.Cache = s.cache
+	cfg.Parallelism = s.cfg.Parallelism
+	cfg.OnRun = func(key string, r *workload.Run) {
+		line, err := workload.MarshalRunRecord(key, r)
+		if err != nil {
+			return
+		}
+		mCellsSent.Inc()
+		st.append(line, r.Predicted)
+	}
+
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("sweep failed: %v", p)
+			}
+		}()
+		workload.Execute(cfg)
+		return nil
+	}()
+	if err != nil {
+		mFailed.Inc()
+		st.finish(err.Error())
+		return
+	}
+	mCompleted.Inc()
+	st.finish("")
+}
+
+// handleResult replays a completed sweep's journal from the store,
+// byte-identical across replays (and to the record lines streamed by
+// the POST that produced it).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { mReqSeconds.Observe(time.Since(t0).Seconds()) }()
+	client, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer s.release(client)
+
+	fp := r.PathValue("fp")
+	if !validFingerprint(fp) {
+		http.Error(w, "malformed fingerprint", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	_, inflight := s.sweeps[fp]
+	s.mu.Unlock()
+	if inflight {
+		// The journal is being appended to; a partial replay would not
+		// be byte-stable. Clients stream the POST instead.
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "sweep still executing; POST /v1/sweep to stream it", http.StatusConflict)
+		return
+	}
+	if !s.store.Has(fp) {
+		http.Error(w, "no stored result for fingerprint "+fp, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	n, err := s.store.Replay(fp, w)
+	if err != nil && n == 0 {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	mReplayed.Inc()
+}
+
+// statusJSON is the GET /v1/status document.
+type statusJSON struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Draining        bool    `json:"draining"`
+	ActiveSweeps    int     `json:"active_sweeps"`
+	OpenRequests    int64   `json:"open_requests"`
+	StoredResults   int     `json:"stored_results"`
+	SweepsStarted   int64   `json:"sweeps_started"`
+	SweepsAttached  int64   `json:"sweeps_attached"`
+	SweepsCompleted int64   `json:"sweeps_completed"`
+	SweepsFailed    int64   `json:"sweeps_failed"`
+	CellsStreamed   int64   `json:"cells_streamed"`
+	CellsExecuted   int64   `json:"cells_executed"`
+	CacheDeduped    int64   `json:"cells_deduplicated"`
+	ShedQuota       int64   `json:"shed_quota"`
+	ShedBusy        int64   `json:"shed_backpressure"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	active, draining := s.active, s.draining
+	s.mu.Unlock()
+	doc := statusJSON{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Draining:        draining,
+		ActiveSweeps:    active,
+		OpenRequests:    mOpenReqs.Value(),
+		StoredResults:   len(s.store.Fingerprints()),
+		SweepsStarted:   mStarted.Value(),
+		SweepsAttached:  mAttached.Value(),
+		SweepsCompleted: mCompleted.Value(),
+		SweepsFailed:    mFailed.Value(),
+		CellsStreamed:   mCellsSent.Value(),
+		CellsExecuted:   obs.GetCounter("workload.cells.executed").Value(),
+		CacheDeduped:    obs.GetCounter("workload.cache.singleflight").Value(),
+		ShedQuota:       mShedQuota.Value(),
+		ShedBusy:        mShedBusy.Value(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+// sweepState is one in-flight (or draining) sweep's fan-out buffer:
+// record lines accumulate in completion order and every subscriber
+// streams them at its own pace.
+type sweepState struct {
+	fp    string
+	cells int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  []recLine
+	done   bool
+	errMsg string
+}
+
+type recLine struct {
+	data      []byte
+	predicted bool
+}
+
+func newSweepState(fp string, cells int) *sweepState {
+	st := &sweepState{fp: fp, cells: cells}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// append publishes one completed cell's record line to every
+// subscriber.
+func (st *sweepState) append(line []byte, predicted bool) {
+	st.mu.Lock()
+	if !st.done {
+		st.lines = append(st.lines, recLine{data: line, predicted: predicted})
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// finish marks the sweep complete (errMsg "" on success). Idempotent;
+// the first call wins.
+func (st *sweepState) finish(errMsg string) {
+	st.mu.Lock()
+	if !st.done {
+		st.done = true
+		st.errMsg = errMsg
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// trailer is the final NDJSON object of a sweep stream. Its "done"
+// field distinguishes it from cell records (which carry "key").
+type trailer struct {
+	Done        bool   `json:"done"`
+	Fingerprint string `json:"fingerprint"`
+	Cells       int    `json:"cells"`
+	Streamed    int    `json:"streamed"`
+	Complete    bool   `json:"complete"`
+	Error       string `json:"error,omitempty"`
+}
+
+// stream writes the sweep to w as NDJSON: the cells already known at
+// attach time first (Predicted ones leading — the cheap, model-
+// answered majority of a guided sweep), then live cells in completion
+// order, then the trailer. Returns when the sweep finishes, the
+// client disconnects, or ctx is canceled.
+func (st *sweepState) stream(ctx interface{ Done() <-chan struct{} }, w io.Writer) {
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	// Wake the cond waiter when the client goes away.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			st.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+	canceled := func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+
+	st.mu.Lock()
+	snapshot := append([]recLine(nil), st.lines...)
+	st.mu.Unlock()
+	sort.SliceStable(snapshot, func(i, j int) bool {
+		return snapshot[i].predicted && !snapshot[j].predicted
+	})
+	streamed := 0
+	for _, l := range snapshot {
+		if _, err := fmt.Fprintf(w, "%s\n", l.data); err != nil {
+			return
+		}
+		streamed++
+	}
+	flush()
+
+	next := len(snapshot)
+	for {
+		st.mu.Lock()
+		for next >= len(st.lines) && !st.done && !canceled() {
+			st.cond.Wait()
+		}
+		batch := append([]recLine(nil), st.lines[next:]...)
+		done, errMsg := st.done, st.errMsg
+		st.mu.Unlock()
+
+		for _, l := range batch {
+			if _, err := fmt.Fprintf(w, "%s\n", l.data); err != nil {
+				return
+			}
+			streamed++
+			next++
+		}
+		if len(batch) > 0 {
+			flush()
+		}
+		if canceled() {
+			return
+		}
+		if done {
+			tr := trailer{
+				Done:        true,
+				Fingerprint: st.fp,
+				Cells:       st.cells,
+				Streamed:    streamed,
+				Complete:    errMsg == "" && streamed >= st.cells,
+				Error:       errMsg,
+			}
+			line, _ := json.Marshal(tr)
+			fmt.Fprintf(w, "%s\n", line)
+			flush()
+			return
+		}
+	}
+}

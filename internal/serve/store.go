@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"capscale/internal/workload"
+)
+
+// Store is the persistent result store: one checkpoint-format JSONL
+// journal per configuration fingerprint, written by the sweeps
+// themselves (the server points Config.CheckpointPath into the store
+// directory, so every completed cell is journaled and fsynced the
+// moment it finishes — the store is crash-consistent for free, and a
+// re-POSTed sweep resumes from it like any checkpointed sweep).
+type Store struct {
+	dir string
+}
+
+// storeExt is the journal filename extension: <fingerprint>.jsonl.
+const storeExt = ".jsonl"
+
+// OpenStore creates dir if needed and returns the store.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Path returns the journal path for a fingerprint.
+func (st *Store) Path(fp string) string {
+	return filepath.Join(st.dir, fp+storeExt)
+}
+
+// Has reports whether a journal exists for the fingerprint.
+func (st *Store) Has(fp string) bool {
+	_, err := os.Stat(st.Path(fp))
+	return err == nil
+}
+
+// Replay streams the fingerprint's stored record lines to w, verbatim
+// — byte-identical to the lines streamed while the sweep ran, and
+// across repeated replays. Returns the record count.
+func (st *Store) Replay(fp string, w io.Writer) (int, error) {
+	return workload.ReplayJournal(st.Path(fp), w)
+}
+
+// Fingerprints lists the stored result fingerprints, sorted.
+func (st *Store) Fingerprints() []string {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	var fps []string
+	for _, e := range entries {
+		name := e.Name()
+		fp, ok := strings.CutSuffix(name, storeExt)
+		if ok && validFingerprint(fp) {
+			fps = append(fps, fp)
+		}
+	}
+	sort.Strings(fps)
+	return fps
+}
+
+// validFingerprint matches the 16-hex-digit form Config.Fingerprint
+// produces; it is also the path-traversal guard for GET /v1/result.
+func validFingerprint(fp string) bool {
+	if len(fp) != 16 {
+		return false
+	}
+	for _, c := range fp {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -23,12 +23,26 @@ import (
 // free. The cache holds private deep copies — callers can mutate what
 // they get back without poisoning later hits.
 //
-// The cache is bounded: at most runCacheCap entries, evicted in
-// insertion (FIFO) order. An unbounded cache of deep-copied Runs —
-// with full traces when RecordTraces is set — grows without limit
-// under a long sweep over many machines/intervals, which is exactly
-// the workload a bench loop produces. Hits, misses and evictions are
-// visible in the obs metrics registry.
+// The cache is an instance (RunCache): every Execute uses the cache
+// the configuration names (Config.Cache), falling back to a shared
+// process default. Instance scoping is what lets a long-running
+// server give concurrent sweeps one coherent cache whose cap and
+// lifetime it owns, while a test (or a second embedded pipeline) uses
+// its own without racing the server semantically — the old
+// package-global cache made SetRunCacheCap/ResetRunCache act at a
+// distance on every in-flight sweep in the process.
+//
+// Each cache is also a single-flight group: when two concurrent
+// sweeps reach the same not-yet-cached cell, one simulates it and the
+// other waits for that result instead of duplicating the work. The
+// dedup counter counts the waits.
+//
+// A cache is bounded: at most cap entries, evicted in insertion
+// (FIFO) order. An unbounded cache of deep-copied Runs — with full
+// traces when RecordTraces is set — grows without limit under a long
+// sweep over many machines/intervals, which is exactly the workload a
+// bench loop (or a sweep server) produces. Hits, misses, evictions
+// and single-flight waits are visible in the obs metrics registry.
 
 // DefaultRunCacheCap is the default bound on memoized cells. The full
 // paper matrix is 48 cells; 256 leaves room for several machines and
@@ -37,16 +51,47 @@ import (
 const DefaultRunCacheCap = 256
 
 var (
-	cacheMu      sync.Mutex
-	cacheEntries = make(map[runKey]*Run)
-	cacheOrder   []runKey // insertion order; evictions pop the front
-	runCacheCap  = DefaultRunCacheCap
-
 	cacheHits      = obs.GetCounter("workload.cache.hits")
 	cacheMisses    = obs.GetCounter("workload.cache.misses")
 	cacheEvictions = obs.GetCounter("workload.cache.evictions")
+	cacheDedups    = obs.GetCounter("workload.cache.singleflight")
 	cacheSize      = obs.GetGauge("workload.cache.size")
 )
+
+// RunCache memoizes executed cells with FIFO eviction and
+// single-flight deduplication of concurrent computes. Safe for
+// concurrent use; the zero value is not usable — construct with
+// NewRunCache.
+type RunCache struct {
+	mu       sync.Mutex
+	entries  map[runKey]*Run
+	order    []runKey // insertion order; evictions pop the front
+	cap      int
+	inflight map[runKey]*inflightRun
+}
+
+// inflightRun is a cell some goroutine is currently computing. done is
+// closed when run is final; run stays nil when the compute panicked,
+// and waiters fall back to computing for themselves.
+type inflightRun struct {
+	done chan struct{}
+	run  *Run
+}
+
+// NewRunCache returns a cache bounded to at most cap entries. A
+// non-positive cap disables storing (lookups always miss, computes
+// still single-flight).
+func NewRunCache(cap int) *RunCache {
+	return &RunCache{
+		entries:  make(map[runKey]*Run),
+		cap:      cap,
+		inflight: make(map[runKey]*inflightRun),
+	}
+}
+
+// defaultRunCache backs the package-level wrappers and every Config
+// that does not name its own cache.
+var defaultRunCache = NewRunCache(DefaultRunCacheCap)
 
 // runKey identifies one memoizable cell. Machines are folded to a
 // fingerprint hash of every model-relevant field, so two distinct
@@ -105,73 +150,144 @@ func clusterFingerprint(cs *cluster.Spec) uint64 {
 	return h.Sum64()
 }
 
-// cacheLoad returns a private copy of the memoized run for key, and
-// counts the hit or miss.
-func cacheLoad(key runKey) (Run, bool) {
-	cacheMu.Lock()
-	r, ok := cacheEntries[key]
-	cacheMu.Unlock()
+// Do returns the memoized run for key, waiting on a concurrent
+// compute of the same key when one is in flight, and calling compute
+// (then storing the result) otherwise — each key is computed at most
+// once across concurrent callers. The returned Run is always a
+// private copy.
+func (rc *RunCache) Do(key runKey, compute func() Run) Run {
+	rc.mu.Lock()
+	if r, ok := rc.entries[key]; ok {
+		rc.mu.Unlock()
+		cacheHits.Inc()
+		// Cached *Run values are immutable once stored, so cloning
+		// outside the critical section is safe even if the entry is
+		// evicted concurrently.
+		return cloneRun(r)
+	}
+	if fl, ok := rc.inflight[key]; ok {
+		rc.mu.Unlock()
+		<-fl.done
+		if fl.run != nil {
+			cacheDedups.Inc()
+			return cloneRun(fl.run)
+		}
+		// The leader panicked; its waiters compute for themselves
+		// rather than propagating a failure that was not theirs.
+		return compute()
+	}
+	fl := &inflightRun{done: make(chan struct{})}
+	rc.inflight[key] = fl
+	rc.mu.Unlock()
+	cacheMisses.Inc()
+
+	defer func() {
+		rc.mu.Lock()
+		delete(rc.inflight, key)
+		rc.mu.Unlock()
+		close(fl.done)
+	}()
+	run := compute()
+	stored := cloneRun(&run)
+	fl.run = &stored
+	rc.store(key, &stored)
+	return run
+}
+
+// load returns a private copy of the memoized run for key, counting
+// the hit or miss (test hook; Do is the execution path).
+func (rc *RunCache) load(key runKey) (Run, bool) {
+	rc.mu.Lock()
+	r, ok := rc.entries[key]
+	rc.mu.Unlock()
 	if !ok {
 		cacheMisses.Inc()
 		return Run{}, false
 	}
-	// Cached *Run values are immutable once stored, so cloning outside
-	// the critical section is safe even if the entry is evicted
-	// concurrently.
 	cacheHits.Inc()
 	return cloneRun(r), true
 }
 
-// cacheStore memoizes a private copy of run, evicting the oldest
-// entries once the cap is reached. A non-positive cap disables
-// storing entirely.
-func cacheStore(key runKey, run *Run) {
-	stored := cloneRun(run)
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if runCacheCap <= 0 {
+// store memoizes run (which must already be a private deep copy),
+// evicting the oldest entries once the cap is reached. A non-positive
+// cap disables storing entirely.
+func (rc *RunCache) store(key runKey, run *Run) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.cap <= 0 {
 		return
 	}
-	if _, exists := cacheEntries[key]; exists {
+	if _, exists := rc.entries[key]; exists {
 		// Deterministic simulator: a concurrent sweep re-simulated the
 		// same cell; keep the existing entry and its age.
 		return
 	}
-	evictDownToLocked(runCacheCap - 1)
-	cacheEntries[key] = &stored
-	cacheOrder = append(cacheOrder, key)
-	cacheSize.Set(int64(len(cacheEntries)))
+	rc.evictDownToLocked(rc.cap - 1)
+	rc.entries[key] = run
+	rc.order = append(rc.order, key)
+	cacheSize.Set(int64(len(rc.entries)))
 }
 
 // evictDownToLocked removes oldest entries until at most n remain.
-// Called with cacheMu held.
-func evictDownToLocked(n int) {
-	for len(cacheEntries) > n && len(cacheOrder) > 0 {
-		oldest := cacheOrder[0]
-		cacheOrder = cacheOrder[1:]
-		if _, ok := cacheEntries[oldest]; ok {
-			delete(cacheEntries, oldest)
+// Called with rc.mu held.
+func (rc *RunCache) evictDownToLocked(n int) {
+	for len(rc.entries) > n && len(rc.order) > 0 {
+		oldest := rc.order[0]
+		rc.order = rc.order[1:]
+		if _, ok := rc.entries[oldest]; ok {
+			delete(rc.entries, oldest)
 			cacheEvictions.Inc()
 		}
 	}
-	cacheSize.Set(int64(len(cacheEntries)))
+	cacheSize.Set(int64(len(rc.entries)))
 }
 
-// SetRunCacheCap bounds the memoization cache to at most n entries,
-// evicting oldest entries immediately if the cache is over the new
-// cap, and returns the previous cap. A non-positive n disables
-// caching. Tests use small caps to exercise eviction.
-func SetRunCacheCap(n int) int {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	prev := runCacheCap
-	runCacheCap = n
+// SetCap bounds the cache to at most n entries, evicting oldest
+// entries immediately if it is over the new cap, and returns the
+// previous cap. A non-positive n disables caching.
+func (rc *RunCache) SetCap(n int) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	prev := rc.cap
+	rc.cap = n
 	if n <= 0 {
 		n = 0
 	}
-	evictDownToLocked(n)
+	rc.evictDownToLocked(n)
 	return prev
 }
+
+// Reset empties the cache. In-flight computes are unaffected: they
+// complete and store into the emptied cache.
+func (rc *RunCache) Reset() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.entries = make(map[runKey]*Run)
+	rc.order = nil
+	cacheSize.Set(0)
+}
+
+// Len counts cached cells.
+func (rc *RunCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.entries)
+}
+
+// SetRunCacheCap bounds the process-default memoization cache to at
+// most n entries, evicting oldest entries immediately if the cache is
+// over the new cap, and returns the previous cap. A non-positive n
+// disables caching. Tests use small caps to exercise eviction.
+// Sweeps with their own Config.Cache are unaffected.
+func SetRunCacheCap(n int) int { return defaultRunCache.SetCap(n) }
+
+// ResetRunCache empties the process-default run memoization cache.
+// Tests use it to force re-simulation; long-lived processes can use
+// it to release memory after sweeping many distinct configurations.
+func ResetRunCache() { defaultRunCache.Reset() }
+
+// runCacheLen counts cells in the default cache (test hook).
+func runCacheLen() int { return defaultRunCache.Len() }
 
 // machineFingerprint hashes every field of the machine that feeds the
 // cost or power model. The KernelEff map is folded in sorted-kind
@@ -219,22 +335,4 @@ func cloneRun(r *Run) Run {
 		out.Schedule = append([]sim.LeafSpan(nil), r.Schedule...)
 	}
 	return out
-}
-
-// ResetRunCache empties the run memoization cache. Tests use it to
-// force re-simulation; long-lived processes can use it to release
-// memory after sweeping many distinct configurations.
-func ResetRunCache() {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	cacheEntries = make(map[runKey]*Run)
-	cacheOrder = nil
-	cacheSize.Set(0)
-}
-
-// runCacheLen counts cached cells (test hook).
-func runCacheLen() int {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	return len(cacheEntries)
 }

@@ -3,7 +3,9 @@ package workload
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"capscale/internal/obs"
 )
@@ -91,6 +93,98 @@ func TestRunCacheCountsHitsAndMisses(t *testing.T) {
 	}
 	if d := obs.GetCounter("workload.cache.hits").Value() - hits0; d != 1 {
 		t.Fatalf("hits +%d, want +1", d)
+	}
+}
+
+// TestRunCacheInstancesAreIndependent: a sweep with its own
+// Config.Cache must not populate (or be served by) the process
+// default, and resetting the default must not touch the instance —
+// the semantic isolation a long-running server needs.
+func TestRunCacheInstancesAreIndependent(t *testing.T) {
+	ResetRunCache()
+	defer ResetRunCache()
+
+	own := NewRunCache(DefaultRunCacheCap)
+	cfg := SmokeConfig()
+	cfg.Cache = own
+	ExecuteOne(cfg, AlgOpenBLAS, 64, 1)
+	if got := own.Len(); got != 1 {
+		t.Fatalf("instance cache holds %d entries, want 1", got)
+	}
+	if got := runCacheLen(); got != 0 {
+		t.Fatalf("default cache holds %d entries after instance-scoped run", got)
+	}
+	ResetRunCache()
+	if got := own.Len(); got != 1 {
+		t.Fatalf("ResetRunCache emptied an unrelated instance (len %d)", got)
+	}
+	own.Reset()
+	if got := own.Len(); got != 0 {
+		t.Fatalf("instance Reset left %d entries", got)
+	}
+}
+
+// TestRunCacheSingleFlight: concurrent Do calls on one key compute it
+// exactly once; every other caller waits for that result.
+func TestRunCacheSingleFlight(t *testing.T) {
+	rc := NewRunCache(8)
+	key := runKey{n: 64, threads: 1}
+	var computes int32
+	gate := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]Run, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = rc.Do(key, func() Run {
+				atomic.AddInt32(&computes, 1)
+				<-gate // hold every concurrent caller in the wait path
+				return Run{N: 64, Threads: 1, Seconds: 1.5}
+			})
+		}(i)
+	}
+	// Let the followers pile up on the leader before releasing it.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("key computed %d times under concurrent Do, want 1", computes)
+	}
+	for i := range results {
+		if results[i].Seconds != 1.5 {
+			t.Fatalf("caller %d got %+v", i, results[i])
+		}
+	}
+}
+
+// TestRunCacheSingleFlightLeaderPanic: a panicking compute must not
+// wedge its waiters — they recompute for themselves.
+func TestRunCacheSingleFlightLeaderPanic(t *testing.T) {
+	rc := NewRunCache(8)
+	key := runKey{n: 128}
+	entered := make(chan struct{})
+	done := make(chan Run, 1)
+	go func() {
+		defer func() { recover() }()
+		rc.Do(key, func() Run {
+			close(entered)
+			time.Sleep(10 * time.Millisecond)
+			panic("injected")
+		})
+	}()
+	<-entered
+	go func() {
+		done <- rc.Do(key, func() Run { return Run{N: 128, Seconds: 2} })
+	}()
+	select {
+	case r := <-done:
+		if r.Seconds != 2 {
+			t.Fatalf("waiter got %+v after leader panic", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged after leader panic")
 	}
 }
 

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"capscale/internal/model"
+	"capscale/internal/obs"
 	"capscale/internal/trace"
 )
 
@@ -36,6 +39,20 @@ import (
 // a resumed traced sweep can still assemble its SessionTrace; a
 // record without a trace does not satisfy a traced sweep and is
 // re-run instead of restored.
+//
+// On open the journal is compacted — restored records re-journaled to
+// a fresh file so stale headers, duplicates and torn tails do not
+// accumulate. The rewrite is crash-safe: it goes to a temp file in
+// the same directory that is atomically renamed over the journal only
+// once it is complete, so a crash at any instant leaves either the
+// old complete journal or the new complete one, never a truncated
+// in-between. (The previous implementation truncated the live journal
+// first and re-journaled into it; dying in that window lost every
+// previously completed cell.)
+//
+// A journal path is exclusive while open: a second Execute trying to
+// open the same path while one holds it fails with a descriptive
+// error instead of interleaving torn records into a shared file.
 
 // ckVersion guards the journal layout.
 const ckVersion = 1
@@ -56,8 +73,52 @@ type ckRecord struct {
 type checkpoint struct {
 	mu   sync.Mutex
 	f    *os.File
-	path string
-	keep bool // RecordTraces: records must carry traces
+	path string // cleaned path, claimed in ckActive until close
+	keep bool   // RecordTraces: records must carry traces
+}
+
+// ckActive registers the journal paths open in this process, so two
+// concurrent sweeps cannot interleave writes into one file.
+var (
+	ckActiveMu sync.Mutex
+	ckActive   = map[string]bool{}
+)
+
+// ckRewriteCrash is a test hook invoked between writing the compacted
+// temp journal and renaming it over the live one — the crash window
+// the atomic rewrite must keep harmless. Nil outside tests.
+var ckRewriteCrash func()
+
+// oversized-record drops are counted so a service embedding the
+// pipeline can alarm on silent journal damage.
+var ckOversized = obs.GetCounter("workload.checkpoint.oversized")
+
+// ckPath canonicalizes a journal path for the exclusivity registry.
+func ckPath(path string) string {
+	if abs, err := filepath.Abs(path); err == nil {
+		return abs
+	}
+	return filepath.Clean(path)
+}
+
+// claimCheckpointPath registers path as in use, failing when another
+// open sweep in this process already journals there.
+func claimCheckpointPath(path string) error {
+	key := ckPath(path)
+	ckActiveMu.Lock()
+	defer ckActiveMu.Unlock()
+	if ckActive[key] {
+		return fmt.Errorf("workload: checkpoint journal %s is already in use by a concurrent sweep (give each sweep its own CheckpointPath, or serialize them)", path)
+	}
+	ckActive[key] = true
+	return nil
+}
+
+// releaseCheckpointPath undoes claimCheckpointPath.
+func releaseCheckpointPath(path string) {
+	ckActiveMu.Lock()
+	delete(ckActive, ckPath(path))
+	ckActiveMu.Unlock()
 }
 
 // checkpointFingerprint folds every result-determining configuration
@@ -92,38 +153,111 @@ func checkpointFingerprint(cfg Config) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// Fingerprint returns the configuration's result fingerprint: a hash
+// of every field that determines cell results (machine, matrix
+// coordinates, measurement settings, ablations, fault schedule and
+// planner coordinates — execution details like Parallelism or the
+// cache instance are excluded). It keys the checkpoint journal header
+// and the sweep server's persistent result store: two configurations
+// with equal fingerprints produce byte-identical cell records.
+func (cfg Config) Fingerprint() string { return checkpointFingerprint(cfg) }
+
+// MarshalRunRecord serializes one completed cell in the checkpoint
+// journal's record format (one JSON object, no trailing newline) —
+// exactly the bytes record appends for an untraced sweep, so a
+// service streaming cells and replaying its journal later serves
+// byte-identical lines.
+func MarshalRunRecord(key string, r *Run) ([]byte, error) {
+	return json.Marshal(ckRecord{Key: key, Run: runToJSON(r)})
+}
+
+// UnmarshalRunRecord parses one checkpoint journal record line.
+func UnmarshalRunRecord(line []byte) (key string, run Run, err error) {
+	var rec ckRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return "", Run{}, fmt.Errorf("workload: bad run record: %w", err)
+	}
+	r := runFromJSON(&rec.Run)
+	r.Trace = rec.Trace
+	return rec.Key, r, nil
+}
+
 // openCheckpoint loads any resumable cells from cfg.CheckpointPath and
 // returns the open journal plus the restored runs by cell key. A
 // missing file, a stale fingerprint, or a corrupt tail (a record cut
 // mid-write by a crash) all degrade to "restore what is readable" —
-// never to a failed sweep. The journal is rewritten on open so stale
-// headers, duplicate records and torn tails do not accumulate.
+// never to a failed sweep. The journal is compacted on open via an
+// atomic temp-file rewrite; see the package comment for the crash
+// contract.
 func openCheckpoint(cfg Config) (*checkpoint, map[string]Run, error) {
+	if err := claimCheckpointPath(cfg.CheckpointPath); err != nil {
+		return nil, nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			releaseCheckpointPath(cfg.CheckpointPath)
+		}
+	}()
+
 	fp := checkpointFingerprint(cfg)
 	restored := loadCheckpoint(cfg, fp)
 
-	f, err := os.Create(cfg.CheckpointPath)
+	dir, base := filepath.Split(cfg.CheckpointPath)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".rewrite-*")
 	if err != nil {
+		return nil, nil, fmt.Errorf("workload: checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) (*checkpoint, map[string]Run, error) {
+		f.Close()
+		os.Remove(tmp)
 		return nil, nil, fmt.Errorf("workload: checkpoint: %w", err)
 	}
 	ck := &checkpoint{f: f, path: cfg.CheckpointPath, keep: cfg.RecordTraces}
 	hdr, _ := json.Marshal(ckHeader{Version: ckVersion, Fingerprint: fp})
 	if _, err := fmt.Fprintf(f, "%s\n", hdr); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("workload: checkpoint: %w", err)
+		return fail(err)
 	}
-	// Re-journal the restored cells so the rewritten file is complete
+	// Re-journal the restored cells so the compacted file is complete
 	// on its own.
 	for key := range restored {
 		r := restored[key]
 		ck.record(key, &r)
 	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if ckRewriteCrash != nil {
+		// Simulated kill inside the rewrite window: the live journal has
+		// not been touched yet, so nothing is lost.
+		ckRewriteCrash()
+	}
+	// Atomic cutover: the complete compacted journal replaces the old
+	// one in a single rename. The open handle stays valid across the
+	// rename, and subsequent records append to the live journal.
+	if err := os.Rename(tmp, cfg.CheckpointPath); err != nil {
+		return fail(err)
+	}
+	ok = true
 	return ck, restored, nil
 }
 
+// ckMaxRecordBytes bounds one journal line: 64 MiB holds any traced
+// record the pipeline produces while keeping a corrupt (newline-less)
+// journal from ballooning memory on load. A variable so tests can
+// exercise the oversized path without writing 64 MiB lines.
+var ckMaxRecordBytes = 64 * 1024 * 1024
+
 // loadCheckpoint reads the resumable cells out of an existing journal,
 // or nil when there is none (or it belongs to a different
-// configuration).
+// configuration). A record longer than ckMaxRecordBytes is skipped —
+// counted and warned about, with scanning continuing at the next line
+// — instead of silently discarding the rest of the journal the way a
+// bufio.Scanner hitting its cap would.
 func loadCheckpoint(cfg Config, fingerprint string) map[string]Run {
 	f, err := os.Open(cfg.CheckpointPath)
 	if err != nil {
@@ -131,20 +265,30 @@ func loadCheckpoint(cfg Config, fingerprint string) map[string]Run {
 	}
 	defer f.Close()
 
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024) // traced records are large
-	if !sc.Scan() {
+	br := bufio.NewReaderSize(f, 64*1024)
+	line, tooLong, err := readJournalLine(br)
+	if err != nil || tooLong {
 		return nil
 	}
 	var hdr ckHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil ||
+	if err := json.Unmarshal(line, &hdr); err != nil ||
 		hdr.Version != ckVersion || hdr.Fingerprint != fingerprint {
 		return nil
 	}
 	restored := make(map[string]Run)
-	for sc.Scan() {
+	for {
+		line, tooLong, err := readJournalLine(br)
+		if tooLong {
+			ckOversized.Inc()
+			fmt.Fprintf(os.Stderr, "workload: checkpoint %s: skipping oversized record (> %d bytes); later records still restored\n",
+				cfg.CheckpointPath, ckMaxRecordBytes)
+			continue
+		}
+		if len(line) == 0 && err != nil {
+			break
+		}
 		var rec ckRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		if err := json.Unmarshal(line, &rec); err != nil {
 			// A torn tail from a crashed sweep; everything before it is
 			// intact and restorable.
 			break
@@ -161,11 +305,44 @@ func loadCheckpoint(cfg Config, fingerprint string) map[string]Run {
 		}
 		run.Trace = rec.Trace
 		restored[rec.Key] = run
+		if err != nil {
+			break // final unterminated line parsed cleanly
+		}
 	}
 	if len(restored) == 0 {
 		return nil
 	}
 	return restored
+}
+
+// readJournalLine reads one newline-terminated line of at most
+// ckMaxRecordBytes. Oversized lines are consumed to their newline and
+// reported as tooLong with no content, so the caller can keep
+// scanning from the next record.
+func readJournalLine(br *bufio.Reader) (line []byte, tooLong bool, err error) {
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if !tooLong {
+			line = append(line, chunk...)
+			if len(line) > ckMaxRecordBytes {
+				line = nil
+				tooLong = true
+			}
+		}
+		switch err {
+		case bufio.ErrBufferFull:
+			continue // line spans buffer chunks; keep accumulating
+		case nil:
+			if !tooLong {
+				line = line[:len(line)-1] // strip the newline
+			}
+			return line, tooLong, nil
+		default:
+			// EOF (possibly with a final unterminated line) or a read
+			// error: hand back what accumulated.
+			return line, tooLong, err
+		}
+	}
 }
 
 // record journals one completed cell and flushes it to the OS, so the
@@ -188,12 +365,65 @@ func (ck *checkpoint) record(key string, r *Run) {
 	ck.f.Sync()
 }
 
-// close closes the journal file; records after close are dropped.
+// close closes the journal file and releases the path claim; records
+// after close are dropped.
 func (ck *checkpoint) close() {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	if ck.f != nil {
 		ck.f.Close()
 		ck.f = nil
+		releaseCheckpointPath(ck.path)
 	}
 }
+
+// replayJournal streams the record lines of the journal at path
+// verbatim to w (the header line is validated and skipped), returning
+// the record count. Torn tails stop the replay silently, matching
+// loadCheckpoint; oversized records are skipped with a count. The
+// sweep server's GET /v1/result replays stored journals through this.
+func replayJournal(path string, w io.Writer) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 64*1024)
+	line, tooLong, err := readJournalLine(br)
+	if err != nil || tooLong {
+		return 0, fmt.Errorf("workload: journal %s: unreadable header", path)
+	}
+	var hdr ckHeader
+	if err := json.Unmarshal(line, &hdr); err != nil || hdr.Version != ckVersion {
+		return 0, fmt.Errorf("workload: journal %s: bad header", path)
+	}
+	records := 0
+	for {
+		line, tooLong, err := readJournalLine(br)
+		if tooLong {
+			ckOversized.Inc()
+			continue
+		}
+		if len(line) == 0 && err != nil {
+			break
+		}
+		if !json.Valid(line) {
+			break // torn tail
+		}
+		if _, werr := fmt.Fprintf(w, "%s\n", line); werr != nil {
+			return records, werr
+		}
+		records++
+		if err != nil {
+			break
+		}
+	}
+	return records, nil
+}
+
+// ReplayJournal streams the record lines of a checkpoint/result
+// journal verbatim to w (header validated and skipped) and returns
+// how many records it wrote. Callers get the exact bytes record
+// appended, so repeated replays are byte-identical.
+func ReplayJournal(path string, w io.Writer) (int, error) { return replayJournal(path, w) }

@@ -206,6 +206,9 @@ func executeGuided(cfg Config) *Matrix {
 			}
 			g.mx.Runs[i] = run
 		}
+		if g.cfg.OnRun != nil {
+			g.cfg.OnRun(key, &g.mx.Runs[i])
+		}
 		g.mx.Planner.PredictedCells++
 	}
 	g.measure(fallback)
@@ -247,13 +250,16 @@ func (g *guided) measure(idx []int) {
 			cellsRestored.Inc()
 			g.mx.addRestored()
 			g.mx.Runs[i] = r
-			return
+		} else {
+			run := executeOne(g.cfg, c, tr)
+			if g.ck != nil && !run.Failed() {
+				g.ck.record(key, &run)
+			}
+			g.mx.Runs[i] = run
 		}
-		run := executeOne(g.cfg, c, tr)
-		if g.ck != nil && !run.Failed() {
-			g.ck.record(key, &run)
+		if g.cfg.OnRun != nil {
+			g.cfg.OnRun(key, &g.mx.Runs[i])
 		}
-		g.mx.Runs[i] = run
 	})
 }
 

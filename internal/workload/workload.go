@@ -178,6 +178,22 @@ type Config struct {
 	// is re-simulated even when an identical configuration has already
 	// been executed. Benchmarks and determinism tests use it.
 	NoCache bool
+	// Cache selects the run memoization cache instance this sweep
+	// loads from and stores into; nil selects the shared process
+	// default. A long-running embedder (the sweep server) gives its
+	// sweeps a cache it owns, so its cap and reset decisions cannot
+	// race other pipelines in the process. The cache also single-
+	// flights concurrent computes of one cell across every sweep
+	// sharing it.
+	Cache *RunCache
+	// OnRun, when non-nil, is invoked once per cell as it resolves —
+	// executed, restored from a checkpoint, or emitted as a model
+	// prediction — with the cell's stable key and its final Run. It is
+	// called concurrently from the driver's workers, in completion
+	// order (not the matrix nesting order); the callback must be safe
+	// for concurrent use and must not retain r past the call. The
+	// sweep server streams partial results through this hook.
+	OnRun func(key string, r *Run)
 
 	// Faults, when non-nil, arms the deterministic fault schedule: each
 	// cell the schedule selects executes under an injector that perturbs
@@ -633,7 +649,7 @@ func BuildTree(m *hw.Machine, alg Algorithm, n, threads int) *task.Node {
 // expvar and report.MetricsTable.
 var (
 	cellsExecuted  = obs.GetCounter("workload.cells.executed")
-	cellSeconds    = obs.GetHistogram("workload.cell.seconds")
+	cellSeconds    = obs.GetHistogramUnit("workload.cell.seconds", "s")
 	driverBusy     = obs.GetGauge("workload.workers.busy")
 	sweepsExecuted = obs.GetCounter("workload.sweeps.executed")
 	cellsRetried   = obs.GetCounter("workload.cells.retried")
@@ -685,14 +701,23 @@ func executeOne(cfg Config, c cell, tr obs.Track) Run {
 	if cfg.NoCache {
 		return executeCell(cfg, c, nil, tr)
 	}
-	key := cacheKey(cfg, c)
-	if hit, ok := cacheLoad(key); ok {
-		sp.Arg("cache", "hit")
-		return hit
+	rc := cfg.Cache
+	if rc == nil {
+		rc = defaultRunCache
 	}
-	sp.Arg("cache", "miss")
-	run := executeCell(cfg, c, nil, tr)
-	cacheStore(key, &run)
+	// Do memoizes and single-flights: when a concurrent sweep sharing
+	// this cache is already simulating the same cell, this call waits
+	// for that result instead of duplicating the work.
+	computed := false
+	run := rc.Do(cacheKey(cfg, c), func() Run {
+		computed = true
+		return executeCell(cfg, c, nil, tr)
+	})
+	if computed {
+		sp.Arg("cache", "miss")
+	} else {
+		sp.Arg("cache", "hit")
+	}
 	return run
 }
 
@@ -948,11 +973,17 @@ func Execute(cfg Config) *Matrix {
 			r.Restored = true
 			cellsRestored.Inc()
 			mx.addRestored()
+			if cfg.OnRun != nil {
+				cfg.OnRun(key, &r)
+			}
 			return r
 		}
 		run := executeOne(cfg, c, tr)
 		if ck != nil && !run.Failed() {
 			ck.record(key, &run)
+		}
+		if cfg.OnRun != nil {
+			cfg.OnRun(key, &run)
 		}
 		return run
 	}

@@ -7,7 +7,7 @@
 # ground truth, and deliberately undersampled runs must be flagged for
 # wrap loss), and binary-boundary smokes: Perfetto trace export, the
 # seeded chaos sweep with checkpoint resume, the distributed comm
-# sweep, and the model-guided planner.
+# sweep, the model-guided planner, and the sweep service daemon.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +33,9 @@ go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./int
 # and the comms/cluster model feed the same concurrent driver, so they
 # get the same race pass.
 go test -race ./internal/mpi/... ./internal/dmm/... ./internal/cluster/...
+# The sweep server: concurrent HTTP subscribers, sweep-level
+# single-flight and the drain path all live on shared state.
+go test -race ./internal/serve/...
 # The event-driven simulator core: concurrent Runs must be race-free
 # (-short skips the 48-cell bit-identicality pin, which the plain
 # `go test ./...` line above already ran in full).
@@ -64,4 +67,8 @@ go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss
 # stay inside its 1/3 measurement budget, fit tightly, and render
 # deterministically.
 ./scripts/model_smoke.sh
+# Serve smoke: the real epscaled daemon must single-flight two
+# overlapping identical sweeps, replay results byte-identically, and
+# drain cleanly on SIGTERM.
+./scripts/serve_smoke.sh
 echo "check.sh: all green"
