@@ -1,4 +1,4 @@
-.PHONY: check test race bench bench-kernels bench-driver bench-sim bench-model trace-smoke chaos-smoke dist-smoke model-smoke serve-smoke
+.PHONY: check test race bench bench-kernels bench-driver bench-sim bench-model trace-smoke chaos-smoke dist-smoke model-smoke serve-smoke crash-smoke errcheck
 
 # Full verify gate: gofmt, vet, build, tests, race pass on the
 # concurrent packages.
@@ -41,6 +41,18 @@ model-smoke:
 # byte-identically by fingerprint, SIGTERM drains cleanly.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Crash-recovery smoke: kill -9 a leaseholder replica mid-sweep; the
+# surviving replica sharing the store steals the lease, resumes from
+# the journal, and streams exactly the missing cells — no re-execution
+# of journaled work, byte-identical replay.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
+# Focused errcheck pass: dropped Close/Sync/Rename/Remove/Truncate/
+# Flush error returns in the packages that own on-disk state.
+errcheck:
+	go run ./scripts/errcheck
 
 bench:
 	go test -bench=. -benchmem

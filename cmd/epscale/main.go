@@ -226,7 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		mx, err = workload.LoadJSON(f)
-		f.Close()
+		_ = f.Close() // read-only; nothing buffered to lose
 		if err != nil {
 			fmt.Fprintf(stderr, "epscale: %v\n", err)
 			return 1
@@ -257,7 +257,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "epscale: %v\n", err)
 			return 1
 		}
-		f.Close()
+		// A failed Close can mean the kernel never accepted the last
+		// buffered bytes — a truncated matrix that would only surface
+		// on the next -load. Surface it now.
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "epscale: saving matrix: %v\n", err)
+			return 1
+		}
 		fmt.Fprintf(stderr, "epscale: saved matrix to %s\n", *save)
 	}
 	if *traceOut != "" {
@@ -359,7 +365,7 @@ func writeMatrixTrace(path string, mx *workload.Matrix, spans *obs.Collector) er
 		return err
 	}
 	if err := workload.WriteMatrixChromeTrace(f, mx, spans); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -7,13 +7,24 @@
 //
 // Usage:
 //
-//	epscaled [-addr :8080] [-store DIR] [-parallel N]
-//	         [-max-sweeps N] [-client-quota N] [-drain-timeout 30s]
+//	epscaled [-addr :8080] [-store DIR] [-parallel N] [-id REPLICA]
+//	         [-max-sweeps N] [-client-quota N] [-lease-ttl 5s]
+//	         [-drain-timeout 30s]
 //
-// On SIGINT/SIGTERM the server stops admitting work, drains in-flight
-// sweeps up to -drain-timeout, and exits; every completed cell is
-// journaled in the store, so interrupted sweeps resume where they
-// stopped when re-requested.
+// Multiple replicas may share one -store directory: on-disk leases
+// (owner -id, monotonic epoch, -lease-ttl) give each sweep journal one
+// writer at a time. A replica asked for a sweep another replica is
+// executing follows its journal read-only; if the leaseholder dies,
+// any replica takes the sweep over and resumes it. On startup the
+// store is recovered: torn journal tails are salvaged and incomplete
+// unleased sweeps with request sidecars resume automatically.
+//
+// On SIGINT/SIGTERM the server stops admitting work and drains
+// in-flight sweeps up to -drain-timeout; at the deadline the sweeps
+// are stopped at their next cell boundary instead, clients receive a
+// resumable trailer, and every completed cell stays journaled in the
+// store — interrupted sweeps resume where they stopped when
+// re-requested (exactly, with ?from=<next_from>).
 package main
 
 import (
@@ -45,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	parallel := fs.Int("parallel", 0, "cell workers per sweep (0 = all cores)")
 	maxSweeps := fs.Int("max-sweeps", serve.DefaultMaxActiveSweeps, "max concurrently executing sweeps (further requests get 429)")
 	clientQuota := fs.Int("client-quota", serve.DefaultClientQuota, "max open requests per client (X-Client-ID header; <0 disables)")
+	replicaID := fs.String("id", "", "replica ID stamped on store leases (default host:pid)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "sweep journal lease lifetime between renewals (0 = library default)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight sweeps on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,15 +75,27 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 
+	if *leaseTTL < 0 {
+		fmt.Fprintln(stderr, "epscaled: -lease-ttl must be >= 0")
+		return 2
+	}
+
 	srv, err := serve.New(serve.Config{
 		StoreDir:        *store,
 		Parallelism:     *parallel,
 		MaxActiveSweeps: *maxSweeps,
 		ClientQuota:     *clientQuota,
+		ReplicaID:       *replicaID,
+		LeaseTTL:        *leaseTTL,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "epscaled: %v\n", err)
 		return 1
+	}
+	if resumed, salvaged := srv.Recover(func(format string, args ...any) {
+		fmt.Fprintf(stdout, "epscaled: "+format+"\n", args...)
+	}); resumed > 0 || salvaged > 0 {
+		fmt.Fprintf(stdout, "epscaled: recovery: %d sweeps resumed, %d journals salvaged\n", resumed, salvaged)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -80,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "epscaled: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "epscaled: serving on %s (store %s)\n", ln.Addr(), *store)
+	fmt.Fprintf(stdout, "epscaled: replica %s serving on %s (store %s)\n", srv.ReplicaID(), ln.Addr(), *store)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -104,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "epscaled: shutdown: %v\n", err)
 	}
 	if !drained {
-		fmt.Fprintln(stdout, "epscaled: drain timeout — in-flight cells remain journaled; sweeps resume on next request")
+		fmt.Fprintln(stdout, "epscaled: drain deadline — in-flight sweeps stopped at a cell boundary; completed cells are journaled and clients were told to resume (trailer resumable:true)")
 		return 1
 	}
 	fmt.Fprintln(stdout, "epscaled: drained cleanly")

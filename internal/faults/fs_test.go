@@ -1,0 +1,279 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+
+	"capscale/internal/store"
+)
+
+// TestFaultFSRoundTrip: the zero-profile filesystem behaves like a
+// filesystem — create, write, sync, rename, stat, list, remove.
+func TestFaultFSRoundTrip(t *testing.T) {
+	ffs := NewFaultFS(FSProfile{}, 1)
+	if err := ffs.MkdirAll("dir/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.OpenFile("dir/sub/a.txt", os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.OpenFile("dir/sub/a.txt", os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644); !errors.Is(err, os.ErrExist) {
+		t.Fatalf("O_EXCL on existing file = %v, want ErrExist", err)
+	}
+	if err := ffs.Rename("dir/sub/a.txt", "dir/sub/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.Stat("dir/sub/a.txt"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stat after rename = %v, want ErrNotExist", err)
+	}
+	g, err := ffs.OpenFile("dir/sub/b.txt", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(g)
+	if err != nil || string(raw) != "hello" {
+		t.Fatalf("read back %q, %v", raw, err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ffs.ReadDir("dir/sub")
+	if err != nil || len(entries) != 1 || entries[0].Name() != "b.txt" {
+		t.Fatalf("readdir = %v, %v", entries, err)
+	}
+	if err := ffs.Remove("dir/sub/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.Stat("dir/sub/b.txt"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stat after remove = %v", err)
+	}
+}
+
+// TestCrashDropsUnsyncedData: power loss keeps exactly the durable
+// prefix of each file, vaporizes never-synced files, and fails all I/O
+// until Reboot.
+func TestCrashDropsUnsyncedData(t *testing.T) {
+	ffs := NewFaultFS(FSProfile{}, 1)
+	f, err := ffs.OpenFile("a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ffs.OpenFile("never-synced", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.CrashAt(1)
+	func() {
+		defer func() {
+			if p := recover(); p == nil {
+				t.Fatal("armed crash-point did not fire")
+			} else if _, ok := p.(*CrashPoint); !ok {
+				panic(p)
+			}
+		}()
+		_, _ = f.Write([]byte("x"))
+	}()
+	if !ffs.Crashed() {
+		t.Fatal("filesystem not down after crash")
+	}
+	if _, err := ffs.OpenFile("a", os.O_RDONLY, 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("open while crashed = %v, want EIO", err)
+	}
+
+	ffs.Reboot()
+	h, err := ffs.OpenFile("a", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(h)
+	if err != nil || string(raw) != "durable|" {
+		t.Fatalf("after reboot file a = %q, %v (want only the synced prefix)", raw, err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.Stat("never-synced"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("never-synced file survived the crash: %v", err)
+	}
+	if ffs.Stats().Crashes != 1 {
+		t.Fatalf("crash count = %d", ffs.Stats().Crashes)
+	}
+}
+
+// TestWriteErrInjection: EIO and ENOSPC surface through the standard
+// (n, err) contract with errors.Is-compatible wrapping.
+func TestWriteErrInjection(t *testing.T) {
+	ffs := NewFaultFS(FSProfile{WriteErrRate: 1}, 42)
+	f, err := ffs.OpenFile("a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("data")); n != 0 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected write = (%d, %v), want (0, EIO)", n, err)
+	}
+	if ffs.Stats().WriteErrs == 0 {
+		t.Fatal("write error not counted")
+	}
+
+	nospc := NewFaultFS(FSProfile{ENOSPCBytes: 10}, 42)
+	g, err := nospc.OpenFile("b", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if n, err := g.Write([]byte("overflow")); !errors.Is(err, syscall.ENOSPC) || n >= len("overflow") {
+		t.Fatalf("over-budget write = (%d, %v), want partial + ENOSPC", n, err)
+	}
+	if nospc.Stats().ENOSPCs == 0 {
+		t.Fatal("ENOSPC not counted")
+	}
+}
+
+// TestJournalENOSPCRollback: when the disk fills mid-append, the
+// journal rolls the partial line back — the file stays clean and holds
+// exactly the records whose appends succeeded.
+func TestJournalENOSPCRollback(t *testing.T) {
+	header := []byte(`{"version":1,"fingerprint":"0123456789abcdef"}`)
+	// Budget: the header and first record fit; a later append trips it.
+	ffs := NewFaultFS(FSProfile{ENOSPCBytes: int64(len(header)) + 40}, 7)
+	j, err := store.CreateJournal(ffs, "sweep.jsonl", header, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok int
+	for i := 0; i < 5; i++ {
+		rec := fmt.Sprintf(`{"key":"cell-%d"}`, i)
+		if err := j.Append([]byte(rec)); err != nil {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			break
+		}
+		ok++
+	}
+	if ok == 0 || ok == 5 {
+		t.Fatalf("want some appends to succeed and some to hit ENOSPC; %d succeeded", ok)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := store.ScanJournal(ffs, "sweep.jsonl", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Clean() {
+		t.Fatalf("journal dirty after rolled-back append: torn=%v unterminated=%v", sc.Torn, sc.Unterminated)
+	}
+	if len(sc.Records) != ok {
+		t.Fatalf("journal holds %d records, want the %d successful appends", len(sc.Records), ok)
+	}
+}
+
+// TestJournalCrashEveryOp: the journal-level crash oracle. A reference
+// run writes a journal through N mutating ops; then, for every k ≤ N,
+// a fresh filesystem replays the same sequence with power loss at op k
+// (torn tails enabled). After reboot + salvage the journal must be
+// clean and hold a strict prefix of the reference records — never a
+// corrupt or reordered file.
+func TestJournalCrashEveryOp(t *testing.T) {
+	header := []byte(`{"version":1,"fingerprint":"0123456789abcdef"}`)
+	records := make([][]byte, 6)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf(`{"key":"cell-%d","joules":%d.5}`, i, i*3))
+	}
+	run := func(ffs *FaultFS) error {
+		j, err := store.CreateJournal(ffs, "sweep.jsonl", header, nil, nil, nil)
+		if err != nil {
+			return err
+		}
+		for _, rec := range records {
+			if err := j.Append(rec); err != nil {
+				return err
+			}
+		}
+		return j.Close()
+	}
+
+	clean := NewFaultFS(FSProfile{}, 99)
+	if err := run(clean); err != nil {
+		t.Fatal(err)
+	}
+	total := clean.Ops()
+	if total < int64(len(records)) {
+		t.Fatalf("implausible op count %d", total)
+	}
+
+	for k := int64(1); k <= total; k++ {
+		ffs := NewFaultFS(FSProfile{CrashTornFrac: 0.5}, 1000+k)
+		ffs.CrashAt(k)
+		crashed := false
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					if _, ok := p.(*CrashPoint); !ok {
+						panic(p)
+					}
+					crashed = true
+				}
+			}()
+			_ = run(ffs)
+		}()
+		if !crashed {
+			t.Fatalf("k=%d: crash-point did not fire (total ops %d)", k, total)
+		}
+		ffs.Reboot()
+		if _, err := store.SalvageJournal(ffs, "sweep.jsonl", 1<<20); err != nil {
+			t.Fatalf("k=%d: salvage: %v", k, err)
+		}
+		sc, err := store.ScanJournal(ffs, "sweep.jsonl", 1<<20)
+		if errors.Is(err, os.ErrNotExist) {
+			continue // crashed before the journal became durable: clean slate
+		}
+		if err != nil {
+			t.Fatalf("k=%d: scan: %v", k, err)
+		}
+		if len(sc.Records) > 0 && !sc.HeaderOK {
+			t.Fatalf("k=%d: records without a header after salvage", k)
+		}
+		if !sc.Clean() && sc.HeaderOK {
+			t.Fatalf("k=%d: journal not clean after salvage: torn=%v unterminated=%v", k, sc.Torn, sc.Unterminated)
+		}
+		if len(sc.Records) > len(records) {
+			t.Fatalf("k=%d: more records than were written: %d", k, len(sc.Records))
+		}
+		for i, rec := range sc.Records {
+			if string(rec) != string(records[i]) {
+				t.Fatalf("k=%d: record %d = %q, want prefix of reference (%q)", k, i, rec, records[i])
+			}
+		}
+	}
+}

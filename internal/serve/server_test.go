@@ -517,7 +517,7 @@ func TestStatusAndVars(t *testing.T) {
 // TestStoreFingerprints: only well-formed journal names are listed.
 func TestStoreFingerprints(t *testing.T) {
 	dir := t.TempDir()
-	st, err := OpenStore(dir)
+	st, err := OpenStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

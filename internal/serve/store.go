@@ -3,11 +3,8 @@ package serve
 import (
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
+	"capscale/internal/store"
 	"capscale/internal/workload"
 )
 
@@ -16,74 +13,81 @@ import (
 // themselves (the server points Config.CheckpointPath into the store
 // directory, so every completed cell is journaled and fsynced the
 // moment it finishes — the store is crash-consistent for free, and a
-// re-POSTed sweep resumes from it like any checkpointed sweep).
+// re-POSTed sweep resumes from it like any checkpointed sweep). It is
+// a thin serve-flavored wrapper over internal/store: the journal,
+// lease and salvage mechanics live there, behind the injectable
+// filesystem the fault tests drive.
 type Store struct {
-	dir string
+	inner *store.Store
 }
 
 // storeExt is the journal filename extension: <fingerprint>.jsonl.
-const storeExt = ".jsonl"
+const storeExt = store.Ext
 
-// OpenStore creates dir if needed and returns the store.
-func OpenStore(dir string) (*Store, error) {
+// OpenStore creates dir if needed and returns the store. A nil fsys
+// selects the real filesystem.
+func OpenStore(dir string, fsys store.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("serve: empty store directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	inner, err := store.Open(dir, fsys)
+	if err != nil {
 		return nil, fmt.Errorf("serve: creating store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{inner: inner}, nil
 }
 
 // Dir returns the store directory.
-func (st *Store) Dir() string { return st.dir }
+func (st *Store) Dir() string { return st.inner.Dir() }
 
 // Path returns the journal path for a fingerprint.
-func (st *Store) Path(fp string) string {
-	return filepath.Join(st.dir, fp+storeExt)
-}
+func (st *Store) Path(fp string) string { return st.inner.Path(fp) }
+
+// LeasePath returns the on-disk claim file guarding a fingerprint's
+// journal.
+func (st *Store) LeasePath(fp string) string { return st.inner.LeasePath(fp) }
 
 // Has reports whether a journal exists for the fingerprint.
-func (st *Store) Has(fp string) bool {
-	_, err := os.Stat(st.Path(fp))
-	return err == nil
-}
+func (st *Store) Has(fp string) bool { return st.inner.Has(fp) }
 
 // Replay streams the fingerprint's stored record lines to w, verbatim
 // — byte-identical to the lines streamed while the sweep ran, and
 // across repeated replays. Returns the record count.
 func (st *Store) Replay(fp string, w io.Writer) (int, error) {
-	return workload.ReplayJournal(st.Path(fp), w)
+	return workload.ReplayJournalFS(st.inner.FS(), st.Path(fp), w)
 }
 
-// Fingerprints lists the stored result fingerprints, sorted.
+// Fingerprints lists the stored result fingerprints, sorted. Lease
+// files, request sidecars and quarantined journals are excluded.
 func (st *Store) Fingerprints() []string {
-	entries, err := os.ReadDir(st.dir)
+	fps, err := st.inner.Fingerprints()
 	if err != nil {
 		return nil
 	}
-	var fps []string
-	for _, e := range entries {
-		name := e.Name()
-		fp, ok := strings.CutSuffix(name, storeExt)
-		if ok && validFingerprint(fp) {
-			fps = append(fps, fp)
-		}
-	}
-	sort.Strings(fps)
 	return fps
 }
 
+// RequestFingerprints lists the fingerprints with a saved request
+// sidecar — including ones with no journal yet, which recovery
+// restarts from scratch.
+func (st *Store) RequestFingerprints() []string {
+	fps, err := st.inner.RequestFingerprints()
+	if err != nil {
+		return nil
+	}
+	return fps
+}
+
+// SaveRequest persists the raw sweep request body next to the journal
+// — what lets a recovering replica reconstruct and resume a sweep it
+// never saw.
+func (st *Store) SaveRequest(fp string, body []byte) error {
+	return st.inner.SaveRequest(fp, body)
+}
+
+// LoadRequest returns the saved request body for fp, if any.
+func (st *Store) LoadRequest(fp string) ([]byte, bool) { return st.inner.LoadRequest(fp) }
+
 // validFingerprint matches the 16-hex-digit form Config.Fingerprint
 // produces; it is also the path-traversal guard for GET /v1/result.
-func validFingerprint(fp string) bool {
-	if len(fp) != 16 {
-		return false
-	}
-	for _, c := range fp {
-		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
-			return false
-		}
-	}
-	return true
-}
+func validFingerprint(fp string) bool { return store.ValidFingerprint(fp) }

@@ -1,0 +1,94 @@
+// Package store holds the fingerprint-keyed JSONL result store shared
+// by the checkpoint journal (internal/workload) and the sweep service
+// (internal/serve). Everything goes through an injectable filesystem
+// interface so the crash and fault tests (internal/faults.FaultFS) can
+// exercise torn writes, I/O errors and simulated power loss against
+// the exact code paths production runs on.
+//
+// The package provides three layers:
+//
+//   - FS/File: the filesystem seam. Resolve(nil) returns the real OS
+//     filesystem, so a nil FS everywhere means "no injection, zero
+//     overhead" — the same contract the fault injector established.
+//   - Lease: on-disk claim files (owner + monotonic epoch + TTL) that
+//     let N replicas share one store directory. See lease.go.
+//   - Journal: append-only JSONL files written with explicit fsync
+//     barriers and atomic (temp+fsync+rename) compaction. See
+//     journal.go.
+package store
+
+import (
+	"io/fs"
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// File is the subset of *os.File the store writes through. Sync is the
+// durability barrier: data written but not yet synced is exactly what a
+// crash may lose (or tear).
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Close() error
+	Sync() error
+	Truncate(size int64) error
+	Name() string
+}
+
+// FS is the filesystem seam. The real implementation is OS(); the
+// fault-injecting one lives in internal/faults. All paths are plain
+// slash-joined strings, same as the os package.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// osFS is the passthrough to the real filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+var theOS FS = osFS{}
+
+// OS returns the real filesystem.
+func OS() FS { return theOS }
+
+// Resolve maps the nil FS to the real filesystem, preserving the
+// "nil means no injection" contract at every call site.
+func Resolve(fsys FS) FS {
+	if fsys == nil {
+		return theOS
+	}
+	return fsys
+}
+
+// tmpSeq makes temp names unique within a process without consulting
+// the clock or a global RNG (keeps fault-FS runs deterministic).
+var tmpSeq atomic.Uint64
+
+// tempPath returns a sibling temp name for path. The suffix never
+// matches the store's journal extension, so half-written temps are
+// invisible to Fingerprints and harmless as debris after a real kill.
+func tempPath(path string) string {
+	return path + ".tmp-" + strconv.Itoa(os.Getpid()) + "-" +
+		strconv.FormatUint(tmpSeq.Add(1), 10)
+}

@@ -1,0 +1,319 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Header is the first line of every journal: the layout version plus
+// the configuration fingerprint of the results it holds. Field order
+// matches the original checkpoint header byte-for-byte.
+type Header struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ErrJournalClosed is returned by Append after Close.
+var ErrJournalClosed = errors.New("store: journal closed")
+
+// Scan is the parse of one journal file: what is restorable, and what
+// damage (if any) the file carries. Records are the raw lines without
+// their trailing newline, in journal order.
+type Scan struct {
+	HeaderLine   []byte // raw header line, newline stripped
+	Header       Header
+	HeaderOK     bool // header line parsed as JSON
+	Records      [][]byte
+	Torn         bool // invalid bytes found after the last good record
+	Unterminated bool // final record parsed but lacked its newline
+	Oversized    int  // records over maxRecord, skipped
+}
+
+// Clean reports whether the file needs no salvage.
+func (s *Scan) Clean() bool {
+	return s.HeaderOK && !s.Torn && !s.Unterminated && s.Oversized == 0
+}
+
+// ScanJournal reads the journal at path through fsys, tolerating every
+// kind of tail damage a crash can leave: a torn (non-JSON) tail stops
+// the scan with everything before it intact, an oversized record is
+// skipped with scanning continuing at the next line, and a final
+// unterminated-but-valid record is kept. Returns the underlying error
+// (e.g. os.ErrNotExist) if the file cannot be opened.
+func ScanJournal(fsys FS, path string, maxRecord int) (*Scan, error) {
+	fsys = Resolve(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+
+	sc := &Scan{}
+	br := bufio.NewReaderSize(f, 64*1024)
+	line, tooLong, err := readJournalLine(br, maxRecord)
+	if err != nil && len(line) == 0 {
+		return sc, nil // empty file: no header, nothing restorable
+	}
+	if tooLong || json.Unmarshal(line, &sc.Header) != nil {
+		sc.Torn = true
+		return sc, nil
+	}
+	sc.HeaderLine = line
+	sc.HeaderOK = true
+	if err != nil {
+		sc.Unterminated = true // header without newline: no records yet
+		return sc, nil
+	}
+	for {
+		line, tooLong, err := readJournalLine(br, maxRecord)
+		if tooLong {
+			sc.Oversized++
+			continue
+		}
+		if len(line) == 0 && err != nil {
+			break // end of journal
+		}
+		if !json.Valid(line) {
+			// A record cut mid-write by a crash; everything before it
+			// is intact and restorable.
+			sc.Torn = true
+			break
+		}
+		sc.Records = append(sc.Records, line)
+		if err != nil {
+			sc.Unterminated = true // final line parsed but had no newline
+			break
+		}
+	}
+	return sc, nil
+}
+
+// readJournalLine reads one newline-terminated line of at most
+// maxRecord bytes. Oversized lines are consumed to their newline and
+// reported as tooLong with no content, so the caller can keep scanning
+// from the next record.
+func readJournalLine(br *bufio.Reader, maxRecord int) (line []byte, tooLong bool, err error) {
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if !tooLong {
+			line = append(line, chunk...)
+			if len(line) > maxRecord {
+				line = nil
+				tooLong = true
+			}
+		}
+		switch err {
+		case bufio.ErrBufferFull:
+			continue // line spans buffer chunks; keep accumulating
+		case nil:
+			if !tooLong {
+				line = line[:len(line)-1] // strip the newline
+			}
+			return line, tooLong, nil
+		default:
+			// EOF (possibly with a final unterminated line) or a read
+			// error: hand back what accumulated.
+			return line, tooLong, err
+		}
+	}
+}
+
+// Journal is an open, appendable journal file. Appends are fenced by
+// the lease (when one is attached), written as whole lines, synced
+// before returning, and rolled back on partial failure so the file
+// never holds a half-line in its interior.
+type Journal struct {
+	mu     sync.Mutex
+	fsys   FS
+	f      File
+	path   string
+	lease  *Lease
+	offset int64 // bytes of complete lines in the file
+	broken bool  // a failed append could not be rolled back
+}
+
+// CreateJournal atomically replaces the journal at path with one
+// holding headerLine plus records (the compaction step), then keeps it
+// open for appends. The new content goes to a sibling temp file that
+// is fsynced and renamed over path only once complete, so a crash at
+// any instant leaves either the old complete journal or the new one —
+// never a truncated in-between. preRename (the crash-window test hook)
+// runs between the sync and the rename; lease, when non-nil, fences
+// every subsequent Append and must already be held by the caller.
+func CreateJournal(fsys FS, path string, headerLine []byte, records [][]byte, lease *Lease, preRename func()) (*Journal, error) {
+	fsys = Resolve(fsys)
+	tmp := tempPath(path)
+	// O_APPEND so that a rolled-back append (Truncate) repositions the
+	// next write at the new end instead of leaving a hole.
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Journal, error) {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return nil, err
+	}
+	j := &Journal{fsys: fsys, f: f, path: path, lease: lease}
+	if err := j.writeLine(headerLine); err != nil {
+		return fail(err)
+	}
+	for _, rec := range records {
+		if err := j.writeLine(rec); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if preRename != nil {
+		// Crash-window test hook: the live journal has not been touched
+		// yet, so a kill here loses nothing.
+		preRename()
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	return j, nil
+}
+
+// writeLine appends line plus newline without fencing or syncing —
+// the compaction path batches many lines under one sync.
+func (j *Journal) writeLine(line []byte) error {
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	n, err := j.f.Write(buf)
+	if err == nil && n != len(buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		return err
+	}
+	j.offset += int64(n)
+	return nil
+}
+
+// Append journals one record line (newline added) and syncs it, so the
+// record survives the process dying right afterwards. A failed or
+// short write is rolled back with Truncate so the journal's interior
+// stays parseable; if even the rollback fails the journal is marked
+// broken and refuses further appends rather than corrupting records
+// already on disk.
+func (j *Journal) Append(line []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return ErrJournalClosed
+	}
+	if j.broken {
+		return fmt.Errorf("store: journal %s: disabled by an earlier unrecoverable append failure", j.path)
+	}
+	if j.lease != nil {
+		if err := j.lease.Fence(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	n, err := j.f.Write(buf)
+	if err == nil && n != len(buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		if n > 0 {
+			if terr := j.f.Truncate(j.offset); terr != nil {
+				j.broken = true
+				return fmt.Errorf("store: journal %s: append failed (%v) and rollback failed (%v); journal disabled", j.path, err, terr)
+			}
+		}
+		return fmt.Errorf("store: journal %s: append: %w", j.path, err)
+	}
+	j.offset += int64(n)
+	if err := j.f.Sync(); err != nil {
+		// The line is whole in the file (scanning still works); only
+		// its durability against power loss is in doubt.
+		return fmt.Errorf("store: journal %s: sync: %w", j.path, err)
+	}
+	return nil
+}
+
+// Path returns the journal's live path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file. Appends after Close are rejected.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// SalvageJournal repairs the journal at path in place: a torn tail,
+// an unterminated final record, or oversized interior junk is rewritten
+// away via the same atomic temp+rename path the compaction uses, and a
+// journal whose header no longer parses (nothing attributes its
+// records to a configuration) is quarantined aside as path+".corrupt".
+// Returns whether the file changed. A missing file is not an error.
+func SalvageJournal(fsys FS, path string, maxRecord int) (changed bool, err error) {
+	fsys = Resolve(fsys)
+	sc, err := ScanJournal(fsys, path, maxRecord)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	if !sc.HeaderOK {
+		if len(sc.HeaderLine) == 0 && !sc.Torn {
+			return false, nil // empty file: harmless
+		}
+		if err := fsys.Rename(path, path+".corrupt"); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if sc.Clean() {
+		return false, nil
+	}
+	j, err := CreateJournal(fsys, path, sc.HeaderLine, sc.Records, nil, nil)
+	if err != nil {
+		return false, err
+	}
+	return true, j.Close()
+}
+
+// ReplayJournal streams the journal's record lines verbatim to w (the
+// header is validated against version and skipped), returning the
+// record and skipped-oversized counts. Torn tails stop the replay
+// silently — callers get exactly the restorable prefix, byte-identical
+// on every replay.
+func ReplayJournal(fsys FS, path string, version, maxRecord int, w io.Writer) (records, oversized int, err error) {
+	sc, err := ScanJournal(fsys, path, maxRecord)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !sc.HeaderOK {
+		return 0, 0, fmt.Errorf("store: journal %s: unreadable header", path)
+	}
+	if sc.Header.Version != version {
+		return 0, 0, fmt.Errorf("store: journal %s: bad header", path)
+	}
+	for _, line := range sc.Records {
+		if _, werr := fmt.Fprintf(w, "%s\n", line); werr != nil {
+			return records, sc.Oversized, werr
+		}
+		records++
+	}
+	return records, sc.Oversized, nil
+}

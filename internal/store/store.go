@@ -1,0 +1,169 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Ext is the journal extension in a store directory: one JSONL file
+// per sweep fingerprint.
+const Ext = ".jsonl"
+
+// reqExt is the request sidecar extension: the raw sweep request body
+// saved next to the journal, which is what lets a recovering replica
+// reconstruct and resume an interrupted sweep it never saw.
+const reqExt = ".req"
+
+// Store is a fingerprint-keyed directory of result journals shared by
+// any number of replicas; all claims go through the lease files next
+// to each journal.
+type Store struct {
+	dir  string
+	fsys FS
+}
+
+// Open ensures dir exists and returns the store. A nil fsys means the
+// real filesystem.
+func Open(dir string, fsys FS) (*Store, error) {
+	fsys = Resolve(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, fsys: fsys}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// FS returns the filesystem the store operates through.
+func (s *Store) FS() FS { return s.fsys }
+
+// Path returns the journal path for a fingerprint.
+func (s *Store) Path(fp string) string { return filepath.Join(s.dir, fp+Ext) }
+
+// LeasePath returns the claim-file path for a fingerprint's journal.
+func (s *Store) LeasePath(fp string) string { return LeasePath(s.Path(fp)) }
+
+// Has reports whether a journal exists for the fingerprint.
+func (s *Store) Has(fp string) bool {
+	_, err := s.fsys.Stat(s.Path(fp))
+	return err == nil
+}
+
+// Fingerprints lists the stored fingerprints in sorted order. Lease
+// files, request sidecars, quarantined journals and temp debris all
+// carry different suffixes and are excluded.
+func (s *Store) Fingerprints() ([]string, error) {
+	entries, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var fps []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name, ok := strings.CutSuffix(e.Name(), Ext)
+		if !ok || !ValidFingerprint(name) {
+			continue
+		}
+		fps = append(fps, name)
+	}
+	sort.Strings(fps)
+	return fps, nil
+}
+
+// RequestFingerprints lists the fingerprints with a saved request
+// sidecar, sorted — including ones whose journal does not exist yet (a
+// crash can land between the sidecar save and the journal's first
+// rename; recovery restarts those sweeps from the sidecar alone).
+func (s *Store) RequestFingerprints() ([]string, error) {
+	entries, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var fps []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name, ok := strings.CutSuffix(e.Name(), reqExt)
+		if !ok || !ValidFingerprint(name) {
+			continue
+		}
+		fps = append(fps, name)
+	}
+	sort.Strings(fps)
+	return fps, nil
+}
+
+// reqPath returns the request sidecar path for a fingerprint.
+func (s *Store) reqPath(fp string) string { return filepath.Join(s.dir, fp+reqExt) }
+
+// SaveRequest persists the raw sweep request body for fp (atomically,
+// so recovery never parses a half-written request).
+func (s *Store) SaveRequest(fp string, body []byte) error {
+	tmp := tempPath(s.reqPath(fp))
+	f, err := s.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		_ = f.Close()
+		_ = s.fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = s.fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fsys.Remove(tmp)
+		return err
+	}
+	if err := s.fsys.Rename(tmp, s.reqPath(fp)); err != nil {
+		_ = s.fsys.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadRequest returns the saved request body for fp, if any.
+func (s *Store) LoadRequest(fp string) ([]byte, bool) {
+	f, err := s.fsys.OpenFile(s.reqPath(fp), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, false
+	}
+	raw, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+// ValidFingerprint reports whether fp looks like a sweep fingerprint:
+// exactly 16 lowercase hex digits (the %016x FNV-64 the pipeline
+// produces).
+func ValidFingerprint(fp string) bool {
+	if len(fp) != 16 {
+		return false
+	}
+	for _, c := range fp {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNotExist reports whether err is a missing-file error from any FS
+// implementation.
+func IsNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }

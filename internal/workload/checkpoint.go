@@ -1,17 +1,20 @@
 package workload
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"capscale/internal/model"
 	"capscale/internal/obs"
+	"capscale/internal/store"
 	"capscale/internal/trace"
 )
 
@@ -19,7 +22,7 @@ import (
 // journals every completed cell to a JSONL file as it finishes, and a
 // later Execute with the same configuration restores those cells
 // instead of re-simulating them. The journal survives a killed or
-// crashed sweep because records are appended (and flushed) one cell
+// crashed sweep because records are appended (and fsynced) one cell
 // at a time — exactly the cells that completed are exactly the cells
 // restored.
 //
@@ -40,27 +43,29 @@ import (
 // record without a trace does not satisfy a traced sweep and is
 // re-run instead of restored.
 //
-// On open the journal is compacted — restored records re-journaled to
-// a fresh file so stale headers, duplicates and torn tails do not
-// accumulate. The rewrite is crash-safe: it goes to a temp file in
-// the same directory that is atomically renamed over the journal only
-// once it is complete, so a crash at any instant leaves either the
-// old complete journal or the new complete one, never a truncated
-// in-between. (The previous implementation truncated the live journal
-// first and re-journaled into it; dying in that window lost every
-// previously completed cell.)
+// On open the journal is compacted — restored records re-journaled in
+// their original journal order to a fresh file, so stale headers,
+// duplicates and torn tails do not accumulate and a compacted journal
+// replays byte-identically to the sweep that produced it. The rewrite
+// is crash-safe (temp file + fsync + atomic rename; see
+// store.CreateJournal): a crash at any instant leaves either the old
+// complete journal or the new complete one, never a truncated
+// in-between.
 //
-// A journal path is exclusive while open: a second Execute trying to
-// open the same path while one holds it fails with a descriptive
-// error instead of interleaving torn records into a shared file.
+// Exclusivity is enforced at two levels. Inside one process, a journal
+// path is claimed while open, so a second Execute on the same path
+// fails with a descriptive error instead of interleaving torn records.
+// Across processes and replicas, an on-disk lease file
+// (store.AcquireLease) claims the journal: it is renewed in the
+// background while the sweep runs, a crashed holder's lease expires
+// (or is broken immediately when its process is verifiably dead on
+// this host), and every append is epoch-fenced so a zombie holder's
+// late writes are rejected once its lease has been stolen. All journal
+// I/O goes through Config.FS (nil = the real filesystem), which is how
+// the crash and torn-write tests drive these paths.
 
 // ckVersion guards the journal layout.
 const ckVersion = 1
-
-type ckHeader struct {
-	Version     int    `json:"version"`
-	Fingerprint string `json:"fingerprint"`
-}
 
 type ckRecord struct {
 	Key   string       `json:"key"`
@@ -72,9 +77,17 @@ type ckRecord struct {
 // use by the driver's workers.
 type checkpoint struct {
 	mu   sync.Mutex
-	f    *os.File
+	j    *store.Journal
 	path string // cleaned path, claimed in ckActive until close
 	keep bool   // RecordTraces: records must carry traces
+
+	lease     *store.Lease
+	ownLease  bool // acquired here (vs. supplied pre-held by the caller)
+	renewStop chan struct{}
+	renewDone chan struct{}
+
+	lost   atomic.Bool // lease lost: journal fenced off, sweep should stop
+	warned atomic.Bool // one append warning per sweep is enough
 }
 
 // ckActive registers the journal paths open in this process, so two
@@ -89,9 +102,13 @@ var (
 // the atomic rewrite must keep harmless. Nil outside tests.
 var ckRewriteCrash func()
 
-// oversized-record drops are counted so a service embedding the
-// pipeline can alarm on silent journal damage.
-var ckOversized = obs.GetCounter("workload.checkpoint.oversized")
+// oversized-record drops and append failures are counted so a service
+// embedding the pipeline can alarm on silent journal damage.
+var (
+	ckOversized  = obs.GetCounter("workload.checkpoint.oversized")
+	ckAppendErrs = obs.GetCounter("workload.checkpoint.appenderrors")
+	ckLeaseLost  = obs.GetCounter("workload.checkpoint.leaselost")
+)
 
 // ckPath canonicalizes a journal path for the exclusivity registry.
 func ckPath(path string) string {
@@ -156,10 +173,11 @@ func checkpointFingerprint(cfg Config) string {
 // Fingerprint returns the configuration's result fingerprint: a hash
 // of every field that determines cell results (machine, matrix
 // coordinates, measurement settings, ablations, fault schedule and
-// planner coordinates — execution details like Parallelism or the
-// cache instance are excluded). It keys the checkpoint journal header
-// and the sweep server's persistent result store: two configurations
-// with equal fingerprints produce byte-identical cell records.
+// planner coordinates — execution details like Parallelism, the cache
+// instance, the filesystem or the lease identity are excluded). It
+// keys the checkpoint journal header and the sweep server's persistent
+// result store: two configurations with equal fingerprints produce
+// byte-identical cell records.
 func (cfg Config) Fingerprint() string { return checkpointFingerprint(cfg) }
 
 // MarshalRunRecord serializes one completed cell in the checkpoint
@@ -187,61 +205,71 @@ func UnmarshalRunRecord(line []byte) (key string, run Run, err error) {
 // missing file, a stale fingerprint, or a corrupt tail (a record cut
 // mid-write by a crash) all degrade to "restore what is readable" —
 // never to a failed sweep. The journal is compacted on open via an
-// atomic temp-file rewrite; see the package comment for the crash
-// contract.
+// atomic temp-file rewrite, and claimed by an on-disk lease unless the
+// caller supplied one it already holds; see the package comment for
+// the crash and fencing contracts.
 func openCheckpoint(cfg Config) (*checkpoint, map[string]Run, error) {
+	fsys := store.Resolve(cfg.FS)
 	if err := claimCheckpointPath(cfg.CheckpointPath); err != nil {
 		return nil, nil, err
 	}
+	lease := cfg.Lease
+	ownLease := false
 	ok := false
 	defer func() {
-		if !ok {
-			releaseCheckpointPath(cfg.CheckpointPath)
+		if ok {
+			return
 		}
+		if ownLease {
+			_ = lease.Release()
+		}
+		releaseCheckpointPath(cfg.CheckpointPath)
 	}()
 
-	fp := checkpointFingerprint(cfg)
-	restored := loadCheckpoint(cfg, fp)
-
-	dir, base := filepath.Split(cfg.CheckpointPath)
-	if dir == "" {
-		dir = "."
+	if lease == nil {
+		owner := cfg.LeaseOwner
+		if owner == "" {
+			owner = fmt.Sprintf("pid-%d", os.Getpid())
+		}
+		var err error
+		lease, err = store.AcquireLease(fsys, store.LeasePath(cfg.CheckpointPath), owner, cfg.LeaseTTL, nil)
+		if err != nil {
+			var held *store.HeldError
+			if errors.As(err, &held) {
+				return nil, nil, fmt.Errorf("workload: checkpoint journal %s is leased by replica %q (epoch %d) — another process may be executing this sweep; retry after its lease expires: %w",
+					cfg.CheckpointPath, held.Info.Owner, held.Info.Epoch, err)
+			}
+			return nil, nil, fmt.Errorf("workload: checkpoint: %w", err)
+		}
+		ownLease = true
 	}
-	f, err := os.CreateTemp(dir, base+".rewrite-*")
+
+	fp := checkpointFingerprint(cfg)
+	keys, restored := loadCheckpoint(fsys, cfg, fp)
+
+	ck := &checkpoint{path: cfg.CheckpointPath, keep: cfg.RecordTraces, lease: lease, ownLease: ownLease}
+	hdr, err := json.Marshal(store.Header{Version: ckVersion, Fingerprint: fp})
 	if err != nil {
 		return nil, nil, fmt.Errorf("workload: checkpoint: %w", err)
 	}
-	tmp := f.Name()
-	fail := func(err error) (*checkpoint, map[string]Run, error) {
-		f.Close()
-		os.Remove(tmp)
+	// Re-journal the restored cells — in their original journal order,
+	// so compaction preserves replay bytes — making the compacted file
+	// complete on its own.
+	records := make([][]byte, 0, len(keys))
+	for _, key := range keys {
+		r := restored[key]
+		line, err := ck.marshalRecord(key, &r)
+		if err != nil {
+			continue // unserializable cells are simply not resumable
+		}
+		records = append(records, line)
+	}
+	j, err := store.CreateJournal(fsys, cfg.CheckpointPath, hdr, records, lease, ckRewriteCrash)
+	if err != nil {
 		return nil, nil, fmt.Errorf("workload: checkpoint: %w", err)
 	}
-	ck := &checkpoint{f: f, path: cfg.CheckpointPath, keep: cfg.RecordTraces}
-	hdr, _ := json.Marshal(ckHeader{Version: ckVersion, Fingerprint: fp})
-	if _, err := fmt.Fprintf(f, "%s\n", hdr); err != nil {
-		return fail(err)
-	}
-	// Re-journal the restored cells so the compacted file is complete
-	// on its own.
-	for key := range restored {
-		r := restored[key]
-		ck.record(key, &r)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if ckRewriteCrash != nil {
-		// Simulated kill inside the rewrite window: the live journal has
-		// not been touched yet, so nothing is lost.
-		ckRewriteCrash()
-	}
-	// Atomic cutover: the complete compacted journal replaces the old
-	// one in a single rename. The open handle stays valid across the
-	// rename, and subsequent records append to the live journal.
-	if err := os.Rename(tmp, cfg.CheckpointPath); err != nil {
-		return fail(err)
-	}
+	ck.j = j
+	ck.startRenewer()
 	ok = true
 	return ck, restored, nil
 }
@@ -252,46 +280,30 @@ func openCheckpoint(cfg Config) (*checkpoint, map[string]Run, error) {
 // exercise the oversized path without writing 64 MiB lines.
 var ckMaxRecordBytes = 64 * 1024 * 1024
 
-// loadCheckpoint reads the resumable cells out of an existing journal,
-// or nil when there is none (or it belongs to a different
-// configuration). A record longer than ckMaxRecordBytes is skipped —
-// counted and warned about, with scanning continuing at the next line
-// — instead of silently discarding the rest of the journal the way a
-// bufio.Scanner hitting its cap would.
-func loadCheckpoint(cfg Config, fingerprint string) map[string]Run {
-	f, err := os.Open(cfg.CheckpointPath)
-	if err != nil {
-		return nil
+// loadCheckpoint reads the resumable cells out of an existing journal:
+// the restored runs by key, plus the keys in first-journaled order
+// (duplicate keys keep the last record but the first position) so the
+// compaction rewrite preserves the journal's replay order. Nil when
+// there is no journal or it belongs to a different configuration.
+func loadCheckpoint(fsys store.FS, cfg Config, fingerprint string) ([]string, map[string]Run) {
+	sc, err := store.ScanJournal(fsys, cfg.CheckpointPath, ckMaxRecordBytes)
+	if err != nil || !sc.HeaderOK {
+		return nil, nil
 	}
-	defer f.Close()
-
-	br := bufio.NewReaderSize(f, 64*1024)
-	line, tooLong, err := readJournalLine(br)
-	if err != nil || tooLong {
-		return nil
+	if sc.Header.Version != ckVersion || sc.Header.Fingerprint != fingerprint {
+		return nil, nil
 	}
-	var hdr ckHeader
-	if err := json.Unmarshal(line, &hdr); err != nil ||
-		hdr.Version != ckVersion || hdr.Fingerprint != fingerprint {
-		return nil
+	if sc.Oversized > 0 {
+		ckOversized.Add(int64(sc.Oversized))
+		fmt.Fprintf(os.Stderr, "workload: checkpoint %s: skipped %d oversized record(s) (> %d bytes); later records still restored\n",
+			cfg.CheckpointPath, sc.Oversized, ckMaxRecordBytes)
 	}
+	var keys []string
 	restored := make(map[string]Run)
-	for {
-		line, tooLong, err := readJournalLine(br)
-		if tooLong {
-			ckOversized.Inc()
-			fmt.Fprintf(os.Stderr, "workload: checkpoint %s: skipping oversized record (> %d bytes); later records still restored\n",
-				cfg.CheckpointPath, ckMaxRecordBytes)
-			continue
-		}
-		if len(line) == 0 && err != nil {
-			break
-		}
+	for _, line := range sc.Records {
 		var rec ckRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn tail from a crashed sweep; everything before it is
-			// intact and restorable.
-			break
+			continue // valid JSON, wrong shape: not a cell record
 		}
 		if rec.Run.Err != "" {
 			continue // defensive: failed cells are not resumable
@@ -304,126 +316,209 @@ func loadCheckpoint(cfg Config, fingerprint string) map[string]Run {
 			rec.Trace = nil
 		}
 		run.Trace = rec.Trace
-		restored[rec.Key] = run
-		if err != nil {
-			break // final unterminated line parsed cleanly
+		if _, seen := restored[rec.Key]; !seen {
+			keys = append(keys, rec.Key)
 		}
+		restored[rec.Key] = run
 	}
 	if len(restored) == 0 {
-		return nil
+		return nil, nil
 	}
-	return restored
+	return keys, restored
 }
 
-// readJournalLine reads one newline-terminated line of at most
-// ckMaxRecordBytes. Oversized lines are consumed to their newline and
-// reported as tooLong with no content, so the caller can keep
-// scanning from the next record.
-func readJournalLine(br *bufio.Reader) (line []byte, tooLong bool, err error) {
-	for {
-		chunk, err := br.ReadSlice('\n')
-		if !tooLong {
-			line = append(line, chunk...)
-			if len(line) > ckMaxRecordBytes {
-				line = nil
-				tooLong = true
-			}
-		}
-		switch err {
-		case bufio.ErrBufferFull:
-			continue // line spans buffer chunks; keep accumulating
-		case nil:
-			if !tooLong {
-				line = line[:len(line)-1] // strip the newline
-			}
-			return line, tooLong, nil
-		default:
-			// EOF (possibly with a final unterminated line) or a read
-			// error: hand back what accumulated.
-			return line, tooLong, err
-		}
-	}
-}
-
-// record journals one completed cell and flushes it to the OS, so the
-// record survives the process dying right afterwards.
-func (ck *checkpoint) record(key string, r *Run) {
+// marshalRecord serializes one cell record under the journal's trace
+// policy.
+func (ck *checkpoint) marshalRecord(key string, r *Run) ([]byte, error) {
 	rec := ckRecord{Key: key, Run: runToJSON(r)}
 	if ck.keep {
 		rec.Trace = r.Trace
 	}
-	line, err := json.Marshal(rec)
+	return json.Marshal(rec)
+}
+
+// startRenewer keeps the journal lease alive in the background while
+// the sweep runs. A renewal failure marks the checkpoint lost: the
+// fenced journal refuses further appends and the driver stops starting
+// new cells (see Execute).
+func (ck *checkpoint) startRenewer() {
+	if ck.lease == nil {
+		return
+	}
+	ck.renewStop = make(chan struct{})
+	ck.renewDone = make(chan struct{})
+	interval := ck.lease.TTL() / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(ck.renewDone)
+		// A panic out of the renewal I/O (the fault filesystem's
+		// simulated power loss fires on whichever goroutine performs the
+		// fatal op) must not take down unrelated goroutines; treat it
+		// like any other failed renewal.
+		defer func() {
+			if p := recover(); p != nil {
+				ck.lost.Store(true)
+				ckLeaseLost.Inc()
+				fmt.Fprintf(os.Stderr, "workload: checkpoint %s: lease renewal panicked (%v); stopping new cells\n", ck.path, p)
+			}
+		}()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ck.renewStop:
+				return
+			case <-t.C:
+				if err := ck.lease.Renew(); err != nil {
+					ck.lost.Store(true)
+					ckLeaseLost.Inc()
+					fmt.Fprintf(os.Stderr, "workload: checkpoint %s: lease renewal failed (%v); stopping new cells\n", ck.path, err)
+					return
+				}
+			}
+		}
+	}()
+}
+
+// interrupted reports whether the journal's lease has been lost — the
+// signal for the driver to stop starting new cells.
+func (ck *checkpoint) interrupted() bool {
+	return ck != nil && ck.lost.Load()
+}
+
+// record journals one completed cell and fsyncs it, so the record
+// survives the process dying right afterwards. Failures are counted
+// and warned about — the cell simply is not resumable — except a lost
+// lease, which additionally fences the rest of the sweep.
+func (ck *checkpoint) record(key string, r *Run) {
+	line, err := ck.marshalRecord(key, r)
 	if err != nil {
 		return // unserializable cells are simply not resumable
 	}
 	ck.mu.Lock()
-	defer ck.mu.Unlock()
-	if ck.f == nil {
+	j := ck.j
+	ck.mu.Unlock()
+	if j == nil {
 		return
 	}
-	fmt.Fprintf(ck.f, "%s\n", line)
-	ck.f.Sync()
+	if err := j.Append(line); err != nil {
+		if errors.Is(err, store.ErrLeaseLost) {
+			if !ck.lost.Swap(true) {
+				ckLeaseLost.Inc()
+				fmt.Fprintf(os.Stderr, "workload: checkpoint %s: lease lost; cell %s not journaled and remaining cells will not start\n", ck.path, key)
+			}
+			return
+		}
+		ckAppendErrs.Inc()
+		if !ck.warned.Swap(true) {
+			fmt.Fprintf(os.Stderr, "workload: checkpoint %s: append failed: %v — affected cells will not be resumable\n", ck.path, err)
+		}
+	}
 }
 
-// close closes the journal file and releases the path claim; records
-// after close are dropped.
+// close closes the journal file, stops the lease renewer and releases
+// the claims; records after close are dropped. Close and release
+// failures are warned about, not swallowed: each is a torn-journal or
+// stuck-lease risk the operator should see.
 func (ck *checkpoint) close() {
 	ck.mu.Lock()
-	defer ck.mu.Unlock()
-	if ck.f != nil {
-		ck.f.Close()
-		ck.f = nil
-		releaseCheckpointPath(ck.path)
+	j := ck.j
+	ck.j = nil
+	ck.mu.Unlock()
+	if j == nil {
+		return
 	}
+	if ck.renewStop != nil {
+		close(ck.renewStop)
+		<-ck.renewDone
+	}
+	if err := j.Close(); err != nil {
+		ckAppendErrs.Inc()
+		fmt.Fprintf(os.Stderr, "workload: checkpoint %s: close failed: %v\n", ck.path, err)
+	}
+	if ck.ownLease {
+		if err := ck.lease.Release(); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: checkpoint %s: lease release failed: %v (holders must wait out the TTL)\n", ck.path, err)
+		}
+	}
+	releaseCheckpointPath(ck.path)
 }
 
-// replayJournal streams the record lines of the journal at path
-// verbatim to w (the header line is validated and skipped), returning
-// the record count. Torn tails stop the replay silently, matching
-// loadCheckpoint; oversized records are skipped with a count. The
-// sweep server's GET /v1/result replays stored journals through this.
-func replayJournal(path string, w io.Writer) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
+// SalvageJournal repairs the sweep journal at path in place: torn
+// tails and oversized interior junk are compacted away through the
+// same atomic rewrite the checkpoint open uses, and a journal whose
+// header no longer parses is quarantined aside as path+".corrupt".
+// Reports whether the file changed. The sweep server runs this over
+// its store on startup and on lease takeover.
+func SalvageJournal(fsys store.FS, path string) (bool, error) {
+	return store.SalvageJournal(store.Resolve(fsys), path, ckMaxRecordBytes)
+}
 
-	br := bufio.NewReaderSize(f, 64*1024)
-	line, tooLong, err := readJournalLine(br)
-	if err != nil || tooLong {
-		return 0, fmt.Errorf("workload: journal %s: unreadable header", path)
+// JournalSnapshot is one consistent read of a sweep journal: the raw
+// record lines (replay bytes), their cell keys in journal order, and
+// the distinct-cell count — what a read-only follower needs to stream
+// a journal another replica is executing.
+type JournalSnapshot struct {
+	Fingerprint string
+	Records     [][]byte
+	Keys        []string
+	Unique      int
+	Torn        bool
+}
+
+// SnapshotJournal scans the journal at path through fsys. A missing
+// file yields an empty snapshot, not an error; a torn tail yields the
+// intact prefix with Torn set.
+func SnapshotJournal(fsys store.FS, path string) (*JournalSnapshot, error) {
+	sc, err := store.ScanJournal(store.Resolve(fsys), path, ckMaxRecordBytes)
+	if err != nil {
+		if store.IsNotExist(err) {
+			return &JournalSnapshot{}, nil
+		}
+		return nil, err
 	}
-	var hdr ckHeader
-	if err := json.Unmarshal(line, &hdr); err != nil || hdr.Version != ckVersion {
-		return 0, fmt.Errorf("workload: journal %s: bad header", path)
+	if !sc.HeaderOK || sc.Header.Version != ckVersion {
+		return &JournalSnapshot{Torn: sc.Torn}, nil
 	}
-	records := 0
-	for {
-		line, tooLong, err := readJournalLine(br)
-		if tooLong {
-			ckOversized.Inc()
-			continue
+	snap := &JournalSnapshot{
+		Fingerprint: sc.Header.Fingerprint,
+		Records:     sc.Records,
+		Keys:        make([]string, len(sc.Records)),
+		Torn:        sc.Torn,
+	}
+	seen := make(map[string]bool, len(sc.Records))
+	for i, line := range sc.Records {
+		var rec struct {
+			Key string `json:"key"`
 		}
-		if len(line) == 0 && err != nil {
-			break
-		}
-		if !json.Valid(line) {
-			break // torn tail
-		}
-		if _, werr := fmt.Fprintf(w, "%s\n", line); werr != nil {
-			return records, werr
-		}
-		records++
-		if err != nil {
-			break
+		if json.Unmarshal(line, &rec) == nil {
+			snap.Keys[i] = rec.Key
+			if rec.Key != "" && !seen[rec.Key] {
+				seen[rec.Key] = true
+				snap.Unique++
+			}
 		}
 	}
-	return records, nil
+	return snap, nil
 }
 
 // ReplayJournal streams the record lines of a checkpoint/result
 // journal verbatim to w (header validated and skipped) and returns
 // how many records it wrote. Callers get the exact bytes record
-// appended, so repeated replays are byte-identical.
-func ReplayJournal(path string, w io.Writer) (int, error) { return replayJournal(path, w) }
+// appended, so repeated replays are byte-identical. Torn tails stop
+// the replay silently, matching loadCheckpoint; oversized records are
+// skipped with a count.
+func ReplayJournal(path string, w io.Writer) (int, error) {
+	return ReplayJournalFS(nil, path, w)
+}
+
+// ReplayJournalFS is ReplayJournal through an injectable filesystem.
+func ReplayJournalFS(fsys store.FS, path string, w io.Writer) (int, error) {
+	records, oversized, err := store.ReplayJournal(store.Resolve(fsys), path, ckVersion, ckMaxRecordBytes, w)
+	if oversized > 0 {
+		ckOversized.Add(int64(oversized))
+	}
+	return records, err
+}

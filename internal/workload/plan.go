@@ -250,6 +250,12 @@ func (g *guided) measure(idx []int) {
 			cellsRestored.Inc()
 			g.mx.addRestored()
 			g.mx.Runs[i] = r
+		} else if (g.cfg.Stop != nil && g.cfg.Stop()) || g.ck.interrupted() {
+			// Stopped sweep (drain or lost lease): leave the cell
+			// interrupted and unstreamed so a resume executes it.
+			cellsSkipped.Inc()
+			g.mx.Runs[i] = interruptedRun(&g.cfg, c)
+			return
 		} else {
 			run := executeOne(g.cfg, c, tr)
 			if g.ck != nil && !run.Failed() {

@@ -27,6 +27,7 @@ import (
 	"capscale/internal/obs"
 	"capscale/internal/rapl"
 	"capscale/internal/sim"
+	"capscale/internal/store"
 	"capscale/internal/strassen"
 	"capscale/internal/task"
 	"capscale/internal/trace"
@@ -215,6 +216,33 @@ type Config struct {
 	// journal is invalidated (and the sweep starts fresh) when the
 	// configuration fingerprint changes.
 	CheckpointPath string
+	// FS, when non-nil, routes all checkpoint-journal and lease I/O
+	// through an injectable filesystem — the crash/fault tests inject
+	// faults.FaultFS here. Nil selects the real OS filesystem with zero
+	// added overhead, matching the fault injector's contract.
+	FS store.FS
+	// LeaseOwner names this process on the journal's on-disk lease
+	// (store.AcquireLease); empty selects "pid-<pid>". Replicas sharing
+	// a store directory should use stable distinct IDs so lease
+	// diagnostics identify the holder.
+	LeaseOwner string
+	// LeaseTTL is how long the journal lease stays valid between
+	// background renewals; non-positive selects store.DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Lease, when non-nil, is a pre-acquired claim on the checkpoint
+	// journal: Execute fences every journal append with it and renews
+	// it while the sweep runs, but does not release it — the caller
+	// owns its lifecycle (the sweep server acquires leases before
+	// launching sweeps). Nil with CheckpointPath set means Execute
+	// acquires and releases its own lease.
+	Lease *store.Lease
+	// Stop, when non-nil, is polled before each cell starts. Once it
+	// returns true the remaining cells resolve as interrupted
+	// (Run.Interrupted) instead of executing, and the sweep returns
+	// with whatever completed — the journal then resumes it later. The
+	// sweep server's bounded drain and lease-loss paths use this; cells
+	// already executing always run to completion.
+	Stop func() bool
 
 	// Plan selects the sweep strategy: PlanExhaustive measures every
 	// cell; PlanGuided measures a stratified seed, fits the
@@ -447,6 +475,17 @@ type Run struct {
 // without completing.
 func (r *Run) Failed() bool { return r.Err != "" }
 
+// ErrInterrupted is the Err value of a cell the sweep never started:
+// the driver was stopped (Config.Stop — a bounded drain) or the
+// journal lease was lost to another replica. Interrupted cells are not
+// journaled and not streamed through OnRun; resuming the same
+// configuration executes them.
+const ErrInterrupted = "sweep interrupted before this cell started"
+
+// Interrupted reports whether this cell was skipped by a stopped
+// sweep rather than executed.
+func (r *Run) Interrupted() bool { return r.Err == ErrInterrupted }
+
 // MeasurementErr returns the largest per-plane relative error between
 // the monitor's measurement and the oracle energy — 0 for a perfectly
 // reconciled run, and 0 for legacy runs with no recorded truth. Note
@@ -579,6 +618,20 @@ func (mx *Matrix) FailedRuns() []*Run {
 	return out
 }
 
+// InterruptedRuns returns the cells a stopped sweep never started —
+// non-empty only when Config.Stop fired or the journal lease was lost
+// mid-sweep. They are resumable: re-executing the same configuration
+// restores the completed cells and runs exactly these.
+func (mx *Matrix) InterruptedRuns() []*Run {
+	var out []*Run
+	for i := range mx.Runs {
+		if mx.Runs[i].Interrupted() {
+			out = append(out, &mx.Runs[i])
+		}
+	}
+	return out
+}
+
 // DegradedRuns returns the completed cells whose figures are flagged
 // degraded (quarantined planes, wrap anomalies, or reconciliation
 // beyond tolerance).
@@ -655,6 +708,7 @@ var (
 	cellsRetried   = obs.GetCounter("workload.cells.retried")
 	cellsFailed    = obs.GetCounter("workload.cells.failed")
 	cellsRestored  = obs.GetCounter("workload.checkpoint.restored")
+	cellsSkipped   = obs.GetCounter("workload.cells.interrupted")
 )
 
 // ExecuteOne runs a single configuration through the simulator and the
@@ -729,6 +783,16 @@ func (cfg *Config) cellKey(c cell) string {
 		key += "@" + cs.String()
 	}
 	return key
+}
+
+// interruptedRun builds the placeholder Run for a cell a stopped
+// sweep never started: coordinates plus ErrInterrupted, nothing else.
+func interruptedRun(cfg *Config, c cell) Run {
+	r := Run{Alg: c.alg, N: c.n, Threads: c.threads, Err: ErrInterrupted}
+	if cs := cfg.clusterOf(c); cs != nil {
+		r.Cluster = cs.String()
+	}
+	return r
 }
 
 // executeContained runs one cell under the fault schedule with
@@ -966,7 +1030,10 @@ func Execute(cfg Config) *Matrix {
 	// runCell resolves one cell: restored from the checkpoint when the
 	// journal has it, executed otherwise, and journaled when it
 	// completes (failed cells are left out so a resumed sweep retries
-	// them).
+	// them). A stopped sweep — bounded drain, or the journal lease lost
+	// to another replica — resolves remaining cells as interrupted
+	// instead of executing them; they are neither journaled nor
+	// streamed, so a resume runs exactly those cells.
 	runCell := func(c cell, tr obs.Track) Run {
 		key := cfg.cellKey(c)
 		if r, ok := restored[key]; ok {
@@ -977,6 +1044,10 @@ func Execute(cfg Config) *Matrix {
 				cfg.OnRun(key, &r)
 			}
 			return r
+		}
+		if (cfg.Stop != nil && cfg.Stop()) || ck.interrupted() {
+			cellsSkipped.Inc()
+			return interruptedRun(&cfg, c)
 		}
 		run := executeOne(cfg, c, tr)
 		if ck != nil && !run.Failed() {

@@ -7,7 +7,10 @@
 # ground truth, and deliberately undersampled runs must be flagged for
 # wrap loss), and binary-boundary smokes: Perfetto trace export, the
 # seeded chaos sweep with checkpoint resume, the distributed comm
-# sweep, the model-guided planner, and the sweep service daemon.
+# sweep, the model-guided planner, and the sweep service daemon —
+# plus a focused errcheck pass over the durability-owning packages
+# and a crash smoke that SIGKILLs a leaseholder replica mid-sweep and
+# makes a survivor finish the sweep from the shared store.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +28,10 @@ go vet ./...
 # (The shadow analyzer would ride here too, but it ships as a separate
 # binary this container does not have.)
 go vet -copylocks ./...
+# Focused errcheck pass: a dropped Close/Sync/Rename error in the
+# packages that own on-disk state is how a torn journal masquerades as
+# a clean shutdown (scripts/errcheck/main.go).
+go run ./scripts/errcheck
 go build ./...
 go test ./...
 go test -race ./internal/sched/... ./internal/kernel/... ./internal/obs/...
@@ -34,8 +41,10 @@ go test -race ./internal/rapl/... ./internal/papi/... ./internal/trace/... ./int
 # get the same race pass.
 go test -race ./internal/mpi/... ./internal/dmm/... ./internal/cluster/...
 # The sweep server: concurrent HTTP subscribers, sweep-level
-# single-flight and the drain path all live on shared state.
-go test -race ./internal/serve/...
+# single-flight and the drain path all live on shared state — and the
+# store it persists to: journals, leases and lock files are mutated by
+# racing replicas by design.
+go test -race ./internal/serve/... ./internal/store/...
 # The event-driven simulator core: concurrent Runs must be race-free
 # (-short skips the 48-cell bit-identicality pin, which the plain
 # `go test ./...` line above already ran in full).
@@ -71,4 +80,8 @@ go test -run 'TestReplayReconcilesAtSaneInterval|TestReplayFlagsInjectedWrapLoss
 # overlapping identical sweeps, replay results byte-identically, and
 # drain cleanly on SIGTERM.
 ./scripts/serve_smoke.sh
+# Crash smoke: kill -9 a leaseholder replica mid-sweep; the survivor
+# sharing the store must steal the lease, resume from the journal
+# without re-executing journaled cells, and replay byte-identically.
+./scripts/crash_smoke.sh
 echo "check.sh: all green"

@@ -1,0 +1,166 @@
+// Command errcheck is the repo's focused errcheck pass: it flags
+// discarded error returns from the durability-critical calls — Close,
+// Sync, Rename, Remove, Truncate and Flush — in the packages that own
+// on-disk state. A dropped Close/Sync error is how a torn journal
+// masquerades as a clean shutdown, so these must be handled or
+// explicitly waved through with `_ =`.
+//
+// The scan is syntactic (no type information): any bare expression
+// statement calling a method or function with one of the watched
+// names counts. Two escapes read as intent at the call site and are
+// not flagged:
+//
+//   - `_ = f.Close()` — the explicit "best-effort on the failure path"
+//   - `defer f.Close()` — cleanup defers, where the caller has no
+//     error channel left to report into
+//
+// Test files are skipped entirely: they exercise failure paths where
+// the error is the point, not a leak.
+//
+// Usage: go run ./scripts/errcheck [dir ...]
+// With no args it scans the repo's durability-owning packages.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// watched are the method/function names whose error returns guard
+// on-disk durability. Write is deliberately absent: the journal and
+// lease layers already funnel writes through checked helpers, and a
+// name-only scan would drown in bytes.Buffer / strings.Builder noise.
+var watched = map[string]bool{
+	"Close":    true,
+	"Sync":     true,
+	"Rename":   true,
+	"Remove":   true,
+	"Truncate": true,
+	"Flush":    true,
+}
+
+// defaultDirs are the packages that own files on disk. Everything
+// else goes through these layers.
+var defaultDirs = []string{
+	"internal/store",
+	"internal/faults",
+	"internal/serve",
+	"internal/workload",
+	"internal/trace",
+	"cmd/epscaled",
+	"cmd/epscale",
+	"cmd/powertrace",
+}
+
+type finding struct {
+	pos  token.Position
+	call string
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	var findings []finding
+	for _, dir := range dirs {
+		fs, err := scanDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errcheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d: result of %s ignored (handle it or discard with `_ =`)\n",
+			f.pos.Filename, f.pos.Line, f.call)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "errcheck: %d dropped error return(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func scanDir(dir string) ([]finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var findings []finding
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := calleeName(call); name != "" && watched[name] {
+				findings = append(findings, finding{
+					pos:  fset.Position(call.Pos()),
+					call: render(call),
+				})
+			}
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// calleeName extracts the bare method/function name of a call:
+// f.Close → Close, os.Rename → Rename, Close → Close.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return ""
+}
+
+// render prints the callee compactly for the diagnostic (receiver
+// chains collapse to their last identifier: s.store.f.Close →
+// f.Close).
+func render(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return id.Name
+		}
+		return "call"
+	}
+	recv := "(...)"
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		recv = x.Name
+	case *ast.SelectorExpr:
+		recv = x.Sel.Name
+	}
+	return recv + "." + sel.Sel.Name
+}
